@@ -1,0 +1,53 @@
+// ablation_autotune — exercise §III-A's automatic maximum-queue-length
+// selection: "the scheduler will try to find the most proper maximum queue
+// length by increasing the value of it gradually until the performance
+// inflexion occurs." The tuned value must land at the Fig. 4 knee and its
+// runtime must be within a few percent of the best fixed choice.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/autotune.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Ablation — automatic maximum-queue-length tuning",
+                 "the tuner lands on the Fig. 4 knee (qlen ~10-12) for "
+                 "every GPU count")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::SpectralCostModel model({}, perfmodel::paper_workload());
+  util::Table t({"GPUs", "tuned qlen", "tuned time (s)", "best fixed (s)",
+                 "probes"});
+  bool knee_ok = true;
+  bool close_ok = true;
+  for (int g = 1; g <= 4; ++g) {
+    auto measure = [&](int q) {
+      return sim::simulate_hybrid(bench::spectral_sim_config(model, g, q))
+          .makespan_s;
+    };
+    const auto tuned = core::autotune_max_queue_length(measure);
+    // Exhaustive best over the same probe range for reference.
+    double best = 1e300;
+    for (int q = 2; q <= 32; q += 2) best = std::min(best, measure(q));
+    t.add_row({std::to_string(g),
+               std::to_string(tuned.best_max_queue_length),
+               util::Table::num(tuned.best_time_s, 4),
+               util::Table::num(best, 4),
+               std::to_string(tuned.probes.size())});
+    knee_ok &= tuned.best_max_queue_length >= 4 &&
+               tuned.best_max_queue_length <= 20;
+    close_ok &= tuned.best_time_s <= best * 1.05;
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("ablation_autotune.csv");
+
+  std::printf("\nshape checks:\n");
+  bench::check(knee_ok, "tuned queue length lands near the Fig. 4 knee");
+  bench::check(close_ok, "tuned time within 5% of the best fixed setting");
+  std::printf("\ncsv: ablation_autotune.csv\n");
+  return 0;
+}

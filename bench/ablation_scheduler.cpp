@@ -1,0 +1,77 @@
+// ablation_scheduler — quantify the design choice of §II-B/§V: the
+// shared-memory scheduler vs an MPS-style client-server scheduler.
+//
+// "the MPS ... client-server architecture will introduce much extra
+// overhead if each task is fast and scheduling is quite frequent like in
+// the spectral calculation." The ablation replays the same workload with
+// the per-task scheduling round trip set to (a) the shm cost and (b) an
+// IPC round trip, at both task granularities.
+
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Ablation — shared-memory scheduler vs MPS-style "
+                 "client-server",
+                 "shm round trip ~2 us vs IPC ~200 us; penalty grows with "
+                 "scheduling frequency (Level granularity)")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::PaperCalibration cal;
+  const perfmodel::SpectralCostModel model(cal, perfmodel::paper_workload());
+
+  util::Table t({"granularity", "scheduler", "round trip", "total (s)",
+                 "overhead vs shm"});
+  double base[2] = {0.0, 0.0};
+  for (int gi = 0; gi < 2; ++gi) {
+    const auto gran = gi == 0 ? core::TaskGranularity::ion
+                              : core::TaskGranularity::level;
+    for (int mode = 0; mode < 2; ++mode) {
+      auto cfg = bench::spectral_sim_config(model, 3, 10, gran);
+      const double rt = mode == 0 ? cal.shm_scheduler_overhead_s
+                                  : cal.mps_scheduler_overhead_s;
+      // Client-server scheduling costs the round trip on submission too
+      // (request + response), not just on completion.
+      cfg.sched_overhead_s = rt;
+      cfg.prep_s += mode == 0 ? rt : 2.0 * rt;
+      const auto res = sim::simulate_hybrid(cfg);
+      if (mode == 0) base[gi] = res.makespan_s;
+      char overhead[32];
+      std::snprintf(overhead, sizeof overhead, "+%.2f%%",
+                    100.0 * (res.makespan_s - base[gi]) / base[gi]);
+      t.add_row({core::to_string(gran),
+                 mode == 0 ? "shared memory" : "MPS-style client-server",
+                 mode == 0 ? "2 us" : "200 us",
+                 util::Table::num(res.makespan_s, 4),
+                 mode == 0 ? "-" : overhead});
+    }
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("ablation_scheduler.csv");
+
+  // Recompute penalties for the checks.
+  auto penalty = [&](core::TaskGranularity gran) {
+    auto shm_cfg = bench::spectral_sim_config(model, 3, 10, gran);
+    shm_cfg.prep_s += cal.shm_scheduler_overhead_s;
+    shm_cfg.sched_overhead_s = cal.shm_scheduler_overhead_s;
+    auto mps_cfg = bench::spectral_sim_config(model, 3, 10, gran);
+    mps_cfg.prep_s += 2.0 * cal.mps_scheduler_overhead_s;
+    mps_cfg.sched_overhead_s = cal.mps_scheduler_overhead_s;
+    return sim::simulate_hybrid(mps_cfg).makespan_s /
+           sim::simulate_hybrid(shm_cfg).makespan_s;
+  };
+  const double ion_penalty = penalty(core::TaskGranularity::ion);
+  const double level_penalty = penalty(core::TaskGranularity::level);
+  std::printf("\nshape checks:\n");
+  bench::check(ion_penalty > 1.0, "client-server costs extra time at ion "
+                                  "granularity");
+  bench::check(level_penalty > ion_penalty,
+               "penalty grows with scheduling frequency (Level > Ion)");
+  std::printf("\ncsv: ablation_scheduler.csv\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// baseline_audit — recompute the paper's §I/§IV anchor numbers from the
+// calibrated cost model, so every figure bench can be traced back to them.
+//
+// Paper anchors:
+//   * serial APEC: ~800 s per grid point, >90% in integrals (§I, §IV);
+//   * 24-rank MPI-only speedup: 13.5x (§IV);
+//   * per-grid-point RRC integral count ~1e8 ("up to 2.0e8", Fig. 1);
+//   * Tesla C2075: 448 cores @ 1.15 GHz, 515 DP GFLOPS (§IV).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "baseline_audit (cost-model anchors)",
+                 "serial ~800 s/point; MPI-24 speedup 13.5x; ~1e8 "
+                 "integrals/point; C2075 testbed")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::PaperCalibration cal;
+  const perfmodel::SpectralCostModel model(cal, perfmodel::paper_workload());
+  const auto& w = model.workload();
+
+  util::Table t({"anchor", "paper", "model", "unit"});
+  t.add_row({"serial time per grid point", "~800", util::Table::num(model.serial_point_s(), 4), "s"});
+  t.add_row({"integral share of serial time", ">90%",
+             util::Table::pct(model.ion_cpu_s() /
+                              (model.ion_cpu_s() + model.ion_prep_s())),
+             "-"});
+  t.add_row({"RRC integrals per grid point", "up to 2.0e8",
+             util::Table::num(static_cast<double>(w.integrals_per_point()), 4),
+             "-"});
+  t.add_row({"MPI-only speedup (24 ranks)", "13.5",
+             util::Table::num(24.0 * model.serial_point_s() /
+                              model.mpi_only_s(24), 4),
+             "x"});
+  t.add_row({"GPU cores (C2075)", "448",
+             util::Table::num(cal.gpu.total_cores(), 4), "-"});
+  t.add_row({"GPU DP peak", "515",
+             util::Table::num(cal.gpu.dp_peak_gflops, 4), "GFLOPS"});
+  t.add_row({"ion task on GPU", "-", util::Table::num(model.ion_gpu_s() * 1e3, 4), "ms"});
+  t.add_row({"ion task on CPU (QAGS)", "-", util::Table::num(model.ion_cpu_s(), 4), "s"});
+  t.add_row({"ion task preparation", "-", util::Table::num(model.ion_prep_s() * 1e3, 4), "ms"});
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("baseline_audit.csv");
+
+  std::printf("\nshape checks:\n");
+  bench::check(std::abs(model.serial_point_s() - 800.0) < 60.0,
+               "serial point time within 800 +- 60 s");
+  bench::check(model.ion_cpu_s() / (model.ion_cpu_s() + model.ion_prep_s()) >
+                   0.9,
+               "integrals dominate serial time (>90%)");
+  const double mpi_speedup =
+      24.0 * model.serial_point_s() / model.mpi_only_s(24);
+  bench::check(std::abs(mpi_speedup - 13.5) < 0.2, "MPI-24 speedup ~13.5x");
+  bench::check(w.integrals_per_point() >= 5e7 &&
+                   w.integrals_per_point() <= 2e8,
+               "integral count per point in the paper's range");
+  std::printf("\ncsv: baseline_audit.csv\n");
+  return 0;
+}

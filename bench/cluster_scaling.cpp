@@ -1,0 +1,76 @@
+// cluster_scaling — the paper's production framing (§I): "for a parameter
+// space of a moderate real-world astrophysical simulation containing 128^3
+// sampled points, it will take approximately 0.5 millions CPU hours."
+// The inter-node strategy (§III-A) divides the space into equal subspaces,
+// one per node, each with its own local scheduler — so scaling across
+// nodes should be near-linear and the static split's imbalance small.
+//
+// This bench scales the per-node Fig. 3 configuration (24 ranks + 3 GPUs,
+// Ion granularity) from 1 to 16 nodes over a proportionally growing grid
+// and reports speedup, parallel efficiency, and split imbalance. It also
+// extrapolates the 128^3-point production run the paper motivates.
+
+#include <cstdio>
+
+#include "common.h"
+#include "sim/cluster_sim.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Cluster scaling — equal-subspace split across nodes",
+                 "near-linear node scaling; 128^3-point run ~0.5M CPU-hours "
+                 "serial")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::SpectralCostModel model({}, perfmodel::paper_workload());
+
+  util::Table t({"nodes", "grid points", "makespan (s)", "speedup",
+                 "efficiency", "imbalance"});
+  double base = 0.0;
+  bool linear_ok = true;
+  bool balance_ok = true;
+  for (int nodes : {1, 2, 4, 8, 16}) {
+    sim::ClusterSimConfig cfg;
+    cfg.nodes = nodes;
+    cfg.node = bench::spectral_sim_config(model, 3, 10);
+    cfg.node.total_tasks =
+        static_cast<std::uint64_t>(nodes) * 24 * 496;  // weak scaling
+    const auto res = sim::simulate_cluster(cfg);
+    if (nodes == 1) base = res.makespan_s;
+    const double speedup =
+        base * static_cast<double>(nodes) / res.makespan_s;
+    const double efficiency = speedup / static_cast<double>(nodes);
+    linear_ok &= efficiency > 0.9;
+    balance_ok &= res.imbalance() < 0.1;
+    t.add_row({std::to_string(nodes), std::to_string(nodes * 24),
+               util::Table::num(res.makespan_s, 4),
+               util::Table::num(speedup, 4), util::Table::pct(efficiency),
+               util::Table::pct(res.imbalance())});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("cluster_scaling.csv");
+
+  // Production extrapolation: 128^3 grid points.
+  const double points = 128.0 * 128.0 * 128.0;
+  const double serial_hours = points * model.serial_point_s() / 3600.0;
+  const double node_rate = 24.0 / base;  // grid points per second per node
+  const double hybrid_node_hours = points / node_rate / 3600.0;
+  std::printf("\nproduction extrapolation (128^3 = %.3g points):\n", points);
+  std::printf("  serial APEC      : %.3g CPU-hours (paper: ~0.5 million)\n",
+              serial_hours);
+  std::printf("  one hybrid node  : %.3g node-hours (24 cores + 3 GPUs)\n",
+              hybrid_node_hours);
+  std::printf("  16 hybrid nodes  : %.3g hours wall clock\n",
+              hybrid_node_hours / 16.0);
+
+  std::printf("\nshape checks:\n");
+  bench::check(serial_hours > 2.5e5 && serial_hours < 1e6,
+               "serial cost lands near the paper's ~0.5M CPU-hours");
+  bench::check(linear_ok, "weak scaling efficiency > 90% through 16 nodes");
+  bench::check(balance_ok, "equal-subspace imbalance stays below 10%");
+  std::printf("\ncsv: cluster_scaling.csv\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+// Shared helpers for the reproduction benches.
+
+#include <cstdio>
+#include <string>
+
+#include "perfmodel/calibration.h"
+#include "sim/hybrid_sim.h"
+
+namespace hspec::bench {
+
+/// DES configuration for the paper's spectral experiment: 24 grid points,
+/// 24 MPI ranks, 496 ion tasks per point.
+inline sim::HybridSimConfig spectral_sim_config(
+    const perfmodel::SpectralCostModel& model, int devices,
+    int max_queue_length,
+    core::TaskGranularity granularity = core::TaskGranularity::ion) {
+  sim::HybridSimConfig cfg;
+  cfg.ranks = 24;
+  cfg.devices = devices;
+  cfg.max_queue_length = max_queue_length;
+  const std::uint64_t ion_tasks =
+      24ull * model.workload().ions_per_point;
+  if (granularity == core::TaskGranularity::ion) {
+    cfg.total_tasks = ion_tasks;
+    cfg.prep_s = model.ion_prep_s();
+    cfg.cpu_task_s = model.ion_cpu_s();
+    cfg.gpu_task_s = model.ion_gpu_s();
+  } else {
+    cfg.total_tasks = ion_tasks * model.workload().avg_levels_per_ion;
+    cfg.prep_s = model.level_prep_s();
+    cfg.cpu_task_s = model.level_cpu_s();
+    cfg.gpu_task_s = model.level_gpu_s();
+  }
+  cfg.sched_overhead_s =
+      model.calibration().shm_scheduler_overhead_s;
+  return cfg;
+}
+
+/// PASS/MISS marker for the shape criteria printed at the end of a bench.
+inline void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "MISS", what.c_str());
+}
+
+}  // namespace hspec::bench

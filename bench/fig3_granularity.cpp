@@ -1,0 +1,63 @@
+// fig3_granularity — reproduce Fig. 3: speedup over serial APEC for 1-4
+// GPUs at the two task granularities.
+//
+// Paper series (speedup vs original serial APEC):
+//   Ion   (coarse): 196.4  278.7  305.8  311.4
+//   Level (fine):    97.9  132.9  155.7  158.5
+// Shape criteria: Ion ~2x Level at 1 GPU; both rise with diminishing
+// returns; Ion stays above Level at every device count.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Fig. 3 — speedup on different task granularities",
+                 "Ion 196.4/278.7/305.8/311.4; Level 97.9/132.9/155.7/158.5")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::SpectralCostModel model({}, perfmodel::paper_workload());
+  const double serial_s = 24.0 * model.serial_point_s();
+  constexpr double kPaperIon[] = {196.4, 278.7, 305.8, 311.4};
+  constexpr double kPaperLevel[] = {97.9, 132.9, 155.7, 158.5};
+
+  util::Table t({"GPUs", "Ion speedup", "paper", "Level speedup", "paper"});
+  double ion[4];
+  double level[4];
+  for (int g = 1; g <= 4; ++g) {
+    const auto ion_res = sim::simulate_hybrid(bench::spectral_sim_config(
+        model, g, 10, core::TaskGranularity::ion));
+    const auto level_res = sim::simulate_hybrid(bench::spectral_sim_config(
+        model, g, 10, core::TaskGranularity::level));
+    ion[g - 1] = serial_s / ion_res.makespan_s;
+    level[g - 1] = serial_s / level_res.makespan_s;
+    t.add_row({std::to_string(g), util::Table::num(ion[g - 1], 4),
+               util::Table::num(kPaperIon[g - 1], 4),
+               util::Table::num(level[g - 1], 4),
+               util::Table::num(kPaperLevel[g - 1], 4)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("fig3_granularity.csv");
+
+  std::printf("\nshape checks:\n");
+  bench::check(ion[0] / level[0] > 1.5 && ion[0] / level[0] < 2.6,
+               "Ion ~2x Level at 1 GPU");
+  bool ion_above = true;
+  for (int i = 0; i < 4; ++i) ion_above &= ion[i] > level[i];
+  bench::check(ion_above, "Ion above Level at every GPU count");
+  bench::check(ion[3] >= ion[2] * 0.98 && ion[2] >= ion[1] * 0.98 &&
+                   ion[1] > ion[0],
+               "Ion speedup rises then saturates");
+  bench::check((ion[1] - ion[0]) > (ion[3] - ion[2]),
+               "diminishing returns from extra GPUs");
+  bench::check(std::fabs(ion[0] - 196.4) / 196.4 < 0.25 &&
+                   std::fabs(ion[2] - 305.8) / 305.8 < 0.25,
+               "Ion 1- and 3-GPU speedups within 25% of the paper");
+  std::printf("\ncsv: fig3_granularity.csv\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// fig4_queue_length — reproduce Fig. 4: total computing time of the 24-grid
+// workload vs maximum queue length, for 1-4 GPUs.
+//
+// Paper series (seconds; qlen = 2..14 step 2):
+//   1 GPU : 356 251 221 194 186 176 179
+//   2 GPUs: 221 182 178 135 124 124 128
+//   3 GPUs: 184 124 119 155 119 114 117   (the 155 is a reported outlier)
+//   4 GPUs: 111 113 118 ... (4-GPU row flattens near the 3-GPU one)
+// Shape criteria: time falls steeply from qlen 2, knee by qlen ~10-12,
+// roughly flat after; 1 GPU is slowest; 3 and 4 GPUs nearly coincide.
+
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Fig. 4 — total computing time vs maximum queue length",
+                 "1 GPU: 356..176 s falling to a knee at qlen 10-12; "
+                 "3 GPUs ~ 4 GPUs")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::SpectralCostModel model({}, perfmodel::paper_workload());
+  std::vector<int> qlens{2, 4, 6, 8, 10, 12, 14};
+
+  util::Table t({"max queue length", "1 GPU (s)", "2 GPUs (s)", "3 GPUs (s)",
+                 "4 GPUs (s)"});
+  // time[g-1][qi]
+  std::vector<std::vector<double>> time(4,
+                                        std::vector<double>(qlens.size()));
+  for (std::size_t qi = 0; qi < qlens.size(); ++qi) {
+    std::vector<std::string> row{std::to_string(qlens[qi])};
+    for (int g = 1; g <= 4; ++g) {
+      const auto res = sim::simulate_hybrid(
+          bench::spectral_sim_config(model, g, qlens[qi]));
+      time[g - 1][qi] = res.makespan_s;
+      row.push_back(util::Table::num(res.makespan_s, 4));
+    }
+    t.add_row(row);
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("fig4_queue_length.csv");
+
+  std::printf("\nshape checks:\n");
+  bench::check(time[0][0] / time[0][5] > 1.4,
+               "1 GPU: qlen 2 much slower than qlen 12 (paper: 2.0x)");
+  bool ordered = true;
+  for (std::size_t qi = 0; qi < qlens.size(); ++qi)
+    ordered &= time[0][qi] >= time[1][qi] * 0.999 &&
+               time[1][qi] >= time[2][qi] * 0.98;
+  bench::check(ordered, "more GPUs never slower at any queue length");
+  double worst34 = 0.0;
+  for (std::size_t qi = 2; qi < qlens.size(); ++qi)
+    worst34 = std::max(worst34,
+                       std::abs(time[2][qi] - time[3][qi]) / time[2][qi]);
+  bench::check(worst34 < 0.05,
+               "3 GPUs and 4 GPUs nearly coincide beyond qlen 4 (paper: "
+               "'almost the same')");
+  bench::check(time[0][5] <= time[0][0] && time[0][5] <= time[0][1] &&
+                   time[0][5] <= time[0][2],
+               "knee reached by qlen 12 for 1 GPU");
+  const double tail_change =
+      std::abs(time[0][6] - time[0][5]) / time[0][5];
+  bench::check(tail_change < 0.05,
+               "flat-to-mild tail after the knee (paper: 176 -> 179 s)");
+  std::printf("\ncsv: fig4_queue_length.csv\n");
+  return 0;
+}

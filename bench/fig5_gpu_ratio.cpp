@@ -1,0 +1,60 @@
+// fig5_gpu_ratio — reproduce Fig. 5: percentage of tasks executed on GPUs
+// vs maximum queue length (Simpson kernels).
+//
+// Paper series (%):
+//   1 GPU : 95.57 97.25 98.12 98.78 98.93 99.40 99.54
+//   2 GPUs: 97.47 99.00 99.25 99.76 99.90 100.0 100.0
+//   3 GPUs: 98.88 99.68 99.90 ... -> 100
+//   4 GPUs: 99.22 99.85 100.0 ...
+// Shape criteria: >=95% even at qlen 2; monotone-ish growth to ~100%; more
+// GPUs -> higher ratio at the same qlen.
+
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Fig. 5 — task ratio on GPUs vs maximum queue length",
+                 ">=95.57% at qlen 2 (1 GPU), reaching 100% for >=2 GPUs")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::SpectralCostModel model({}, perfmodel::paper_workload());
+  const std::vector<int> qlens{2, 4, 6, 8, 10, 12, 14};
+
+  util::Table t({"max queue length", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs"});
+  std::vector<std::vector<double>> ratio(4,
+                                         std::vector<double>(qlens.size()));
+  for (std::size_t qi = 0; qi < qlens.size(); ++qi) {
+    std::vector<std::string> row{std::to_string(qlens[qi])};
+    for (int g = 1; g <= 4; ++g) {
+      const auto res = sim::simulate_hybrid(
+          bench::spectral_sim_config(model, g, qlens[qi]));
+      ratio[g - 1][qi] = res.gpu_task_ratio();
+      row.push_back(util::Table::pct(ratio[g - 1][qi]));
+    }
+    t.add_row(row);
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("fig5_gpu_ratio.csv");
+
+  std::printf("\nshape checks:\n");
+  bench::check(ratio[0][0] > 0.90,
+               "1 GPU at qlen 2 already runs >90% of tasks (paper: 95.57%)");
+  bench::check(ratio[0].back() > 0.99, "1 GPU approaches 100% at qlen 14");
+  bool grows = true;
+  for (std::size_t qi = 0; qi + 1 < qlens.size(); ++qi)
+    grows &= ratio[0][qi + 1] >= ratio[0][qi] - 0.005;
+  bench::check(grows, "ratio grows with queue length (1 GPU)");
+  bool more_gpus_higher = true;
+  for (int g = 0; g < 3; ++g)
+    more_gpus_higher &= ratio[g + 1][0] >= ratio[g][0] - 0.005;
+  bench::check(more_gpus_higher, "more GPUs raise the ratio at qlen 2");
+  bench::check(ratio[3][2] > 0.999, "4 GPUs saturate at ~100% by qlen 6");
+  std::printf("\ncsv: fig5_gpu_ratio.csv\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// fig6_load_distribution — reproduce Fig. 6: the fraction of run time GPU
+// device 0 spends at each queue load (0..6) as the per-task computational
+// complexity rises (Romberg with k = 7, 9, 11, 13 dichotomies; 2 GPUs,
+// maximum queue length fixed at 6).
+//
+// Paper shape: at k=7 the mass sits at low loads; as k grows the mass
+// migrates to the full end (k=13: load 6 occupies ~44% of the run).
+
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Fig. 6 — load distribution on device 0 vs task complexity",
+                 "2 GPUs, qlen 6; Romberg k=7,9,11,13; mass shifts from "
+                 "load 0-2 to load 5-6 as k grows")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::PaperCalibration cal;
+  const std::vector<std::size_t> ks{7, 9, 11, 13};
+
+  util::Table t({"load", "k=7", "k=9", "k=11", "k=13"});
+  // fraction[ki][load]
+  std::vector<std::vector<double>> frac(ks.size(), std::vector<double>(7));
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    auto w = perfmodel::paper_workload();
+    w.method = quad::KernelMethod::romberg;
+    w.method_param = ks[ki];
+    const perfmodel::SpectralCostModel model(cal, w);
+    const auto res =
+        sim::simulate_hybrid(bench::spectral_sim_config(model, 2, 6));
+    double total = 0.0;
+    for (double x : res.load0_residency_s) total += x;
+    for (int l = 0; l <= 6; ++l)
+      frac[ki][static_cast<std::size_t>(l)] =
+          total > 0.0 ? res.load0_residency_s[static_cast<std::size_t>(l)] /
+                            total
+                      : 0.0;
+  }
+  for (int l = 0; l <= 6; ++l) {
+    std::vector<std::string> row{std::to_string(l)};
+    for (std::size_t ki = 0; ki < ks.size(); ++ki)
+      row.push_back(util::Table::pct(frac[ki][static_cast<std::size_t>(l)]));
+    t.add_row(row);
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("fig6_load_distribution.csv");
+
+  auto mean_load = [&](std::size_t ki) {
+    double m = 0.0;
+    for (int l = 0; l <= 6; ++l)
+      m += l * frac[ki][static_cast<std::size_t>(l)];
+    return m;
+  };
+  std::printf("\nmean occupied load: k=7: %.2f  k=9: %.2f  k=11: %.2f  "
+              "k=13: %.2f\n",
+              mean_load(0), mean_load(1), mean_load(2), mean_load(3));
+
+  std::printf("\nshape checks:\n");
+  bench::check(mean_load(0) < mean_load(1) && mean_load(1) < mean_load(2),
+               "queue residency shifts to higher loads as k grows");
+  bench::check(frac[0][0] + frac[0][1] + frac[0][2] > 0.5,
+               "k=7 mass concentrated at loads 0-2");
+  bench::check(frac[3][5] + frac[3][6] > 0.5,
+               "k=13 mass concentrated at loads 5-6 (paper: 44% at load 6)");
+  std::printf("\ncsv: fig6_load_distribution.csv\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// micro_core — google-benchmark microbenchmarks of the framework hot paths:
+// the shared-memory scheduler (Algorithm 1), the virtual-GPU launch path,
+// and the stiff/non-stiff ODE solvers behind the NEI study.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "nei/system.h"
+#include "ode/bdf.h"
+#include "ode/lsoda.h"
+#include "ode/rk45.h"
+#include "sim/hybrid_sim.h"
+#include "vgpu/device.h"
+
+namespace {
+
+using namespace hspec;
+
+void BM_SchedulerAllocFree(benchmark::State& state) {
+  auto shm = core::ShmRegion::create_inprocess(4, 10);
+  core::TaskScheduler sched(shm.view());
+  for (auto _ : state) {
+    const int dev = sched.sche_alloc();
+    if (dev >= 0) sched.sche_free(dev);
+    benchmark::DoNotOptimize(dev);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerAllocFree);
+
+void BM_SchedulerAllocFreeContended(benchmark::State& state) {
+  // Shared shm across google-benchmark threads: the real contention path.
+  static core::ShmRegion shm = core::ShmRegion::create_inprocess(4, 10);
+  core::TaskScheduler sched(shm.view());
+  for (auto _ : state) {
+    const int dev = sched.sche_alloc();
+    if (dev >= 0) sched.sche_free(dev);
+  }
+}
+BENCHMARK(BM_SchedulerAllocFreeContended)->Threads(1)->Threads(4);
+
+void BM_PickDevicePolicy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int32_t> loads(n, 3);
+  std::vector<std::int64_t> hist(n, 100);
+  loads[n / 2] = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::pick_device(loads, hist, 10));
+}
+BENCHMARK(BM_PickDevicePolicy)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VgpuLaunchOverhead(benchmark::State& state) {
+  vgpu::Device dev(vgpu::tesla_c2075(), 0);
+  for (auto _ : state)
+    dev.launch({1, 1, 1}, {32, 1, 1}, {}, [](const vgpu::KernelCtx&) {});
+}
+BENCHMARK(BM_VgpuLaunchOverhead);
+
+void BM_HybridSimulation(benchmark::State& state) {
+  sim::HybridSimConfig cfg;
+  cfg.devices = static_cast<int>(state.range(0));
+  cfg.total_tasks = 24 * 496;
+  cfg.prep_s = 0.115;
+  cfg.cpu_task_s = 1.47;
+  cfg.gpu_task_s = 0.008;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate_hybrid(cfg).makespan_s);
+  state.SetItemsProcessed(state.iterations() * cfg.total_tasks);
+}
+BENCHMARK(BM_HybridSimulation)->Arg(1)->Arg(4);
+
+struct Decay final : ode::OdeSystem {
+  std::size_t dimension() const override { return 1; }
+  void rhs(double, std::span<const double> y,
+           std::span<double> d) const override {
+    d[0] = -y[0];
+  }
+};
+
+void BM_Rk45Decay(benchmark::State& state) {
+  Decay sys;
+  for (auto _ : state) {
+    std::vector<double> y{1.0};
+    ode::rk45_integrate(sys, 0.0, 2.0, y);
+    benchmark::DoNotOptimize(y[0]);
+  }
+}
+BENCHMARK(BM_Rk45Decay);
+
+void BM_NeiWindowLsoda(benchmark::State& state) {
+  // One element chain, one packed ten-step window — the §IV-D task body.
+  nei::PlasmaHistory h;
+  h.ne_cm3 = 1.0;
+  h.kT_keV = [](double) { return 2.0; };
+  nei::NeiSystem sys(8, h);
+  for (auto _ : state) {
+    auto y = nei::equilibrium_state(8, 0.1);
+    for (int s = 0; s < 10; ++s)
+      ode::lsoda_integrate(sys, s * 1e8, (s + 1) * 1e8, y);
+    benchmark::DoNotOptimize(y[0]);
+  }
+}
+BENCHMARK(BM_NeiWindowLsoda);
+
+}  // namespace

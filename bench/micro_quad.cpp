@@ -1,0 +1,93 @@
+// micro_quad — google-benchmark microbenchmarks of the integration kernels
+// on the actual RRC integrand, the per-bin workload every figure rests on.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "atomic/levels.h"
+#include "quad/integrate.h"
+#include "rrc/rrc.h"
+
+namespace {
+
+using namespace hspec;
+
+rrc::RrcChannel bench_channel(bool gaunt = true) {
+  rrc::RrcChannel ch;
+  ch.recombining_charge = 8;
+  ch.level = atomic::make_levels(8, {2, false}).front();
+  ch.gaunt_correction = gaunt;
+  return ch;
+}
+
+void BM_RrcIntegrandEval(benchmark::State& state) {
+  const auto ch = bench_channel();
+  const rrc::PlasmaState p{0.6, 1.0, 1.0};
+  double e = ch.level.binding_keV * 1.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrc::rrc_power_density(ch, p, e));
+    e += 1e-9;  // defeat value caching
+  }
+}
+BENCHMARK(BM_RrcIntegrandEval);
+
+void BM_SimpsonBin(benchmark::State& state) {
+  const auto panels = static_cast<std::size_t>(state.range(0));
+  const auto ch = bench_channel();
+  const rrc::PlasmaState p{0.6, 1.0, 1.0};
+  const double lo = ch.level.binding_keV * 1.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rrc::rrc_bin_emissivity(ch, p, lo, lo + 0.01,
+                                quad::KernelMethod::simpson, panels));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimpsonBin)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RombergBin(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto ch = bench_channel();
+  const rrc::PlasmaState p{0.6, 1.0, 1.0};
+  const double lo = ch.level.binding_keV * 1.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rrc::rrc_bin_emissivity(ch, p, lo, lo + 0.01,
+                                quad::KernelMethod::romberg, k));
+  }
+}
+BENCHMARK(BM_RombergBin)->Arg(7)->Arg(9)->Arg(11)->Arg(13);
+
+void BM_QagsBinSmooth(benchmark::State& state) {
+  const auto ch = bench_channel();
+  const rrc::PlasmaState p{0.6, 1.0, 1.0};
+  const double lo = ch.level.binding_keV * 1.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrc::rrc_bin_emissivity_qags(ch, p, lo, lo + 0.01));
+  }
+}
+BENCHMARK(BM_QagsBinSmooth);
+
+void BM_QagsBinEdge(benchmark::State& state) {
+  // A bin containing the recombination edge: the expensive QAGS case.
+  const auto ch = bench_channel();
+  const rrc::PlasmaState p{0.6, 1.0, 1.0};
+  const double edge = ch.level.binding_keV;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rrc::rrc_bin_emissivity_qags(ch, p, edge - 0.05, edge + 0.05));
+  }
+}
+BENCHMARK(BM_QagsBinEdge);
+
+void BM_GaussKronrod21(benchmark::State& state) {
+  auto f = [](double x) { return std::exp(-x) * x; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quad::gauss_kronrod(f, 0.0, 1.0, quad::KronrodRule::k21));
+  }
+}
+BENCHMARK(BM_GaussKronrod21);
+
+}  // namespace

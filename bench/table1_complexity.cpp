@@ -1,0 +1,67 @@
+// table1_complexity — reproduce Table I: the task distribution between GPU
+// and CPU as the computation amount per task grows (Romberg k; 2 GPUs,
+// maximum queue length 6).
+//
+// Paper rows (computation/task, tasks on GPU, GPU ratio, load>=3 share):
+//   2^7  : 6674  98.26%  37.85%
+//   2^9  : 6344  93.40%  65.46%
+//   2^11 : 4518  66.52%  70.76%
+//   2^13 : 2779  40.92%  66.64%
+// Shape criteria: GPU share falls monotonically with k, from ~all tasks at
+// k=7 to roughly half at k=13; high-load residency rises with k.
+
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Table I — task distribution vs computational complexity",
+                 "GPU ratio 98.26% (2^7) -> 40.92% (2^13); load>=3 share "
+                 "37.85% -> 66.64%")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::PaperCalibration cal;
+  constexpr double kPaperRatio[] = {0.9826, 0.9340, 0.6652, 0.4092};
+  const std::vector<std::size_t> ks{7, 9, 11, 13};
+
+  util::Table t({"computation/task", "tasks on GPU", "ratio on GPU",
+                 "paper ratio", "load>=3 share", "paper"});
+  std::vector<double> ratio(ks.size());
+  std::vector<double> high_load(ks.size());
+  constexpr double kPaperHigh[] = {0.3785, 0.6546, 0.7076, 0.6664};
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    auto w = perfmodel::paper_workload();
+    w.method = quad::KernelMethod::romberg;
+    w.method_param = ks[ki];
+    const perfmodel::SpectralCostModel model(cal, w);
+    const auto res =
+        sim::simulate_hybrid(bench::spectral_sim_config(model, 2, 6));
+    ratio[ki] = res.gpu_task_ratio();
+    high_load[ki] = res.load0_fraction_at_least(3);
+    t.add_row({"2^" + std::to_string(ks[ki]),
+               std::to_string(res.tasks_gpu), util::Table::pct(ratio[ki]),
+               util::Table::pct(kPaperRatio[ki]),
+               util::Table::pct(high_load[ki]),
+               util::Table::pct(kPaperHigh[ki])});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("table1_complexity.csv");
+
+  std::printf("\nshape checks:\n");
+  bench::check(ratio[0] > 0.95, "k=7: nearly all tasks land on the GPUs");
+  bool falls = true;
+  for (std::size_t ki = 0; ki + 1 < ks.size(); ++ki)
+    falls &= ratio[ki + 1] < ratio[ki];
+  bench::check(falls, "GPU share falls monotonically with k");
+  bench::check(ratio[3] > 0.25 && ratio[3] < 0.65,
+               "k=13 share in the paper's ~41% region");
+  bench::check(high_load[3] > high_load[0],
+               "high-load residency rises with complexity");
+  std::printf("\ncsv: table1_complexity.csv\n");
+  return 0;
+}

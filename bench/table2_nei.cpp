@@ -1,0 +1,75 @@
+// table2_nei — reproduce Table II: NEI speedup of the hybrid approach over
+// the 24-rank pure-MPI baseline, for 1-4 GPUs (maximum queue length 8,
+// ten timesteps packed per task).
+//
+// Paper row:  1 GPU 2.8x (3137 s) | 2 GPUs 5.9x (1494 s) |
+//             3 GPUs 10.8x (810 s) | 4 GPUs 15.1x (582 s)
+// Shape criteria: near-linear growth in GPU count, reaching >=12x at 4.
+//
+// The DES runs a 50x-reduced point count (deterministic workload; time
+// scales linearly in grid points) and reports rescaled absolute seconds.
+
+#include <cstdio>
+
+#include "common.h"
+#include "perfmodel/nei_cost.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hspec;
+  std::fputs(util::bench_banner(
+                 "Table II — NEI speedup on 1-4 GPUs",
+                 "speedup 2.8 / 5.9 / 10.8 / 15.1 vs 24-rank MPI "
+                 "(times 3137/1494/810/582 s)")
+                 .c_str(),
+             stdout);
+
+  const perfmodel::PaperCalibration cal;
+  perfmodel::NeiWorkload workload;           // paper: 1e6 points x 1000 steps
+  const double kScale = 50.0;                // simulate 1/50 of the points
+  workload.grid_points = static_cast<std::size_t>(1'000'000 / kScale);
+  const perfmodel::NeiCostModel model(cal, workload);
+  const double mpi_s = model.mpi_only_s();
+
+  constexpr double kPaperSpeedup[] = {2.8, 5.9, 10.8, 15.1};
+  constexpr double kPaperTime[] = {3137.0, 1494.0, 810.0, 582.0};
+
+  util::Table t({"GPUs", "speedup", "paper", "time (s, rescaled)", "paper"});
+  double speedup[4];
+  for (int g = 1; g <= 4; ++g) {
+    sim::HybridSimConfig cfg;
+    cfg.ranks = 24;
+    cfg.devices = g;
+    cfg.max_queue_length = 8;
+    cfg.total_tasks = workload.total_tasks();
+    cfg.prep_s = model.prep_s();
+    cfg.cpu_task_s = model.cpu_task_s();
+    cfg.gpu_task_s = model.gpu_task_s();
+    cfg.sched_overhead_s = cal.shm_scheduler_overhead_s;
+    const auto res = sim::simulate_hybrid(cfg);
+    speedup[g - 1] = mpi_s / res.makespan_s;
+    t.add_row({std::to_string(g), util::Table::num(speedup[g - 1], 3),
+               util::Table::num(kPaperSpeedup[g - 1], 3),
+               util::Table::num(res.makespan_s * kScale, 4),
+               util::Table::num(kPaperTime[g - 1], 4)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  t.write_csv("table2_nei.csv");
+
+  std::printf("\nper-task costs: prep %.3f ms, CPU (LSODA) %.3f ms, "
+              "GPU %.3f ms; MPI-24 baseline (rescaled) %.0f s (paper 8784)\n",
+              model.prep_s() * 1e3, model.cpu_task_s() * 1e3,
+              model.gpu_task_s() * 1e3, mpi_s * kScale);
+
+  std::printf("\nshape checks:\n");
+  bool grows = true;
+  for (int i = 0; i + 1 < 4; ++i) grows &= speedup[i + 1] > speedup[i];
+  bench::check(grows, "speedup grows with every added GPU");
+  bench::check(speedup[3] >= 12.0, "4-GPU speedup >= 12x (paper: 15.1x)");
+  bench::check(speedup[0] >= 2.0 && speedup[0] <= 6.0,
+               "1-GPU speedup in the paper's region (2.8x)");
+  bench::check(speedup[3] / speedup[0] > 2.5,
+               "scaling 1->4 GPUs is near-linear (paper: 5.4x)");
+  std::printf("\ncsv: table2_nei.csv\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// hybrid_playground — interactive exploration of the scheduler design
+// space on the calibrated discrete-event simulator: GPU count, maximum
+// queue length, task granularity, Romberg complexity, and the autotuner.
+//
+//   $ ./hybrid_playground --gpus 2 --qlen 8
+//   $ ./hybrid_playground --sweep-qlen --gpus 1
+//   $ ./hybrid_playground --autotune --gpus 3
+//   $ ./hybrid_playground --romberg-k 11 --granularity level
+
+#include <cstdio>
+#include <string>
+
+#include "core/autotune.h"
+#include "perfmodel/calibration.h"
+#include "sim/hybrid_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hspec;
+
+sim::HybridSimConfig build_config(const perfmodel::SpectralCostModel& model,
+                                  int gpus, int qlen,
+                                  core::TaskGranularity gran) {
+  sim::HybridSimConfig cfg;
+  cfg.ranks = 24;
+  cfg.devices = gpus;
+  cfg.max_queue_length = qlen;
+  const std::uint64_t ion_tasks = 24ull * model.workload().ions_per_point;
+  if (gran == core::TaskGranularity::ion) {
+    cfg.total_tasks = ion_tasks;
+    cfg.prep_s = model.ion_prep_s();
+    cfg.cpu_task_s = model.ion_cpu_s();
+    cfg.gpu_task_s = model.ion_gpu_s();
+  } else {
+    cfg.total_tasks = ion_tasks * model.workload().avg_levels_per_ion;
+    cfg.prep_s = model.level_prep_s();
+    cfg.cpu_task_s = model.level_cpu_s();
+    cfg.gpu_task_s = model.level_gpu_s();
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int gpus = static_cast<int>(cli.get_int("gpus", 2));
+  const int qlen = static_cast<int>(cli.get_int("qlen", 10));
+  const auto gran = cli.get("granularity", "ion") == "level"
+                        ? core::TaskGranularity::level
+                        : core::TaskGranularity::ion;
+
+  auto workload = perfmodel::paper_workload();
+  if (cli.has("romberg-k")) {
+    workload.method = quad::KernelMethod::romberg;
+    workload.method_param =
+        static_cast<std::size_t>(cli.get_int("romberg-k", 7));
+  }
+  const perfmodel::SpectralCostModel model({}, workload);
+  const double serial_s = 24.0 * model.serial_point_s();
+
+  if (cli.get_bool("autotune")) {
+    auto measure = [&](int q) {
+      return sim::simulate_hybrid(build_config(model, gpus, q, gran))
+          .makespan_s;
+    };
+    const auto tuned = core::autotune_max_queue_length(measure);
+    util::Table t({"probed qlen", "time (s)"});
+    for (const auto& probe : tuned.probes)
+      t.add_row({std::to_string(probe.max_queue_length),
+                 util::Table::num(probe.time_s, 4)});
+    std::fputs(t.str().c_str(), stdout);
+    std::printf("autotuned maximum queue length: %d (%.1f s)\n",
+                tuned.best_max_queue_length, tuned.best_time_s);
+    return 0;
+  }
+
+  if (cli.get_bool("sweep-qlen")) {
+    util::Table t({"qlen", "time (s)", "speedup", "GPU ratio"});
+    for (int q = 2; q <= 16; q += 2) {
+      const auto res =
+          sim::simulate_hybrid(build_config(model, gpus, q, gran));
+      t.add_row({std::to_string(q), util::Table::num(res.makespan_s, 4),
+                 util::Table::num(serial_s / res.makespan_s, 4),
+                 util::Table::pct(res.gpu_task_ratio())});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    return 0;
+  }
+
+  const auto res =
+      sim::simulate_hybrid(build_config(model, gpus, qlen, gran));
+  std::printf("configuration: %d GPUs, qlen %d, %s granularity\n", gpus, qlen,
+              core::to_string(gran).c_str());
+  std::printf("  makespan        : %.1f s (virtual)\n", res.makespan_s);
+  std::printf("  speedup vs serial: %.1fx\n", serial_s / res.makespan_s);
+  std::printf("  GPU task ratio  : %.2f%%\n", 100.0 * res.gpu_task_ratio());
+  for (std::size_t d = 0; d < res.device_busy_s.size(); ++d)
+    std::printf("  device %zu busy  : %.1f s (%.1f%% of makespan), history "
+                "%lld\n",
+                d, res.device_busy_s[d],
+                100.0 * res.device_busy_s[d] / res.makespan_s,
+                static_cast<long long>(res.history[d]));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// spectral_fit — the paper's motivating workflow end to end: "fit the
+// observed spectrum with the spectrum calculated from theoretical models".
+// A synthetic observation is generated at a hidden temperature, then an
+// XSPEC-style one-temperature chi-squared fit runs with the hybrid CPU/GPU
+// driver evaluating every trial model — the repeated spectral calculations
+// the paper's framework accelerates.
+//
+//   $ ./spectral_fit [--true-kt 0.7] [--noise 0.03] [--gpus 2] [--seed 11]
+
+#include <cstdio>
+
+#include "apec/calculator.h"
+#include "apec/fitting.h"
+#include "core/hybrid.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hspec;
+  const util::Cli cli(argc, argv);
+  const double true_kt = cli.get_double("true-kt", 0.7);
+  const double noise = cli.get_double("noise", 0.03);
+  const int gpus = static_cast<int>(cli.get_int("gpus", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+
+  atomic::DatabaseConfig db_cfg;
+  db_cfg.max_z = 14;
+  db_cfg.levels = {3, true};
+  const atomic::AtomicDatabase db(db_cfg);
+  const auto grid = apec::EnergyGrid::wavelength(2.0, 40.0, 96);
+  apec::CalcOptions opt;
+  opt.integration.adaptive = false;
+  const apec::SpectrumCalculator calc(db, grid, opt);
+
+  // The "telescope": observe a plasma at the hidden temperature.
+  const apec::Spectrum truth = calc.calculate({true_kt, 1.0, 0.0, 0});
+  const apec::ObservedSpectrum observed =
+      apec::make_observation(truth, 3.0, noise, seed);
+  std::printf("synthetic observation: %zu bins, true kT = %.3f keV, "
+              "normalization 3.0, %.0f%% noise\n",
+              observed.counts.size(), true_kt, 100.0 * noise);
+
+  // The "fitting engine": every model evaluation runs the hybrid pipeline.
+  core::HybridConfig hybrid_cfg;
+  hybrid_cfg.ranks = 4;
+  hybrid_cfg.devices = gpus;
+  std::size_t pipeline_runs = 0;
+  auto model = [&](double kT) {
+    ++pipeline_runs;
+    core::HybridDriver driver(calc, hybrid_cfg);
+    return driver.run({{kT, 1.0, 0.0, 0}}).spectra.at(0);
+  };
+
+  apec::FitOptions fit_opt;
+  fit_opt.kt_min_keV = 0.1;
+  fit_opt.kt_max_keV = 5.0;
+  const apec::FitResult fit =
+      apec::fit_temperature(observed, model, fit_opt);
+
+  util::Table t({"quantity", "true", "fitted"});
+  t.add_row({"kT (keV)", util::Table::num(true_kt, 4),
+             util::Table::num(fit.kT_keV, 4)});
+  t.add_row({"normalization", "3.0", util::Table::num(fit.normalization, 4)});
+  t.add_row({"reduced chi^2", "~1", util::Table::num(fit.reduced_chi2, 3)});
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("\nhybrid pipeline invocations: %zu (each one is a full "
+              "spectral calculation)\nconverged: %s\n",
+              pipeline_runs, fit.converged ? "yes" : "no");
+  return 0;
+}

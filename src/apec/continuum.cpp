@@ -1,0 +1,46 @@
+#include "apec/continuum.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hspec::apec {
+
+namespace {
+/// Normalization chosen so free-free and RRC are comparable at E ~ kT for a
+/// fully ionized solar plasma (synthetic AtomDB scale).
+constexpr double kFfNorm = 1.0e-18;  // [keV cm^3 s^-1 keV^-1] scale
+}  // namespace
+
+double free_free_gaunt(double e_keV, double kT_keV) {
+  // Kellogg-style approximation: g ~ sqrt(3)/pi * ln(...) clipped at 1.
+  const double ratio = kT_keV / e_keV;
+  const double g = std::numbers::sqrt3 / std::numbers::pi *
+                   std::log(1.0 + 2.25 * std::pow(ratio, 0.7));
+  return g < 1.0 ? 1.0 : g;
+}
+
+double free_free_power_density(const FreeFreeState& s, double e_keV) {
+  if (s.kT_keV <= 0.0)
+    throw std::invalid_argument("free_free: temperature must be positive");
+  if (e_keV <= 0.0) return 0.0;
+  return kFfNorm * s.ne_cm3 * s.z2_weighted_ion_density_cm3 *
+         free_free_gaunt(e_keV, s.kT_keV) / std::sqrt(s.kT_keV) *
+         std::exp(-e_keV / s.kT_keV);
+}
+
+void accumulate_free_free(const FreeFreeState& s, Spectrum& spec) {
+  const EnergyGrid& grid = spec.grid();
+  const double kt = s.kT_keV;
+  const double pref = kFfNorm * s.ne_cm3 * s.z2_weighted_ion_density_cm3 /
+                      std::sqrt(kt);
+  for (std::size_t b = 0; b < grid.bin_count(); ++b) {
+    const double g = free_free_gaunt(grid.center(b), kt);
+    // Exact integral of exp(-E/kT) over the bin.
+    const double integral =
+        kt * (std::exp(-grid.lo(b) / kt) - std::exp(-grid.hi(b) / kt));
+    spec[b] += pref * g * integral;
+  }
+}
+
+}  // namespace hspec::apec

@@ -1,0 +1,28 @@
+#pragma once
+// Thermal bremsstrahlung (free-free) continuum — the 496th ion unit.
+// APEC "calculates both line and continuum emissivity"; free-free dominates
+// the smooth continuum under the RRC edges at X-ray energies.
+
+#include "apec/energy_grid.h"
+#include "apec/spectrum.h"
+
+namespace hspec::apec {
+
+struct FreeFreeState {
+  double kT_keV = 1.0;
+  double ne_cm3 = 1.0;
+  double z2_weighted_ion_density_cm3 = 1.0;  ///< sum_i n_i z_i^2
+};
+
+/// Differential free-free emissivity dP/dE at photon energy e_keV
+/// [keV s^-1 cm^-3 keV^-1]:  C ne (sum n_i z^2) g_ff exp(-E/kT) / sqrt(kT).
+double free_free_power_density(const FreeFreeState& s, double e_keV);
+
+/// Thermally averaged free-free Gaunt factor (Born-approximation shape).
+double free_free_gaunt(double e_keV, double kT_keV);
+
+/// Accumulate the free-free continuum into `spec` (exact per-bin integral of
+/// the exponential; the Gaunt factor is evaluated at the bin center).
+void accumulate_free_free(const FreeFreeState& s, Spectrum& spec);
+
+}  // namespace hspec::apec

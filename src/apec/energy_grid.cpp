@@ -1,0 +1,64 @@
+#include "apec/energy_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "atomic/constants.h"
+
+namespace hspec::apec {
+
+EnergyGrid::EnergyGrid(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.size() < 2)
+    throw std::invalid_argument("EnergyGrid: need at least one bin");
+  if (!std::is_sorted(edges_.begin(), edges_.end()))
+    throw std::invalid_argument("EnergyGrid: edges must ascend");
+  if (edges_.front() <= 0.0)
+    throw std::invalid_argument("EnergyGrid: energies must be positive");
+}
+
+EnergyGrid EnergyGrid::linear(double emin, double emax, std::size_t bins) {
+  if (bins == 0 || !(emax > emin))
+    throw std::invalid_argument("EnergyGrid::linear: bad range");
+  std::vector<double> e(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i)
+    e[i] = emin + (emax - emin) * static_cast<double>(i) /
+                      static_cast<double>(bins);
+  return EnergyGrid(std::move(e));
+}
+
+EnergyGrid EnergyGrid::logarithmic(double emin, double emax, std::size_t bins) {
+  if (bins == 0 || !(emax > emin) || emin <= 0.0)
+    throw std::invalid_argument("EnergyGrid::logarithmic: bad range");
+  std::vector<double> e(bins + 1);
+  const double ratio = emax / emin;
+  for (std::size_t i = 0; i <= bins; ++i)
+    e[i] = emin * std::pow(ratio, static_cast<double>(i) /
+                                      static_cast<double>(bins));
+  return EnergyGrid(std::move(e));
+}
+
+EnergyGrid EnergyGrid::wavelength(double lmin_A, double lmax_A,
+                                  std::size_t bins) {
+  if (bins == 0 || !(lmax_A > lmin_A) || lmin_A <= 0.0)
+    throw std::invalid_argument("EnergyGrid::wavelength: bad range");
+  std::vector<double> e(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    const double lambda = lmax_A - (lmax_A - lmin_A) * static_cast<double>(i) /
+                                       static_cast<double>(bins);
+    e[i] = atomic::kHCKeVAngstrom / lambda;
+  }
+  return EnergyGrid(std::move(e));
+}
+
+std::size_t EnergyGrid::locate(double e_keV) const {
+  if (e_keV < edges_.front() || e_keV >= edges_.back()) return bin_count();
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), e_keV);
+  return static_cast<std::size_t>(it - edges_.begin()) - 1;
+}
+
+double EnergyGrid::center_wavelength(std::size_t bin) const {
+  return atomic::kHCKeVAngstrom / center(bin);
+}
+
+}  // namespace hspec::apec

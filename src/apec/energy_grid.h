@@ -1,0 +1,45 @@
+#pragma once
+// Photon-energy bin grids. The paper quotes ~1e5 energy bins per level as a
+// moderate production size; tests and examples use smaller grids. Supports
+// linear and logarithmic spacing and wavelength-space construction (Fig. 7
+// plots 1..50 Angstrom).
+
+#include <cstddef>
+#include <vector>
+
+namespace hspec::apec {
+
+class EnergyGrid {
+ public:
+  /// `bins` bins spanning [emin, emax] keV.
+  static EnergyGrid linear(double emin_keV, double emax_keV, std::size_t bins);
+  static EnergyGrid logarithmic(double emin_keV, double emax_keV,
+                                std::size_t bins);
+  /// Bins uniform in wavelength over [lambda_min, lambda_max] Angstrom
+  /// (stored ascending in energy).
+  static EnergyGrid wavelength(double lambda_min_A, double lambda_max_A,
+                               std::size_t bins);
+
+  std::size_t bin_count() const noexcept { return edges_.size() - 1; }
+  double edge(std::size_t i) const { return edges_.at(i); }
+  double lo(std::size_t bin) const { return edges_.at(bin); }
+  double hi(std::size_t bin) const { return edges_.at(bin + 1); }
+  double center(std::size_t bin) const { return 0.5 * (lo(bin) + hi(bin)); }
+  double width(std::size_t bin) const { return hi(bin) - lo(bin); }
+  double min_energy() const { return edges_.front(); }
+  double max_energy() const { return edges_.back(); }
+
+  /// Bin containing energy e, or bin_count() if outside the grid.
+  std::size_t locate(double e_keV) const;
+
+  /// Wavelength [Angstrom] of a bin center.
+  double center_wavelength(std::size_t bin) const;
+
+  const std::vector<double>& edges() const noexcept { return edges_; }
+
+ private:
+  explicit EnergyGrid(std::vector<double> edges);
+  std::vector<double> edges_;  ///< ascending, bin i = [edges_[i], edges_[i+1])
+};
+
+}  // namespace hspec::apec

@@ -1,0 +1,91 @@
+#include "apec/fitting.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hspec::apec {
+
+ChiSquared chi_squared(const ObservedSpectrum& observed,
+                       const Spectrum& model) {
+  const std::size_t n = model.bin_count();
+  if (observed.counts.size() != n || observed.sigma.size() != n)
+    throw std::invalid_argument("chi_squared: bin count mismatch");
+
+  double cm = 0.0;  // sum c m / s^2
+  double mm = 0.0;  // sum m^2 / s^2
+  for (std::size_t b = 0; b < n; ++b) {
+    if (!(observed.sigma[b] > 0.0))
+      throw std::invalid_argument("chi_squared: sigma must be positive");
+    const double inv_s2 = 1.0 / (observed.sigma[b] * observed.sigma[b]);
+    cm += observed.counts[b] * model[b] * inv_s2;
+    mm += model[b] * model[b] * inv_s2;
+  }
+  ChiSquared out;
+  out.normalization = mm > 0.0 ? cm / mm : 0.0;
+  for (std::size_t b = 0; b < n; ++b) {
+    const double r =
+        (observed.counts[b] - out.normalization * model[b]) /
+        observed.sigma[b];
+    out.value += r * r;
+  }
+  out.degrees_of_freedom = n > 2 ? n - 2 : 1;  // kT + normalization
+  return out;
+}
+
+FitResult fit_temperature(const ObservedSpectrum& observed,
+                          const ModelEvaluator& model, const FitOptions& opt) {
+  if (!(opt.kt_max_keV > opt.kt_min_keV) || opt.kt_min_keV <= 0.0)
+    throw std::invalid_argument("fit_temperature: bad temperature range");
+
+  std::size_t evaluations = 0;
+  double best_norm = 1.0;
+  auto objective = [&](double log_kt) {
+    ++evaluations;
+    const Spectrum spec = model(std::exp(log_kt));
+    const ChiSquared c = chi_squared(observed, spec);
+    best_norm = c.normalization;
+    return c.value;
+  };
+  const util::BrentResult r = util::brent_minimize(
+      objective, std::log(opt.kt_min_keV), std::log(opt.kt_max_keV),
+      opt.minimizer);
+
+  FitResult fit;
+  fit.kT_keV = std::exp(r.x);
+  fit.chi2 = r.fx;
+  fit.model_evaluations = evaluations;
+  fit.converged = r.converged;
+  // Recompute normalization and reduced chi^2 at the final temperature.
+  const ChiSquared final_c = chi_squared(observed, model(fit.kT_keV));
+  fit.normalization = final_c.normalization;
+  fit.reduced_chi2 =
+      final_c.value / static_cast<double>(final_c.degrees_of_freedom);
+  return fit;
+}
+
+ObservedSpectrum make_observation(const Spectrum& truth, double normalization,
+                                  double relative_noise, std::uint64_t seed) {
+  if (relative_noise < 0.0)
+    throw std::invalid_argument("make_observation: negative noise");
+  util::Xoshiro256 rng(seed);
+  const double floor = 1e-3 * truth.peak() * normalization;
+  ObservedSpectrum obs;
+  obs.counts.resize(truth.bin_count());
+  obs.sigma.resize(truth.bin_count());
+  for (std::size_t b = 0; b < truth.bin_count(); ++b) {
+    const double mean = normalization * truth[b];
+    const double sigma = relative_noise * mean + floor;
+    // Box-Muller Gaussian.
+    const double u1 = rng.uniform(1e-12, 1.0);
+    const double u2 = rng.uniform();
+    const double gauss =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    obs.counts[b] = mean + sigma * gauss;
+    obs.sigma[b] = sigma;
+  }
+  return obs;
+}
+
+}  // namespace hspec::apec

@@ -1,0 +1,69 @@
+#pragma once
+// Spectral fitting: the paper's motivating use case. "It is a common task
+// for modern astronomers to fit the observed spectrum with the spectrum
+// calculated from theoretical models" — XSPEC/ISIS style: minimize
+// chi-squared between an observed binned spectrum and the model spectrum
+// over temperature, with the normalization profiled out analytically.
+//
+// The model evaluator is pluggable so the fit can run over the serial
+// calculator or the hybrid CPU/GPU driver (each fit iteration is one full
+// spectral calculation — exactly the workload the paper accelerates).
+
+#include <functional>
+#include <vector>
+
+#include "apec/calculator.h"
+#include "apec/spectrum.h"
+#include "util/brent.h"
+
+namespace hspec::apec {
+
+/// An observed spectrum: per-bin counts and Gaussian sigmas, aligned with a
+/// model grid.
+struct ObservedSpectrum {
+  std::vector<double> counts;
+  std::vector<double> sigma;  ///< per-bin uncertainty (> 0)
+};
+
+/// chi^2(model | observed) with the best-fit normalization applied:
+/// A* = sum(c m / s^2) / sum(m^2 / s^2) minimizes sum((c - A m)^2 / s^2)
+/// analytically, so the search space stays one-dimensional.
+struct ChiSquared {
+  double value = 0.0;
+  double normalization = 1.0;
+  std::size_t degrees_of_freedom = 0;
+};
+ChiSquared chi_squared(const ObservedSpectrum& observed,
+                       const Spectrum& model);
+
+/// Evaluate the model spectrum at temperature kT [keV].
+using ModelEvaluator = std::function<Spectrum(double kT_keV)>;
+
+struct FitOptions {
+  double kt_min_keV = 0.05;
+  double kt_max_keV = 10.0;
+  util::BrentOptions minimizer{};
+};
+
+struct FitResult {
+  double kT_keV = 0.0;
+  double normalization = 1.0;
+  double chi2 = 0.0;
+  double reduced_chi2 = 0.0;
+  std::size_t model_evaluations = 0;
+  bool converged = false;
+};
+
+/// One-temperature fit: minimize chi^2 over kT in [kt_min, kt_max].
+/// Chi-squared is unimodal in kT for these one-component models, so Brent
+/// over log(kT) is appropriate.
+FitResult fit_temperature(const ObservedSpectrum& observed,
+                          const ModelEvaluator& model,
+                          const FitOptions& opt = {});
+
+/// Convenience: synthesize a noisy observation from a model spectrum
+/// (Gaussian noise, fixed relative + floor), for tests and examples.
+ObservedSpectrum make_observation(const Spectrum& truth, double normalization,
+                                  double relative_noise, std::uint64_t seed);
+
+}  // namespace hspec::apec

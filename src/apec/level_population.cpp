@@ -1,0 +1,96 @@
+#include "apec/level_population.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "atomic/constants.h"
+#include "atomic/element.h"
+
+namespace hspec::apec {
+
+namespace {
+
+/// Transition energy [keV] between principal levels of a hydrogenic ion.
+double transition_energy(int zeff, int n_lo, int n_up) {
+  const double z2 = static_cast<double>(zeff) * static_cast<double>(zeff);
+  return atomic::kRydbergKeV * z2 *
+         (1.0 / (n_lo * n_lo) - 1.0 / (n_up * n_up));
+}
+
+/// Einstein-A normalization calibrated so hydrogen Ly-alpha ~ 4.7e8 1/s.
+constexpr double kEinsteinNorm = 3.1e13;  // [1/s per keV^2]
+
+}  // namespace
+
+double kramers_oscillator_strength(int n_lo, int n_up) {
+  if (n_lo < 1 || n_up <= n_lo)
+    throw std::invalid_argument("oscillator strength: need n_up > n_lo >= 1");
+  const double nl = n_lo;
+  const double nu = n_up;
+  const double gap = 1.0 / (nl * nl) - 1.0 / (nu * nu);
+  return 32.0 / (3.0 * std::numbers::sqrt3 * std::numbers::pi) /
+         (std::pow(nl, 5.0) * std::pow(nu, 3.0) * gap * gap * gap);
+}
+
+double einstein_a(int zeff, int n_up, int n_lo) {
+  if (zeff < 1) throw std::invalid_argument("einstein_a: zeff >= 1");
+  const double f = kramers_oscillator_strength(n_lo, n_up);
+  const double de = transition_energy(zeff, n_lo, n_up);
+  const double g_ratio = static_cast<double>(n_lo * n_lo) /
+                         static_cast<double>(n_up * n_up);  // g = 2 n^2
+  return kEinsteinNorm * f * g_ratio * de * de;
+}
+
+double collisional_excitation_rate(int zeff, int n_up, double kT_keV) {
+  if (kT_keV <= 0.0)
+    throw std::invalid_argument("excitation rate: kT must be positive");
+  const double de = transition_energy(zeff, 1, n_up);
+  const double f = kramers_oscillator_strength(1, n_up);
+  // Van Regemorter: C ~ 3.2e-7 f <g> / (dE sqrt(kT)) exp(-dE/kT), with
+  // dE in keV-consistent normalization and <g> ~ 0.2 for ions.
+  return 3.2e-9 * f * 0.2 / (de * std::sqrt(kT_keV)) *
+         std::exp(-de / kT_keV);
+}
+
+std::vector<double> coronal_populations(int zeff, double kT_keV, double ne_cm3,
+                                        int max_n) {
+  if (max_n < 2) throw std::invalid_argument("coronal_populations: max_n >= 2");
+  std::vector<double> pop;
+  pop.reserve(static_cast<std::size_t>(max_n) - 1);
+  for (int n = 2; n <= max_n; ++n) {
+    double a_total = 0.0;
+    for (int nl = 1; nl < n; ++nl) a_total += einstein_a(zeff, n, nl);
+    const double c = collisional_excitation_rate(zeff, n, kT_keV);
+    pop.push_back(ne_cm3 * c / a_total);
+  }
+  return pop;
+}
+
+std::vector<EmissionLine> make_lines_coronal(const atomic::IonUnit& ion,
+                                             const LinePlasma& plasma,
+                                             int max_upper_n) {
+  std::vector<EmissionLine> lines;
+  if (!ion.emits_rrc()) return lines;
+  const int zeff = ion.charge;
+  const auto pops =
+      coronal_populations(zeff, plasma.kT_keV, plasma.ne_cm3, max_upper_n);
+
+  const double amu_keV = 931494.10242;
+  const double a_weight = atomic::element(ion.z).atomic_weight;
+  const double doppler = std::sqrt(plasma.kT_keV / (a_weight * amu_keV));
+
+  for (int nu = 2; nu <= max_upper_n; ++nu) {
+    const double n_k =
+        plasma.n_ion_cm3 * pops[static_cast<std::size_t>(nu - 2)];
+    for (int nl = 1; nl < nu; ++nl) {
+      const double de = transition_energy(zeff, nl, nu);
+      const double a = einstein_a(zeff, nu, nl);
+      const double emissivity = n_k * a * de;  // [keV s^-1 cm^-3]
+      lines.push_back({de, emissivity, de * doppler});
+    }
+  }
+  return lines;
+}
+
+}  // namespace hspec::apec

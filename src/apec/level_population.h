@@ -1,0 +1,49 @@
+#pragma once
+// Excited-level populations in the coronal approximation — the model real
+// APEC/APED line emissivities are built on for optically thin plasmas in
+// collisional ionization equilibrium: levels are populated by electron
+// collisions from the ground state and depopulated by spontaneous radiative
+// decay, so
+//
+//    n_k / n_ground = ne * C(1->k, T) / A_total(k),
+//
+// and each line (k -> j) carries n_k * A(k->j) * dE(k->j).
+//
+// Atomic inputs are hydrogenic: Kramers absorption oscillator strengths
+//    f(n'->n) = 32/(3 sqrt(3) pi) / (n'^5 n^3 (1/n'^2 - 1/n^2)^3),
+// Einstein coefficients from f via A ~ f * (g_l/g_u) * dE^2, and
+// van-Regemorter-style collisional excitation rates.
+
+#include <vector>
+
+#include "apec/lines.h"
+#include "atomic/database.h"
+
+namespace hspec::apec {
+
+/// Kramers absorption oscillator strength for n_lo -> n_up (n_up > n_lo).
+double kramers_oscillator_strength(int n_lo, int n_up);
+
+/// Hydrogenic Einstein A coefficient [1/s] for the n_up -> n_lo decay of an
+/// ion with recombining charge `zeff` (transition energy scales as zeff^2,
+/// A as dE^2 * f).
+double einstein_a(int zeff, int n_up, int n_lo);
+
+/// Van-Regemorter collisional excitation rate coefficient [cm^3/s] from the
+/// ground state to n_up at temperature kT.
+double collisional_excitation_rate(int zeff, int n_up, double kT_keV);
+
+/// Relative populations n_k / n_ground for k = 2..max_n under the coronal
+/// balance at (kT, ne). Index 0 of the result corresponds to n = 2.
+std::vector<double> coronal_populations(int zeff, double kT_keV, double ne_cm3,
+                                        int max_n);
+
+/// Full coronal line list of an ion unit: every (n_up -> n_lo) transition
+/// with emissivity n_ion * (n_k/n_g) * A * dE and thermal Doppler width.
+/// Richer replacement for make_lines (which uses Boltzmann weights); both
+/// are exposed, selected by CalcOptions::coronal_lines.
+std::vector<EmissionLine> make_lines_coronal(const atomic::IonUnit& ion,
+                                             const LinePlasma& plasma,
+                                             int max_upper_n = 5);
+
+}  // namespace hspec::apec

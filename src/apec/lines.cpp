@@ -1,0 +1,63 @@
+#include "apec/lines.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "atomic/constants.h"
+#include "atomic/element.h"
+#include "atomic/levels.h"
+
+namespace hspec::apec {
+
+std::vector<EmissionLine> make_lines(const atomic::IonUnit& ion,
+                                     const LinePlasma& plasma,
+                                     int max_upper_n) {
+  std::vector<EmissionLine> lines;
+  if (!ion.emits_rrc()) return lines;  // lines come from the same charged units
+  if (plasma.kT_keV <= 0.0)
+    throw std::invalid_argument("make_lines: temperature must be positive");
+
+  const double zeff = static_cast<double>(ion.charge);
+  const double scale = atomic::kRydbergKeV * zeff * zeff;
+  // Thermal Doppler width: sigma/E = sqrt(kT / (A m_p c^2)).
+  const double amu_keV = 931494.10242;  // 1 amu in keV
+  const double a = atomic::element(ion.z).atomic_weight;
+  const double doppler = std::sqrt(plasma.kT_keV / (a * amu_keV));
+
+  for (int nu = 2; nu <= max_upper_n; ++nu) {
+    for (int nl = 1; nl < nu; ++nl) {
+      const double e = scale * (1.0 / (nl * nl) - 1.0 / (nu * nu));
+      if (e <= 0.0) continue;
+      // Kramers-like oscillator strength decay with excitation Boltzmann
+      // factor; collisional excitation rate ~ exp(-E/kT)/sqrt(kT).
+      const double fosc = 1.0 / (static_cast<double>(nu) *
+                                 static_cast<double>(nu) *
+                                 static_cast<double>(nu) *
+                                 static_cast<double>(nl));
+      const double emis = 1.0e-16 * plasma.ne_cm3 * plasma.n_ion_cm3 * fosc *
+                          std::exp(-e / plasma.kT_keV) /
+                          std::sqrt(plasma.kT_keV) * e;
+      lines.push_back({e, emis, e * doppler});
+    }
+  }
+  return lines;
+}
+
+void deposit_line(const EmissionLine& line, Spectrum& spec) {
+  if (line.sigma_keV <= 0.0)
+    throw std::invalid_argument("deposit_line: width must be positive");
+  const EnergyGrid& grid = spec.grid();
+  const double inv = 1.0 / (std::numbers::sqrt2 * line.sigma_keV);
+  // Only touch bins within 6 sigma of the center.
+  const double lo = line.energy_keV - 6.0 * line.sigma_keV;
+  const double hi = line.energy_keV + 6.0 * line.sigma_keV;
+  for (std::size_t b = 0; b < grid.bin_count(); ++b) {
+    if (grid.hi(b) < lo || grid.lo(b) > hi) continue;
+    const double c0 = std::erf((grid.lo(b) - line.energy_keV) * inv);
+    const double c1 = std::erf((grid.hi(b) - line.energy_keV) * inv);
+    spec[b] += 0.5 * line.emissivity * (c1 - c0);
+  }
+}
+
+}  // namespace hspec::apec

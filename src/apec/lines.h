@@ -1,0 +1,37 @@
+#pragma once
+// Bound-bound line emission. APEC computes line and continuum emissivity;
+// lines ride on top of the RRC/free-free continuum in Fig. 7. We emit the
+// hydrogenic n -> n' transitions of each charged ion with Boltzmann
+// excitation weights and thermal Doppler broadening.
+
+#include <vector>
+
+#include "apec/energy_grid.h"
+#include "apec/spectrum.h"
+#include "atomic/database.h"
+
+namespace hspec::apec {
+
+struct EmissionLine {
+  double energy_keV = 0.0;  ///< line center
+  double emissivity = 0.0;  ///< integrated line power [keV s^-1 cm^-3]
+  double sigma_keV = 0.0;   ///< thermal Doppler width (Gaussian sigma)
+};
+
+struct LinePlasma {
+  double kT_keV = 1.0;
+  double ne_cm3 = 1.0;
+  double n_ion_cm3 = 1.0;
+};
+
+/// Hydrogenic line list for an ion unit (transitions up to max_upper_n).
+/// Neutral and free-free units produce no lines.
+std::vector<EmissionLine> make_lines(const atomic::IonUnit& ion,
+                                     const LinePlasma& plasma,
+                                     int max_upper_n = 4);
+
+/// Deposit a Gaussian-broadened line into the spectrum (error-function
+/// integral per bin; conserves the integrated emissivity within the grid).
+void deposit_line(const EmissionLine& line, Spectrum& spec);
+
+}  // namespace hspec::apec

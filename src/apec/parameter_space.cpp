@@ -1,0 +1,82 @@
+#include "apec/parameter_space.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/config.h"
+
+namespace hspec::apec {
+
+double Axis::value(std::size_t i) const {
+  if (i >= count) throw std::out_of_range("Axis::value: index out of range");
+  if (count == 1) return lo;
+  const double f = static_cast<double>(i) / static_cast<double>(count - 1);
+  if (logarithmic) {
+    if (lo <= 0.0 || hi <= 0.0)
+      throw std::invalid_argument("Axis: log axis requires positive bounds");
+    return lo * std::pow(hi / lo, f);
+  }
+  return lo + f * (hi - lo);
+}
+
+ParameterSpace::ParameterSpace(Axis temperature, Axis density, Axis time)
+    : t_(temperature), d_(density), time_(time) {
+  if (t_.count == 0 || d_.count == 0 || time_.count == 0)
+    throw std::invalid_argument("ParameterSpace: axes must be non-empty");
+}
+
+std::size_t ParameterSpace::size() const noexcept {
+  return t_.count * d_.count * time_.count;
+}
+
+GridPoint ParameterSpace::point(std::size_t flat) const {
+  if (flat >= size()) throw std::out_of_range("ParameterSpace::point");
+  const std::size_t ti = flat % t_.count;
+  const std::size_t di = (flat / t_.count) % d_.count;
+  const std::size_t si = flat / (t_.count * d_.count);
+  return {t_.value(ti), d_.value(di), time_.value(si), flat};
+}
+
+std::vector<GridPoint> ParameterSpace::all_points() const {
+  std::vector<GridPoint> pts;
+  pts.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) pts.push_back(point(i));
+  return pts;
+}
+
+namespace {
+
+Axis axis_from_config(const util::Config& cfg, const std::string& section,
+                      double default_value) {
+  Axis axis;
+  axis.lo = cfg.get_double(section + ".lo", default_value);
+  axis.hi = cfg.get_double(section + ".hi", axis.lo);
+  axis.count = static_cast<std::size_t>(cfg.get_int(section + ".count", 1));
+  axis.logarithmic = cfg.get_bool(section + ".log", false);
+  return axis;
+}
+
+}  // namespace
+
+ParameterSpace parameter_space_from_config(const util::Config& config) {
+  return ParameterSpace(axis_from_config(config, "temperature", 1.0),
+                        axis_from_config(config, "density", 1.0),
+                        axis_from_config(config, "time", 0.0));
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> ParameterSpace::split(
+    std::size_t parts) const {
+  if (parts == 0) throw std::invalid_argument("ParameterSpace::split: parts==0");
+  const std::size_t n = size();
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(parts);
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = n / parts + (p < n % parts ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
+}  // namespace hspec::apec

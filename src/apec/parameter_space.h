@@ -1,0 +1,79 @@
+#pragma once
+// The three-dimensional parameter space of Fig. 1: temperature x density x
+// time. "The parameter space is often given by a result of astrophysical
+// simulation or a configuration file. For each grid point in the parameter
+// space, the RRC integrations are required to perform in three nested loops."
+
+#include <cstddef>
+#include <vector>
+
+namespace hspec::apec {
+
+/// One grid point: a determinate (temperature, density, time) triple.
+struct GridPoint {
+  double kT_keV = 1.0;    ///< electron temperature [keV]
+  double ne_cm3 = 1.0;    ///< electron density [cm^-3]
+  double time_s = 0.0;    ///< epoch [s] (selects the NEI history when used)
+  std::size_t index = 0;  ///< flat index within the parameter space
+};
+
+/// Axis sampling: `count` values spanning [lo, hi], linear or logarithmic.
+struct Axis {
+  double lo = 1.0;
+  double hi = 1.0;
+  std::size_t count = 1;
+  bool logarithmic = false;
+
+  double value(std::size_t i) const;
+};
+
+/// A dense 3-D grid. Iteration order is time-major, then density, then
+/// temperature (the innermost loop visits neighbouring temperatures, which
+/// keeps per-point work nearly constant across consecutive tasks — the
+/// property the paper's equal-subspace split relies on).
+class ParameterSpace {
+ public:
+  ParameterSpace(Axis temperature, Axis density, Axis time);
+
+  std::size_t size() const noexcept;
+  GridPoint point(std::size_t flat_index) const;
+  std::vector<GridPoint> all_points() const;
+
+  /// Split into `parts` contiguous, near-equal subspaces — the paper's
+  /// inter-node load balance: "dividing the whole parameter space into
+  /// several equal subspaces". Returns [begin, end) flat-index ranges.
+  std::vector<std::pair<std::size_t, std::size_t>> split(std::size_t parts) const;
+
+  const Axis& temperature() const noexcept { return t_; }
+  const Axis& density() const noexcept { return d_; }
+  const Axis& time() const noexcept { return time_; }
+
+ private:
+  Axis t_;
+  Axis d_;
+  Axis time_;
+};
+
+}  // namespace hspec::apec
+
+namespace hspec::util {
+class Config;
+}
+
+namespace hspec::apec {
+
+/// Build a parameter space from a configuration file (DESIGN.md: "the
+/// parameter space is often given by ... a configuration file"):
+///
+///   [temperature]          # keV
+///   lo = 0.1
+///   hi = 2.0
+///   count = 8
+///   log = true
+///   [density]              # cm^-3; same keys
+///   [time]                 # s; same keys
+///
+/// Missing sections default to a single point (lo = hi = their defaults).
+ParameterSpace parameter_space_from_config(const util::Config& config);
+
+}  // namespace hspec::apec

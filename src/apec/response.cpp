@@ -1,0 +1,60 @@
+#include "apec/response.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hspec::apec {
+
+namespace {
+constexpr double kFwhmToSigma = 0.42466090014400953;  // 1 / (2 sqrt(2 ln 2))
+}
+
+GaussianResponse::GaussianResponse(const EnergyGrid& grid,
+                                   ResponseModel model)
+    : grid_(&grid), model_(model) {
+  if (!(model_.fwhm_at_1keV > 0.0))
+    throw std::invalid_argument("GaussianResponse: FWHM must be positive");
+  if (!(model_.cutoff_sigmas > 1.0))
+    throw std::invalid_argument("GaussianResponse: cutoff must exceed 1 sigma");
+
+  const std::size_t n = grid.bin_count();
+  columns_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double e0 = grid.center(j);
+    const double sigma = kFwhmToSigma * model_.fwhm_at_1keV *
+                         std::pow(e0, model_.alpha);
+    const double lo = e0 - model_.cutoff_sigmas * sigma;
+    const double hi = e0 + model_.cutoff_sigmas * sigma;
+    Column& col = columns_[j];
+    col.first = n;
+    const double inv = 1.0 / (sigma * std::sqrt(2.0));
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (grid.hi(i) < lo || grid.lo(i) > hi) continue;
+      const double w = 0.5 * (std::erf((grid.hi(i) - e0) * inv) -
+                              std::erf((grid.lo(i) - e0) * inv));
+      if (col.first == n) col.first = i;
+      col.weights.push_back(w);
+      total += w;
+    }
+    // Renormalize the truncated column so folding conserves counts.
+    if (total > 0.0)
+      for (double& w : col.weights) w /= total;
+  }
+}
+
+Spectrum GaussianResponse::fold(const Spectrum& model) const {
+  if (&model.grid() != grid_ || model.bin_count() != columns_.size())
+    throw std::invalid_argument("GaussianResponse: grid mismatch");
+  Spectrum out(*grid_);
+  for (std::size_t j = 0; j < columns_.size(); ++j) {
+    const double counts = model[j];
+    if (counts == 0.0) continue;
+    const Column& col = columns_[j];
+    for (std::size_t k = 0; k < col.weights.size(); ++k)
+      out[col.first + k] += counts * col.weights[k];
+  }
+  return out;
+}
+
+}  // namespace hspec::apec

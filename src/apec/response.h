@@ -1,0 +1,47 @@
+#pragma once
+// Instrument response folding. Observed spectra (XSPEC/ISIS workflows, §I)
+// are model spectra convolved with the detector's energy redistribution;
+// fitting against real data folds every trial model through the response.
+// We implement the standard Gaussian redistribution matrix (RMF) with
+// energy-dependent resolution  FWHM(E) = fwhm_at_1keV * (E / 1 keV)^alpha
+// (alpha ~ 0.5 for Poissonian CCD-like detectors).
+
+#include <vector>
+
+#include "apec/energy_grid.h"
+#include "apec/spectrum.h"
+
+namespace hspec::apec {
+
+struct ResponseModel {
+  double fwhm_at_1keV = 0.05;  ///< [keV]
+  double alpha = 0.5;          ///< resolution power-law index
+  /// Redistribution below this many sigmas is truncated (then renormalized
+  /// so the matrix conserves counts within the grid).
+  double cutoff_sigmas = 5.0;
+};
+
+/// A precomputed redistribution matrix bound to a grid: column j holds the
+/// probabilities that a photon from bin j lands in each output bin.
+class GaussianResponse {
+ public:
+  GaussianResponse(const EnergyGrid& grid, ResponseModel model = {});
+
+  /// Fold a model spectrum through the response. Conserves total counts up
+  /// to the cutoff truncation (renormalized per column).
+  Spectrum fold(const Spectrum& model) const;
+
+  const ResponseModel& model() const noexcept { return model_; }
+
+ private:
+  const EnergyGrid* grid_;
+  ResponseModel model_;
+  /// Sparse columns: per input bin, (first output bin, weights...).
+  struct Column {
+    std::size_t first = 0;
+    std::vector<double> weights;
+  };
+  std::vector<Column> columns_;
+};
+
+}  // namespace hspec::apec

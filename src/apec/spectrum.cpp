@@ -1,0 +1,65 @@
+#include "apec/spectrum.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace hspec::apec {
+
+Spectrum::Spectrum(const EnergyGrid& grid)
+    : grid_(&grid), values_(grid.bin_count(), 0.0) {}
+
+Spectrum& Spectrum::operator+=(const Spectrum& other) {
+  if (other.values_.size() != values_.size())
+    throw std::invalid_argument("Spectrum += : grid mismatch");
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    values_[i] += other.values_[i];
+  return *this;
+}
+
+Spectrum& Spectrum::operator*=(double factor) {
+  for (double& v : values_) v *= factor;
+  return *this;
+}
+
+double Spectrum::total() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+double Spectrum::peak() const {
+  return values_.empty() ? 0.0
+                         : *std::max_element(values_.begin(), values_.end());
+}
+
+std::vector<double> Spectrum::normalized_flux() const {
+  const double p = peak();
+  std::vector<double> out(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    out[i] = p > 0.0 ? values_[i] / p : 0.0;
+  return out;
+}
+
+std::vector<std::pair<double, double>> Spectrum::wavelength_series() const {
+  const auto norm = normalized_flux();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    out.emplace_back(grid_->center_wavelength(i), norm[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Spectrum::write_csv(const std::string& path,
+                         const std::string& label) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Spectrum: cannot open " + path);
+  f << "wavelength_A,flux_" << label << ",normalized_flux_" << label << '\n';
+  const auto norm = normalized_flux();
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    f << grid_->center_wavelength(i) << ',' << values_[i] << ',' << norm[i]
+      << '\n';
+}
+
+}  // namespace hspec::apec

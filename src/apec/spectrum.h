@@ -1,0 +1,47 @@
+#pragma once
+// Spectrum container: per-bin emissivity aligned with an EnergyGrid, plus
+// the flux-normalization and wavelength-series helpers the Fig. 7 comparison
+// uses ("normalized flux in a wavelength range").
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "apec/energy_grid.h"
+
+namespace hspec::apec {
+
+class Spectrum {
+ public:
+  explicit Spectrum(const EnergyGrid& grid);
+
+  std::size_t bin_count() const noexcept { return values_.size(); }
+  double& operator[](std::size_t bin) { return values_.at(bin); }
+  double operator[](std::size_t bin) const { return values_.at(bin); }
+
+  const std::vector<double>& values() const noexcept { return values_; }
+  const EnergyGrid& grid() const noexcept { return *grid_; }
+
+  /// Accumulate another spectrum on the same grid.
+  Spectrum& operator+=(const Spectrum& other);
+  /// Scale all bins.
+  Spectrum& operator*=(double factor);
+
+  double total() const;
+  double peak() const;
+
+  /// Flux per bin divided by the peak bin (Fig. 7 y-axis).
+  std::vector<double> normalized_flux() const;
+
+  /// (wavelength [A], normalized flux) series ordered by wavelength.
+  std::vector<std::pair<double, double>> wavelength_series() const;
+
+  /// Write "wavelength_A,flux,normalized_flux" CSV.
+  void write_csv(const std::string& path, const std::string& label) const;
+
+ private:
+  const EnergyGrid* grid_;
+  std::vector<double> values_;
+};
+
+}  // namespace hspec::apec

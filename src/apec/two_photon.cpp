@@ -1,0 +1,53 @@
+#include "apec/two_photon.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "apec/level_population.h"
+#include "atomic/constants.h"
+
+namespace hspec::apec {
+
+double two_photon_profile(double y) noexcept {
+  if (y <= 0.0 || y >= 1.0) return 0.0;
+  // phi(y) = 12 y (1 - y): integral over [0,1] = 2 photons; energy-weighted
+  // integral of y phi = 1 (all of E_tot emitted).
+  return 12.0 * y * (1.0 - y);
+}
+
+TwoPhotonChannel two_photon_channel(const atomic::IonUnit& ion, double kT_keV,
+                                    double ne_cm3, double n_ion_cm3) {
+  TwoPhotonChannel ch;
+  if (!ion.emits_rrc()) return ch;
+  if (kT_keV <= 0.0)
+    throw std::invalid_argument("two_photon_channel: kT must be positive");
+
+  const int zeff = ion.charge;
+  const double z2 = static_cast<double>(zeff) * static_cast<double>(zeff);
+  ch.transition_keV = atomic::kRydbergKeV * z2 * (1.0 - 0.25);  // 1s-2s gap
+
+  // n = 2 coronal population; statistically 1/4 of it sits in 2s.
+  const double pop_n2 = coronal_populations(zeff, kT_keV, ne_cm3, 2).front();
+  const double n_2s = 0.25 * pop_n2 * n_ion_cm3;
+  // Two-photon decay rate scales as Z^6 from the hydrogen value 8.23 1/s.
+  const double a_2photon = 8.23 * z2 * z2 * z2;
+  ch.decay_rate = n_2s * a_2photon;
+  return ch;
+}
+
+void accumulate_two_photon(const TwoPhotonChannel& channel, Spectrum& spec) {
+  if (channel.decay_rate <= 0.0 || channel.transition_keV <= 0.0) return;
+  const EnergyGrid& grid = spec.grid();
+  const double e_tot = channel.transition_keV;
+  for (std::size_t b = 0; b < grid.bin_count(); ++b) {
+    const double lo = std::max(grid.lo(b), 0.0) / e_tot;
+    const double hi = std::min(grid.hi(b), e_tot) / e_tot;
+    if (hi <= lo || lo >= 1.0) continue;
+    // Energy deposited in [lo, hi] (y units): rate * E_tot * int y' phi dy
+    // with phi = 12 y (1-y): antiderivative of y*phi is 4 y^3 - 3 y^4.
+    auto energy_cdf = [](double y) { return 4.0 * y * y * y - 3.0 * y * y * y * y; };
+    spec[b] += channel.decay_rate * e_tot * (energy_cdf(hi) - energy_cdf(lo));
+  }
+}
+
+}  // namespace hspec::apec

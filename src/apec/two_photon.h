@@ -1,0 +1,36 @@
+#pragma once
+// Two-photon continuum: the 2s -> 1s transition of hydrogen- and helium-
+// like ions is radiatively forbidden for single photons and decays by
+// emitting two photons whose summed energy equals the transition energy —
+// a broad continuum below each Ly-alpha-like line. One of APEC's standard
+// continuum components alongside free-free and free-bound (RRC).
+//
+// Spectral shape: with y = E / E_tot, the photon distribution follows the
+// symmetric Spitzer-Greenstein-like profile  phi(y) ~ y (1 - y) normalized
+// to emit exactly 2 photons (total energy E_tot) per decay.
+
+#include "apec/spectrum.h"
+#include "atomic/database.h"
+
+namespace hspec::apec {
+
+struct TwoPhotonChannel {
+  double transition_keV = 0.0;  ///< 2s-1s energy E_tot
+  double decay_rate = 0.0;      ///< n_2s * A_2photon [decays s^-1 cm^-3]
+};
+
+/// Normalized spectral shape phi(y), y in (0, 1): integral of phi over
+/// [0,1] is 2 (photon count) and integral of y*phi is 1 (energy fraction).
+double two_photon_profile(double y) noexcept;
+
+/// The 2s -> 1s channel of a hydrogen-like ion unit under the coronal
+/// population of the n = 2 shell (a fixed 2s share of it). Returns a zero
+/// channel for units without the transition.
+TwoPhotonChannel two_photon_channel(const atomic::IonUnit& ion, double kT_keV,
+                                    double ne_cm3, double n_ion_cm3);
+
+/// Accumulate the channel's power density into the spectrum:
+/// dP/dE = rate * E_tot * phi(E / E_tot) / E_tot per unit energy.
+void accumulate_two_photon(const TwoPhotonChannel& channel, Spectrum& spec);
+
+}  // namespace hspec::apec

@@ -1,0 +1,35 @@
+#pragma once
+// Physical constants in the unit system used throughout the library:
+// energies in keV, lengths in cm, times in s, densities in cm^-3.
+
+namespace hspec::atomic {
+
+/// Boltzmann constant [keV / K].
+inline constexpr double kBoltzmannKeV = 8.617333262e-8;
+
+/// Electron rest mass energy m_e c^2 [keV].
+inline constexpr double kElectronRestKeV = 510.99895;
+
+/// Electron mass [g].
+inline constexpr double kElectronMassG = 9.1093837015e-28;
+
+/// Speed of light [cm/s].
+inline constexpr double kSpeedOfLight = 2.99792458e10;
+
+/// Rydberg energy (hydrogen ionization potential) [keV].
+inline constexpr double kRydbergKeV = 13.605693122994e-3;
+
+/// Thomson cross section [cm^2].
+inline constexpr double kThomsonCm2 = 6.6524587321e-25;
+
+/// Kramers photoionization cross-section scale at threshold for hydrogen
+/// ground state [cm^2] (7.91e-18 cm^2).
+inline constexpr double kKramersSigma0 = 7.91e-18;
+
+/// hc [keV * Angstrom]: E[keV] = kHCKeVAngstrom / lambda[Angstrom].
+inline constexpr double kHCKeVAngstrom = 12.39841984;
+
+/// Planck constant [keV * s].
+inline constexpr double kPlanckKeVs = 4.135667696e-18;
+
+}  // namespace hspec::atomic

@@ -1,0 +1,34 @@
+#include "atomic/cross_section.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "atomic/constants.h"
+
+namespace hspec::atomic {
+
+double kramers_photoionization_cm2(int charge, int n, double binding_keV,
+                                   double photon_keV) {
+  if (charge < 1 || n < 1)
+    throw std::invalid_argument("kramers: charge and n must be >= 1");
+  if (binding_keV <= 0.0)
+    throw std::invalid_argument("kramers: binding energy must be positive");
+  if (photon_keV < binding_keV) return 0.0;
+  const double z2 = static_cast<double>(charge) * static_cast<double>(charge);
+  const double ratio = binding_keV / photon_keV;
+  return kKramersSigma0 * (static_cast<double>(n) / z2) * ratio * ratio * ratio;
+}
+
+double recombination_cross_section_cm2(int charge, int n, double binding_keV,
+                                       double electron_keV,
+                                       double stat_weight_ratio) {
+  if (electron_keV <= 0.0) return 0.0;
+  const double photon_keV = electron_keV + binding_keV;
+  const double sigma_ph =
+      kramers_photoionization_cm2(charge, n, binding_keV, photon_keV);
+  const double milne = stat_weight_ratio * photon_keV * photon_keV /
+                       (kElectronRestKeV * electron_keV);
+  return milne * sigma_ph;
+}
+
+}  // namespace hspec::atomic

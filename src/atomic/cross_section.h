@@ -1,0 +1,26 @@
+#pragma once
+// Recombination cross sections under the Kramers / Milne hydrogenic model.
+//
+// Kramers photoionization from level n of a hydrogenic ion with effective
+// charge z:   sigma_ph(E) = sigma0 * (n / z^2) * (I_n / E)^3   for E >= I_n.
+// The Milne relation converts it to the radiative-recombination cross
+// section at electron energy Ee (photon energy Eg = Ee + I_n):
+//   sigma_rec(Ee) = (g_n / (2 g_+)) * Eg^2 / (me c^2 * Ee) * sigma_ph(Eg).
+// This is sigma_n^rec(Eg - I_{Z,j,n}) in Eq. (1) of the paper.
+
+namespace hspec::atomic {
+
+/// Kramers photoionization cross section [cm^2] for photon energy
+/// photon_keV from level n of an ion with recombining charge `charge`.
+/// Zero below threshold.
+double kramers_photoionization_cm2(int charge, int n, double binding_keV,
+                                   double photon_keV);
+
+/// Radiative recombination cross section [cm^2] at electron kinetic energy
+/// electron_keV (> 0) onto level n with the given binding energy.
+/// `stat_weight_ratio` is g_n / (2 g_+), default 1.
+double recombination_cross_section_cm2(int charge, int n, double binding_keV,
+                                       double electron_keV,
+                                       double stat_weight_ratio = 1.0);
+
+}  // namespace hspec::atomic

@@ -1,0 +1,42 @@
+#include "atomic/database.h"
+
+#include <stdexcept>
+
+namespace hspec::atomic {
+
+std::string IonUnit::name() const {
+  if (is_free_free()) return "free-free";
+  std::string s(element(z).symbol);
+  s += '+';
+  s += std::to_string(charge);
+  return s;
+}
+
+AtomicDatabase::AtomicDatabase(DatabaseConfig config) : config_(config) {
+  if (config_.max_z < 1 || config_.max_z > kMaxZ)
+    throw std::invalid_argument("AtomicDatabase: max_z must be in [1, 30]");
+  for (int z = 1; z <= config_.max_z; ++z)
+    for (int charge = 0; charge <= z; ++charge)
+      ions_.push_back({z, charge});
+  if (config_.include_free_free) ions_.push_back({0, 0});
+}
+
+std::vector<IonUnit> AtomicDatabase::rrc_ions() const {
+  std::vector<IonUnit> out;
+  out.reserve(ions_.size());
+  for (const IonUnit& ion : ions_)
+    if (ion.emits_rrc()) out.push_back(ion);
+  return out;
+}
+
+std::vector<Level> AtomicDatabase::levels_for(const IonUnit& ion) const {
+  if (!ion.emits_rrc()) return {};
+  return make_levels(ion.charge, config_.levels);
+}
+
+std::size_t AtomicDatabase::level_count_for(const IonUnit& ion) const noexcept {
+  if (!ion.emits_rrc()) return 0;
+  return level_count(config_.levels);
+}
+
+}  // namespace hspec::atomic

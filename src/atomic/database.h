@@ -1,0 +1,66 @@
+#pragma once
+// The synthetic atomic database: the unit of work enumeration for the whole
+// library. One *ion unit* is the paper's coarse-grained task scope —
+// "every grid point contains 496 ions ... it is natural that both the energy
+// level and the ion can be used to define the task scope."
+//
+// Unit accounting (Z = 1..30):
+//   * 30 neutral stages + 465 charged stages = 495 bound-electron units;
+//   * 1 free-free (bremsstrahlung) pseudo-unit for the thermal continuum;
+//   * total = 496 schedulable units per grid point, matching the paper.
+// RRC emission comes from the 465 charged stages (a recombining ion must
+// carry charge >= 1); neutral units contribute no RRC and the free-free
+// unit is handled by the apec continuum module.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "atomic/element.h"
+#include "atomic/levels.h"
+
+namespace hspec::atomic {
+
+/// One schedulable ion unit.
+struct IonUnit {
+  int z = 0;       ///< element atomic number; 0 marks the free-free unit
+  int charge = 0;  ///< recombining charge state (0 = neutral, no RRC)
+
+  bool is_free_free() const noexcept { return z == 0; }
+  bool emits_rrc() const noexcept { return z > 0 && charge >= 1; }
+  std::string name() const;
+};
+
+struct DatabaseConfig {
+  int max_z = kMaxZ;      ///< include elements 1..max_z
+  LevelPolicy levels{};   ///< level generation policy per ion
+  bool include_free_free = true;
+};
+
+/// Immutable atomic database built deterministically from its config.
+class AtomicDatabase {
+ public:
+  explicit AtomicDatabase(DatabaseConfig config = {});
+
+  const DatabaseConfig& config() const noexcept { return config_; }
+
+  /// All schedulable units (496 with the default config).
+  const std::vector<IonUnit>& ions() const noexcept { return ions_; }
+  std::size_t ion_count() const noexcept { return ions_.size(); }
+
+  /// Only the units that emit RRC (465 with the default config).
+  std::vector<IonUnit> rrc_ions() const;
+
+  /// Levels available for recombination onto the given unit.
+  /// Free-free and neutral units have no levels.
+  std::vector<Level> levels_for(const IonUnit& ion) const;
+
+  /// Level count without materializing the list.
+  std::size_t level_count_for(const IonUnit& ion) const noexcept;
+
+ private:
+  DatabaseConfig config_;
+  std::vector<IonUnit> ions_;
+};
+
+}  // namespace hspec::atomic

@@ -1,0 +1,40 @@
+#include "atomic/element.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hspec::atomic {
+
+const std::array<Element, kMaxZ>& element_table() noexcept {
+  // Anders & Grevesse (1989)-style photospheric abundances.
+  static const std::array<Element, kMaxZ> table = {{
+      {1, "H", 1.008, 12.00},   {2, "He", 4.003, 10.99},
+      {3, "Li", 6.941, 1.16},   {4, "Be", 9.012, 1.15},
+      {5, "B", 10.811, 2.60},   {6, "C", 12.011, 8.56},
+      {7, "N", 14.007, 8.05},   {8, "O", 15.999, 8.93},
+      {9, "F", 18.998, 4.56},   {10, "Ne", 20.180, 8.09},
+      {11, "Na", 22.990, 6.33}, {12, "Mg", 24.305, 7.58},
+      {13, "Al", 26.982, 6.47}, {14, "Si", 28.086, 7.55},
+      {15, "P", 30.974, 5.45},  {16, "S", 32.065, 7.21},
+      {17, "Cl", 35.453, 5.50}, {18, "Ar", 39.948, 6.56},
+      {19, "K", 39.098, 5.12},  {20, "Ca", 40.078, 6.36},
+      {21, "Sc", 44.956, 3.10}, {22, "Ti", 47.867, 4.99},
+      {23, "V", 50.942, 4.00},  {24, "Cr", 51.996, 5.67},
+      {25, "Mn", 54.938, 5.39}, {26, "Fe", 55.845, 7.67},
+      {27, "Co", 58.933, 4.92}, {28, "Ni", 58.693, 6.25},
+      {29, "Cu", 63.546, 4.21}, {30, "Zn", 65.380, 4.60},
+  }};
+  return table;
+}
+
+const Element& element(int z) {
+  if (z < 1 || z > kMaxZ)
+    throw std::out_of_range("element: Z must be in [1, 30]");
+  return element_table()[static_cast<std::size_t>(z - 1)];
+}
+
+double abundance_rel_h(int z) {
+  return std::pow(10.0, element(z).log_abundance - 12.0);
+}
+
+}  // namespace hspec::atomic

@@ -1,0 +1,33 @@
+#pragma once
+// Chemical elements Z = 1..30 with solar abundances.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): the original APEC reads AtomDB; we
+// carry a compiled-in Anders & Grevesse (1989)-style solar abundance table
+// and treat every element H..Zn, which is the same element coverage AtomDB
+// provides and yields the paper's ~496 per-grid-point task units.
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace hspec::atomic {
+
+inline constexpr int kMaxZ = 30;
+
+struct Element {
+  int z = 0;                  ///< atomic number
+  std::string_view symbol;    ///< chemical symbol
+  double atomic_weight = 0.0; ///< [amu]
+  double log_abundance = 0.0; ///< log10 abundance, H = 12 scale
+};
+
+/// Table of elements Z = 1..30 (H..Zn). Indexable by Z via element(z).
+const std::array<Element, kMaxZ>& element_table() noexcept;
+
+/// Element with atomic number z (1-based). Throws std::out_of_range.
+const Element& element(int z);
+
+/// Number abundance relative to hydrogen: 10^(log_abundance - 12).
+double abundance_rel_h(int z);
+
+}  // namespace hspec::atomic

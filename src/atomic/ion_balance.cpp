@@ -1,0 +1,47 @@
+#include "atomic/ion_balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "atomic/rates.h"
+
+namespace hspec::atomic {
+
+std::vector<double> cie_fractions(int z, double kT_keV) {
+  if (kT_keV <= 0.0)
+    throw std::invalid_argument("cie_fractions: temperature must be positive");
+  // log f_{j+1} - log f_j = log(S_j / alpha_{j+1}).
+  std::vector<double> logf(static_cast<std::size_t>(z) + 1, 0.0);
+  for (int j = 0; j < z; ++j) {
+    const double s = ionization_rate(z, j, kT_keV);
+    const double alpha = recombination_rate(z, j + 1, kT_keV);
+    double ratio;
+    if (s <= 0.0) {
+      ratio = -745.0;  // underflow floor: stage j+1 unpopulated
+    } else if (alpha <= 0.0) {
+      ratio = 745.0;
+    } else {
+      ratio = std::log(s) - std::log(alpha);
+    }
+    logf[static_cast<std::size_t>(j) + 1] =
+        logf[static_cast<std::size_t>(j)] + ratio;
+  }
+  const double peak = *std::max_element(logf.begin(), logf.end());
+  std::vector<double> f(logf.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = std::exp(std::max(logf[i] - peak, -745.0));
+    sum += f[i];
+  }
+  for (double& x : f) x /= sum;
+  return f;
+}
+
+double cie_fraction(int z, int j, double kT_keV) {
+  if (j < 0 || j > z) throw std::out_of_range("cie_fraction: need 0 <= j <= Z");
+  return cie_fractions(z, kT_keV)[static_cast<std::size_t>(j)];
+}
+
+}  // namespace hspec::atomic

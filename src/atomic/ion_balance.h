@@ -1,0 +1,19 @@
+#pragma once
+// Collisional ionization equilibrium (CIE) ion fractions.
+// In equilibrium the ionization/recombination chain of Eq. (4) balances
+// link by link:  n_{j+1} / n_j = S_j(T) / alpha_{j+1}(T), which fixes all
+// Z+1 charge-state fractions up to normalization. APEC evaluates emission
+// for "a hot, optically-thin plasma in collisional ionization equilibrium".
+
+#include <vector>
+
+namespace hspec::atomic {
+
+/// Fractions f_j, j = 0..Z (sum = 1) of element Z at temperature kT [keV].
+/// Computed in log space to survive 30-stage chains at extreme temperatures.
+std::vector<double> cie_fractions(int z, double kT_keV);
+
+/// Convenience: fraction of the single charge state j.
+double cie_fraction(int z, int j, double kT_keV);
+
+}  // namespace hspec::atomic

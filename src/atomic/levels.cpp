@@ -1,0 +1,48 @@
+#include "atomic/levels.h"
+
+#include <stdexcept>
+
+#include "atomic/constants.h"
+
+namespace hspec::atomic {
+
+double binding_energy_keV(int recombining_charge, int n, int l) {
+  if (recombining_charge < 1)
+    throw std::invalid_argument("binding_energy: recombining charge must be >= 1");
+  if (n < 1 || l < 0 || l >= n)
+    throw std::invalid_argument("binding_energy: need n >= 1 and 0 <= l < n");
+  const double zeff = static_cast<double>(recombining_charge);
+  // Quantum defect lowers the effective principal quantum number, binding
+  // low-l electrons deeper; it weakens for highly charged (hydrogen-like)
+  // ions where the core screening vanishes.
+  const double defect = 0.1 / static_cast<double>(l + 1);
+  const double n_eff =
+      static_cast<double>(n) - defect * (zeff > 1.0 ? 1.0 / zeff : 1.0);
+  return kRydbergKeV * zeff * zeff / (n_eff * n_eff);
+}
+
+std::vector<Level> make_levels(int recombining_charge, const LevelPolicy& policy) {
+  if (policy.max_n < 1)
+    throw std::invalid_argument("make_levels: max_n must be >= 1");
+  std::vector<Level> levels;
+  levels.reserve(level_count(policy));
+  for (int n = 1; n <= policy.max_n; ++n) {
+    const int lmax = policy.sublevels ? n - 1 : 0;
+    for (int l = 0; l <= lmax; ++l) {
+      Level lv;
+      lv.n = n;
+      lv.l = l;
+      lv.binding_keV = binding_energy_keV(recombining_charge, n, l);
+      lv.stat_weight = 2.0 * (2.0 * l + 1.0);
+      levels.push_back(lv);
+    }
+  }
+  return levels;
+}
+
+std::size_t level_count(const LevelPolicy& policy) noexcept {
+  const auto n = static_cast<std::size_t>(policy.max_n);
+  return policy.sublevels ? n * (n + 1) / 2 : n;
+}
+
+}  // namespace hspec::atomic

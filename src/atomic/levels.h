@@ -1,0 +1,42 @@
+#pragma once
+// Energy levels of recombined ions under a screened-hydrogenic model.
+//
+// When ion (Z, j+1) (charge j+1) captures an electron into level n of ion
+// (Z, j), the electron binds with I_{Z,j,n} = Ry * (j+1)^2 / n^2 in the pure
+// hydrogenic picture; we add an l-dependent quantum-defect correction to
+// split sublevels so that an ion exposes "thousands of levels" the way the
+// paper describes AtomDB level lists.
+
+#include <cstddef>
+#include <vector>
+
+namespace hspec::atomic {
+
+/// Identifies a recombination target level of ion (Z, j): the recombining
+/// ion is (Z, j+1) and the captured electron lands in (n, l).
+struct Level {
+  int n = 1;                 ///< principal quantum number
+  int l = 0;                 ///< orbital quantum number, 0 <= l < n
+  double binding_keV = 0.0;  ///< I_{Z,j,n} [keV]
+  double stat_weight = 2.0;  ///< statistical weight g = 2(2l+1)
+};
+
+/// Binding energy I_{Z,j,n,l} [keV] for recombination onto ion of charge j
+/// (recombining charge j+1 >= 1). Monotone decreasing in n; the quantum
+/// defect mu(l) = 0.1 / (l + 1) keeps sublevels distinct and physically
+/// ordered (low l binds deeper).
+double binding_energy_keV(int recombining_charge, int n, int l = 0);
+
+struct LevelPolicy {
+  int max_n = 10;         ///< highest principal quantum number generated
+  bool sublevels = true;  ///< generate (n, l) pairs; otherwise one level per n
+};
+
+/// Generate the level list for recombination onto charge-j ion.
+/// With sublevels, the count is max_n (max_n + 1) / 2 levels.
+std::vector<Level> make_levels(int recombining_charge, const LevelPolicy& policy);
+
+/// Number of levels make_levels would produce (no allocation).
+std::size_t level_count(const LevelPolicy& policy) noexcept;
+
+}  // namespace hspec::atomic

@@ -1,0 +1,71 @@
+#include "atomic/rates.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "atomic/constants.h"
+#include "atomic/element.h"
+
+namespace hspec::atomic {
+
+namespace {
+
+/// Principal quantum number of the valence shell of an ion with `electrons`
+/// bound electrons (aufbau shell capacities 2n^2).
+int valence_shell(int electrons) {
+  int n = 1;
+  int capacity = 0;
+  while (true) {
+    capacity += 2 * n * n;
+    if (electrons <= capacity) return n;
+    ++n;
+  }
+}
+
+void check_element(int z) {
+  if (z < 1 || z > kMaxZ) throw std::out_of_range("rates: Z must be in [1,30]");
+}
+
+}  // namespace
+
+double ionization_potential_keV(int z, int j) {
+  check_element(z);
+  if (j < 0 || j >= z)
+    throw std::out_of_range("ionization_potential: need 0 <= j < Z");
+  const int electrons = z - j;
+  const int n = valence_shell(electrons);
+  // Slater-like screening: inner electrons shield the nucleus.
+  const double zeff = static_cast<double>(j) + 1.0 +
+                      0.35 * static_cast<double>(std::max(0, electrons - 1)) /
+                          static_cast<double>(n);
+  return kRydbergKeV * zeff * zeff /
+         (static_cast<double>(n) * static_cast<double>(n));
+}
+
+double ionization_rate(int z, int j, double kT_keV) {
+  check_element(z);
+  if (j < 0 || j >= z) throw std::out_of_range("ionization_rate: need 0 <= j < Z");
+  if (kT_keV <= 0.0) return 0.0;
+  const double ip = ionization_potential_keV(z, j);
+  const double u = ip / kT_keV;
+  // Voronov (1997)-style fit with generic shape parameters.
+  const double a = 2.5e-8;  // cm^3/s at I = 1 keV scale
+  return a / std::sqrt(ip) * std::pow(u, 0.25) * std::exp(-u) / (1.0 + 0.2 * u);
+}
+
+double recombination_rate(int z, int j, double kT_keV) {
+  check_element(z);
+  if (j < 1 || j > z) throw std::out_of_range("recombination_rate: need 1 <= j <= Z");
+  if (kT_keV <= 0.0) return 0.0;
+  const double zz = static_cast<double>(j);
+  // Radiative: alpha_rr = A z^2 (kT / 1 keV)^-0.7.
+  const double alpha_rr = 2.6e-13 * zz * zz * std::pow(kT_keV, -0.7);
+  // Dielectronic: resonant bump near kT ~ I/4 of the recombined ion.
+  const double ip = ionization_potential_keV(z, j - 1);
+  const double e_dr = 0.25 * ip;
+  const double alpha_dr =
+      1.0e-11 * zz * std::pow(kT_keV, -1.5) * std::exp(-e_dr / kT_keV);
+  return alpha_rr + alpha_dr;
+}
+
+}  // namespace hspec::atomic

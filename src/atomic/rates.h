@@ -1,0 +1,28 @@
+#pragma once
+// Collisional ionization and recombination rate coefficients.
+//
+// SUBSTITUTION NOTE: the original codes use fitted atomic data; we use
+// smooth semi-empirical forms (Voronov-style ionization, power-law radiative
+// + resonant dielectronic recombination) built on screened-hydrogenic
+// ionization potentials. These produce the correct qualitative behaviour:
+// ionization switches on exponentially above kT ~ I, recombination falls as
+// a power of T, and the resulting NEI systems (Eq. 4) are stiff. The same
+// coefficients define the collisional-ionization-equilibrium (CIE) balance
+// used by the spectral calculator, so NEI relaxes to CIE exactly.
+
+namespace hspec::atomic {
+
+/// Ionization potential [keV] of ion (Z, j): the energy to remove the
+/// outermost electron of the charge-j ion (screened hydrogenic estimate).
+/// Requires 0 <= j < Z.
+double ionization_potential_keV(int z, int j);
+
+/// Collisional ionization rate coefficient S_j(T) [cm^3/s] for
+/// (Z, j) -> (Z, j+1). Zero-temperature limit is 0. Requires 0 <= j < Z.
+double ionization_rate(int z, int j, double kT_keV);
+
+/// Total (radiative + dielectronic) recombination rate coefficient
+/// alpha_j(T) [cm^3/s] for (Z, j) -> (Z, j-1). Requires 1 <= j <= Z.
+double recombination_rate(int z, int j, double kT_keV);
+
+}  // namespace hspec::atomic

@@ -1,0 +1,44 @@
+#include "core/autotune.h"
+
+#include <stdexcept>
+
+namespace hspec::core {
+
+AutotuneResult autotune_max_queue_length(util::FunctionRef<double(int)> measure,
+                                         const AutotuneOptions& opt) {
+  if (opt.min_queue_length < 1 || opt.step < 1 ||
+      opt.max_queue_length < opt.min_queue_length)
+    throw std::invalid_argument("autotune: malformed options");
+
+  AutotuneResult result;
+  double best_time = 0.0;
+  int stalled = 0;  // consecutive probes without meaningful improvement
+  for (int q = opt.min_queue_length; q <= opt.max_queue_length; q += opt.step) {
+    const double t = measure(q);
+    result.probes.push_back({q, t});
+    if (result.probes.size() == 1 ||
+        t < best_time * (1.0 - opt.degradation_tolerance)) {
+      // Meaningful improvement: keep growing the queue.
+      best_time = std::min(t, result.probes.size() == 1 ? t : best_time);
+      stalled = 0;
+    } else {
+      best_time = std::min(best_time, t);
+      if (++stalled >= opt.patience) break;  // the performance inflexion
+    }
+  }
+
+  // "The maximum queue length will be fixed at the value leading to the
+  // inflexion point": the smallest probed length whose time is within the
+  // tolerance band of the best — larger queues only add waiting.
+  result.best_time_s = best_time;
+  for (const AutotuneProbe& p : result.probes) {
+    if (p.time_s <= best_time * (1.0 + opt.degradation_tolerance)) {
+      result.best_max_queue_length = p.max_queue_length;
+      result.best_time_s = p.time_s;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hspec::core

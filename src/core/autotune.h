@@ -1,0 +1,44 @@
+#pragma once
+// Automatic maximum-queue-length selection (§III-A):
+// "the scheduler chooses the maximum queue length through an automatic
+// test. At the beginning the scheduler will try to find the most proper
+// maximum queue length by increasing the value of it gradually until the
+// performance inflexion occurs. And then the maximum queue length will be
+// fixed at the value leading to the inflexion point."
+
+#include <vector>
+
+#include "util/function_ref.h"
+
+namespace hspec::core {
+
+struct AutotuneProbe {
+  int max_queue_length = 0;
+  double time_s = 0.0;
+};
+
+struct AutotuneResult {
+  int best_max_queue_length = 0;
+  double best_time_s = 0.0;
+  std::vector<AutotuneProbe> probes;  ///< in probing order
+};
+
+struct AutotuneOptions {
+  int min_queue_length = 2;
+  int max_queue_length = 32;
+  int step = 2;
+  /// Band width for "no meaningful change": probing stops after `patience`
+  /// consecutive probes fail to improve the best time by more than this
+  /// fraction, and the chosen queue length is the smallest probe within the
+  /// band of the best (larger queues only add waiting time).
+  double degradation_tolerance = 0.02;
+  int patience = 2;
+};
+
+/// Probe `measure(qlen)` (total computation time for a calibration workload
+/// at that maximum queue length) with gradually increasing qlen and return
+/// the inflexion point.
+AutotuneResult autotune_max_queue_length(
+    util::FunctionRef<double(int)> measure, const AutotuneOptions& opt = {});
+
+}  // namespace hspec::core

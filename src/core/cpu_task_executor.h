@@ -1,0 +1,19 @@
+#pragma once
+// CPU fallback execution of one spectral task (§III-A): "the original CPU
+// process will continue to achieve the task by calling traditional QAGS
+// routine serially."
+
+#include "apec/calculator.h"
+#include "apec/spectrum.h"
+#include "core/task.h"
+
+namespace hspec::core {
+
+/// Execute `task` with the adaptive QAGS path on the calling thread and
+/// accumulate into `spectrum`. Returns the number of bin integrals done.
+std::size_t execute_task_on_cpu(const apec::SpectrumCalculator& calc,
+                                const SpectralTask& task,
+                                const apec::PointPopulations& pops,
+                                apec::Spectrum& spectrum);
+
+}  // namespace hspec::core

@@ -1,0 +1,89 @@
+#include "core/gpu_task_executor.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "rrc/rrc.h"
+#include "vgpu/integr_kernel.h"
+
+namespace hspec::core {
+
+GpuExecutionReport execute_task_on_gpu(const apec::SpectrumCalculator& calc,
+                                       const SpectralTask& task,
+                                       const apec::PointPopulations& pops,
+                                       vgpu::Device& device,
+                                       apec::Spectrum& spectrum,
+                                       vgpu::BufferPool* pool) {
+  GpuExecutionReport report;
+  const apec::EnergyGrid& grid = calc.grid();
+  const std::size_t n_bins = grid.bin_count();
+
+  if (task.ion.is_free_free() || !task.ion.emits_rrc()) {
+    // The free-free pseudo-unit has a closed-form per-bin integral; it is
+    // not worth a kernel. Neutral units contribute nothing.
+    calc.accumulate_ion(task.ion, pops, spectrum);
+    return report;
+  }
+
+  const auto levels = calc.database().levels_for(task.ion);
+  const std::size_t level_begin =
+      task.granularity == TaskGranularity::level ? task.level_index : 0;
+  const std::size_t level_end = task.granularity == TaskGranularity::level
+                                    ? task.level_index + 1
+                                    : levels.size();
+  if (level_end > levels.size())
+    throw std::out_of_range("execute_task_on_gpu: level index out of range");
+
+  // Device-side working set: bin edges (uploaded per task) + emi array that
+  // accumulates across the task's levels and transfers back once. Leased
+  // from the pool when one is supplied (no steady-state cudaMalloc).
+  vgpu::DeviceBuffer edges_dev =
+      pool != nullptr ? pool->acquire((n_bins + 1) * sizeof(double))
+                      : device.alloc((n_bins + 1) * sizeof(double));
+  vgpu::DeviceBuffer emi_dev = pool != nullptr
+                                   ? pool->acquire(n_bins * sizeof(double))
+                                   : device.alloc(n_bins * sizeof(double));
+  device.copy_to_device(edges_dev, grid.edges().data(),
+                        (n_bins + 1) * sizeof(double));
+  device.memset_device(emi_dev, 0, n_bins * sizeof(double));
+
+  const double n_rec = pops.ion_density(task.ion.z, task.ion.charge);
+  const apec::IntegrationPolicy& pol = calc.options().integration;
+  vgpu::IntegrLaunchConfig cfg;
+  cfg.method = pol.kernel;
+  cfg.method_param = pol.kernel_param;
+  cfg.accumulate = true;
+
+  for (std::size_t li = level_begin; li < level_end; ++li) {
+    rrc::RrcChannel ch;
+    ch.recombining_charge = task.ion.charge;
+    ch.level = levels[li];
+    ch.gaunt_correction = calc.options().gaunt_correction;
+    rrc::PlasmaState plasma{pops.kT_keV, pops.ne_cm3, n_rec};
+    // Algorithm 2: the level integrates from its own threshold upward.
+    cfg.lower_cutoff = ch.level.binding_keV;
+    auto f = [&](double e) { return rrc::rrc_power_density(ch, plasma, e); };
+    vgpu::gpu_integr_edges_device(device, edges_dev, n_bins, f, emi_dev, cfg);
+    ++report.kernels;
+    ++report.levels_done;
+  }
+
+  // One transfer finishes the task (the coarse-granularity win).
+  std::vector<double> emi(n_bins);
+  device.copy_to_host(emi.data(), emi_dev, n_bins * sizeof(double));
+  for (std::size_t b = 0; b < n_bins; ++b) spectrum[b] += emi[b];
+  report.bins = n_bins;
+
+  // Line emission stays host-side on every path. In level granularity the
+  // ion's lines belong to the level-0 task so they are added exactly once.
+  if (task.granularity == TaskGranularity::ion || task.level_index == 0)
+    calc.accumulate_ion_lines(task.ion, pops, spectrum);
+
+  if (pool != nullptr) {
+    pool->release(std::move(edges_dev));
+    pool->release(std::move(emi_dev));
+  }
+  return report;
+}
+
+}  // namespace hspec::core

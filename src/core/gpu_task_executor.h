@@ -1,0 +1,39 @@
+#pragma once
+// GPU execution of one spectral task (§III-B + Algorithm 2).
+//
+// Ion granularity: upload the bin edges once, launch one accumulate-kernel
+// per energy level ("the result of emissivity of each energy level in each
+// energy bin will be accumulated on GPUs until the task is completed"),
+// then one device-to-host transfer of the whole emi array.
+//
+// Level granularity: the same, for a single level — which is exactly why it
+// loses: the fixed context-switch + transfer overhead is paid per level.
+
+#include "apec/calculator.h"
+#include "apec/spectrum.h"
+#include "core/task.h"
+#include "vgpu/buffer_pool.h"
+#include "vgpu/device.h"
+
+namespace hspec::core {
+
+struct GpuExecutionReport {
+  std::size_t kernels = 0;
+  std::size_t levels_done = 0;
+  std::size_t bins = 0;
+};
+
+/// Execute `task` on `device` and accumulate the result into `spectrum`
+/// (host side). `pops` must be the populations of task.point.
+/// The integration method comes from calc.options().integration (the
+/// non-adaptive kernel settings; the adaptive flag is ignored here).
+/// With `pool` non-null, device buffers are leased from it instead of
+/// allocated per task (the steady-state production configuration).
+GpuExecutionReport execute_task_on_gpu(const apec::SpectrumCalculator& calc,
+                                       const SpectralTask& task,
+                                       const apec::PointPopulations& pops,
+                                       vgpu::Device& device,
+                                       apec::Spectrum& spectrum,
+                                       vgpu::BufferPool* pool = nullptr);
+
+}  // namespace hspec::core

@@ -1,0 +1,111 @@
+#include "core/hybrid.h"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/cpu_task_executor.h"
+#include "core/gpu_task_executor.h"
+#include "minimpi/minimpi.h"
+
+namespace hspec::core {
+
+std::vector<SpectralTask> make_tasks(const apec::SpectrumCalculator& calc,
+                                     const apec::GridPoint& point,
+                                     const apec::PointPopulations& pops,
+                                     TaskGranularity granularity) {
+  std::vector<SpectralTask> tasks;
+  for (const atomic::IonUnit& ion : calc.populated_ions(pops)) {
+    if (granularity == TaskGranularity::level && ion.emits_rrc()) {
+      const std::size_t levels = calc.database().level_count_for(ion);
+      for (std::size_t li = 0; li < levels; ++li)
+        tasks.push_back({point, ion, granularity, li});
+    } else {
+      tasks.push_back({point, ion, TaskGranularity::ion, 0});
+    }
+  }
+  return tasks;
+}
+
+HybridDriver::HybridDriver(const apec::SpectrumCalculator& calculator,
+                           HybridConfig config)
+    : calc_(&calculator), config_(config) {
+  if (config_.ranks < 1)
+    throw std::invalid_argument("HybridDriver: need at least one rank");
+  if (config_.max_queue_length < 1)
+    throw std::invalid_argument("HybridDriver: max queue length must be >= 1");
+}
+
+HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
+  vgpu::DeviceRegistry registry(config_.devices);
+  const int n_dev = static_cast<int>(registry.device_count());
+  ShmRegion shm =
+      ShmRegion::create_inprocess(n_dev, config_.max_queue_length);
+  // One shared buffer pool per device: steady-state task execution never
+  // touches the device allocator.
+  std::vector<std::unique_ptr<vgpu::BufferPool>> pools;
+  for (int d = 0; d < n_dev; ++d)
+    pools.push_back(std::make_unique<vgpu::BufferPool>(
+        registry.device(static_cast<std::size_t>(d))));
+
+  HybridResult result;
+  result.spectra.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    result.spectra.emplace_back(calc_->grid());
+
+  std::mutex result_mu;  // guards the aggregated scheduling stats
+
+  minimpi::run(config_.ranks, [&](minimpi::Communicator& comm) {
+    const int rank = comm.rank();
+    const int size = comm.size();
+    TaskScheduler scheduler(shm.view());
+
+    // Contiguous near-equal split of the point list across ranks.
+    const std::size_t n = points.size();
+    const std::size_t base = n / static_cast<std::size_t>(size);
+    const std::size_t extra = n % static_cast<std::size_t>(size);
+    const auto r = static_cast<std::size_t>(rank);
+    const std::size_t begin = r * base + std::min(r, extra);
+    const std::size_t end = begin + base + (r < extra ? 1 : 0);
+
+    std::size_t my_tasks = 0;
+    for (std::size_t p = begin; p < end; ++p) {
+      const apec::PointPopulations pops =
+          apec::solve_populations(calc_->database(), points[p]);
+      apec::Spectrum local(calc_->grid());
+      for (const SpectralTask& task :
+           make_tasks(*calc_, points[p], pops, config_.granularity)) {
+        ++my_tasks;
+        const int device = scheduler.sche_alloc();
+        if (device >= 0) {
+          execute_task_on_gpu(*calc_, task, pops, registry.device(device),
+                              local,
+                              pools[static_cast<std::size_t>(device)].get());
+          scheduler.sche_free(device);
+        } else {
+          execute_task_on_cpu(*calc_, task, pops, local);
+        }
+      }
+      // Points are rank-disjoint: direct accumulation is race-free.
+      result.spectra[p] += local;
+    }
+
+    comm.barrier();
+    {
+      std::lock_guard lock(result_mu);
+      result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
+      result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
+      result.tasks_total += my_tasks;
+    }
+  });
+
+  for (int d = 0; d < n_dev; ++d) {
+    result.history.push_back(
+        shm.view().history[d].load(std::memory_order_relaxed));
+    result.device_stats.push_back(registry.device(static_cast<std::size_t>(d))
+                                      .stats());
+  }
+  return result;
+}
+
+}  // namespace hspec::core

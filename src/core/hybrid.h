@@ -1,0 +1,67 @@
+#pragma once
+// The hybrid CPU-GPU parallel framework (Fig. 2 of the paper).
+//
+// "The main program is responsible for reading the input parameters, invoke
+// all MPI processes, and assign sub parameter spaces to them. MPI processes
+// will prepare tasks, and dispatch each task to either the CPU-based
+// calculator within its context or a shared GPU calculator through the task
+// scheduler, and finally aggregate result of each tasks."
+//
+// This is the functional execution mode: ranks are minimpi threads, GPUs
+// are vgpu devices executing real kernels, and the spectra that come out
+// are numerically checked against the serial APEC baseline in the tests.
+// (Wall-clock performance claims come from the DES in src/sim, which drives
+// the very same TaskScheduler.)
+
+#include <cstdint>
+#include <vector>
+
+#include "apec/calculator.h"
+#include "apec/spectrum.h"
+#include "core/scheduler.h"
+#include "core/task.h"
+#include "vgpu/device.h"
+
+namespace hspec::core {
+
+struct HybridConfig {
+  int ranks = 4;
+  int max_queue_length = 10;
+  TaskGranularity granularity = TaskGranularity::ion;
+  /// Number of virtual GPUs; -1 detects from HSPEC_VGPU_COUNT (0 => CPU-only,
+  /// "it can run normally in the runtime environment without GPU device").
+  int devices = -1;
+};
+
+struct HybridResult {
+  std::vector<apec::Spectrum> spectra;  ///< one per input grid point
+  SchedulerStats scheduling;            ///< aggregated over all ranks
+  std::vector<std::int64_t> history;    ///< final history count per device
+  std::vector<vgpu::DeviceStats> device_stats;
+  std::size_t tasks_total = 0;
+};
+
+class HybridDriver {
+ public:
+  HybridDriver(const apec::SpectrumCalculator& calculator, HybridConfig config);
+
+  /// Calculate the spectra of `points`. Points are split into near-equal
+  /// contiguous ranges across ranks (the paper's inter-node strategy applied
+  /// intra-node); each rank schedules its tasks through the shared-memory
+  /// scheduler.
+  HybridResult run(const std::vector<apec::GridPoint>& points);
+
+  const HybridConfig& config() const noexcept { return config_; }
+
+ private:
+  const apec::SpectrumCalculator* calc_;
+  HybridConfig config_;
+};
+
+/// Build the task list one rank prepares for one grid point.
+std::vector<SpectralTask> make_tasks(const apec::SpectrumCalculator& calc,
+                                     const apec::GridPoint& point,
+                                     const apec::PointPopulations& pops,
+                                     TaskGranularity granularity);
+
+}  // namespace hspec::core

@@ -1,0 +1,90 @@
+#include "core/scheduler.h"
+
+#include <stdexcept>
+
+namespace hspec::core {
+
+int pick_device(std::span<const std::int32_t> loads,
+                std::span<const std::int64_t> histories,
+                std::int32_t max_queue_length) noexcept {
+  if (loads.empty() || loads.size() != histories.size()) return -1;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i] < loads[best] ||
+        (loads[i] == loads[best] && histories[i] < histories[best]))
+      best = i;
+  }
+  if (loads[best] >= max_queue_length) return -1;
+  return static_cast<int>(best);
+}
+
+TaskScheduler::TaskScheduler(SchedulerShm& shm) : shm_(&shm) {
+  if (shm_->device_count < 0 || shm_->device_count > kMaxDevices)
+    throw std::invalid_argument("TaskScheduler: invalid device count in shm");
+}
+
+int TaskScheduler::sche_alloc() {
+  const int n = shm_->device_count;
+  if (n == 0) {
+    ++stats_.cpu_fallbacks;
+    return -1;
+  }
+  const std::int32_t lmax = shm_->max_queue_length;
+  // Bounded retry: a failed CAS means another rank just took the slot we
+  // chose; rescan. After the scan repeatedly finds only full devices, give
+  // the task to the CPU exactly as Algorithm 1 line 21 does.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::int32_t loads[kMaxDevices];
+    std::int64_t histories[kMaxDevices];
+    for (int i = 0; i < n; ++i) {
+      loads[i] = shm_->load[i].load(std::memory_order_acquire);
+      histories[i] = shm_->history[i].load(std::memory_order_relaxed);
+    }
+    const int device = pick_device({loads, static_cast<std::size_t>(n)},
+                                   {histories, static_cast<std::size_t>(n)},
+                                   lmax);
+    if (device < 0) break;
+    std::int32_t expected = loads[device];
+    // Bounded increment: succeed only while still below the cap.
+    while (expected < lmax) {
+      if (shm_->load[device].compare_exchange_weak(expected, expected + 1,
+                                                   std::memory_order_acq_rel)) {
+        shm_->history[device].fetch_add(1, std::memory_order_relaxed);
+        ++stats_.gpu_allocations;
+        return device;
+      }
+      // expected reloaded by compare_exchange_weak; loop re-checks the cap.
+    }
+  }
+  ++stats_.cpu_fallbacks;
+  return -1;
+}
+
+void TaskScheduler::sche_free(int device) {
+  if (device < 0 || device >= shm_->device_count)
+    throw std::out_of_range("sche_free: bad device id");
+  const std::int32_t prev =
+      shm_->load[device].fetch_sub(1, std::memory_order_acq_rel);
+  if (prev <= 0)
+    throw std::logic_error("sche_free: load underflow (free without alloc)");
+}
+
+void TaskScheduler::set_max_queue_length(std::int32_t len) {
+  if (len < 1)
+    throw std::invalid_argument("set_max_queue_length: must be >= 1");
+  shm_->max_queue_length = len;
+}
+
+std::int32_t TaskScheduler::load(int device) const {
+  if (device < 0 || device >= shm_->device_count)
+    throw std::out_of_range("load: bad device id");
+  return shm_->load[device].load(std::memory_order_acquire);
+}
+
+std::int64_t TaskScheduler::history(int device) const {
+  if (device < 0 || device >= shm_->device_count)
+    throw std::out_of_range("history: bad device id");
+  return shm_->history[device].load(std::memory_order_relaxed);
+}
+
+}  // namespace hspec::core

@@ -1,0 +1,81 @@
+#pragma once
+// Algorithm 1 of the paper: the shared-memory task scheduler.
+//
+//   SCHE-ALLOC(): scan all devices for the minimum load l_i; break ties by
+//   minimum history task count h_i; if the winner's load is below the
+//   maximum queue length, atomically { l++ ; h++ } and return the device,
+//   otherwise return -1 (caller falls back to the CPU QAGS path).
+//   SCHE-FREE(device): atomically { l-- }.
+//
+// Task-queue terminology (§III-A): a device's *load* is its active +
+// waiting tasks; *maximum queue length* bounds the load; *history task
+// count* is the cumulative number of tasks a queue has ever received.
+//
+// The pure selection policy is factored out (`pick_device`) so the
+// discrete-event simulator replays exactly the same decision procedure the
+// live scheduler uses.
+
+#include <cstdint>
+#include <span>
+
+#include "core/shm.h"
+
+namespace hspec::core {
+
+/// The pure Algorithm 1 selection rule: index of the device with minimum
+/// load (ties: minimum history), or -1 if `loads` is empty or the winner is
+/// already at `max_queue_length`. No side effects.
+int pick_device(std::span<const std::int32_t> loads,
+                std::span<const std::int64_t> histories,
+                std::int32_t max_queue_length) noexcept;
+
+/// Scheduling outcome counters (per scheduler instance, not in shm).
+struct SchedulerStats {
+  std::int64_t gpu_allocations = 0;
+  std::int64_t cpu_fallbacks = 0;
+
+  double gpu_task_ratio() const noexcept {
+    const auto total = gpu_allocations + cpu_fallbacks;
+    return total > 0 ? static_cast<double>(gpu_allocations) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// The live scheduler operating on a SchedulerShm segment. Thread-safe and
+/// lock-free: any number of ranks may call sche_alloc/sche_free
+/// concurrently. Unlike the paper's pseudo-code (whose scan and increment
+/// are not a single critical section), the increment uses a bounded
+/// compare-and-swap so the maximum queue length can never be exceeded even
+/// under races; losers rescan, preserving the min-load/min-history policy.
+class TaskScheduler {
+ public:
+  explicit TaskScheduler(SchedulerShm& shm);
+
+  /// Algorithm 1 SCHE-ALLOC. Returns device id or -1 (all full / no GPU).
+  int sche_alloc();
+
+  /// Algorithm 1 SCHE-FREE.
+  void sche_free(int device);
+
+  int device_count() const noexcept { return shm_->device_count; }
+  std::int32_t max_queue_length() const noexcept {
+    return shm_->max_queue_length;
+  }
+  /// Change the bound at runtime (used by the autotuner).
+  void set_max_queue_length(std::int32_t len);
+
+  std::int32_t load(int device) const;
+  std::int64_t history(int device) const;
+
+  const SchedulerStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  SchedulerShm* shm_;
+  SchedulerStats stats_;
+  // stats_ is written by the owning rank only when TaskScheduler is
+  // rank-local; the shared-use driver aggregates per-rank stats instead.
+};
+
+}  // namespace hspec::core

@@ -1,0 +1,109 @@
+#include "core/shm.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace hspec::core {
+
+void SchedulerShm::initialize(int devices, int max_queue_len) noexcept {
+  for (int i = 0; i < kMaxDevices; ++i) {
+    load[i].store(0, std::memory_order_relaxed);
+    history[i].store(0, std::memory_order_relaxed);
+  }
+  device_count = devices;
+  max_queue_length = max_queue_len;
+}
+
+namespace {
+
+void validate(int devices, int max_queue_len) {
+  if (devices < 0 || devices > kMaxDevices)
+    throw std::invalid_argument("ShmRegion: device count out of range");
+  if (max_queue_len < 1)
+    throw std::invalid_argument("ShmRegion: max queue length must be >= 1");
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ShmRegion ShmRegion::create_inprocess(int devices, int max_queue_len) {
+  validate(devices, max_queue_len);
+  ShmRegion region;
+  region.heap_ = std::make_unique<SchedulerShm>();
+  region.shm_ = region.heap_.get();
+  region.shm_->initialize(devices, max_queue_len);
+  return region;
+}
+
+ShmRegion ShmRegion::create_posix(const std::string& name, int devices,
+                                  int max_queue_len) {
+  validate(devices, max_queue_len);
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_RDWR | O_EXCL, 0600);
+  if (fd < 0) throw_errno("shm_open(" + name + ")");
+  if (::ftruncate(fd, static_cast<off_t>(sizeof(SchedulerShm))) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw_errno("ftruncate(" + name + ")");
+  }
+  void* addr = ::mmap(nullptr, sizeof(SchedulerShm), PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    throw_errno("mmap(" + name + ")");
+  }
+  ShmRegion region;
+  region.shm_ = new (addr) SchedulerShm;
+  region.shm_->initialize(devices, max_queue_len);
+  region.posix_name_ = name;
+  region.posix_owner_ = true;
+  return region;
+}
+
+ShmRegion ShmRegion::attach_posix(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) throw_errno("shm_open(" + name + ")");
+  void* addr = ::mmap(nullptr, sizeof(SchedulerShm), PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) throw_errno("mmap(" + name + ")");
+  ShmRegion region;
+  region.shm_ = static_cast<SchedulerShm*>(addr);
+  region.posix_name_ = name;
+  region.posix_owner_ = false;
+  return region;
+}
+
+ShmRegion::ShmRegion(ShmRegion&& o) noexcept
+    : shm_(o.shm_), heap_(std::move(o.heap_)),
+      posix_name_(std::move(o.posix_name_)), posix_owner_(o.posix_owner_) {
+  o.shm_ = nullptr;
+  o.posix_owner_ = false;
+  o.posix_name_.clear();
+}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& o) noexcept {
+  if (this != &o) {
+    this->~ShmRegion();
+    new (this) ShmRegion(std::move(o));
+  }
+  return *this;
+}
+
+ShmRegion::~ShmRegion() {
+  if (shm_ != nullptr && !posix_name_.empty()) {
+    ::munmap(shm_, sizeof(SchedulerShm));
+    if (posix_owner_) ::shm_unlink(posix_name_.c_str());
+  }
+  shm_ = nullptr;
+}
+
+}  // namespace hspec::core

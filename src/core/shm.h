@@ -1,0 +1,72 @@
+#pragma once
+// The shared-memory segment of the paper's scheduler (§III-C):
+// "the local task scheduler communicates with MPI processes and GPUs via
+//  share memory. The shared memory contains two types of arrays, one is the
+//  load count of task queue on each device, and the other is the history
+//  task count of each device."
+//
+// Two backends provide the same SchedulerShm view:
+//  * in-process — the ranks of this library are threads (see minimpi), so a
+//    heap segment of lock-free atomics is the exact analogue;
+//  * POSIX — shm_open/mmap, byte-for-byte the paper's shmat() layout, usable
+//    across real processes (exercised by tests to prove layout correctness).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hspec::core {
+
+/// Maximum GPUs one node's scheduler can manage.
+inline constexpr int kMaxDevices = 64;
+
+/// POD-with-atomics segment: load l_i and history h_i per device
+/// (Algorithm 1's global variables). Lock-free on every target we support.
+struct SchedulerShm {
+  std::atomic<std::int32_t> load[kMaxDevices];
+  std::atomic<std::int64_t> history[kMaxDevices];
+  std::int32_t device_count;
+  std::int32_t max_queue_length;
+
+  void initialize(int devices, int max_queue_len) noexcept;
+};
+
+static_assert(std::atomic<std::int32_t>::is_always_lock_free,
+              "scheduler shm requires lock-free 32-bit atomics");
+static_assert(std::atomic<std::int64_t>::is_always_lock_free,
+              "scheduler shm requires lock-free 64-bit atomics");
+
+/// RAII owner of a SchedulerShm segment.
+class ShmRegion {
+ public:
+  /// Heap-backed segment shared between ranks-as-threads.
+  static ShmRegion create_inprocess(int devices, int max_queue_len);
+
+  /// POSIX shared-memory segment (`shm_open`), visible to other processes
+  /// under `name` (e.g. "/hspec_sched"). Unlinked on destruction when owned.
+  static ShmRegion create_posix(const std::string& name, int devices,
+                                int max_queue_len);
+
+  /// Attach to an existing POSIX segment created by another process.
+  static ShmRegion attach_posix(const std::string& name);
+
+  ShmRegion(ShmRegion&&) noexcept;
+  ShmRegion& operator=(ShmRegion&&) noexcept;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+  ~ShmRegion();
+
+  SchedulerShm& view() noexcept { return *shm_; }
+  const SchedulerShm& view() const noexcept { return *shm_; }
+
+ private:
+  ShmRegion() = default;
+
+  SchedulerShm* shm_ = nullptr;
+  std::unique_ptr<SchedulerShm> heap_;  // in-process backend storage
+  std::string posix_name_;              // non-empty => mmap backend
+  bool posix_owner_ = false;
+};
+
+}  // namespace hspec::core

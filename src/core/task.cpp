@@ -1,0 +1,15 @@
+#include "core/task.h"
+
+namespace hspec::core {
+
+std::string to_string(TaskGranularity g) {
+  switch (g) {
+    case TaskGranularity::ion:
+      return "Ion";
+    case TaskGranularity::level:
+      return "Level";
+  }
+  return "?";
+}
+
+}  // namespace hspec::core

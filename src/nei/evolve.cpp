@@ -1,0 +1,156 @@
+#include "nei/evolve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hspec::nei {
+
+std::vector<int> default_element_set() {
+  // H, He, C, N, O, Ne, Mg, Si, S, Ca, Fe, Ni.
+  return {1, 2, 6, 7, 8, 10, 12, 14, 16, 20, 26, 28};
+}
+
+PointState PointState::equilibrium(const std::vector<int>& elements,
+                                   double kT_keV) {
+  PointState st;
+  st.elements = elements;
+  st.ions.reserve(elements.size());
+  for (int z : elements) st.ions.push_back(equilibrium_state(z, kT_keV));
+  return st;
+}
+
+double PointState::conservation_error() const {
+  double worst = 0.0;
+  for (const auto& chain : ions) {
+    double sum = 0.0;
+    for (double v : chain) sum += v;
+    worst = std::max(worst, std::fabs(sum - 1.0));
+  }
+  return worst;
+}
+
+EvolveReport evolve_window_cpu(PointState& state, const PlasmaHistory& history,
+                               double t_begin, double dt, std::size_t n_steps,
+                               const EvolveOptions& opt) {
+  EvolveReport rep;
+  rep.tasks = 1;
+  for (std::size_t e = 0; e < state.elements.size(); ++e) {
+    NeiSystem system(state.elements[e], history);
+    auto& y = state.ions[e];
+    if (y.size() != system.dimension())
+      throw std::invalid_argument("evolve: state dimension mismatch");
+    ode::SolveStats last{};
+    for (std::size_t s = 0; s < n_steps; ++s) {
+      const double ta = t_begin + static_cast<double>(s) * dt;
+      last = ode::lsoda_integrate(system, ta, ta + dt, y, opt.solver);
+      rep.solver_steps += last.steps;
+      rep.method_switches += last.method_switches;
+      if (opt.renormalize_each_step) renormalize(y);
+    }
+    if (last.stiff_finish) ++rep.stiff_solves;
+  }
+  return rep;
+}
+
+EvolveReport evolve_window_gpu(PointState& state, const PlasmaHistory& history,
+                               double t_begin, double dt, std::size_t n_steps,
+                               vgpu::Device& device, const EvolveOptions& opt) {
+  // Flatten chain states into one device buffer; one H2D before the kernel,
+  // one D2H after — the task-packing transfer pattern of §IV-D.
+  std::vector<std::size_t> offsets;
+  std::size_t total_states = 0;
+  for (const auto& chain : state.ions) {
+    offsets.push_back(total_states);
+    total_states += chain.size();
+  }
+  std::vector<double> flat(total_states);
+  for (std::size_t e = 0; e < state.ions.size(); ++e)
+    std::copy(state.ions[e].begin(), state.ions[e].end(),
+              flat.begin() + static_cast<std::ptrdiff_t>(offsets[e]));
+
+  vgpu::DeviceBuffer state_dev = device.alloc(total_states * sizeof(double));
+  device.copy_to_device(state_dev, flat.data(), total_states * sizeof(double));
+  double* dev_state = state_dev.as<double>();
+
+  EvolveReport rep;
+  rep.tasks = 1;
+  vgpu::WorkEstimate work;
+  for (const auto& chain : state.ions) {
+    const double dim = static_cast<double>(chain.size());
+    work.flops += static_cast<double>(n_steps) *
+                  (2.0 * dim * dim * dim / 3.0 + 8.0 * dim * dim);
+  }
+  work.device_bytes = total_states * sizeof(double) * 2 * n_steps;
+
+  const auto n_chains = static_cast<unsigned>(state.ions.size());
+  device.launch(
+      {1, 1, 1}, {n_chains, 1, 1}, work, [&](const vgpu::KernelCtx& ctx) {
+        const std::size_t e = ctx.thread_idx.x;
+        NeiSystem system(state.elements[e], history);
+        std::span<double> y(dev_state + offsets[e], system.dimension());
+        ode::SolveStats last{};
+        for (std::size_t s = 0; s < n_steps; ++s) {
+          const double ta = t_begin + static_cast<double>(s) * dt;
+          last = ode::lsoda_integrate(system, ta, ta + dt, y, opt.solver);
+          rep.solver_steps += last.steps;
+          rep.method_switches += last.method_switches;
+          if (opt.renormalize_each_step) renormalize(y);
+        }
+        if (last.stiff_finish) ++rep.stiff_solves;
+      });
+
+  device.copy_to_host(flat.data(), state_dev, total_states * sizeof(double));
+  for (std::size_t e = 0; e < state.ions.size(); ++e)
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offsets[e]),
+              flat.begin() + static_cast<std::ptrdiff_t>(offsets[e]) +
+                  static_cast<std::ptrdiff_t>(state.ions[e].size()),
+              state.ions[e].begin());
+  return rep;
+}
+
+namespace {
+
+void accumulate(EvolveReport& total, const EvolveReport& part) {
+  total.tasks += part.tasks;
+  total.solver_steps += part.solver_steps;
+  total.method_switches += part.method_switches;
+  total.stiff_solves += part.stiff_solves;
+}
+
+}  // namespace
+
+EvolveReport evolve_point_cpu(PointState& state, const PlasmaHistory& history,
+                              double t0, double dt, std::size_t timesteps,
+                              const EvolveOptions& opt) {
+  if (opt.steps_per_task == 0)
+    throw std::invalid_argument("evolve: steps_per_task == 0");
+  EvolveReport total;
+  for (std::size_t done = 0; done < timesteps;) {
+    const std::size_t n = std::min(opt.steps_per_task, timesteps - done);
+    accumulate(total,
+               evolve_window_cpu(state, history,
+                                 t0 + static_cast<double>(done) * dt, dt, n,
+                                 opt));
+    done += n;
+  }
+  return total;
+}
+
+EvolveReport evolve_point_gpu(PointState& state, const PlasmaHistory& history,
+                              double t0, double dt, std::size_t timesteps,
+                              vgpu::Device& device, const EvolveOptions& opt) {
+  if (opt.steps_per_task == 0)
+    throw std::invalid_argument("evolve: steps_per_task == 0");
+  EvolveReport total;
+  for (std::size_t done = 0; done < timesteps;) {
+    const std::size_t n = std::min(opt.steps_per_task, timesteps - done);
+    accumulate(total,
+               evolve_window_gpu(state, history,
+                                 t0 + static_cast<double>(done) * dt, dt, n,
+                                 device, opt));
+    done += n;
+  }
+  return total;
+}
+
+}  // namespace hspec::nei

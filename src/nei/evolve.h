@@ -1,0 +1,74 @@
+#pragma once
+// NEI time evolution for grid points (§IV-D): "At every point of parameter
+// space, there are about a dozen of ODE groups and the size of each group
+// equals the number of ionization states of its corresponding element."
+// Tasks pack `steps_per_task` consecutive timesteps of one point ("every
+// ten time-dependent calculations are packed into one task for reducing the
+// frequency of data copy"); the GPU path evolves all element chains of the
+// packed window inside one kernel, one thread per chain.
+
+#include <vector>
+
+#include "nei/system.h"
+#include "ode/lsoda.h"
+#include "vgpu/device.h"
+
+namespace hspec::nei {
+
+/// The elements a NEI point evolves — the paper's "about a dozen" chains.
+/// Defaults to the 12 astrophysically dominant elements.
+std::vector<int> default_element_set();
+
+/// State of one grid point: per-element charge-state fractions.
+struct PointState {
+  std::vector<int> elements;              ///< atomic numbers
+  std::vector<std::vector<double>> ions;  ///< ions[e][j], j = 0..Z_e
+
+  static PointState equilibrium(const std::vector<int>& elements,
+                                double kT_keV);
+  /// Largest |sum_j ions[e][j] - 1| across elements.
+  double conservation_error() const;
+};
+
+struct EvolveOptions {
+  ode::LsodaOptions solver{};
+  std::size_t steps_per_task = 10;  ///< timesteps packed per task
+  bool renormalize_each_step = true;
+};
+
+struct EvolveReport {
+  std::size_t tasks = 0;
+  std::size_t solver_steps = 0;
+  std::size_t method_switches = 0;
+  std::size_t stiff_solves = 0;  ///< chains that ended on the BDF method
+};
+
+/// Evolve all chains of one point across a single packed task window
+/// [t_begin, t_begin + n_steps * dt] on the CPU (LSODA per chain). This is
+/// the body of one schedulable NEI task.
+EvolveReport evolve_window_cpu(PointState& state, const PlasmaHistory& history,
+                               double t_begin, double dt, std::size_t n_steps,
+                               const EvolveOptions& opt = {});
+
+/// The same packed window on a virtual GPU: one kernel, one thread per
+/// chain, one transfer each way.
+EvolveReport evolve_window_gpu(PointState& state, const PlasmaHistory& history,
+                               double t_begin, double dt, std::size_t n_steps,
+                               vgpu::Device& device,
+                               const EvolveOptions& opt = {});
+
+/// Evolve one point through `timesteps` steps of length dt on the CPU
+/// (LSODA per chain, task-packed like the paper's scheduling unit).
+EvolveReport evolve_point_cpu(PointState& state, const PlasmaHistory& history,
+                              double t0, double dt, std::size_t timesteps,
+                              const EvolveOptions& opt = {});
+
+/// The same evolution executed as virtual-GPU tasks: one kernel per packed
+/// task, one device thread per element chain, state resident on the device
+/// between the task's timesteps, one transfer each way per task.
+EvolveReport evolve_point_gpu(PointState& state, const PlasmaHistory& history,
+                              double t0, double dt, std::size_t timesteps,
+                              vgpu::Device& device,
+                              const EvolveOptions& opt = {});
+
+}  // namespace hspec::nei

@@ -1,0 +1,100 @@
+#include "nei/expm_solver.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "atomic/element.h"
+#include "atomic/rates.h"
+#include "ode/tridiag_eigen.h"
+
+namespace hspec::nei {
+
+ExpmPropagator::ExpmPropagator(int z, double kT_keV, double ne_cm3) : z_(z) {
+  if (z < 1 || z > atomic::kMaxZ)
+    throw std::invalid_argument("ExpmPropagator: Z out of range");
+  if (kT_keV <= 0.0 || ne_cm3 <= 0.0)
+    throw std::invalid_argument("ExpmPropagator: kT and ne must be positive");
+  const auto n = static_cast<std::size_t>(z) + 1;
+
+  std::vector<double> s(n, 0.0);
+  std::vector<double> a(n, 0.0);
+  for (int j = 0; j < z; ++j)
+    s[static_cast<std::size_t>(j)] = atomic::ionization_rate(z, j, kT_keV);
+  for (int j = 1; j <= z; ++j)
+    a[static_cast<std::size_t>(j)] = atomic::recombination_rate(z, j, kT_keV);
+
+  // Symmetrizer: B = D A D^{-1} needs B_{i,i+1} == B_{i+1,i}, i.e.
+  // a_{i+1} d_i / d_{i+1} == S_i d_{i+1} / d_i, so
+  // log d_{i+1} = log d_i + (log a_{i+1} - log S_i) / 2.
+  log_d_.assign(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (s[i] <= 0.0 || a[i + 1] <= 0.0)
+      throw std::domain_error(
+          "ExpmPropagator: vanishing rate breaks the symmetrization");
+    log_d_[i + 1] = log_d_[i] + 0.5 * (std::log(a[i + 1]) - std::log(s[i]));
+  }
+  double lo = log_d_[0];
+  double hi = log_d_[0];
+  for (double v : log_d_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // Precision budget: the unsymmetrization multiplies results by up to
+  // e^range, amplifying rounding to ~ e^range * machine-eps. A range of 20
+  // keeps conservation at the 1e-7 level; beyond that the method silently
+  // loses the minority charge states — refuse and let callers fall back to
+  // the LSODA path (heavy elements at most temperatures land here).
+  if (hi - lo > 20.0)
+    throw std::domain_error(
+        "ExpmPropagator: symmetrizer dynamic range exceeds double precision "
+        "for this (Z, kT); use the LSODA path");
+
+  std::vector<double> diag(n);
+  std::vector<double> off(n - 1);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = -ne_cm3 * (s[i] + a[i]);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    off[i] = ne_cm3 * std::sqrt(s[i] * a[i + 1]);
+  // Note sign: A's off-diagonals are +S_i, +a_{i+1}; B's are +sqrt(S a).
+  eigen_ = ode::tridiagonal_eigen(diag, off);
+}
+
+std::vector<double> ExpmPropagator::propagate(std::span<const double> y0,
+                                              double t) const {
+  const std::size_t n = log_d_.size();
+  if (y0.size() != n)
+    throw std::invalid_argument("ExpmPropagator: state size mismatch");
+  if (t < 0.0) throw std::invalid_argument("ExpmPropagator: negative time");
+
+  // w = V^T D y0.
+  std::vector<double> dy(n);
+  for (std::size_t i = 0; i < n; ++i) dy[i] = std::exp(log_d_[i]) * y0[i];
+  std::vector<double> w(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i) w[k] += eigen_.vectors(i, k) * dy[i];
+  // y(t) = D^{-1} V exp(L t) w.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double decay = std::exp(eigen_.values[k] * t);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] += eigen_.vectors(i, k) * decay * w[k];
+  }
+  for (std::size_t i = 0; i < n; ++i) y[i] *= std::exp(-log_d_[i]);
+  return y;
+}
+
+std::vector<double> ExpmPropagator::equilibrium() const {
+  // The zero eigenvalue is the largest (all others negative); its
+  // eigenvector, unsymmetrized and normalized, is the equilibrium.
+  const std::size_t n = log_d_.size();
+  const std::size_t k = n - 1;  // ascending order: last is the largest
+  std::vector<double> y(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = eigen_.vectors(i, k) * std::exp(-log_d_[i]);
+    sum += y[i];
+  }
+  for (double& v : y) v /= sum;
+  return y;
+}
+
+}  // namespace hspec::nei

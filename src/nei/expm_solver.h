@@ -1,0 +1,53 @@
+#pragma once
+// Exact NEI propagation by matrix exponential.
+//
+// For constant temperature and electron density the Eq. (4) system is
+// linear with a constant tridiagonal rate matrix A:
+//     y(t) = exp(A t) y(0).
+// A has positive off-diagonals (S_i down, alpha_{i+1} up), so the diagonal
+// similarity D with (d_{i+1}/d_i)^2 = S_i / alpha_{i+1} symmetrizes it:
+//     B = D A D^{-1},  B_{i,i+1} = B_{i+1,i} = -ne sqrt(S_i alpha_{i+1}).
+// Eigendecomposing B = V L V^T gives the exact propagator
+//     y(t) = D^{-1} V exp(L t) V^T D y(0)
+// — the classical eigenvalue method NEI codes use between hydro steps, and
+// an independent oracle for the LSODA path in the tests.
+//
+// Spectral facts verified by the tests: all eigenvalues are <= 0 and
+// exactly one is 0 (total density conservation); the t -> infinity limit is
+// the CIE balance.
+
+#include <span>
+#include <vector>
+
+#include "nei/system.h"
+#include "ode/tridiag_eigen.h"
+
+namespace hspec::nei {
+
+class ExpmPropagator {
+ public:
+  /// Build the propagator for element `z` at fixed kT [keV] and ne [cm^-3].
+  /// Throws std::domain_error when the symmetrizer's dynamic range exceeds
+  /// double precision (extreme temperatures; use the LSODA path there).
+  ExpmPropagator(int z, double kT_keV, double ne_cm3);
+
+  /// y(t) from y(0). `t` in seconds; y0.size() must be Z+1.
+  std::vector<double> propagate(std::span<const double> y0, double t) const;
+
+  /// Ascending eigenvalues of the (symmetrized) rate matrix [1/s].
+  const std::vector<double>& eigenvalues() const noexcept {
+    return eigen_.values;
+  }
+
+  /// The equilibrium distribution (null-space eigenvector, normalized).
+  std::vector<double> equilibrium() const;
+
+  int z() const noexcept { return z_; }
+
+ private:
+  int z_;
+  std::vector<double> log_d_;  ///< log of the symmetrizer diagonal
+  ode::TridiagEigen eigen_;
+};
+
+}  // namespace hspec::nei

@@ -1,0 +1,89 @@
+#include "nei/hybrid_nei.h"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "minimpi/minimpi.h"
+#include "vgpu/device.h"
+
+namespace hspec::nei {
+
+NeiHybridResult run_nei_hybrid(std::vector<PointState> initial_states,
+                               const PlasmaHistory& history, double t0,
+                               double dt, std::size_t timesteps,
+                               const NeiHybridConfig& config) {
+  if (config.ranks < 1)
+    throw std::invalid_argument("run_nei_hybrid: need at least one rank");
+  if (config.evolve.steps_per_task == 0)
+    throw std::invalid_argument("run_nei_hybrid: steps_per_task == 0");
+
+  vgpu::DeviceRegistry registry(config.devices);
+  const int n_dev = static_cast<int>(registry.device_count());
+  core::ShmRegion shm =
+      core::ShmRegion::create_inprocess(n_dev, config.max_queue_length);
+
+  NeiHybridResult result;
+  result.states = std::move(initial_states);
+
+  std::mutex agg_mu;
+
+  minimpi::run(config.ranks, [&](minimpi::Communicator& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    const auto size = static_cast<std::size_t>(comm.size());
+    core::TaskScheduler scheduler(shm.view());
+
+    const std::size_t n = result.states.size();
+    const std::size_t base = n / size;
+    const std::size_t extra = n % size;
+    const std::size_t begin = rank * base + std::min(rank, extra);
+    const std::size_t end = begin + base + (rank < extra ? 1 : 0);
+
+    EvolveReport local;
+    std::size_t my_tasks = 0;
+    for (std::size_t p = begin; p < end; ++p) {
+      PointState& state = result.states[p];  // rank-disjoint: no races
+      for (std::size_t done = 0; done < timesteps;) {
+        const std::size_t steps =
+            std::min(config.evolve.steps_per_task, timesteps - done);
+        const double t_begin = t0 + static_cast<double>(done) * dt;
+        ++my_tasks;
+        const int device = scheduler.sche_alloc();
+        EvolveReport rep;
+        if (device >= 0) {
+          rep = evolve_window_gpu(state, history, t_begin, dt, steps,
+                                  registry.device(
+                                      static_cast<std::size_t>(device)),
+                                  config.evolve);
+          scheduler.sche_free(device);
+        } else {
+          rep = evolve_window_cpu(state, history, t_begin, dt, steps,
+                                  config.evolve);
+        }
+        local.tasks += rep.tasks;
+        local.solver_steps += rep.solver_steps;
+        local.method_switches += rep.method_switches;
+        local.stiff_solves += rep.stiff_solves;
+        done += steps;
+      }
+    }
+
+    comm.barrier();
+    {
+      std::lock_guard lock(agg_mu);
+      result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
+      result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
+      result.tasks_total += my_tasks;
+      result.evolution.tasks += local.tasks;
+      result.evolution.solver_steps += local.solver_steps;
+      result.evolution.method_switches += local.method_switches;
+      result.evolution.stiff_solves += local.stiff_solves;
+    }
+  });
+
+  for (int d = 0; d < n_dev; ++d)
+    result.history.push_back(
+        shm.view().history[d].load(std::memory_order_relaxed));
+  return result;
+}
+
+}  // namespace hspec::nei

@@ -1,0 +1,83 @@
+#include "nei/system.h"
+
+#include <stdexcept>
+
+#include "atomic/element.h"
+#include "atomic/ion_balance.h"
+#include "atomic/rates.h"
+
+namespace hspec::nei {
+
+NeiSystem::NeiSystem(int z, PlasmaHistory history)
+    : z_(z), history_(std::move(history)) {
+  if (z < 1 || z > atomic::kMaxZ)
+    throw std::invalid_argument("NeiSystem: Z out of range");
+  if (!history_.kT_keV)
+    throw std::invalid_argument("NeiSystem: missing temperature history");
+}
+
+std::size_t NeiSystem::dimension() const {
+  return static_cast<std::size_t>(z_) + 1;
+}
+
+void NeiSystem::rates_at(double kT_keV, std::vector<double>& s,
+                         std::vector<double>& a) const {
+  const auto n = dimension();
+  s.assign(n, 0.0);
+  a.assign(n, 0.0);
+  for (int j = 0; j < z_; ++j)
+    s[static_cast<std::size_t>(j)] = atomic::ionization_rate(z_, j, kT_keV);
+  for (int j = 1; j <= z_; ++j)
+    a[static_cast<std::size_t>(j)] = atomic::recombination_rate(z_, j, kT_keV);
+}
+
+void NeiSystem::rhs(double t, std::span<const double> y,
+                    std::span<double> dydt) const {
+  const std::size_t n = dimension();
+  if (y.size() != n || dydt.size() != n)
+    throw std::invalid_argument("NeiSystem::rhs: size mismatch");
+  const double kT = history_.kT_keV(t);
+  std::vector<double> s, a;
+  rates_at(kT, s, a);
+  const double ne = history_.ne_cm3;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = -y[i] * (a[i] + s[i]);
+    if (i + 1 < n) acc += y[i + 1] * a[i + 1];
+    if (i > 0) acc += y[i - 1] * s[i - 1];
+    dydt[i] = ne * acc;
+  }
+}
+
+void NeiSystem::jacobian(double t, std::span<const double> y,
+                         ode::Matrix& j) const {
+  const std::size_t n = dimension();
+  if (y.size() != n || j.rows() != n || j.cols() != n)
+    throw std::invalid_argument("NeiSystem::jacobian: size mismatch");
+  const double kT = history_.kT_keV(t);
+  std::vector<double> s, a;
+  rates_at(kT, s, a);
+  const double ne = history_.ne_cm3;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) j(r, c) = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    j(i, i) = -ne * (a[i] + s[i]);
+    if (i + 1 < n) j(i, i + 1) = ne * a[i + 1];
+    if (i > 0) j(i, i - 1) = ne * s[i - 1];
+  }
+}
+
+std::vector<double> equilibrium_state(int z, double kT_keV) {
+  return atomic::cie_fractions(z, kT_keV);
+}
+
+void renormalize(std::span<double> y) {
+  double sum = 0.0;
+  for (double& v : y) {
+    if (v < 0.0) v = 0.0;  // clip integrator undershoot
+    sum += v;
+  }
+  if (sum <= 0.0) throw std::runtime_error("renormalize: empty state");
+  for (double& v : y) v /= sum;
+}
+
+}  // namespace hspec::nei

@@ -1,0 +1,56 @@
+#pragma once
+// Non-Equilibrium Ionization (Eq. 4 of the paper): for element Z the charge
+// states n_i (i = 0..Z) evolve by
+//
+//   d n_i / dt = Ne [ n_{i+1} a_{i+1} + n_{i-1} S_{i-1} - n_i (a_i + S_i) ]
+//
+// with ionization rates S_i(T) and recombination rates a_i(T) from the
+// shared atomic substrate (so NEI relaxes exactly to the CIE balance the
+// spectral calculator uses). The system is tridiagonal and stiff: rate
+// magnitudes span many decades across charge states.
+
+#include <functional>
+#include <vector>
+
+#include "ode/system.h"
+
+namespace hspec::nei {
+
+/// Plasma history driving the rates. kT may vary with time (shock heating
+/// etc.); Ne is constant over an evolution window (Eq. 4's prefactor).
+struct PlasmaHistory {
+  double ne_cm3 = 1.0;
+  std::function<double(double)> kT_keV = [](double) { return 1.0; };
+};
+
+/// The Eq.-4 ODE system of one element. State = Z+1 charge-state fractions.
+class NeiSystem : public ode::OdeSystem {
+ public:
+  NeiSystem(int z, PlasmaHistory history);
+
+  std::size_t dimension() const override;
+  void rhs(double t, std::span<const double> y,
+           std::span<double> dydt) const override;
+  bool has_jacobian() const override { return true; }
+  void jacobian(double t, std::span<const double> y,
+                ode::Matrix& j) const override;
+
+  int z() const noexcept { return z_; }
+
+  /// S_i and a_i at temperature kT (cached per call; exposed for tests).
+  void rates_at(double kT_keV, std::vector<double>& ionization,
+                std::vector<double>& recombination) const;
+
+ private:
+  int z_;
+  PlasmaHistory history_;
+};
+
+/// Equilibrium start state: CIE fractions at kT (see atomic::cie_fractions).
+std::vector<double> equilibrium_state(int z, double kT_keV);
+
+/// Fraction-conservation guard: rescale y to sum exactly 1 (the ODE
+/// conserves the sum analytically; this removes integrator drift).
+void renormalize(std::span<double> y);
+
+}  // namespace hspec::nei

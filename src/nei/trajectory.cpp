@@ -1,0 +1,75 @@
+#include "nei/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hspec::nei {
+
+namespace {
+void check_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw std::invalid_argument(std::string(what) + " must be positive");
+}
+}  // namespace
+
+PlasmaHistory constant_conditions(double ne_cm3, double kT_keV) {
+  check_positive(ne_cm3, "ne");
+  check_positive(kT_keV, "kT");
+  PlasmaHistory h;
+  h.ne_cm3 = ne_cm3;
+  h.kT_keV = [kT_keV](double) { return kT_keV; };
+  return h;
+}
+
+PlasmaHistory shock_heating(double ne_cm3, double kT_pre_keV,
+                            double kT_post_keV, double t_shock_s) {
+  check_positive(ne_cm3, "ne");
+  check_positive(kT_pre_keV, "kT_pre");
+  check_positive(kT_post_keV, "kT_post");
+  PlasmaHistory h;
+  h.ne_cm3 = ne_cm3;
+  h.kT_keV = [=](double t) { return t < t_shock_s ? kT_pre_keV : kT_post_keV; };
+  return h;
+}
+
+PlasmaHistory exponential_decay(double ne_cm3, double kT_initial_keV,
+                                double kT_final_keV, double tau_s) {
+  check_positive(ne_cm3, "ne");
+  check_positive(kT_initial_keV, "kT_initial");
+  check_positive(kT_final_keV, "kT_final");
+  check_positive(tau_s, "tau");
+  PlasmaHistory h;
+  h.ne_cm3 = ne_cm3;
+  h.kT_keV = [=](double t) {
+    return kT_final_keV +
+           (kT_initial_keV - kT_final_keV) * std::exp(-std::max(t, 0.0) / tau_s);
+  };
+  return h;
+}
+
+PlasmaHistory sampled_history(double ne_cm3,
+                              std::vector<std::pair<double, double>> samples) {
+  check_positive(ne_cm3, "ne");
+  if (samples.empty())
+    throw std::invalid_argument("sampled_history: no samples");
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i)
+    if (!(samples[i].first < samples[i + 1].first))
+      throw std::invalid_argument("sampled_history: times must ascend");
+  for (const auto& [t, kt] : samples) check_positive(kt, "sampled kT");
+
+  PlasmaHistory h;
+  h.ne_cm3 = ne_cm3;
+  h.kT_keV = [samples = std::move(samples)](double t) {
+    if (t <= samples.front().first) return samples.front().second;
+    if (t >= samples.back().first) return samples.back().second;
+    const auto hi = std::upper_bound(
+        samples.begin(), samples.end(), t,
+        [](double value, const auto& s) { return value < s.first; });
+    const auto lo = hi - 1;
+    const double frac = (t - lo->first) / (hi->first - lo->first);
+    return lo->second + frac * (hi->second - lo->second);
+  };
+  return h;
+}
+
+}  // namespace hspec::nei

@@ -1,0 +1,31 @@
+#pragma once
+// Plasma-history builders for NEI evolution along simulation trajectories —
+// the tracer-particle pattern of the authors' previous work (Xiao et al.,
+// ICA3PP 2014): each particle carries a temperature history from the
+// hydrodynamic simulation, and NEI integrates the ionization state along it.
+
+#include <vector>
+
+#include "nei/system.h"
+
+namespace hspec::nei {
+
+/// Constant-condition history.
+PlasmaHistory constant_conditions(double ne_cm3, double kT_keV);
+
+/// Instantaneous shock at t_shock: kT jumps from kT_pre to kT_post.
+PlasmaHistory shock_heating(double ne_cm3, double kT_pre_keV,
+                            double kT_post_keV, double t_shock_s = 0.0);
+
+/// Exponential relaxation kT(t) = kT_final + (kT_initial - kT_final)
+/// * exp(-t / tau): adiabatic expansion cooling and similar.
+PlasmaHistory exponential_decay(double ne_cm3, double kT_initial_keV,
+                                double kT_final_keV, double tau_s);
+
+/// Piecewise-linear interpolation through (time, kT) samples — the shape a
+/// tracer particle's recorded history takes. Samples must ascend in time;
+/// the history clamps outside the sampled range.
+PlasmaHistory sampled_history(double ne_cm3,
+                              std::vector<std::pair<double, double>> samples);
+
+}  // namespace hspec::nei

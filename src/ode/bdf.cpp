@@ -1,0 +1,179 @@
+#include "ode/bdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace hspec::ode {
+
+namespace {
+
+struct NewtonWorkspace {
+  Matrix jac;
+  std::optional<LuDecomposition> lu;
+  double lu_gamma_h = 0.0;  ///< gamma*h the factorization was built for
+  std::vector<double> f;
+  std::vector<double> residual;
+
+  explicit NewtonWorkspace(std::size_t n) : jac(n, n), f(n), residual(n) {}
+};
+
+/// Solve y = beta + gamma*h*f(t, y) by modified Newton. Returns true on
+/// convergence; `y` holds the iterate (start it at the predictor).
+bool newton_solve(const OdeSystem& system, double t, double gamma_h,
+                  std::span<const double> beta, std::span<double> y,
+                  const SolverOptions& opt, NewtonWorkspace& ws,
+                  SolveStats& stats) {
+  const std::size_t n = system.dimension();
+  // (Re)factor I - gamma*h*J when the cached one is stale.
+  auto refactor = [&] {
+    if (system.has_jacobian())
+      system.jacobian(t, y, ws.jac);
+    else
+      numerical_jacobian(system, t, y, ws.jac);
+    ++stats.jacobian_evaluations;
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        m(r, c) = (r == c ? 1.0 : 0.0) - gamma_h * ws.jac(r, c);
+    ws.lu.emplace(std::move(m));
+    ws.lu_gamma_h = gamma_h;
+  };
+  if (!ws.lu || std::fabs(ws.lu_gamma_h - gamma_h) >
+                    0.2 * std::fabs(gamma_h))
+    refactor();
+
+  bool refactored_this_call = false;
+  for (int iter = 0; iter < 12; ++iter) {
+    system.rhs(t, y, ws.f);
+    ++stats.rhs_evaluations;
+    ++stats.newton_iterations;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ws.residual[i] = y[i] - gamma_h * ws.f[i] - beta[i];
+      const double scale = opt.atol + opt.rtol * std::fabs(y[i]);
+      norm = std::max(norm, std::fabs(ws.residual[i]) / scale);
+    }
+    if (norm < 0.03) return true;  // converged well inside the step tolerance
+    ws.lu->solve(ws.residual);
+    for (std::size_t i = 0; i < n; ++i) y[i] -= ws.residual[i];
+    if (iter == 5 && !refactored_this_call) {
+      refactor();  // slow convergence: refresh the iteration matrix
+      refactored_this_call = true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SolveStats bdf_integrate(const OdeSystem& system, double t0, double t1,
+                         std::span<double> y, const SolverOptions& opt) {
+  const std::size_t n = system.dimension();
+  if (y.size() != n) throw std::invalid_argument("bdf: state size mismatch");
+  if (!(t1 > t0)) throw std::invalid_argument("bdf: need t1 > t0");
+
+  SolveStats stats;
+  stats.stiff_finish = true;
+  NewtonWorkspace ws(n);
+
+  std::vector<double> y_prev2(y.begin(), y.end());  // y_{n-2}
+  std::vector<double> y_prev(y.begin(), y.end());   // y_{n-1}
+  std::vector<double> y_curr(y.begin(), y.end());   // y_n
+  std::vector<double> y_next(n);
+  std::vector<double> beta(n);
+  std::vector<double> predictor(n);
+
+  double h_prev = 0.0;   // step that produced y_curr from y_prev
+  double h_prev2 = 0.0;  // step that produced y_prev from y_prev2
+  double t = t0;
+  double h = opt.initial_step > 0.0 ? opt.initial_step : (t1 - t0) * 1e-4;
+  const double h_min = opt.min_step_fraction * (t1 - t0);
+  int history = 0;  // accepted steps so far (0: BDF1, 1: linear predictor...)
+
+  while (t < t1) {
+    if (stats.steps + stats.rejected_steps >= opt.max_steps)
+      throw std::runtime_error("bdf: max step count exceeded");
+    h = std::min(h, t1 - t);
+    if (h < h_min) throw std::runtime_error("bdf: step size underflow");
+
+    double gamma_h;
+    if (history == 0) {
+      // BDF1: y_{n+1} = y_n + h f; predictor is y_n.
+      gamma_h = h;
+      beta.assign(y_curr.begin(), y_curr.end());
+      predictor.assign(y_curr.begin(), y_curr.end());
+    } else {
+      // Variable-step BDF2 with r = h / h_prev:
+      //   y_{n+1} = [ (1+r)^2 y_n - r^2 y_{n-1} ] / (1+2r)
+      //           + h (1+r)/(1+2r) f(t+h, y_{n+1}).
+      const double r = h / h_prev;
+      const double denom = 1.0 + 2.0 * r;
+      gamma_h = h * (1.0 + r) / denom;
+      for (std::size_t i = 0; i < n; ++i)
+        beta[i] = ((1.0 + r) * (1.0 + r) * y_curr[i] - r * r * y_prev[i]) /
+                  denom;
+      if (history == 1) {
+        // Linear extrapolation through (y_{n-1}, y_n): O(h^2) accurate.
+        for (std::size_t i = 0; i < n; ++i)
+          predictor[i] = y_curr[i] + r * (y_curr[i] - y_prev[i]);
+      } else {
+        // Quadratic extrapolation through the last three points (Newton
+        // divided differences): O(h^3), matching the BDF2 corrector order
+        // so corrector-minus-predictor tracks the true LTE.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d01 = (y_curr[i] - y_prev[i]) / h_prev;
+          const double d12 = (y_prev[i] - y_prev2[i]) / h_prev2;
+          const double d012 = (d01 - d12) / (h_prev + h_prev2);
+          predictor[i] = y_curr[i] + h * d01 + h * (h + h_prev) * d012;
+        }
+      }
+    }
+
+    y_next.assign(predictor.begin(), predictor.end());
+    if (!newton_solve(system, t + h, gamma_h, beta, y_next, opt, ws, stats)) {
+      ++stats.rejected_steps;
+      h *= 0.25;
+      ws.lu.reset();  // force refactor at the new step size
+      continue;
+    }
+
+    // Local error estimate: corrector-minus-predictor, scaled (classic
+    // Nordsieck-style proxy; C ~ 1/(2r+2) for BDF2, folded into safety).
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scale =
+          opt.atol + opt.rtol * std::max(std::fabs(y_curr[i]),
+                                         std::fabs(y_next[i]));
+      err = std::max(err, std::fabs(y_next[i] - predictor[i]) / scale);
+    }
+    // err ~ h^2 until the quadratic predictor has history, then ~ h^3.
+    const double order = history >= 2 ? 3.0 : 2.0;
+    if (err <= 1.0 || history == 0) {
+      // Accept (the BDF1 bootstrap step always advances to build history).
+      y_prev2.swap(y_prev);
+      y_prev.swap(y_curr);
+      y_curr = y_next;
+      std::copy(y_curr.begin(), y_curr.end(), y.begin());
+      h_prev2 = h_prev;
+      h_prev = h;
+      t += h;
+      ++history;
+      ++stats.steps;
+      const double factor =
+          err > 0.0 ? 0.9 * std::pow(1.0 / err, 1.0 / order) : 4.0;
+      h *= std::clamp(factor, 0.2, 4.0);
+    } else {
+      ++stats.rejected_steps;
+      const double factor = 0.9 * std::pow(1.0 / err, 1.0 / order);
+      h *= std::clamp(factor, 0.1, 0.9);
+      ws.lu.reset();
+    }
+  }
+  return stats;
+}
+
+}  // namespace hspec::ode

@@ -1,0 +1,18 @@
+#pragma once
+// Adaptive implicit BDF (orders 1-2) with modified-Newton iteration and
+// dense LU: the stiff branch of the LSODA-style driver. Variable-step BDF2
+// with a BDF1 startup step, predictor-corrector error control, and Jacobian
+// reuse across Newton iterations (refreshed on slow convergence) — the same
+// structure ODEPACK's stiff path uses, at reduced maximum order.
+
+#include <span>
+
+#include "ode/system.h"
+
+namespace hspec::ode {
+
+/// Integrate from t0 to t1 (t1 > t0), advancing y in place.
+SolveStats bdf_integrate(const OdeSystem& system, double t0, double t1,
+                         std::span<double> y, const SolverOptions& opt = {});
+
+}  // namespace hspec::ode

@@ -1,0 +1,100 @@
+#include "ode/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hspec::ode {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("Matrix: zero dimension");
+}
+
+void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw std::invalid_argument("Matrix::multiply: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw std::invalid_argument("LuDecomposition: matrix must be square");
+  const std::size_t n = lu_.rows();
+  pivots_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t p = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    if (best < 1e-300)
+      throw std::runtime_error("LuDecomposition: numerically singular matrix");
+    pivots_[k] = p;
+    if (p != k) {
+      pivot_sign_ = -pivot_sign_;
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+void LuDecomposition::solve(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LU solve: size mismatch");
+  // Apply pivots, forward substitution (unit lower).
+  for (std::size_t k = 0; k < n; ++k) {
+    std::swap(b[k], b[pivots_[k]]);
+    for (std::size_t r = k + 1; r < n; ++r) b[r] -= lu_(r, k) * b[k];
+  }
+  // Back substitution (upper).
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t c = k + 1; c < n; ++c) b[k] -= lu_(k, c) * b[c];
+    b[k] /= lu_(k, k);
+  }
+}
+
+double LuDecomposition::determinant() const {
+  double det = pivot_sign_;
+  for (std::size_t k = 0; k < lu_.rows(); ++k) det *= lu_(k, k);
+  return det;
+}
+
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper, std::span<double> d) {
+  const std::size_t n = diag.size();
+  if (n == 0) return;
+  if (lower.size() != n - 1 || upper.size() != n - 1 || d.size() != n)
+    throw std::invalid_argument("solve_tridiagonal: size mismatch");
+  std::vector<double> c_prime(n - 1);
+  double denom = diag[0];
+  if (std::fabs(denom) < 1e-300)
+    throw std::runtime_error("solve_tridiagonal: zero pivot");
+  d[0] /= denom;
+  for (std::size_t i = 1; i < n; ++i) {
+    c_prime[i - 1] = upper[i - 1] / denom;
+    denom = diag[i] - lower[i - 1] * c_prime[i - 1];
+    if (std::fabs(denom) < 1e-300)
+      throw std::runtime_error("solve_tridiagonal: zero pivot");
+    d[i] = (d[i] - lower[i - 1] * d[i - 1]) / denom;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) d[i] -= c_prime[i] * d[i + 1];
+}
+
+}  // namespace hspec::ode

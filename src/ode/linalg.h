@@ -1,0 +1,71 @@
+#pragma once
+// Dense and tridiagonal linear algebra for the implicit ODE solvers.
+// Systems are small (an NEI chain has at most Z+1 = 31 states), so a simple
+// partial-pivoting LU is both adequate and cache-friendly.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hspec::ode {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// y = A x (sizes must match).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU decomposition with partial pivoting (Doolittle). Throws
+/// std::runtime_error on numerical singularity.
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix a);  // consumes A
+
+  /// Solve A x = b in place.
+  void solve(std::span<double> b_to_x) const;
+
+  /// det(A) (including pivot sign).
+  double determinant() const;
+
+  std::size_t size() const noexcept { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivots_;
+  int pivot_sign_ = 1;
+};
+
+/// Thomas algorithm for tridiagonal A x = d. `lower` has n-1 entries
+/// (subdiagonal), `diag` n, `upper` n-1. Overwrites d with x.
+/// No pivoting: the NEI matrices are diagonally dominant after the implicit
+/// shift; a zero pivot throws.
+void solve_tridiagonal(std::span<const double> lower, std::span<const double> diag,
+                       std::span<const double> upper, std::span<double> d);
+
+}  // namespace hspec::ode

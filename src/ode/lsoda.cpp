@@ -1,0 +1,85 @@
+#include "ode/lsoda.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ode/bdf.h"
+#include "ode/rk45.h"
+
+namespace hspec::ode {
+
+namespace {
+
+void accumulate(SolveStats& total, const SolveStats& part) {
+  total.steps += part.steps;
+  total.rejected_steps += part.rejected_steps;
+  total.rhs_evaluations += part.rhs_evaluations;
+  total.jacobian_evaluations += part.jacobian_evaluations;
+  total.newton_iterations += part.newton_iterations;
+}
+
+}  // namespace
+
+SolveStats lsoda_integrate(const OdeSystem& system, double t0, double t1,
+                           std::span<double> y, const LsodaOptions& opt) {
+  if (!(t1 > t0)) throw std::invalid_argument("lsoda: need t1 > t0");
+
+  // Integrate window by window so the method can change along the way.
+  constexpr int kWindows = 32;
+  const double window = (t1 - t0) / kWindows;
+
+  SolveStats total;
+  bool stiff = false;
+  int calm_windows = 0;  // consecutive easy BDF windows
+
+  std::vector<double> y_backup(y.size());
+
+  for (int w = 0; w < kWindows; ++w) {
+    const double wa = t0 + w * window;
+    const double wb = (w + 1 == kWindows) ? t1 : wa + window;
+
+    if (!stiff) {
+      // Explicit attempt; a step-size collapse inside the window is the
+      // stiffness signature and aborts with an exception.
+      std::copy(y.begin(), y.end(), y_backup.begin());
+      SolverOptions ex = opt.base;
+      // Budget: a window that genuinely needs more explicit steps than this
+      // is cheaper on the implicit path anyway — treat exceeding it as the
+      // stiffness signal (alongside outright step-size underflow).
+      ex.max_steps = static_cast<std::size_t>(64 * opt.stiff_patience);
+      ex.min_step_fraction = opt.stiff_h_fraction;
+      try {
+        accumulate(total, rk45_integrate(system, wa, wb, y, ex));
+        continue;
+      } catch (const std::runtime_error&) {
+        // Stiff: restore the window's initial state and redo with BDF.
+        std::copy(y_backup.begin(), y_backup.end(), y.begin());
+        stiff = true;
+        ++total.method_switches;
+        calm_windows = 0;
+      }
+    }
+
+    const SolveStats part = bdf_integrate(system, wa, wb, y, opt.base);
+    accumulate(total, part);
+
+    // Switch-back heuristic: the window needed few, easy implicit steps.
+    const bool calm =
+        part.steps > 0 &&
+        static_cast<double>(part.steps) <=
+            1.0 / (opt.nonstiff_h_fraction * kWindows) &&
+        part.newton_iterations <= 3 * part.steps &&
+        part.rejected_steps == 0;
+    calm_windows = calm ? calm_windows + 1 : 0;
+    if (calm_windows >= opt.nonstiff_patience) {
+      stiff = false;
+      ++total.method_switches;
+      calm_windows = 0;
+    }
+  }
+
+  total.stiff_finish = stiff;
+  return total;
+}
+
+}  // namespace hspec::ode

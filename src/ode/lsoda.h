@@ -1,0 +1,34 @@
+#pragma once
+// LSODA-style driver with automatic stiff/non-stiff method switching
+// (Petzold & Hindmarsh): start on the cheap explicit Adams/RK path; when the
+// explicit step size collapses relative to the interval (the stiffness
+// signature), switch to BDF; switch back if BDF cruises at large steps with
+// trivial Newton effort. The paper's NEI solver "is developed based on the
+// classic ODE solver LSODA" — this is our substrate for it.
+
+#include <span>
+
+#include "ode/system.h"
+
+namespace hspec::ode {
+
+struct LsodaOptions {
+  SolverOptions base{};
+  /// Explicit steps whose size is below stiff_h_fraction * (t1 - t0) for
+  /// stiff_patience consecutive accepted steps trigger the switch to BDF.
+  double stiff_h_fraction = 1e-4;
+  int stiff_patience = 8;
+  /// BDF steps above nonstiff_h_fraction * (t1 - t0) with <= 2 Newton
+  /// iterations each suggest the problem relaxed; switch back after
+  /// nonstiff_patience of them.
+  double nonstiff_h_fraction = 5e-2;
+  int nonstiff_patience = 16;
+};
+
+/// Integrate from t0 to t1, advancing y in place, choosing methods
+/// automatically. stats.method_switches counts transitions;
+/// stats.stiff_finish reports the final regime.
+SolveStats lsoda_integrate(const OdeSystem& system, double t0, double t1,
+                           std::span<double> y, const LsodaOptions& opt = {});
+
+}  // namespace hspec::ode

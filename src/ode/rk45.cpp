@@ -1,0 +1,102 @@
+#include "ode/rk45.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hspec::ode {
+
+namespace {
+
+// Dormand-Prince 5(4) coefficients.
+constexpr double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5, c5 = 8.0 / 9;
+constexpr double a21 = 1.0 / 5;
+constexpr double a31 = 3.0 / 40, a32 = 9.0 / 40;
+constexpr double a41 = 44.0 / 45, a42 = -56.0 / 15, a43 = 32.0 / 9;
+constexpr double a51 = 19372.0 / 6561, a52 = -25360.0 / 2187,
+                 a53 = 64448.0 / 6561, a54 = -212.0 / 729;
+constexpr double a61 = 9017.0 / 3168, a62 = -355.0 / 33, a63 = 46732.0 / 5247,
+                 a64 = 49.0 / 176, a65 = -5103.0 / 18656;
+constexpr double b1 = 35.0 / 384, b3 = 500.0 / 1113, b4 = 125.0 / 192,
+                 b5 = -2187.0 / 6784, b6 = 11.0 / 84;
+// Embedded 4th-order weights.
+constexpr double e1 = 5179.0 / 57600, e3 = 7571.0 / 16695, e4 = 393.0 / 640,
+                 e5 = -92097.0 / 339200, e6 = 187.0 / 2100, e7 = 1.0 / 40;
+
+}  // namespace
+
+SolveStats rk45_integrate(const OdeSystem& system, double t0, double t1,
+                          std::span<double> y, const SolverOptions& opt) {
+  const std::size_t n = system.dimension();
+  if (y.size() != n) throw std::invalid_argument("rk45: state size mismatch");
+  if (!(t1 > t0)) throw std::invalid_argument("rk45: need t1 > t0");
+
+  SolveStats stats;
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n);
+  std::vector<double> y_try(n), y5(n);
+
+  double t = t0;
+  double h = opt.initial_step > 0.0 ? opt.initial_step : (t1 - t0) / 100.0;
+  const double h_min = opt.min_step_fraction * (t1 - t0);
+
+  system.rhs(t, y, k1);  // FSAL seed
+  ++stats.rhs_evaluations;
+
+  while (t < t1) {
+    if (stats.steps + stats.rejected_steps >= opt.max_steps)
+      throw std::runtime_error("rk45: max step count exceeded (stiff?)");
+    h = std::min(h, t1 - t);
+    if (h < h_min)
+      throw std::runtime_error("rk45: step size underflow (stiff problem)");
+
+    auto stage = [&](std::span<double> dst, double frac,
+                     std::initializer_list<std::pair<const std::vector<double>*,
+                                                     double>>
+                         terms) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (const auto& [k, w] : terms) acc += h * w * (*k)[i];
+        y_try[i] = acc;
+      }
+      system.rhs(t + frac * h, y_try, dst);
+      ++stats.rhs_evaluations;
+    };
+
+    stage(k2, c2, {{&k1, a21}});
+    stage(k3, c3, {{&k1, a31}, {&k2, a32}});
+    stage(k4, c4, {{&k1, a41}, {&k2, a42}, {&k3, a43}});
+    stage(k5, c5, {{&k1, a51}, {&k2, a52}, {&k3, a53}, {&k4, a54}});
+    stage(k6, 1.0, {{&k1, a61}, {&k2, a62}, {&k3, a63}, {&k4, a64}, {&k5, a65}});
+
+    for (std::size_t i = 0; i < n; ++i)
+      y5[i] = y[i] + h * (b1 * k1[i] + b3 * k3[i] + b4 * k4[i] + b5 * k5[i] +
+                          b6 * k6[i]);
+    system.rhs(t + h, y5, k7);
+    ++stats.rhs_evaluations;
+
+    // Scaled error norm (max over components).
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y4_i = y[i] + h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] +
+                                      e5 * k5[i] + e6 * k6[i] + e7 * k7[i]);
+      const double scale =
+          opt.atol + opt.rtol * std::max(std::fabs(y[i]), std::fabs(y5[i]));
+      err = std::max(err, std::fabs(y5[i] - y4_i) / scale);
+    }
+
+    if (err <= 1.0) {
+      t += h;
+      std::copy(y5.begin(), y5.end(), y.begin());
+      std::swap(k1, k7);  // FSAL
+      ++stats.steps;
+    } else {
+      ++stats.rejected_steps;
+    }
+    const double factor =
+        err > 0.0 ? 0.9 * std::pow(err, -0.2) : 5.0;
+    h *= std::clamp(factor, 0.2, 5.0);
+  }
+  return stats;
+}
+
+}  // namespace hspec::ode

@@ -1,0 +1,24 @@
+#pragma once
+// Adaptive explicit Runge-Kutta (Dormand-Prince 5(4)): the non-stiff branch
+// of the LSODA-style driver. Cheap per step but its stable step size
+// collapses on stiff problems — exactly the signal the driver uses to
+// switch to BDF.
+
+#include <span>
+#include <vector>
+
+#include "ode/system.h"
+
+namespace hspec::ode {
+
+struct StepOutcome {
+  bool accepted = false;
+  double error_ratio = 0.0;  ///< scaled error / tolerance (<= 1 accepts)
+  double next_step = 0.0;
+};
+
+/// Integrate from t0 to t1 (t1 > t0), advancing y in place.
+SolveStats rk45_integrate(const OdeSystem& system, double t0, double t1,
+                          std::span<double> y, const SolverOptions& opt = {});
+
+}  // namespace hspec::ode

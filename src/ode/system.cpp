@@ -1,0 +1,32 @@
+#include "ode/system.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hspec::ode {
+
+void OdeSystem::jacobian(double /*t*/, std::span<const double> /*y*/,
+                         Matrix& /*j*/) const {
+  throw std::logic_error("OdeSystem::jacobian: not provided");
+}
+
+void numerical_jacobian(const OdeSystem& system, double t,
+                        std::span<const double> y, Matrix& j) {
+  const std::size_t n = system.dimension();
+  if (j.rows() != n || j.cols() != n)
+    throw std::invalid_argument("numerical_jacobian: matrix size mismatch");
+  std::vector<double> y_pert(y.begin(), y.end());
+  std::vector<double> f0(n);
+  std::vector<double> f1(n);
+  system.rhs(t, y, f0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double eps = std::max(1e-8 * std::fabs(y[c]), 1e-12);
+    y_pert[c] = y[c] + eps;
+    system.rhs(t, y_pert, f1);
+    y_pert[c] = y[c];
+    for (std::size_t r = 0; r < n; ++r) j(r, c) = (f1[r] - f0[r]) / eps;
+  }
+}
+
+}  // namespace hspec::ode

@@ -1,0 +1,49 @@
+#pragma once
+// ODE system interface shared by the explicit and implicit solvers.
+
+#include <cstddef>
+#include <span>
+
+#include "ode/linalg.h"
+
+namespace hspec::ode {
+
+/// dy/dt = f(t, y). Implementations may provide an analytic Jacobian;
+/// otherwise solvers fall back to forward differences.
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  virtual std::size_t dimension() const = 0;
+  virtual void rhs(double t, std::span<const double> y,
+                   std::span<double> dydt) const = 0;
+
+  virtual bool has_jacobian() const { return false; }
+  /// J(r, c) = d f_r / d y_c. Only called when has_jacobian() is true.
+  virtual void jacobian(double t, std::span<const double> y, Matrix& j) const;
+};
+
+/// Forward-difference Jacobian (used when the system provides none).
+void numerical_jacobian(const OdeSystem& system, double t,
+                        std::span<const double> y, Matrix& j);
+
+/// Solver telemetry.
+struct SolveStats {
+  std::size_t steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t rhs_evaluations = 0;
+  std::size_t jacobian_evaluations = 0;
+  std::size_t newton_iterations = 0;
+  std::size_t method_switches = 0;  ///< LSODA Adams<->BDF transitions
+  bool stiff_finish = false;        ///< ended on the stiff (BDF) method
+};
+
+struct SolverOptions {
+  double rtol = 1e-6;
+  double atol = 1e-12;
+  double initial_step = 0.0;  ///< 0 => auto
+  double min_step_fraction = 1e-12;  ///< h_min = fraction * |t1 - t0|
+  std::size_t max_steps = 100'000;
+};
+
+}  // namespace hspec::ode

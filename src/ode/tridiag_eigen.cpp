@@ -1,0 +1,96 @@
+#include "ode/tridiag_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hspec::ode {
+
+TridiagEigen tridiagonal_eigen(std::span<const double> diag,
+                               std::span<const double> offdiag) {
+  const std::size_t n = diag.size();
+  if (n == 0) throw std::invalid_argument("tridiagonal_eigen: empty matrix");
+  if (offdiag.size() + 1 != n)
+    throw std::invalid_argument("tridiagonal_eigen: off-diagonal size");
+
+  std::vector<double> d(diag.begin(), diag.end());
+  std::vector<double> e(n, 0.0);  // e[i] couples i and i+1; e[n-1] spare
+  std::copy(offdiag.begin(), offdiag.end(), e.begin());
+
+  Matrix z(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) z(i, i) = 1.0;
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    std::size_t m;
+    do {
+      // Look for a negligible off-diagonal element to split the problem.
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= eps * dd) break;
+      }
+      if (m != l) {
+        if (iterations++ == 64)
+          throw std::runtime_error("tridiagonal_eigen: QL did not converge");
+        // Implicit shift from the 2x2 block at l.
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Recover from underflow: deflate and restart this l.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort ascending, permuting eigenvector columns along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+
+  TridiagEigen out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i)
+      out.vectors(i, j) = z(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace hspec::ode

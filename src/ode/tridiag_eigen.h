@@ -1,0 +1,29 @@
+#pragma once
+// Full eigendecomposition of a symmetric tridiagonal matrix by the QL
+// algorithm with implicit shifts (EISPACK tql2 lineage). The NEI rate
+// matrices of Eq. (4) are similar to symmetric tridiagonal matrices, which
+// makes their matrix exponential exactly computable — the classical
+// alternative to time stepping for constant-condition plasmas.
+
+#include <span>
+#include <vector>
+
+#include "ode/linalg.h"
+
+namespace hspec::ode {
+
+struct TridiagEigen {
+  /// Ascending eigenvalues.
+  std::vector<double> values;
+  /// Orthonormal eigenvectors; column j (i.e. vectors(i, j) over i) pairs
+  /// with values[j].
+  Matrix vectors;
+};
+
+/// Decompose the symmetric tridiagonal matrix with diagonal `diag` (n
+/// entries) and off-diagonal `offdiag` (n-1 entries). Throws on
+/// non-convergence (pathological inputs) or size mismatch.
+TridiagEigen tridiagonal_eigen(std::span<const double> diag,
+                               std::span<const double> offdiag);
+
+}  // namespace hspec::ode

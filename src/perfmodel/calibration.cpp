@@ -1,0 +1,90 @@
+#include "perfmodel/calibration.h"
+
+#include <stdexcept>
+
+namespace hspec::perfmodel {
+
+core::WorkloadParams paper_workload() {
+  core::WorkloadParams w;
+  w.ions_per_point = 496;
+  w.avg_levels_per_ion = 4;
+  w.bins_per_level = 50'000;
+  w.method = quad::KernelMethod::simpson;
+  w.method_param = quad::kPaperSimpsonPanels;
+  return w;
+}
+
+SpectralCostModel::SpectralCostModel(PaperCalibration calib,
+                                     core::WorkloadParams workload)
+    : calib_(calib), workload_(workload), gpu_model_(calib.gpu) {
+  if (workload_.avg_levels_per_ion == 0 || workload_.bins_per_level == 0)
+    throw std::invalid_argument("SpectralCostModel: empty workload");
+}
+
+double SpectralCostModel::gpu_evals_per_bin() const {
+  return static_cast<double>(
+      quad::kernel_cost_evals(workload_.method, workload_.method_param));
+}
+
+double SpectralCostModel::kernel_time_per_level_s() const {
+  vgpu::WorkEstimate work;
+  work.flops = static_cast<double>(workload_.bins_per_level) *
+               gpu_evals_per_bin() * calib_.gpu_flops_per_eval;
+  work.device_bytes = workload_.bins_per_level * sizeof(double) * 2;
+  return gpu_model_.kernel_time_s(work);
+}
+
+double SpectralCostModel::ion_prep_s() const {
+  return calib_.task_fixed_prep_s + calib_.ion_scalable_prep_s;
+}
+
+double SpectralCostModel::ion_cpu_s() const {
+  const double flops = static_cast<double>(workload_.integrals_per_ion_task()) *
+                       calib_.cpu_flops_per_integral;
+  return flops / (calib_.cpu_sustained_gflops * 1e9);
+}
+
+double SpectralCostModel::ion_gpu_s() const {
+  const auto levels = static_cast<double>(workload_.avg_levels_per_ion);
+  // Edges up + emi down once per task; one kernel per level.
+  const double transfers =
+      gpu_model_.transfer_time_s((workload_.bins_per_level + 1) *
+                                 sizeof(double)) +
+      gpu_model_.transfer_time_s(workload_.bins_per_level * sizeof(double));
+  return calib_.gpu_context_switch_s + levels * kernel_time_per_level_s() +
+         transfers;
+}
+
+double SpectralCostModel::level_prep_s() const {
+  return calib_.task_fixed_prep_s +
+         calib_.ion_scalable_prep_s /
+             static_cast<double>(workload_.avg_levels_per_ion);
+}
+
+double SpectralCostModel::level_cpu_s() const {
+  return ion_cpu_s() / static_cast<double>(workload_.avg_levels_per_ion);
+}
+
+double SpectralCostModel::level_gpu_s() const {
+  const double transfers =
+      gpu_model_.transfer_time_s((workload_.bins_per_level + 1) *
+                                 sizeof(double)) +
+      gpu_model_.transfer_time_s(workload_.bins_per_level * sizeof(double));
+  return calib_.gpu_context_switch_s + kernel_time_per_level_s() + transfers;
+}
+
+double SpectralCostModel::serial_point_s() const {
+  return static_cast<double>(workload_.ions_per_point) *
+         (ion_prep_s() + ion_cpu_s());
+}
+
+double SpectralCostModel::mpi_only_s(std::size_t points, int ranks) const {
+  if (ranks < 1) throw std::invalid_argument("mpi_only_s: ranks < 1");
+  const double total_serial = static_cast<double>(points) * serial_point_s();
+  const double speedup =
+      std::min<double>(static_cast<double>(ranks),
+                       calib_.node_cpu_core_equivalents);
+  return total_serial / speedup;
+}
+
+}  // namespace hspec::perfmodel

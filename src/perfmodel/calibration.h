@@ -1,0 +1,94 @@
+#pragma once
+// Calibration of the performance model against the paper's testbed
+// (§IV: 2x Xeon E5-2640 @ 2.5 GHz, 24 cores; 4x Tesla C2075; PCIe 2.0).
+//
+// Every constant is pinned to a quantity the paper reports:
+//  * serial APEC ~ 800 s per grid point, >90% of it in integrals (§I);
+//  * 24-rank MPI-only speedup 13.5x (§IV) -> effective 13.5 "core
+//    equivalents" of aggregate CPU throughput under full contention;
+//  * hybrid Ion-granularity speedups 196/279/306/311 for 1-4 GPUs and the
+//    Level curve at roughly half (Fig. 3) -> per-task fixed GPU overhead
+//    dominated by the Fermi inter-process context switch (~2.5 ms), kernel
+//    ~1.3 ms per energy level, CPU-side task preparation ~125 ms;
+//  * Table I's complexity dial: Romberg with k dichotomies costs 2^k + 1
+//    integrand evaluations per bin.
+//
+// bench/baseline_audit recomputes the paper anchors from these constants.
+
+#include "core/task.h"
+#include "vgpu/cost_model.h"
+#include "vgpu/device_properties.h"
+
+namespace hspec::perfmodel {
+
+struct PaperCalibration {
+  vgpu::DeviceProperties gpu = vgpu::tesla_c2075();
+  vgpu::CpuCoreProperties cpu = vgpu::xeon_e5_2640_core();
+
+  /// Sustained scalar DP throughput of one core on branchy QAGS code.
+  double cpu_sustained_gflops = 0.60;
+  /// Average QAGS cost of one RRC bin integral on the CPU:
+  /// ~3.5 Gauss-Kronrod-21 applications x 60 flops per evaluation.
+  double cpu_flops_per_integral = 4400.0;
+  /// Average flops one integrand evaluation costs inside the GPU kernel
+  /// (special-function units make exp/pow cheaper than scalar CPU code).
+  double gpu_flops_per_eval = 26.0;
+  /// CPU-side preparation of one task splits into a fixed part (scheduler
+  /// round trip, task packaging, host-side result merge — paid per task
+  /// regardless of granularity) and a scalable part proportional to the
+  /// task's level count (atomic data assembly). Together they are the <10%
+  /// non-integral share of serial APEC (~115 ms per ion task).
+  double task_fixed_prep_s = 0.018;
+  double ion_scalable_prep_s = 0.097;
+  /// Fermi inter-process context switch per submitted task
+  /// ("application-level context switching is necessary on Fermi").
+  double gpu_context_switch_s = 2.5e-3;
+  /// Aggregate CPU throughput of the 24-rank node in units of one core
+  /// (memory-bandwidth contention: the paper measures 13.5x, not 24x).
+  double node_cpu_core_equivalents = 13.5;
+  /// Shared-memory scheduler round trip (shmat + atomic ops).
+  double shm_scheduler_overhead_s = 2e-6;
+  /// MPS-style client-server scheduler round trip (§II-B ablation):
+  /// an IPC request/response through the MPS server per task.
+  double mps_scheduler_overhead_s = 2.0e-4;
+};
+
+/// The paper-scale workload: 496 ion units x ~4 levels x 5e4 bins
+/// (~1e8 integrals per grid point, "up to 2.0e8").
+core::WorkloadParams paper_workload();
+
+/// Derived per-task durations for the discrete-event simulator.
+class SpectralCostModel {
+ public:
+  SpectralCostModel(PaperCalibration calib, core::WorkloadParams workload);
+
+  /// Integrand evaluations one bin costs on the GPU under the workload's
+  /// kernel method (Simpson-64 => 129; Romberg-k => 2^k + 1).
+  double gpu_evals_per_bin() const;
+
+  /// --- Ion granularity -------------------------------------------------
+  double ion_prep_s() const;      ///< CPU task preparation
+  double ion_cpu_s() const;       ///< QAGS fallback execution (no prep)
+  double ion_gpu_s() const;       ///< context switch + kernels + transfers
+
+  /// --- Level granularity -----------------------------------------------
+  double level_prep_s() const;
+  double level_cpu_s() const;
+  double level_gpu_s() const;
+
+  /// Serial APEC time for one grid point (the paper's ~800 s anchor).
+  double serial_point_s() const;
+  /// MPI-only time for `points` grid points on the 24-rank node.
+  double mpi_only_s(std::size_t points, int ranks = 24) const;
+
+  const PaperCalibration& calibration() const noexcept { return calib_; }
+  const core::WorkloadParams& workload() const noexcept { return workload_; }
+
+ private:
+  double kernel_time_per_level_s() const;
+  PaperCalibration calib_;
+  core::WorkloadParams workload_;
+  vgpu::GpuCostModel gpu_model_;
+};
+
+}  // namespace hspec::perfmodel

@@ -1,0 +1,62 @@
+#include "perfmodel/nei_cost.h"
+
+#include <stdexcept>
+
+namespace hspec::perfmodel {
+
+namespace {
+
+/// LSODA flops for one implicit step of one ODE group: Jacobian + dense LU
+/// (n^3/3 multiply-adds) + a few Newton back-substitutions.
+double flops_per_group_step(std::size_t n_states) {
+  const double n = static_cast<double>(n_states);
+  return 2.0 * n * n * n / 3.0 + 8.0 * n * n;
+}
+
+}  // namespace
+
+NeiCostModel::NeiCostModel(PaperCalibration calib, NeiWorkload workload)
+    : calib_(calib), workload_(workload), gpu_model_(calib.gpu) {
+  if (workload_.steps_per_task == 0 ||
+      workload_.timesteps % workload_.steps_per_task != 0)
+    throw std::invalid_argument(
+        "NeiCostModel: steps_per_task must divide timesteps");
+}
+
+double NeiCostModel::cpu_task_s() const {
+  const double flops = static_cast<double>(workload_.steps_per_task) *
+                       static_cast<double>(workload_.ode_groups_per_point) *
+                       flops_per_group_step(workload_.mean_states_per_group);
+  return flops / (calib_.cpu_sustained_gflops * 1e9);
+}
+
+double NeiCostModel::prep_s() const {
+  // Rate-coefficient evaluation and task packing: ~10% of the solve.
+  return 0.092 * cpu_task_s();
+}
+
+double NeiCostModel::gpu_task_s() const {
+  vgpu::WorkEstimate work;
+  work.flops = static_cast<double>(workload_.steps_per_task) *
+               static_cast<double>(workload_.ode_groups_per_point) *
+               flops_per_group_step(workload_.mean_states_per_group);
+  work.device_bytes = 4096;
+  // Ten-step packing runs inside a persistent per-process solver context, so
+  // unlike the spectral kernels there is no per-task Fermi context switch;
+  // the input state rides in the kernel arguments and only the resulting
+  // abundances come back over PCIe once per task.
+  return gpu_model_.kernel_time_s(work) +
+         gpu_model_.transfer_time_s(workload_.ode_groups_per_point *
+                                    workload_.mean_states_per_group *
+                                    sizeof(double));
+}
+
+double NeiCostModel::mpi_only_s(int ranks) const {
+  if (ranks < 1) throw std::invalid_argument("NeiCostModel: ranks < 1");
+  const double per_task = prep_s() + cpu_task_s();
+  const double speedup = std::min<double>(
+      static_cast<double>(ranks), calib_.node_cpu_core_equivalents);
+  return static_cast<double>(workload_.total_tasks()) * per_task / speedup;
+}
+
+}  // namespace hspec::perfmodel

@@ -1,0 +1,55 @@
+#pragma once
+// Cost model for the Non-Equilibrium Ionization adaptability study (§IV-D,
+// Table II): one task packs ten time-dependent calculations of one grid
+// point's ~dozen stiff ODE groups ("every ten time-dependent calculations
+// are packed into one task for reducing the frequency of data copy").
+//
+// Anchors: pure-MPI 24 ranks is the Table II baseline (8785 s for the
+// 1e6-point x 1000-step testcase, from 3137 s x 2.8); hybrid reaches
+// 2.8/5.9/10.8/15.1x for 1-4 GPUs at max queue length 8.
+
+#include <cstddef>
+
+#include "perfmodel/calibration.h"
+
+namespace hspec::perfmodel {
+
+struct NeiWorkload {
+  std::size_t grid_points = 1'000'000;
+  std::size_t timesteps = 1000;
+  std::size_t steps_per_task = 10;
+  std::size_t ode_groups_per_point = 12;   ///< ~a dozen element chains
+  std::size_t mean_states_per_group = 16;  ///< ionization states per chain
+
+  std::size_t tasks_per_point() const noexcept {
+    return timesteps / steps_per_task;
+  }
+  std::size_t total_tasks() const noexcept {
+    return grid_points * tasks_per_point();
+  }
+};
+
+class NeiCostModel {
+ public:
+  NeiCostModel(PaperCalibration calib, NeiWorkload workload);
+
+  /// CPU (LSODA) execution of one packed task on one core.
+  double cpu_task_s() const;
+  /// CPU-side preparation (rate evaluation, task packing).
+  double prep_s() const;
+  /// GPU execution of one packed task (context switch + batched solver
+  /// kernels + one transfer each way).
+  double gpu_task_s() const;
+
+  /// Pure-MPI runtime for the full workload on the 24-rank node.
+  double mpi_only_s(int ranks = 24) const;
+
+  const NeiWorkload& workload() const noexcept { return workload_; }
+
+ private:
+  PaperCalibration calib_;
+  NeiWorkload workload_;
+  vgpu::GpuCostModel gpu_model_;
+};
+
+}  // namespace hspec::perfmodel

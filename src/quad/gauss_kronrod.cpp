@@ -1,0 +1,152 @@
+#include "quad/gauss_kronrod.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace hspec::quad {
+
+namespace {
+
+// QUADPACK qk15.f tables (25 significant digits in the original).
+constexpr std::array<double, 8> kXgk15 = {
+    0.991455371120812639206854697526329,
+    0.949107912342758524526189684047851,
+    0.864864423359769072789712788640926,
+    0.741531185599394439863864773280788,
+    0.586087235467691130294144838258730,
+    0.405845151377397166906606412076961,
+    0.207784955007898467600689403773245,
+    0.000000000000000000000000000000000};
+constexpr std::array<double, 8> kWgk15 = {
+    0.022935322010529224963732008058970,
+    0.063092092629978553290700663189204,
+    0.104790010322250183839876322541518,
+    0.140653259715525918745189590510238,
+    0.169004726639267902826583426598550,
+    0.190350578064785409913256402421014,
+    0.204432940075298892414161999234649,
+    0.209482141084727828012999174891714};
+constexpr std::array<double, 4> kWg15 = {
+    0.129484966168869693270611432679082,
+    0.279705391489276667901467771423780,
+    0.381830050505118944950369775488975,
+    0.417959183673469387755102040816327};
+
+// QUADPACK qk21.f tables.
+constexpr std::array<double, 11> kXgk21 = {
+    0.995657163025808080735527280689003,
+    0.973906528517171720077964012084452,
+    0.930157491355708226001207180059508,
+    0.865063366688984510732096688423493,
+    0.780817726586416897063717578345042,
+    0.679409568299024406234327365114874,
+    0.562757134668604683339000099272694,
+    0.433395394129247190799265943165784,
+    0.294392862701460198131126603103866,
+    0.148874338981631210884826001129720,
+    0.000000000000000000000000000000000};
+constexpr std::array<double, 11> kWgk21 = {
+    0.011694638867371874278064396062192,
+    0.032558162307964727478818972459390,
+    0.054755896574351996031381300244580,
+    0.075039674810919952767043140916190,
+    0.093125454583697605535065465083366,
+    0.109387158802297641899210590325805,
+    0.123491976262065851077958109831074,
+    0.134709217311473325928054001771707,
+    0.142775938577060080797094273138717,
+    0.147739104901338491374841515972068,
+    0.149445554002916905664936468389821};
+constexpr std::array<double, 5> kWg21 = {
+    0.066671344308688137593568809893332,
+    0.149451349150580593145776339657697,
+    0.219086362515982043995534934228163,
+    0.269266719309996355091226921569469,
+    0.295524224714752870173892994651338};
+
+/// Generic QUADPACK qk kernel over a symmetric (2n+1)-point table.
+/// Table layout follows QUADPACK: xgk descending with xgk.back() == 0;
+/// even indices of xgk are Kronrod-only points, odd indices coincide with
+/// the embedded Gauss rule whose weights are wg.
+template <std::size_t N, std::size_t NG>
+KronrodEstimate qk(Integrand f, double a, double b,
+                   const std::array<double, N>& xgk,
+                   const std::array<double, N>& wgk,
+                   const std::array<double, NG>& wg) {
+  const double center = 0.5 * (a + b);
+  const double hlgth = 0.5 * (b - a);
+  const double dhlgth = std::fabs(hlgth);
+
+  const double fc = f(center);
+  // The embedded Gauss rule has order N-1 and includes the center point only
+  // when that order is odd (QK15: 7-point Gauss uses wg[3] at x=0; QK21:
+  // 10-point Gauss does not sample the center).
+  double resg = ((N - 1) % 2 == 1) ? wg[NG - 1] * fc : 0.0;
+  double resk = wgk[N - 1] * fc;
+  double resabs = std::fabs(resk);
+
+  std::array<double, N - 1> fv1{};  // f(center - hlgth*x)
+  std::array<double, N - 1> fv2{};  // f(center + hlgth*x)
+  for (std::size_t j = 0; j < N - 1; ++j) {
+    const double absc = hlgth * xgk[j];
+    const double f1 = f(center - absc);
+    const double f2 = f(center + absc);
+    fv1[j] = f1;
+    fv2[j] = f2;
+    const double fsum = f1 + f2;
+    if (j % 2 == 1) resg += wg[j / 2] * fsum;
+    resk += wgk[j] * fsum;
+    resabs += wgk[j] * (std::fabs(f1) + std::fabs(f2));
+  }
+
+  const double reskh = resk * 0.5;
+  double resasc = wgk[N - 1] * std::fabs(fc - reskh);
+  for (std::size_t j = 0; j < N - 1; ++j)
+    resasc += wgk[j] * (std::fabs(fv1[j] - reskh) + std::fabs(fv2[j] - reskh));
+
+  KronrodEstimate out;
+  out.value = resk * hlgth;
+  out.resabs = resabs * dhlgth;
+  out.resasc = resasc * dhlgth;
+  double err = std::fabs((resk - resg) * hlgth);
+  if (out.resasc != 0.0 && err != 0.0)
+    err = out.resasc * std::min(1.0, std::pow(200.0 * err / out.resasc, 1.5));
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double uflow = std::numeric_limits<double>::min();
+  if (out.resabs > uflow / (50.0 * eps))
+    err = std::max(err, 50.0 * eps * out.resabs);
+  out.error = err;
+  out.evaluations = 2 * N - 1;
+  return out;
+}
+
+}  // namespace
+
+KronrodEstimate kronrod_apply(Integrand f, double a, double b, KronrodRule rule) {
+  switch (rule) {
+    case KronrodRule::k15:
+      return qk(f, a, b, kXgk15, kWgk15, kWg15);
+    case KronrodRule::k21:
+    default:
+      return qk(f, a, b, kXgk21, kWgk21, kWg21);
+  }
+}
+
+IntegrationResult gauss_kronrod(Integrand f, double a, double b,
+                                KronrodRule rule) {
+  const KronrodEstimate e = kronrod_apply(f, a, b, rule);
+  return {e.value, e.error, e.evaluations, true};
+}
+
+KronrodTable kronrod_table(KronrodRule rule) {
+  switch (rule) {
+    case KronrodRule::k15:
+      return {kXgk15, kWgk15, kWg15};
+    case KronrodRule::k21:
+    default:
+      return {kXgk21, kWgk21, kWg21};
+  }
+}
+
+}  // namespace hspec::quad

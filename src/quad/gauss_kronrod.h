@@ -1,0 +1,43 @@
+#pragma once
+// Gauss-Kronrod quadrature rules (QUADPACK's QK15 and QK21 kernels).
+// A 2n+1-point Kronrod extension re-uses the n Gauss points and provides an
+// embedded error estimate from the difference between the Gauss and Kronrod
+// results, rescaled exactly as QUADPACK does (the (200 |K-G| / resasc)^1.5
+// heuristic), so the adaptive QAGS driver behaves like the original.
+
+#include <cstddef>
+#include <span>
+
+#include "quad/result.h"
+
+namespace hspec::quad {
+
+/// Which embedded rule to apply on each subinterval.
+enum class KronrodRule { k15, k21 };
+
+/// QUADPACK-style output of a single rule application.
+struct KronrodEstimate {
+  double value = 0.0;    ///< Kronrod estimate of the integral
+  double error = 0.0;    ///< rescaled |Kronrod - Gauss| error estimate
+  double resabs = 0.0;   ///< integral of |f|
+  double resasc = 0.0;   ///< integral of |f - mean| (scale of variation)
+  std::size_t evaluations = 0;
+};
+
+/// Apply the chosen rule to f on [a, b].
+KronrodEstimate kronrod_apply(Integrand f, double a, double b, KronrodRule rule);
+
+/// Convenience wrapper returning the common result type.
+IntegrationResult gauss_kronrod(Integrand f, double a, double b,
+                                KronrodRule rule = KronrodRule::k21);
+
+/// Access to the raw positive abscissae/weights (exposed for rule tests:
+/// symmetry, positivity, weight sums, polynomial exactness).
+struct KronrodTable {
+  std::span<const double> xgk;  ///< abscissae, descending, includes 0 last
+  std::span<const double> wgk;  ///< Kronrod weights matching xgk
+  std::span<const double> wg;   ///< embedded Gauss weights (half rule)
+};
+KronrodTable kronrod_table(KronrodRule rule);
+
+}  // namespace hspec::quad

@@ -1,0 +1,78 @@
+#include "quad/gauss_legendre.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <numbers>
+#include <stdexcept>
+
+namespace hspec::quad {
+
+LegendreEval legendre(std::size_t n, double x) noexcept {
+  double p0 = 1.0;
+  double p1 = x;
+  if (n == 0) return {1.0, 0.0};
+  for (std::size_t k = 2; k <= n; ++k) {
+    const double kk = static_cast<double>(k);
+    const double p2 = ((2.0 * kk - 1.0) * x * p1 - (kk - 1.0) * p0) / kk;
+    p0 = p1;
+    p1 = p2;
+  }
+  // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1); at |x| == 1 use n(n+1)/2 * sign.
+  double dp;
+  if (std::fabs(x * x - 1.0) < 1e-14) {
+    const double nn = static_cast<double>(n);
+    dp = (x > 0 ? 1.0 : (n % 2 == 0 ? -1.0 : 1.0)) * nn * (nn + 1.0) / 2.0;
+  } else {
+    dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+  }
+  return {p1, dp};
+}
+
+const GaussLegendreRule& gauss_legendre_rule(std::size_t n) {
+  if (n == 0)
+    throw std::invalid_argument("gauss_legendre_rule: order must be positive");
+  static std::mutex mu;
+  static std::map<std::size_t, GaussLegendreRule> cache;
+  std::lock_guard lock(mu);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+
+  GaussLegendreRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  const std::size_t half = (n + 1) / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    // Tricomi initial guess for the i-th root (descending in x).
+    double x = std::cos(std::numbers::pi * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    LegendreEval e{};
+    for (int iter = 0; iter < 100; ++iter) {
+      e = legendre(n, x);
+      const double dx = -e.p / e.dp;
+      x += dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    e = legendre(n, x);
+    const double w = 2.0 / ((1.0 - x * x) * e.dp * e.dp);
+    rule.nodes[i] = -x;              // ascending order
+    rule.nodes[n - 1 - i] = x;
+    rule.weights[i] = w;
+    rule.weights[n - 1 - i] = w;
+  }
+  if (n % 2 == 1) rule.nodes[n / 2] = 0.0;  // exact center for odd orders
+  return cache.emplace(n, std::move(rule)).first->second;
+}
+
+IntegrationResult gauss_legendre(Integrand f, double a, double b, std::size_t n) {
+  const GaussLegendreRule& rule = gauss_legendre_rule(n);
+  const double mid = 0.5 * (a + b);
+  const double halfwidth = 0.5 * (b - a);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += rule.weights[i] * f(mid + halfwidth * rule.nodes[i]);
+  const double value = acc * halfwidth;
+  return {value, std::fabs(value) * 1e-12, n, true};
+}
+
+}  // namespace hspec::quad

@@ -1,0 +1,34 @@
+#pragma once
+// Gauss-Legendre quadrature with runtime node/weight computation.
+// Nodes are the roots of P_n found by Newton iteration from Chebyshev-like
+// initial guesses; weights via w_i = 2 / ((1-x_i^2) P_n'(x_i)^2).
+// Rules are cached per order (thread-safe).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "quad/result.h"
+
+namespace hspec::quad {
+
+/// Nodes/weights of the n-point Gauss-Legendre rule on [-1, 1].
+struct GaussLegendreRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// Compute (or fetch from cache) the n-point rule. Throws for n == 0.
+const GaussLegendreRule& gauss_legendre_rule(std::size_t n);
+
+/// Integrate f over [a, b] with the fixed n-point rule.
+IntegrationResult gauss_legendre(Integrand f, double a, double b, std::size_t n);
+
+/// Evaluate Legendre P_n(x) and its derivative (used by tests as well).
+struct LegendreEval {
+  double p;
+  double dp;
+};
+LegendreEval legendre(std::size_t n, double x) noexcept;
+
+}  // namespace hspec::quad

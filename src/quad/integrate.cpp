@@ -1,0 +1,50 @@
+#include "quad/integrate.h"
+
+#include <stdexcept>
+
+namespace hspec::quad {
+
+IntegrationResult kernel_integrate(KernelMethod m, std::size_t param,
+                                   Integrand f, double a, double b) {
+  switch (m) {
+    case KernelMethod::simpson:
+      return simpson(f, a, b, param);
+    case KernelMethod::romberg:
+      return romberg_fixed(f, a, b, param);
+    case KernelMethod::gauss:
+      return gauss_legendre(f, a, b, param);
+    case KernelMethod::trapezoid:
+      return trapezoid(f, a, b, param);
+  }
+  throw std::invalid_argument("kernel_integrate: unknown method");
+}
+
+std::size_t kernel_cost_evals(KernelMethod m, std::size_t param) noexcept {
+  switch (m) {
+    case KernelMethod::simpson:
+      return 2 * param + 1;
+    case KernelMethod::romberg:
+      return (std::size_t{1} << param) + 1;
+    case KernelMethod::gauss:
+      return param;
+    case KernelMethod::trapezoid:
+      return param + 1;
+  }
+  return 0;
+}
+
+std::string to_string(KernelMethod m) {
+  switch (m) {
+    case KernelMethod::simpson:
+      return "simpson";
+    case KernelMethod::romberg:
+      return "romberg";
+    case KernelMethod::gauss:
+      return "gauss";
+    case KernelMethod::trapezoid:
+      return "trapezoid";
+  }
+  return "?";
+}
+
+}  // namespace hspec::quad

@@ -1,0 +1,40 @@
+#pragma once
+// Umbrella header for the integration substrate, plus the pluggable-method
+// registry the paper describes: "a general interface of the GPU-accelerated
+// component is developed, so that different numerical integration algorithms
+// can be connected to the main program on demand. In the current
+// implementation, both the Simpson and the Romberg integration are provided."
+
+#include <cstddef>
+#include <string>
+
+#include "quad/gauss_kronrod.h"
+#include "quad/gauss_legendre.h"
+#include "quad/newton_cotes.h"
+#include "quad/qags.h"
+#include "quad/result.h"
+#include "quad/romberg.h"
+
+namespace hspec::quad {
+
+/// The fixed-cost methods eligible to run inside a GPU kernel (no adaptive
+/// control flow; each bin costs the same number of evaluations).
+enum class KernelMethod {
+  simpson,   ///< composite Simpson, `param` = panels per bin (paper: 64)
+  romberg,   ///< fixed-depth Romberg, `param` = dichotomy count k (Eq. 3)
+  gauss,     ///< fixed-order Gauss-Legendre, `param` = point count
+  trapezoid  ///< composite trapezoid, `param` = panels per bin
+};
+
+/// Evaluate one bin [a, b] with a kernel-eligible method.
+IntegrationResult kernel_integrate(KernelMethod m, std::size_t param,
+                                   Integrand f, double a, double b);
+
+/// Integrand evaluations one bin costs under a kernel method. This is the
+/// quantity the paper's "computation amount per task" (2^k columns of
+/// Table I) is proportional to, and the input to the vgpu cost model.
+std::size_t kernel_cost_evals(KernelMethod m, std::size_t param) noexcept;
+
+std::string to_string(KernelMethod m);
+
+}  // namespace hspec::quad

@@ -1,0 +1,31 @@
+#pragma once
+// Closed Newton-Cotes composite rules: trapezoid, midpoint, and the
+// composite Simpson rule used by the paper's GPU kernel (Algorithm 2).
+// "For most cases of spectral calculation, the Simpson algorithm can provide
+// enough accuracy just by dividing the integral range into 64 equal pieces."
+
+#include <cstddef>
+
+#include "quad/result.h"
+
+namespace hspec::quad {
+
+/// Composite trapezoid rule over `panels` equal subintervals.
+IntegrationResult trapezoid(Integrand f, double a, double b, std::size_t panels);
+
+/// Composite midpoint rule over `panels` equal subintervals.
+IntegrationResult midpoint(Integrand f, double a, double b, std::size_t panels);
+
+/// Composite Simpson rule over `panels` equal subintervals (panels need not
+/// be even: each panel is integrated with the three-point Simpson formula on
+/// its own half-split, matching the per-bin usage in Algorithm 2).
+IntegrationResult simpson(Integrand f, double a, double b, std::size_t panels);
+
+/// The paper's default GPU configuration: Simpson with 64 equal pieces.
+inline constexpr std::size_t kPaperSimpsonPanels = 64;
+
+inline IntegrationResult simpson_paper_default(Integrand f, double a, double b) {
+  return simpson(f, a, b, kPaperSimpsonPanels);
+}
+
+}  // namespace hspec::quad

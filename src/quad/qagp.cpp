@@ -1,0 +1,41 @@
+#include "quad/qagp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hspec::quad {
+
+IntegrationResult qagp(Integrand f, double a, double b,
+                       std::span<const double> break_points,
+                       const QagsOptions& opt) {
+  if (a == b) return {0.0, 0.0, 0, true};
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  const double sign = a < b ? 1.0 : -1.0;
+
+  std::vector<double> edges{lo};
+  for (double p : break_points)
+    if (p > lo && p < hi) edges.push_back(p);
+  edges.push_back(hi);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  QagsOptions piece_opt = opt;
+  const auto pieces = edges.size() - 1;
+  piece_opt.tol.absolute = opt.tol.absolute / static_cast<double>(pieces);
+  piece_opt.tol.relative = opt.tol.relative / static_cast<double>(pieces);
+
+  IntegrationResult total;
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    const IntegrationResult piece = qags(f, edges[i], edges[i + 1], piece_opt);
+    total.value += piece.value;
+    total.error += piece.error;
+    total.evaluations += piece.evaluations;
+    total.converged = total.converged && piece.converged;
+  }
+  total.value *= sign;
+  return total;
+}
+
+}  // namespace hspec::quad

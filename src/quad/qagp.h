@@ -1,0 +1,24 @@
+#pragma once
+// QAGP: adaptive quadrature with user-supplied break points (QUADPACK's
+// QAGP). Spectral integrands have known interior discontinuities — the
+// recombination edges — and telling the integrator where they are is both
+// cheaper and more robust than letting QAGS discover them. This is the
+// generalization of the edge split rrc_bin_emissivity_qags performs for a
+// single level.
+
+#include <span>
+
+#include "quad/qags.h"
+
+namespace hspec::quad {
+
+/// Integrate f over [a, b] treating each interior point of `break_points`
+/// (any order, duplicates and out-of-range values ignored) as a boundary:
+/// QAGS runs on every resulting subinterval and the pieces are summed.
+/// The per-piece tolerance is the requested tolerance scaled down by the
+/// piece count so the summed error respects the caller's bound.
+IntegrationResult qagp(Integrand f, double a, double b,
+                       std::span<const double> break_points,
+                       const QagsOptions& opt = {});
+
+}  // namespace hspec::quad

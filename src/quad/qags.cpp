@@ -1,0 +1,153 @@
+#include "quad/qags.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace hspec::quad {
+
+namespace {
+
+struct Interval {
+  double a;
+  double b;
+  double value;
+  double error;
+  bool operator<(const Interval& o) const noexcept { return error < o.error; }
+};
+
+}  // namespace
+
+EpsilonResult wynn_epsilon(std::span<const double> seq) {
+  if (seq.size() < 3)
+    throw std::invalid_argument("wynn_epsilon: need at least 3 terms");
+  // Two-row epsilon table; eps[k] holds the current diagonal.
+  // Track the last three diagonal values for the QUADPACK error estimate.
+  const double huge = std::numeric_limits<double>::max();
+  std::vector<double> prev_col(seq.begin(), seq.end());  // epsilon_{k}^{(j)}
+  std::vector<double> prev_prev(seq.size() + 1, 0.0);    // epsilon_{k-1}
+  std::vector<double> diag;
+  diag.push_back(prev_col.back());
+  while (prev_col.size() >= 2) {
+    std::vector<double> next(prev_col.size() - 1);
+    for (std::size_t j = 0; j + 1 < prev_col.size(); ++j) {
+      const double delta = prev_col[j + 1] - prev_col[j];
+      if (std::fabs(delta) < 1e-300) {
+        next[j] = huge;  // poles of the table; QUADPACK bails similarly
+      } else {
+        next[j] = prev_prev[j + 1] + 1.0 / delta;
+      }
+    }
+    prev_prev = std::move(prev_col);
+    prev_col = std::move(next);
+    // Even columns of the table approximate the limit.
+    if ((seq.size() - prev_col.size()) % 2 == 0 && !prev_col.empty())
+      diag.push_back(prev_col.back());
+  }
+  // Best estimate: last even-column diagonal entry that is finite.
+  double best = diag.front();
+  for (double d : diag)
+    if (std::fabs(d) < huge / 2) best = d;
+  double err = std::numeric_limits<double>::infinity();
+  if (diag.size() >= 3) {
+    const double d1 = diag[diag.size() - 1];
+    const double d2 = diag[diag.size() - 2];
+    const double d3 = diag[diag.size() - 3];
+    if (std::fabs(d1) < huge / 2)
+      err = std::fabs(d1 - d2) + std::fabs(d1 - d3) +
+            5e3 * std::numeric_limits<double>::epsilon() * std::fabs(d1);
+  }
+  return {best, err};
+}
+
+IntegrationResult qags(Integrand f, double a, double b, const QagsOptions& opt) {
+  if (opt.max_subintervals == 0)
+    throw std::invalid_argument("qags: max_subintervals must be positive");
+  if (a == b) return {0.0, 0.0, 0, true};
+
+  KronrodEstimate first = kronrod_apply(f, a, b, opt.rule);
+  std::size_t evals = first.evaluations;
+
+  double area = first.value;
+  double errsum = first.error;
+  if (errsum <= opt.tol.bound(area) &&
+      !(errsum <= 100.0 * std::numeric_limits<double>::epsilon() * first.resabs &&
+        errsum > opt.tol.bound(area)))
+    return {area, errsum, evals, true};
+
+  std::priority_queue<Interval> heap;
+  heap.push({a, b, first.value, first.error});
+
+  std::vector<double> area_sequence;  // inputs to the epsilon table
+  area_sequence.push_back(area);
+
+  int roundoff_type1 = 0;  // bisection did not reduce error (smooth part)
+  int roundoff_type2 = 0;  // ...while the interval is already tiny
+
+  while (heap.size() < opt.max_subintervals) {
+    Interval worst = heap.top();
+    heap.pop();
+
+    const double mid = 0.5 * (worst.a + worst.b);
+    KronrodEstimate left = kronrod_apply(f, worst.a, mid, opt.rule);
+    KronrodEstimate right = kronrod_apply(f, mid, worst.b, opt.rule);
+    evals += left.evaluations + right.evaluations;
+
+    const double new_value = left.value + right.value;
+    const double new_error = left.error + right.error;
+    area += new_value - worst.value;
+    errsum += new_error - worst.error;
+
+    // QUADPACK roundoff detection: error refuses to shrink although the
+    // values agree well -> further bisection is pointless noise.
+    if (left.resasc != left.error && right.resasc != right.error) {
+      if (std::fabs(worst.value - new_value) <= 1e-5 * std::fabs(new_value) &&
+          new_error >= 0.99 * worst.error)
+        ++roundoff_type1;
+      if (heap.size() > 10 && new_error > worst.error) ++roundoff_type2;
+    }
+
+    heap.push({worst.a, mid, left.value, left.error});
+    heap.push({mid, worst.b, right.value, right.error});
+
+    area_sequence.push_back(area);
+
+    if (errsum <= opt.tol.bound(area)) return {area, errsum, evals, true};
+    if (roundoff_type1 >= 10 || roundoff_type2 >= 20) break;
+  }
+
+  // Budget (or roundoff limit) exhausted without plain convergence. Apply
+  // the Wynn epsilon algorithm to the tail of the area sequence — this is
+  // what rescues integrable endpoint singularities, where bisection alone
+  // converges only geometrically. Unlike a mid-run short-circuit, the
+  // extrapolation only *replaces* the answer when its own error estimate
+  // beats the accumulated interval errors (a false epsilon-table limit on,
+  // say, an interior jump cannot beat honest bisection that way, because
+  // bisection would already have converged).
+  double best_value = area;
+  double best_error = errsum;
+  if (opt.use_extrapolation && area_sequence.size() >= 5) {
+    const std::size_t window =
+        std::min<std::size_t>(area_sequence.size(), 50);
+    std::span<const double> tail(
+        area_sequence.data() + area_sequence.size() - window, window);
+    const EpsilonResult ex = wynn_epsilon(tail);
+    if (std::isfinite(ex.error) && ex.error < best_error) {
+      best_value = ex.value;
+      best_error = ex.error;
+    }
+  }
+  return {best_value, best_error, evals, best_error <= opt.tol.bound(best_value)};
+}
+
+IntegrationResult qags(Integrand f, double a, double b, double errabs,
+                       double errrel) {
+  QagsOptions opt;
+  opt.tol = {errabs, errrel};
+  return qags(f, a, b, opt);
+}
+
+}  // namespace hspec::quad

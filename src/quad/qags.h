@@ -1,0 +1,50 @@
+#pragma once
+// QAGS: globally adaptive quadrature with extrapolation, after QUADPACK's
+// QAGS routine (Piessens et al. 1983) which the paper uses as the serial
+// baseline and the CPU fallback path of the hybrid scheduler:
+// "the original CPU process will continue to achieve the task by calling
+//  traditional QAGS routine serially."
+//
+// Design notes vs. the Fortran original:
+//  * interval management uses a max-heap keyed by error (same policy as
+//    QUADPACK's ordered lists, simpler bookkeeping);
+//  * the Wynn epsilon-algorithm extrapolation (QELG) is implemented as a
+//    standalone, separately-tested component;
+//  * the roundoff-detection counters (iroff1..3) are kept, the "small
+//    interval at extrapolation" machinery is simplified to a stall detector.
+
+#include <cstddef>
+#include <span>
+
+#include "quad/gauss_kronrod.h"
+#include "quad/result.h"
+
+namespace hspec::quad {
+
+struct QagsOptions {
+  Tolerance tol{1e-10, 1e-10};
+  std::size_t max_subintervals = 200;
+  KronrodRule rule = KronrodRule::k21;
+  bool use_extrapolation = true;
+};
+
+/// Integrate f over [a, b]. Handles integrable endpoint singularities via
+/// extrapolation (e.g. 1/sqrt(x), log(x)). Never throws on hard integrands;
+/// reports converged=false with the best estimate instead.
+IntegrationResult qags(Integrand f, double a, double b, const QagsOptions& opt = {});
+
+/// Convenience overload with explicit absolute/relative tolerances, matching
+/// the paper's CPU-Integr(L, U, N, f, errabs, errrel) signature.
+IntegrationResult qags(Integrand f, double a, double b, double errabs,
+                       double errrel);
+
+/// Wynn's epsilon algorithm over a sequence of partial estimates. Returns the
+/// extrapolated limit and an error estimate from the last three epsilon-table
+/// diagonals (QUADPACK QELG behaviour). `n` must be >= 3.
+struct EpsilonResult {
+  double value;
+  double error;
+};
+EpsilonResult wynn_epsilon(std::span<const double> sequence);
+
+}  // namespace hspec::quad

@@ -1,0 +1,19 @@
+#include "quad/qng.h"
+
+namespace hspec::quad {
+
+IntegrationResult qng(Integrand f, double a, double b, Tolerance tol) {
+  if (a == b) return {0.0, 0.0, 0, true};
+  std::size_t evals = 0;
+  for (const KronrodRule rule : {KronrodRule::k15, KronrodRule::k21}) {
+    const KronrodEstimate e = kronrod_apply(f, a, b, rule);
+    evals += e.evaluations;
+    if (e.error <= tol.bound(e.value))
+      return {e.value, e.error, evals, true};
+    if (rule == KronrodRule::k21)
+      return {e.value, e.error, evals, false};
+  }
+  return {};  // unreachable
+}
+
+}  // namespace hspec::quad

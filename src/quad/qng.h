@@ -1,0 +1,18 @@
+#pragma once
+// QNG: non-adaptive cascade quadrature (QUADPACK's QNG spirit). Applies the
+// 15-point Gauss-Kronrod rule and, if its embedded error estimate misses
+// the tolerance, escalates to the 21-point rule on the same interval —
+// never subdividing. The cheapest adaptive-free path for smooth integrands,
+// and a fixed-cost alternative for GPU-style execution where control-flow
+// divergence is expensive.
+
+#include "quad/gauss_kronrod.h"
+#include "quad/result.h"
+
+namespace hspec::quad {
+
+/// Integrate f over [a, b]; converged=false when even the largest rule
+/// misses the tolerance (callers should fall back to QAGS).
+IntegrationResult qng(Integrand f, double a, double b, Tolerance tol = {});
+
+}  // namespace hspec::quad

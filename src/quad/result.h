@@ -1,0 +1,30 @@
+#pragma once
+// Common result and integrand types for the integration substrate.
+
+#include <cstddef>
+
+#include "util/function_ref.h"
+
+namespace hspec::quad {
+
+/// A scalar integrand f(x). Non-owning: must outlive the integrator call.
+using Integrand = util::FunctionRef<double(double)>;
+
+/// Result of a definite-integral evaluation.
+struct IntegrationResult {
+  double value = 0.0;        ///< estimate of the integral
+  double error = 0.0;        ///< estimated absolute error
+  std::size_t evaluations = 0;  ///< number of integrand evaluations
+  bool converged = true;     ///< whether the requested tolerance was met
+};
+
+/// Convergence request shared by the adaptive integrators.
+struct Tolerance {
+  double absolute = 1e-10;
+  double relative = 1e-10;
+
+  /// QUADPACK-style combined bound for a current estimate `value`.
+  double bound(double value) const noexcept;
+};
+
+}  // namespace hspec::quad

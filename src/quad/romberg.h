@@ -1,0 +1,26 @@
+#pragma once
+// Romberg integration (Richardson extrapolation of the trapezoid rule),
+// Eq. (3) of the paper:
+//
+//   T_m^(k) = 4^m/(4^m-1) T_{m-1}^(k+1) - 1/(4^m-1) T_{m-1}^(k)
+//
+// The paper uses the dichotomy count k as the complexity dial for the
+// load-balance study (Fig. 6, Table I): the work of one task grows as 2^k.
+
+#include <cstddef>
+
+#include "quad/result.h"
+
+namespace hspec::quad {
+
+/// Fixed-depth Romberg: build the full tableau for `k` trapezoid dichotomies
+/// (i.e. row i uses 2^i panels, i = 0..k) and return T_k^(0).
+/// Cost: 2^k + 1 integrand evaluations.
+IntegrationResult romberg_fixed(Integrand f, double a, double b, std::size_t k);
+
+/// Adaptive Romberg: grow the tableau until two successive diagonal entries
+/// agree to `tol`, or `max_k` dichotomies are reached.
+IntegrationResult romberg(Integrand f, double a, double b, Tolerance tol,
+                          std::size_t max_k = 20);
+
+}  // namespace hspec::quad

@@ -1,0 +1,71 @@
+#pragma once
+// Radiative Recombination Continuum (RRC) emissivity — Eq. (1)/(2) of the
+// paper. For an electron of kinetic energy Ee = Eg - I recombining onto
+// level n of ion (Z, j) in a Maxwellian plasma at temperature kT:
+//
+//   dP/dE = ne * n_{Z,j+1} * 4 * (Ee/kT) * sqrt(1/(2 pi me kT))
+//           * sigma_rec(Ee) * exp(-Ee/kT) * Eg                       (1)
+//
+// (the factor 4 is exactly the Maxwellian flux normalization:
+//  2 sqrt(Ee/pi) (kT)^{-3/2} * sqrt(2 Ee/me) == 4 (Ee/kT) sqrt(1/(2 pi me kT))).
+//
+// The spectrum is accumulated per energy bin:
+//
+//   Lambda_RRC(Ebin) = Integral_{E0}^{E1} dP/dE (E) dE               (2)
+//
+// With the pure Kramers/Milne cross section the integrand collapses to
+// K * exp(-Ee/kT) above threshold, which has a closed form used by the
+// property tests; the optional Gaunt-factor correction (default on in the
+// spectral calculator) restores a slowly varying non-analytic shape.
+
+#include "atomic/levels.h"
+#include "quad/integrate.h"
+
+namespace hspec::rrc {
+
+/// Plasma and ion-population inputs of Eq. (1).
+struct PlasmaState {
+  double kT_keV = 1.0;          ///< electron temperature [keV]
+  double ne_cm3 = 1.0;          ///< electron density [cm^-3]
+  double n_ion_cm3 = 1.0;       ///< density of the recombining ion [cm^-3]
+};
+
+/// Integrand configuration for one recombination channel.
+struct RrcChannel {
+  int recombining_charge = 1;   ///< charge of ion (Z, j+1)
+  atomic::Level level;          ///< target level in ion (Z, j)
+  bool gaunt_correction = true; ///< apply the slowly-varying Gaunt factor
+};
+
+/// Slowly varying free-bound Gaunt-like correction g(Eg / I).
+/// g(1) == 1; grows logarithmically. Pure shape realism.
+double gaunt_factor(double photon_keV, double binding_keV) noexcept;
+
+/// The differential emissivity dP/dE of Eq. (1) [keV s^-1 cm^-3 keV^-1].
+/// Zero below threshold (photon_keV < level.binding_keV).
+double rrc_power_density(const RrcChannel& ch, const PlasmaState& plasma,
+                         double photon_keV);
+
+/// Lambda_RRC over [e0, e1] by the requested kernel method (Eq. 2).
+quad::IntegrationResult rrc_bin_emissivity(const RrcChannel& ch,
+                                           const PlasmaState& plasma,
+                                           double e0_keV, double e1_keV,
+                                           quad::KernelMethod method,
+                                           std::size_t method_param);
+
+/// Reference adaptive evaluation (QAGS), used by the serial baseline and the
+/// CPU fallback path. Splits at the threshold so the edge discontinuity does
+/// not poison the extrapolation.
+quad::IntegrationResult rrc_bin_emissivity_qags(const RrcChannel& ch,
+                                                const PlasmaState& plasma,
+                                                double e0_keV, double e1_keV,
+                                                double errabs = 1e-14,
+                                                double errrel = 1e-10);
+
+/// Closed form of Eq. (2) valid when gaunt_correction == false:
+///   K kT [exp(-(max(E0,I)-I)/kT) - exp(-(E1-I)/kT)]  for E1 > I, else 0.
+double rrc_bin_emissivity_exact_nogaunt(const RrcChannel& ch,
+                                        const PlasmaState& plasma,
+                                        double e0_keV, double e1_keV);
+
+}  // namespace hspec::rrc

@@ -1,0 +1,50 @@
+#include "sim/analytic_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hspec::sim {
+
+AnalyticBounds analytic_bounds(const HybridSimConfig& cfg) {
+  AnalyticBounds b;
+  const double tasks = static_cast<double>(cfg.total_tasks);
+  const double ranks = static_cast<double>(std::max(cfg.ranks, 1));
+
+  b.prep_bound_s = std::ceil(tasks / ranks) * cfg.prep_s;
+
+  if (cfg.devices > 0)
+    b.gpu_bound_s = tasks * cfg.gpu_task_s / static_cast<double>(cfg.devices);
+
+  // Perfect-overlap capacity: GPUs process at devices/gpu_task tasks per
+  // second; the CPU side at min(ranks, core-equivalents)/(prep+cpu_task)
+  // when falling back (prep always serializes with its own task's
+  // execution on the owning rank).
+  const double gpu_rate =
+      cfg.devices > 0 && cfg.gpu_task_s > 0.0
+          ? static_cast<double>(cfg.devices) / cfg.gpu_task_s
+          : 0.0;
+  const double cpu_workers =
+      std::min(ranks, cfg.cpu_core_equivalents);
+  const double cpu_rate = cfg.cpu_task_s + cfg.prep_s > 0.0
+                              ? cpu_workers / (cfg.cpu_task_s + cfg.prep_s)
+                              : 0.0;
+  const double rate = gpu_rate + cpu_rate;
+  b.capacity_bound_s = rate > 0.0 ? tasks / rate : 0.0;
+
+  b.lower_bound_s = b.capacity_bound_s;
+  // The prep bound only applies when GPU tasks cannot overlap a rank's own
+  // preparation (synchronous mode); in async mode prep pipelines with GPU
+  // service, so the unconditional lower bound is the capacity bound and,
+  // in synchronous mode, also prep+service serialization per rank.
+  if (!cfg.asynchronous) {
+    const double sync_rank_bound =
+        std::ceil(tasks / ranks) * (cfg.prep_s + std::min(cfg.gpu_task_s,
+                                                          cfg.cpu_task_s));
+    b.lower_bound_s = std::max(b.lower_bound_s, sync_rank_bound);
+  } else {
+    b.lower_bound_s = std::max(b.lower_bound_s, b.prep_bound_s);
+  }
+  return b;
+}
+
+}  // namespace hspec::sim

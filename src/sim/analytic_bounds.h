@@ -1,0 +1,28 @@
+#pragma once
+// Closed-form performance bounds for the hybrid execution — the "napkin
+// model" behind the Fig. 3/4 shapes, and an independent oracle the tests
+// hold the discrete-event simulator against:
+//
+//  * preparation bound: ranks must prepare every task
+//      T >= ceil(tasks / ranks) * prep;
+//  * device bound: if the GPUs execute a fraction r of the tasks
+//      T >= r * tasks * gpu_task / devices  (r = 1 for the usual regime);
+//  * hybrid capacity bound: even with perfect overlap, total work divided
+//    by total processing capacity floors the makespan.
+
+#include "sim/hybrid_sim.h"
+
+namespace hspec::sim {
+
+struct AnalyticBounds {
+  double prep_bound_s = 0.0;
+  double gpu_bound_s = 0.0;      ///< all tasks on GPUs
+  double capacity_bound_s = 0.0; ///< perfect CPU+GPU overlap
+  double lower_bound_s = 0.0;    ///< max of the applicable bounds
+};
+
+/// Bounds for the given configuration (ignores jitter: bounds hold for the
+/// mean; the DES with jitter j can undercut by at most the factor (1-j)).
+AnalyticBounds analytic_bounds(const HybridSimConfig& config);
+
+}  // namespace hspec::sim

@@ -1,0 +1,47 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspec::sim {
+
+std::uint64_t ClusterSimResult::tasks_gpu() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& node : per_node) total += node.tasks_gpu;
+  return total;
+}
+
+std::uint64_t ClusterSimResult::tasks_cpu() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& node : per_node) total += node.tasks_cpu;
+  return total;
+}
+
+double ClusterSimResult::imbalance() const noexcept {
+  return ideal_makespan_s > 0.0 ? makespan_s / ideal_makespan_s - 1.0 : 0.0;
+}
+
+ClusterSimResult simulate_cluster(const ClusterSimConfig& config) {
+  if (config.nodes < 1)
+    throw std::invalid_argument("simulate_cluster: nodes < 1");
+
+  const std::uint64_t total = config.node.total_tasks;
+  const auto nodes = static_cast<std::uint64_t>(config.nodes);
+  ClusterSimResult result;
+  result.per_node.reserve(static_cast<std::size_t>(config.nodes));
+
+  double sum = 0.0;
+  for (std::uint64_t n = 0; n < nodes; ++n) {
+    HybridSimConfig node_cfg = config.node;
+    node_cfg.total_tasks = total / nodes + (n < total % nodes ? 1 : 0);
+    node_cfg.seed = config.node.seed + 0x9e3779b97f4a7c15ULL * (n + 1);
+    result.per_node.push_back(simulate_hybrid(node_cfg));
+    const double t = result.per_node.back().makespan_s;
+    result.makespan_s = std::max(result.makespan_s, t);
+    sum += t;
+  }
+  result.ideal_makespan_s = sum / static_cast<double>(config.nodes);
+  return result;
+}
+
+}  // namespace hspec::sim

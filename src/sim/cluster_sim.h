@@ -1,0 +1,39 @@
+#pragma once
+// Multi-node replay of the paper's inter-node strategy (§III-A): "there is
+// no central load balance server in the parallel program, instead each
+// physical node is equipped with a local task scheduler. The main program
+// is responsible for load balance among the different physical machines by
+// dividing the whole parameter space into several equal subspaces."
+//
+// Nodes are independent — each gets an equal contiguous share of the tasks
+// and its own scheduler + GPUs — so the cluster makespan is the slowest
+// node's makespan. The model quantifies how well the static equal split
+// holds up under per-task jitter.
+
+#include <vector>
+
+#include "sim/hybrid_sim.h"
+
+namespace hspec::sim {
+
+struct ClusterSimConfig {
+  int nodes = 1;
+  /// Per-node configuration; `total_tasks` is the WHOLE workload, divided
+  /// near-equally across nodes. Each node derives a distinct RNG stream.
+  HybridSimConfig node{};
+};
+
+struct ClusterSimResult {
+  double makespan_s = 0.0;            ///< slowest node
+  double ideal_makespan_s = 0.0;      ///< mean node makespan (perfect split)
+  std::vector<HybridSimResult> per_node;
+
+  std::uint64_t tasks_gpu() const noexcept;
+  std::uint64_t tasks_cpu() const noexcept;
+  /// Slowest/mean ratio - 1: the static-split load imbalance.
+  double imbalance() const noexcept;
+};
+
+ClusterSimResult simulate_cluster(const ClusterSimConfig& config);
+
+}  // namespace hspec::sim

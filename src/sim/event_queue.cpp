@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include <cmath>
+
+namespace hspec::sim {
+
+void Simulation::schedule(double delay, Action action) {
+  if (!(delay >= 0.0) || !std::isfinite(delay))
+    throw std::invalid_argument("Simulation::schedule: bad delay");
+  queue_.push({now_ + delay, next_seq_++, std::move(action)});
+}
+
+double Simulation::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.action();
+  }
+  return now_;
+}
+
+double Simulation::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.action();
+  }
+  if (now_ < t_end) now_ = t_end;
+  return now_;
+}
+
+}  // namespace hspec::sim

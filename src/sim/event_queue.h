@@ -1,0 +1,50 @@
+#pragma once
+// A minimal deterministic discrete-event simulation core: a virtual clock
+// and a time-ordered event queue. Ties break by insertion order so repeated
+// runs with the same seed are bit-identical.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace hspec::sim {
+
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  /// Schedule `action` to run `delay` seconds from now (delay >= 0).
+  void schedule(double delay, Action action);
+
+  /// Run until the queue drains. Returns the final clock value.
+  double run();
+
+  /// Run until the clock reaches `t_end` (remaining events stay queued).
+  double run_until(double t_end);
+
+  std::size_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hspec::sim

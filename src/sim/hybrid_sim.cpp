@@ -1,0 +1,196 @@
+#include "sim/hybrid_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "core/scheduler.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace hspec::sim {
+
+double HybridSimResult::load0_fraction_at_least(int threshold) const {
+  double total = 0.0;
+  double above = 0.0;
+  for (std::size_t l = 0; l < load0_residency_s.size(); ++l) {
+    total += load0_residency_s[l];
+    if (static_cast<int>(l) >= threshold) above += load0_residency_s[l];
+  }
+  return total > 0.0 ? above / total : 0.0;
+}
+
+namespace {
+
+class HybridSimulator {
+ public:
+  explicit HybridSimulator(const HybridSimConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed),
+        loads_(static_cast<std::size_t>(cfg.devices), 0),
+        histories_(static_cast<std::size_t>(cfg.devices), 0),
+        waiting_(static_cast<std::size_t>(cfg.devices)),
+        device_busy_(static_cast<std::size_t>(cfg.devices), 0.0),
+        remaining_(static_cast<std::size_t>(cfg.ranks), 0) {
+    if (cfg.ranks < 1) throw std::invalid_argument("sim: ranks < 1");
+    if (cfg.devices < 0 || cfg.devices > core::kMaxDevices)
+      throw std::invalid_argument("sim: bad device count");
+    if (cfg.max_queue_length < 1)
+      throw std::invalid_argument("sim: max queue length < 1");
+    if (cfg.jitter < 0.0 || cfg.jitter >= 1.0)
+      throw std::invalid_argument("sim: jitter must be in [0, 1)");
+    if (cfg.concurrent_kernels < 1)
+      throw std::invalid_argument("sim: concurrent_kernels < 1");
+    active_count_.assign(static_cast<std::size_t>(cfg.devices), 0);
+    // Near-equal task split across ranks.
+    const std::uint64_t base =
+        cfg.total_tasks / static_cast<std::uint64_t>(cfg.ranks);
+    const std::uint64_t extra =
+        cfg.total_tasks % static_cast<std::uint64_t>(cfg.ranks);
+    for (int r = 0; r < cfg.ranks; ++r)
+      remaining_[static_cast<std::size_t>(r)] =
+          base + (static_cast<std::uint64_t>(r) < extra ? 1 : 0);
+    residency_.assign(static_cast<std::size_t>(cfg.max_queue_length) + 1, 0.0);
+  }
+
+  HybridSimResult run() {
+    for (int r = 0; r < cfg_.ranks; ++r) begin_next_task(r);
+    sim_.run();
+    // Close the residency window at the moment the last task finished.
+    if (!loads_.empty()) note_load0_change(last_completion_);
+
+    HybridSimResult out;
+    out.makespan_s = last_completion_;
+    out.tasks_gpu = tasks_gpu_;
+    out.tasks_cpu = tasks_cpu_;
+    out.history = histories_;
+    out.device_busy_s = device_busy_;
+    out.load0_residency_s = residency_;
+    return out;
+  }
+
+ private:
+  struct QueuedTask {
+    int rank;
+    double service_s;
+  };
+
+  double jittered(double base) {
+    if (cfg_.jitter == 0.0) return base;
+    return base * (1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0));
+  }
+
+  /// Quasi-static CPU contention: a rank starting a QAGS fallback task runs
+  /// slower when more ranks than the node's core-equivalents are executing
+  /// memory-bound integration at that moment. Task *preparation* is light
+  /// bookkeeping and does not contend (it is the pure-MPI baseline, all 24
+  /// ranks integrating simultaneously, that measures the 13.5x ceiling).
+  double cpu_slowdown() const noexcept {
+    return std::max(1.0, static_cast<double>(cpu_busy_) /
+                             cfg_.cpu_core_equivalents);
+  }
+
+  void note_load0_change(double now) {
+    if (loads_.empty()) return;
+    const auto level = static_cast<std::size_t>(
+        std::min<std::int32_t>(loads_[0], cfg_.max_queue_length));
+    residency_[load0_prev_] += now - load0_since_;
+    load0_prev_ = level;
+    load0_since_ = now;
+  }
+
+  void begin_next_task(int rank) {
+    auto& left = remaining_[static_cast<std::size_t>(rank)];
+    if (left == 0) return;  // this rank is done
+    --left;
+    ++cpu_busy_;
+    const double dur = jittered(cfg_.prep_s);
+    sim_.schedule(dur, [this, rank] {
+      --cpu_busy_;
+      submit(rank);
+    });
+  }
+
+  void submit(int rank) {
+    const int device =
+        core::pick_device(loads_, histories_, cfg_.max_queue_length);
+    if (device >= 0) {
+      const auto d = static_cast<std::size_t>(device);
+      ++loads_[d];
+      ++histories_[d];
+      ++tasks_gpu_;
+      if (device == 0) note_load0_change(sim_.now());
+      waiting_[d].push_back({rank, jittered(cfg_.gpu_task_s)});
+      pump_device(device);
+      // Synchronous mode: the rank blocks until task_done resumes it.
+      // Asynchronous mode: the rank moves straight on to its next task.
+      if (cfg_.asynchronous) begin_next_task(rank);
+      return;
+    }
+    // All GPU queues full: the CPU process runs the task itself (QAGS).
+    // This occupies the rank in both modes — the rank IS the executor —
+    // so its next task always starts after the fallback completes.
+    ++tasks_cpu_;
+    ++cpu_busy_;
+    const double dur = jittered(cfg_.cpu_task_s) * cpu_slowdown();
+    sim_.schedule(dur, [this, rank] {
+      --cpu_busy_;
+      last_completion_ = std::max(last_completion_, sim_.now());
+      begin_next_task(rank);
+    });
+  }
+
+  void pump_device(int device) {
+    const auto d = static_cast<std::size_t>(device);
+    // Fermi serializes (1 active); Kepler Hyper-Q runs up to C concurrently.
+    while (active_count_[d] < cfg_.concurrent_kernels &&
+           !waiting_[d].empty()) {
+      ++active_count_[d];
+      const QueuedTask task = waiting_[d].front();
+      waiting_[d].pop_front();
+      device_busy_[d] += task.service_s;
+      sim_.schedule(task.service_s, [this, device, task] {
+        const auto dd = static_cast<std::size_t>(device);
+        --active_count_[dd];
+        --loads_[dd];
+        if (device == 0) note_load0_change(sim_.now());
+        pump_device(device);
+        sim_.schedule(cfg_.sched_overhead_s,
+                      [this, task] { finish(task.rank); });
+      });
+    }
+  }
+
+  void finish(int rank) {
+    last_completion_ = std::max(last_completion_, sim_.now());
+    // In asynchronous mode the rank already moved on at submission time.
+    if (!cfg_.asynchronous) begin_next_task(rank);
+  }
+
+  HybridSimConfig cfg_;
+  Simulation sim_;
+  util::Xoshiro256 rng_;
+
+  std::vector<std::int32_t> loads_;
+  std::vector<std::int64_t> histories_;
+  std::vector<std::deque<QueuedTask>> waiting_;
+  std::vector<int> active_count_;
+  std::vector<double> device_busy_;
+  std::vector<std::uint64_t> remaining_;
+
+  int cpu_busy_ = 0;
+  std::uint64_t tasks_gpu_ = 0;
+  std::uint64_t tasks_cpu_ = 0;
+
+  std::vector<double> residency_;
+  std::size_t load0_prev_ = 0;
+  double load0_since_ = 0.0;
+  double last_completion_ = 0.0;
+};
+
+}  // namespace
+
+HybridSimResult simulate_hybrid(const HybridSimConfig& config) {
+  return HybridSimulator(config).run();
+}
+
+}  // namespace hspec::sim

@@ -1,0 +1,94 @@
+#include "util/brent.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hspec::util {
+
+BrentResult brent_minimize(FunctionRef<double(double)> f, double lo, double hi,
+                           const BrentOptions& opt) {
+  if (!(hi > lo)) throw std::invalid_argument("brent: need hi > lo");
+  constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt(5)) / 2
+  const double eps_abs = 1e-300;
+
+  BrentResult result;
+  double a = lo;
+  double b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  double fw = fx;
+  double fv = fx;
+  ++result.evaluations;
+  double d = 0.0;
+  double e = 0.0;
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double tol1 = opt.x_tolerance * std::fabs(x) + eps_abs;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - mid) <= tol2 - 0.5 * (b - a)) {
+      result.converged = true;
+      break;
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Parabolic fit through (v, fv), (w, fw), (x, fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = std::copysign(tol1, mid - x);
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= mid ? a : b) - x;
+      d = kGolden * e;
+    }
+    const double u =
+        std::fabs(d) >= tol1 ? x + d : x + std::copysign(tol1, d);
+    const double fu = f(u);
+    ++result.evaluations;
+    if (fu <= fx) {
+      if (u >= x)
+        a = x;
+      else
+        b = x;
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x)
+        a = u;
+      else
+        b = u;
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.fx = fx;
+  return result;
+}
+
+}  // namespace hspec::util

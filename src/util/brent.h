@@ -1,0 +1,30 @@
+#pragma once
+// One-dimensional minimization without derivatives: golden-section search
+// stabilized with successive parabolic interpolation (Brent's method).
+// Used by the spectral-fitting layer to minimize chi-squared over
+// temperature.
+
+#include <cstddef>
+
+#include "util/function_ref.h"
+
+namespace hspec::util {
+
+struct BrentResult {
+  double x = 0.0;        ///< abscissa of the minimum
+  double fx = 0.0;       ///< function value at the minimum
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+struct BrentOptions {
+  double x_tolerance = 1e-8;   ///< relative bracket tolerance
+  std::size_t max_iterations = 100;
+};
+
+/// Minimize f over [lo, hi]. The minimum need not be interior — endpoint
+/// minima converge to the endpoint.
+BrentResult brent_minimize(FunctionRef<double(double)> f, double lo, double hi,
+                           const BrentOptions& opt = {});
+
+}  // namespace hspec::util

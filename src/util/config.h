@@ -1,0 +1,40 @@
+#pragma once
+// Minimal INI-style configuration reader. "The parameter space is often
+// given by a result of astrophysical simulation or a configuration file" —
+// this is the configuration-file path. Format:
+//
+//   # comment
+//   [section]
+//   key = value
+//
+// Keys outside any section live in the "" section. Lookup is by
+// "section.key". Values are strings with typed accessors.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hspec::util {
+
+class Config {
+ public:
+  /// Parse from text. Throws std::invalid_argument on malformed lines.
+  static Config parse(const std::string& text);
+  /// Parse a file. Throws std::runtime_error if unreadable.
+  static Config load(const std::string& path);
+
+  bool has(const std::string& dotted_key) const;
+  std::string get(const std::string& dotted_key,
+                  const std::string& fallback = "") const;
+  double get_double(const std::string& dotted_key, double fallback) const;
+  std::int64_t get_int(const std::string& dotted_key,
+                       std::int64_t fallback) const;
+  bool get_bool(const std::string& dotted_key, bool fallback) const;
+
+  std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hspec::util

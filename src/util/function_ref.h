@@ -1,0 +1,59 @@
+#pragma once
+// Non-owning, trivially-copyable callable reference (a lightweight
+// std::function alternative for hot paths). The referenced callable must
+// outlive the FunctionRef — the usual pattern here is passing a lambda to an
+// integrator that finishes before the full expression ends. Plain functions
+// and captureless lambdas bind by pointer and have no lifetime concerns.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hspec::util {
+
+template <class Signature>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept {  // NOLINT(google-explicit-constructor)
+    if constexpr (std::is_function_v<std::remove_reference_t<F>>) {
+      // Plain function: store the function pointer itself.
+      fn_ = reinterpret_cast<void (*)()>(std::addressof(f));
+      call_ = [](Storage s, Args... args) -> R {
+        return reinterpret_cast<std::remove_reference_t<F>*>(s.fn)(
+            std::forward<Args>(args)...);
+      };
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      call_ = [](Storage s, Args... args) -> R {
+        return (*static_cast<std::remove_reference_t<F>*>(s.obj))(
+            std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    Storage s;
+    s.obj = obj_;
+    if (fn_ != nullptr) s.fn = fn_;
+    return call_(s, std::forward<Args>(args)...);
+  }
+
+ private:
+  union Storage {
+    void* obj;
+    void (*fn)();
+  };
+
+  void* obj_ = nullptr;
+  void (*fn_)() = nullptr;
+  R (*call_)(Storage, Args...) = nullptr;
+};
+
+}  // namespace hspec::util

@@ -1,0 +1,76 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hspec::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+}
+
+void Histogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    counts_.front() += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (idx >= counts_.size()) {
+    if (x > hi_) overflow_ += weight;
+    idx = counts_.size() - 1;  // clamp hi edge and overflow into last bin
+  }
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i + 1) * bin_width_;
+}
+double Histogram::bin_center(std::size_t i) const noexcept {
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width_;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ > 0.0 ? counts_.at(i) / total_ : 0.0;
+}
+
+double Histogram::fraction_between(double a, double b) const {
+  if (total_ <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = bin_center(i);
+    if (c >= a && c < b) acc += counts_[i];
+  }
+  return acc / total_;
+}
+
+std::string Histogram::ascii(std::size_t width, const std::string& label) const {
+  std::string out;
+  if (!label.empty()) out += label + "\n";
+  const double peak = counts_.empty()
+                          ? 0.0
+                          : *std::max_element(counts_.begin(), counts_.end());
+  char line[256];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        peak > 0.0 ? std::lround(counts_[i] / peak * static_cast<double>(width))
+                   : 0);
+    std::snprintf(line, sizeof line, "[%12.5g,%12.5g) %8.4g%% |",
+                  bin_lo(i), bin_hi(i), 100.0 * fraction(i));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hspec::util

@@ -1,0 +1,46 @@
+#pragma once
+// Fixed-bin histogram used for the paper's distribution plots:
+// Fig. 6 (queue-load residency) and Fig. 8 (relative-error distribution).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hspec::util {
+
+/// Uniform-bin histogram over [lo, hi). Out-of-range samples are clamped to
+/// the first/last bin and counted separately so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  double bin_center(std::size_t i) const noexcept;
+  double count(std::size_t i) const { return counts_.at(i); }
+  double total() const noexcept { return total_; }
+  double underflow() const noexcept { return underflow_; }
+  double overflow() const noexcept { return overflow_; }
+
+  /// Fraction of total weight in bin i (0 if empty histogram).
+  double fraction(std::size_t i) const;
+  /// Fraction of total weight with sample value in [a, b).
+  double fraction_between(double a, double b) const;
+
+  /// Render a simple fixed-width ASCII bar chart (for bench stdout).
+  std::string ascii(std::size_t width = 48, const std::string& label = "") const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace hspec::util

@@ -1,0 +1,105 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of the library (synthetic atomic data, workload
+// jitter in the discrete-event simulator, property-test input generation)
+// draw from this generator so that every experiment is exactly reproducible
+// from its seed. The core is SplitMix64 (for seeding) feeding xoshiro256**,
+// the same construction recommended by Blackman & Vigna.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hspec::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full state vector.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 2^256-1 period.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9d1c03a6b7f1f253ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    std::uint64_t x = operator()();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = operator()();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Derive an independent stream (e.g. one per MPI rank / grid point).
+  constexpr Xoshiro256 split(std::uint64_t stream_id) noexcept {
+    Xoshiro256 child(*this);
+    child.state_[0] ^= 0x180ec6d33cfd0abaULL + stream_id;
+    child.state_[3] += 0x2545f4914f6cdd1dULL * (stream_id + 1);
+    // Burn a few outputs to decorrelate.
+    for (int i = 0; i < 8; ++i) child();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hspec::util

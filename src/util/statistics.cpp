@@ -1,0 +1,41 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hspec::util {
+
+double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::vector<double> xs(sample.begin(), sample.end());
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double max_relative_error(std::span<const double> a, std::span<const double> b,
+                          double floor) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("max_relative_error: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max({std::abs(a[i]), std::abs(b[i]), floor});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / denom);
+  }
+  return worst;
+}
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace hspec::util

@@ -1,0 +1,37 @@
+#pragma once
+// Console table and CSV emission for the reproduction benches.
+// Every bench prints a human-readable table matching the paper's layout and
+// drops a machine-readable CSV beside the binary for plotting.
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hspec::util {
+
+/// A simple right-aligned console table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row of preformatted cells. Must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `%.*g`.
+  static std::string num(double v, int precision = 6);
+  static std::string pct(double fraction, int decimals = 2);
+
+  std::string str() const;
+  /// Write the table as CSV (header + rows) to `path`. Throws on I/O error.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Standard banner printed at the top of each reproduction bench.
+std::string bench_banner(const std::string& experiment_id,
+                         const std::string& paper_claim);
+
+}  // namespace hspec::util

@@ -1,0 +1,45 @@
+#include "vgpu/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace hspec::vgpu {
+
+DeviceBuffer BufferPool::acquire(std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  ++stats_.acquisitions;
+  // Smallest adequate free buffer.
+  auto best = free_list_.end();
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it)
+    if (it->size() >= bytes &&
+        (best == free_list_.end() || it->size() < best->size()))
+      best = it;
+  if (best != free_list_.end()) {
+    ++stats_.reuses;
+    DeviceBuffer out = std::move(*best);
+    free_list_.erase(best);
+    return out;
+  }
+  ++stats_.allocations;
+  // Round up so slightly differing task sizes share buckets.
+  const std::size_t rounded = std::bit_ceil(std::max<std::size_t>(bytes, 64));
+  return device_->alloc(rounded);
+}
+
+void BufferPool::release(DeviceBuffer buffer) {
+  if (!buffer.valid()) return;
+  std::lock_guard lock(mu_);
+  free_list_.push_back(std::move(buffer));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void BufferPool::trim() {
+  std::lock_guard lock(mu_);
+  free_list_.clear();
+}
+
+}  // namespace hspec::vgpu

@@ -1,0 +1,65 @@
+#pragma once
+// Device-memory pooling. Real CUDA codes avoid cudaMalloc/cudaFree inside
+// task loops (they serialize the device); the hybrid executor runs one
+// allocation pattern per task, so a size-bucketed free list removes all
+// steady-state allocations. Thread-safe: many ranks share one device.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "vgpu/device.h"
+
+namespace hspec::vgpu {
+
+class BufferPool {
+ public:
+  explicit BufferPool(Device& device) : device_(&device) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Get a buffer of at least `bytes` (smallest adequate free buffer, else
+  /// a fresh allocation rounded up to the next power of two).
+  DeviceBuffer acquire(std::size_t bytes);
+
+  /// Return a buffer for reuse. Invalid buffers are ignored.
+  void release(DeviceBuffer buffer);
+
+  Device& device() noexcept { return *device_; }
+
+  struct Stats {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t reuses = 0;       ///< served from the free list
+    std::uint64_t allocations = 0;  ///< fell through to Device::alloc
+  };
+  Stats stats() const;
+
+  /// Drop all pooled (free) buffers back to the device.
+  void trim();
+
+ private:
+  Device* device_;
+  mutable std::mutex mu_;
+  std::vector<DeviceBuffer> free_list_;
+  Stats stats_;
+};
+
+/// RAII lease: acquires on construction, releases back on destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer(BufferPool& pool, std::size_t bytes)
+      : pool_(&pool), buffer_(pool.acquire(bytes)) {}
+  ~PooledBuffer() { pool_->release(std::move(buffer_)); }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  DeviceBuffer& get() noexcept { return buffer_; }
+  const DeviceBuffer& get() const noexcept { return buffer_; }
+
+ private:
+  BufferPool* pool_;
+  DeviceBuffer buffer_;
+};
+
+}  // namespace hspec::vgpu

@@ -1,0 +1,20 @@
+#include "vgpu/cost_model.h"
+
+#include <algorithm>
+
+namespace hspec::vgpu {
+
+double GpuCostModel::kernel_time_s(const WorkEstimate& work) const noexcept {
+  const double flops_s = props_.dp_peak_gflops * 1e9 * props_.kernel_efficiency;
+  const double compute = work.flops / flops_s;
+  const double memory =
+      static_cast<double>(work.device_bytes) / (props_.mem_bandwidth_gbps * 1e9);
+  return std::max(compute, memory) + props_.kernel_launch_s;
+}
+
+double GpuCostModel::transfer_time_s(std::size_t bytes) const noexcept {
+  return props_.memcpy_latency_s +
+         static_cast<double>(bytes) / (props_.pcie_bandwidth_gbps * 1e9);
+}
+
+}  // namespace hspec::vgpu

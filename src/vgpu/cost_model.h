@@ -1,0 +1,65 @@
+#pragma once
+// Virtual-time cost model shared by the executing device (src/vgpu/device.h)
+// and the discrete-event performance simulator (src/sim). All the paper's
+// performance phenomena reduce to the relative magnitudes modeled here:
+//  * per-launch overhead  -> fine-grained (Level) tasks lose to coarse (Ion);
+//  * PCIe transfer cost   -> per-ion on-device accumulation wins;
+//  * compute throughput   -> GPU >> one CPU core for bulk quadrature.
+
+#include <cstddef>
+
+#include "vgpu/device_properties.h"
+
+namespace hspec::vgpu {
+
+/// Abstract work content of a kernel or CPU call.
+struct WorkEstimate {
+  double flops = 0.0;          ///< floating-point operations
+  std::size_t device_bytes = 0; ///< device-memory traffic [bytes]
+
+  WorkEstimate& operator+=(const WorkEstimate& o) noexcept {
+    flops += o.flops;
+    device_bytes += o.device_bytes;
+    return *this;
+  }
+};
+
+/// Average floating-point cost of one RRC integrand evaluation
+/// (exp + pow + cross-section arithmetic on either architecture).
+inline constexpr double kFlopsPerIntegrandEval = 60.0;
+
+class GpuCostModel {
+ public:
+  explicit GpuCostModel(DeviceProperties props) : props_(props) {}
+
+  /// Execution time of a kernel given its work, assuming full occupancy:
+  /// max(compute-bound, memory-bound) + fixed launch overhead.
+  double kernel_time_s(const WorkEstimate& work) const noexcept;
+
+  /// One cudaMemcpy of `bytes` across PCIe (latency + bandwidth).
+  double transfer_time_s(std::size_t bytes) const noexcept;
+
+  double launch_overhead_s() const noexcept { return props_.kernel_launch_s; }
+
+  const DeviceProperties& properties() const noexcept { return props_; }
+
+ private:
+  DeviceProperties props_;
+};
+
+class CpuCostModel {
+ public:
+  explicit CpuCostModel(CpuCoreProperties props) : props_(props) {}
+
+  /// Time for one core to execute `flops` of branchy quadrature code.
+  double compute_time_s(double flops) const noexcept {
+    return flops / (props_.sustained_gflops * 1e9);
+  }
+
+  const CpuCoreProperties& properties() const noexcept { return props_; }
+
+ private:
+  CpuCoreProperties props_;
+};
+
+}  // namespace hspec::vgpu

@@ -1,0 +1,166 @@
+#pragma once
+// The virtual GPU device: explicit device memory, host<->device copies, and
+// CUDA-style kernel launches. Kernels execute on the host (results are real
+// and checkable); every operation charges the device's virtual clock through
+// the cost model, so launch/copy overheads shape performance exactly as on
+// the paper's Fermi cards.
+//
+// Thread model: many MPI ranks share one device. On Fermi, queued kernels
+// run serially ("application-level context switching"), which the device
+// enforces with an internal mutex; the virtual clock therefore accumulates
+// serialized kernel time like the real card.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/function_ref.h"
+#include "vgpu/cost_model.h"
+#include "vgpu/device_properties.h"
+
+namespace hspec::vgpu {
+
+struct Dim3 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned z = 1;
+  std::size_t total() const noexcept {
+    return static_cast<std::size_t>(x) * y * z;
+  }
+};
+
+/// Per-thread kernel context (the CUDA builtins).
+struct KernelCtx {
+  Dim3 grid_dim;
+  Dim3 block_dim;
+  Dim3 block_idx;
+  Dim3 thread_idx;
+
+  /// blockIdx.x * blockDim.x + threadIdx.x
+  std::size_t global_x() const noexcept {
+    return static_cast<std::size_t>(block_idx.x) * block_dim.x + thread_idx.x;
+  }
+  /// gridDim.x * blockDim.x
+  std::size_t stride_x() const noexcept {
+    return static_cast<std::size_t>(grid_dim.x) * block_dim.x;
+  }
+};
+
+using Kernel = util::FunctionRef<void(const KernelCtx&)>;
+
+class Device;
+
+/// RAII device-memory allocation. Must not outlive its Device.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceBuffer&& o) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer();
+
+  std::size_t size() const noexcept { return bytes_; }
+  bool valid() const noexcept { return data_ != nullptr; }
+
+  /// Raw device pointer — only meaningful inside kernels and device copies.
+  void* device_ptr() noexcept { return data_; }
+  const void* device_ptr() const noexcept { return data_; }
+
+  template <class T>
+  T* as() noexcept {
+    return static_cast<T*>(data_);
+  }
+  template <class T>
+  const T* as() const noexcept {
+    return static_cast<const T*>(data_);
+  }
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* owner, void* data, std::size_t bytes)
+      : owner_(owner), data_(data), bytes_(bytes) {}
+  void release() noexcept;
+
+  Device* owner_ = nullptr;
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// Cumulative device counters (for the EXPERIMENTS and ablation reports).
+struct DeviceStats {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t h2d_copies = 0;
+  std::uint64_t d2h_copies = 0;
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  double kernel_time_s = 0.0;
+  double transfer_time_s = 0.0;
+};
+
+class Device {
+ public:
+  Device(DeviceProperties props, int device_id);
+  ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int id() const noexcept { return id_; }
+  const DeviceProperties& properties() const noexcept {
+    return model_.properties();
+  }
+  const GpuCostModel& cost_model() const noexcept { return model_; }
+
+  /// cudaMalloc. Throws std::bad_alloc when the 6 GB budget is exceeded.
+  DeviceBuffer alloc(std::size_t bytes);
+  std::size_t bytes_allocated() const noexcept { return allocated_.load(); }
+
+  /// cudaMemcpy(HostToDevice): real copy + virtual PCIe cost.
+  void copy_to_device(DeviceBuffer& dst, const void* src, std::size_t bytes);
+  /// cudaMemcpy(DeviceToHost).
+  void copy_to_host(void* dst, const DeviceBuffer& src, std::size_t bytes);
+  /// cudaMemset.
+  void memset_device(DeviceBuffer& dst, int value, std::size_t bytes);
+
+  /// Launch a kernel over grid x block threads. `work` is the caller's work
+  /// estimate used for virtual-time accounting. Threads execute sequentially
+  /// on the host; the device serializes concurrent launches (Fermi model).
+  void launch(Dim3 grid, Dim3 block, const WorkEstimate& work, Kernel kernel);
+
+  /// Virtual time this device has spent busy [s].
+  double busy_time_s() const noexcept;
+  DeviceStats stats() const;
+
+ private:
+  friend class DeviceBuffer;
+  void on_free(std::size_t bytes) noexcept;
+
+  GpuCostModel model_;
+  int id_;
+  std::atomic<std::size_t> allocated_{0};
+  mutable std::mutex mu_;  // serializes execution and stats (Fermi context switch)
+  DeviceStats stats_;
+};
+
+/// The machine's virtual GPUs. "The program will detect the number of GPU
+/// devices automatically, and it can run normally in the runtime environment
+/// without GPU device": the count comes from HSPEC_VGPU_COUNT (default 0)
+/// unless overridden, the architecture from HSPEC_VGPU_ARCH (fermi|kepler).
+class DeviceRegistry {
+ public:
+  /// Detect from environment (count < 0) or create `count` devices.
+  explicit DeviceRegistry(int count = -1);
+
+  std::size_t device_count() const noexcept { return devices_.size(); }
+  bool gpu_available() const noexcept { return !devices_.empty(); }
+  Device& device(std::size_t i) { return *devices_.at(i); }
+  const Device& device(std::size_t i) const { return *devices_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace hspec::vgpu

@@ -1,0 +1,53 @@
+#include "vgpu/device_properties.h"
+
+namespace hspec::vgpu {
+
+DeviceProperties tesla_c2075() {
+  DeviceProperties p;
+  p.name = "Tesla C2075 (virtual)";
+  p.arch = Architecture::fermi;
+  p.sm_count = 14;
+  p.cores_per_sm = 32;
+  p.core_clock_ghz = 1.15;
+  p.dp_peak_gflops = 515.0;
+  p.kernel_efficiency = 0.25;
+  p.mem_bandwidth_gbps = 144.0;
+  p.pcie_bandwidth_gbps = 6.0;
+  p.kernel_launch_s = 8e-6;
+  p.memcpy_latency_s = 10e-6;
+  p.max_concurrent_kernels = 1;
+  p.memory_bytes = std::size_t{6} * 1024 * 1024 * 1024;
+  return p;
+}
+
+DeviceProperties tesla_k20() {
+  DeviceProperties p;
+  p.name = "Tesla K20 (virtual)";
+  p.arch = Architecture::kepler;
+  p.sm_count = 13;
+  p.cores_per_sm = 192;
+  p.core_clock_ghz = 0.706;
+  p.dp_peak_gflops = 1170.0;
+  p.kernel_efficiency = 0.22;
+  p.mem_bandwidth_gbps = 208.0;
+  p.pcie_bandwidth_gbps = 6.0;
+  p.kernel_launch_s = 6e-6;
+  p.memcpy_latency_s = 9e-6;
+  p.max_concurrent_kernels = 32;  // Hyper-Q
+  p.memory_bytes = std::size_t{5} * 1024 * 1024 * 1024;
+  return p;
+}
+
+CpuCoreProperties xeon_e5_2640_core() { return {}; }
+
+std::string to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::fermi:
+      return "fermi";
+    case Architecture::kepler:
+      return "kepler";
+  }
+  return "?";
+}
+
+}  // namespace hspec::vgpu

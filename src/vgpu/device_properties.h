@@ -1,0 +1,66 @@
+#pragma once
+// Virtual GPU device descriptions.
+//
+// SUBSTITUTION NOTE (DESIGN.md §2): no CUDA hardware exists in this
+// environment, so the "GPU" is a device model: kernels execute on the host
+// (bit-for-bit checkable results) while a calibrated cost model charges a
+// per-device virtual clock with the same cost structure the paper measures —
+// kernel-launch latency, PCIe transfer time, and compute time.
+//
+// The paper's testbed: NVIDIA Tesla C2075 (Fermi), 448 CUDA cores @ 1.15 GHz,
+// 6 GB GDDR5, 515 DP GFLOPS, PCIe 2.0. "Application-level context switching
+// is necessary on Fermi ... the queued tasks are performed serially", while
+// "the Hyper-Q technique can allow for up to 32 simultaneous connections"
+// on Kepler — captured by `max_concurrent_kernels`.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hspec::vgpu {
+
+enum class Architecture { fermi, kepler };
+
+struct DeviceProperties {
+  std::string name;
+  Architecture arch = Architecture::fermi;
+  int sm_count = 14;
+  int cores_per_sm = 32;
+  double core_clock_ghz = 1.15;
+  double dp_peak_gflops = 515.0;
+  /// Fraction of DP peak a memory-light integration kernel sustains.
+  double kernel_efficiency = 0.25;
+  double mem_bandwidth_gbps = 144.0;
+  /// Effective host<->device bandwidth (PCIe 2.0 x16 ~ 6 GB/s in practice).
+  double pcie_bandwidth_gbps = 6.0;
+  /// Fixed cost per kernel launch [s] (Fermi-era driver ~ 7-10 us).
+  double kernel_launch_s = 8e-6;
+  /// Fixed latency per cudaMemcpy call [s].
+  double memcpy_latency_s = 10e-6;
+  /// 1 on Fermi (serial task execution), up to 32 with Kepler Hyper-Q.
+  int max_concurrent_kernels = 1;
+  std::size_t memory_bytes = std::size_t{6} * 1024 * 1024 * 1024;
+
+  int total_cores() const noexcept { return sm_count * cores_per_sm; }
+};
+
+/// The paper's device: Tesla C2075 (Fermi).
+DeviceProperties tesla_c2075();
+
+/// A Kepler-class device with Hyper-Q (for the paper's "some Kepler GPUs,
+/// the count of active task may be more than one" discussion).
+DeviceProperties tesla_k20();
+
+/// Reference single CPU core of the paper's host (Xeon E5-2640, 2.5 GHz):
+/// used to express CPU-vs-GPU cost ratios in one unit system.
+struct CpuCoreProperties {
+  std::string name = "Xeon E5-2640 core";
+  double clock_ghz = 2.5;
+  /// Sustained scalar DP GFLOPS for branchy adaptive quadrature.
+  double sustained_gflops = 1.8;
+};
+CpuCoreProperties xeon_e5_2640_core();
+
+std::string to_string(Architecture arch);
+
+}  // namespace hspec::vgpu

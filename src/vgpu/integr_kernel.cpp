@@ -1,0 +1,105 @@
+#include "vgpu/integr_kernel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspec::vgpu {
+
+namespace {
+
+/// Grid sizing: enough threads that each handles a short run of bins.
+Dim3 pick_grid(std::size_t n_bins, const IntegrLaunchConfig& cfg) {
+  const std::size_t want_threads = (n_bins + 3) / 4;  // ~4 bins per thread
+  const std::size_t blocks =
+      std::clamp<std::size_t>((want_threads + cfg.block_dim - 1) / cfg.block_dim,
+                              1, cfg.max_grid_dim);
+  return {static_cast<unsigned>(blocks), 1, 1};
+}
+
+}  // namespace
+
+WorkEstimate integr_work(std::size_t bins, const IntegrLaunchConfig& cfg) {
+  const double evals = static_cast<double>(bins) *
+                       static_cast<double>(quad::kernel_cost_evals(
+                           cfg.method, cfg.method_param));
+  WorkEstimate w;
+  w.flops = evals * kFlopsPerIntegrandEval;
+  w.device_bytes = bins * sizeof(double) * 2;  // emi read+write
+  return w;
+}
+
+void gpu_integr_device(Device& device, double lo, double hi, std::size_t n_bins,
+                       quad::Integrand f, DeviceBuffer& emi_dev,
+                       const IntegrLaunchConfig& cfg) {
+  if (n_bins == 0) throw std::invalid_argument("gpu_integr: no bins");
+  if (!(hi > lo)) throw std::invalid_argument("gpu_integr: need hi > lo");
+  if (emi_dev.size() < n_bins * sizeof(double))
+    throw std::out_of_range("gpu_integr: emi buffer too small");
+
+  double* emi = emi_dev.as<double>();
+  const double bin_size = (hi - lo) / static_cast<double>(n_bins);
+  const Dim3 grid = pick_grid(n_bins, cfg);
+  const Dim3 block{cfg.block_dim, 1, 1};
+
+  device.launch(grid, block, integr_work(n_bins, cfg), [&](const KernelCtx& c) {
+    // Grid-stride loop: thread idx handles bins idx, idx+stride, ...
+    for (std::size_t b = c.global_x(); b < n_bins; b += c.stride_x()) {
+      double left = lo + static_cast<double>(b) * bin_size;
+      const double right = (b + 1 == n_bins)
+                               ? hi
+                               : lo + static_cast<double>(b + 1) * bin_size;
+      double v = 0.0;
+      if (right > cfg.lower_cutoff) {
+        left = std::max(left, cfg.lower_cutoff);
+        v = quad::kernel_integrate(cfg.method, cfg.method_param, f, left,
+                                   right)
+                .value;
+      }
+      if (cfg.accumulate)
+        emi[b] += v;
+      else
+        emi[b] = v;
+    }
+  });
+}
+
+void gpu_integr_edges_device(Device& device, const DeviceBuffer& edges_dev,
+                             std::size_t n_bins, quad::Integrand f,
+                             DeviceBuffer& emi_dev,
+                             const IntegrLaunchConfig& cfg) {
+  if (n_bins == 0) throw std::invalid_argument("gpu_integr_edges: no bins");
+  if (edges_dev.size() < (n_bins + 1) * sizeof(double))
+    throw std::out_of_range("gpu_integr_edges: edges buffer too small");
+  if (emi_dev.size() < n_bins * sizeof(double))
+    throw std::out_of_range("gpu_integr_edges: emi buffer too small");
+
+  const double* edges = edges_dev.as<const double>();
+  double* emi = emi_dev.as<double>();
+  const Dim3 grid = pick_grid(n_bins, cfg);
+  const Dim3 block{cfg.block_dim, 1, 1};
+
+  device.launch(grid, block, integr_work(n_bins, cfg), [&](const KernelCtx& c) {
+    for (std::size_t b = c.global_x(); b < n_bins; b += c.stride_x()) {
+      double v = 0.0;
+      if (edges[b + 1] > cfg.lower_cutoff) {
+        const double left = std::max(edges[b], cfg.lower_cutoff);
+        v = quad::kernel_integrate(cfg.method, cfg.method_param, f, left,
+                                   edges[b + 1])
+                .value;
+      }
+      if (cfg.accumulate)
+        emi[b] += v;
+      else
+        emi[b] = v;
+    }
+  });
+}
+
+void gpu_integr(Device& device, double lo, double hi, quad::Integrand f,
+                std::span<double> out, const IntegrLaunchConfig& cfg) {
+  DeviceBuffer emi = device.alloc(out.size() * sizeof(double));
+  gpu_integr_device(device, lo, hi, out.size(), f, emi, cfg);
+  device.copy_to_host(out.data(), emi, out.size() * sizeof(double));
+}
+
+}  // namespace hspec::vgpu

@@ -1,0 +1,60 @@
+#pragma once
+// GPU-Integr (Algorithm 2 of the paper): integrate N equal bins of [L, U]
+// with a fixed-cost rule, one grid-stride device thread per run of
+// consecutive bins, results left in a device-resident emi array.
+//
+//   Algorithm 2 GPU-Integr ( L, U, N, f_rrc, device )
+//     bin_num  <- N / thread_num
+//     bin_size <- (U - L) / N
+//     idx      <- threadIdx.x + blockIdx.x * blockDim.x
+//     each thread integrates bins [idx*bin_num, (idx+1)*bin_num) by Simpson
+//
+// `accumulate=true` adds into the existing device array instead of storing —
+// that is how all energy levels of one ion accumulate on the GPU so that a
+// single D2H transfer finishes the coarse-grained task.
+
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "quad/integrate.h"
+#include "vgpu/device.h"
+
+namespace hspec::vgpu {
+
+struct IntegrLaunchConfig {
+  unsigned block_dim = 128;       ///< threads per block
+  unsigned max_grid_dim = 64;     ///< cap on blocks (C2075: 14 SMs)
+  quad::KernelMethod method = quad::KernelMethod::simpson;
+  std::size_t method_param = quad::kPaperSimpsonPanels;
+  bool accumulate = false;        ///< += into emi instead of =
+  /// Algorithm 2's lower integration limit L: bins entirely below it
+  /// contribute zero and bins straddling it are clamped — the RRC threshold
+  /// of the level being integrated. Default: no cutoff.
+  double lower_cutoff = -std::numeric_limits<double>::infinity();
+};
+
+/// Work estimate for integrating `bins` bins under the config (used for the
+/// device virtual clock and by the DES cost model).
+WorkEstimate integr_work(std::size_t bins, const IntegrLaunchConfig& cfg);
+
+/// Launch Algorithm 2 on `device`: integrate N uniform bins of [L, U] into
+/// the device buffer `emi_dev` (N doubles, already allocated).
+void gpu_integr_device(Device& device, double lo, double hi, std::size_t n_bins,
+                       quad::Integrand f, DeviceBuffer& emi_dev,
+                       const IntegrLaunchConfig& cfg = {});
+
+/// Non-uniform-bin variant: bin i spans [edges[i], edges[i+1]]; `edges_dev`
+/// holds n_bins+1 doubles on the device (the spectral grids of APEC are
+/// wavelength-uniform, hence energy-non-uniform).
+void gpu_integr_edges_device(Device& device, const DeviceBuffer& edges_dev,
+                             std::size_t n_bins, quad::Integrand f,
+                             DeviceBuffer& emi_dev,
+                             const IntegrLaunchConfig& cfg = {});
+
+/// Host-convenience wrapper of Algorithm 2: allocates device memory, runs
+/// the kernel, copies emi back to `out` (out.size() = number of bins).
+void gpu_integr(Device& device, double lo, double hi, quad::Integrand f,
+                std::span<double> out, const IntegrLaunchConfig& cfg = {});
+
+}  // namespace hspec::vgpu

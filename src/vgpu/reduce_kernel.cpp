@@ -1,0 +1,54 @@
+#include "vgpu/reduce_kernel.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace hspec::vgpu {
+
+double gpu_reduce_sum(Device& device, const DeviceBuffer& data_dev,
+                      std::size_t count, unsigned block_dim) {
+  if (count == 0) return 0.0;
+  if (block_dim == 0) throw std::invalid_argument("gpu_reduce_sum: block_dim");
+  if (data_dev.size() < count * sizeof(double))
+    throw std::out_of_range("gpu_reduce_sum: buffer too small");
+
+  const double* data = data_dev.as<const double>();
+  const auto blocks = static_cast<unsigned>(
+      std::min<std::size_t>((count + block_dim - 1) / block_dim, 64));
+
+  // Pass 1: one partial sum per block (grid-stride within the block's
+  // slice; per-block serial tree emulated by thread 0 accumulating its
+  // block's lane sums — on real hardware this is the shared-memory tree).
+  DeviceBuffer partial_dev = device.alloc(blocks * sizeof(double));
+  double* partial = partial_dev.as<double>();
+  WorkEstimate pass1;
+  pass1.flops = static_cast<double>(count);
+  pass1.device_bytes = count * sizeof(double);
+  device.launch({blocks, 1, 1}, {block_dim, 1, 1}, pass1,
+                [&](const KernelCtx& c) {
+                  if (c.thread_idx.x != 0) return;  // block leader reduces
+                  double acc = 0.0;
+                  for (std::size_t i = c.block_idx.x; i < count;
+                       i += c.grid_dim.x)
+                    acc += data[i];
+                  partial[c.block_idx.x] = acc;
+                });
+
+  // Pass 2: single block folds the partials.
+  DeviceBuffer result_dev = device.alloc(sizeof(double));
+  double* result = result_dev.as<double>();
+  WorkEstimate pass2;
+  pass2.flops = static_cast<double>(blocks);
+  pass2.device_bytes = blocks * sizeof(double);
+  device.launch({1, 1, 1}, {1, 1, 1}, pass2, [&](const KernelCtx&) {
+    double acc = 0.0;
+    for (unsigned b = 0; b < blocks; ++b) acc += partial[b];
+    *result = acc;
+  });
+
+  double out = 0.0;
+  device.copy_to_host(&out, result_dev, sizeof(double));
+  return out;
+}
+
+}  // namespace hspec::vgpu

@@ -1,0 +1,19 @@
+#pragma once
+// Device-side parallel reduction: the on-GPU accumulation that lets a
+// coarse-grained ion task report a scalar (total emissivity, convergence
+// check) without shipping the whole emi array home. Two-pass tree shape:
+// block-level partial sums into a scratch buffer, then a single-block
+// final pass — the canonical CUDA reduction structure.
+
+#include <cstddef>
+
+#include "vgpu/device.h"
+
+namespace hspec::vgpu {
+
+/// Sum the first `count` doubles of `data_dev` on the device; the scalar
+/// result crosses PCIe (8 bytes) instead of the whole array.
+double gpu_reduce_sum(Device& device, const DeviceBuffer& data_dev,
+                      std::size_t count, unsigned block_dim = 128);
+
+}  // namespace hspec::vgpu

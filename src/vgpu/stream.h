@@ -1,0 +1,95 @@
+#pragma once
+// Asynchronous streams and events on the virtual GPU.
+//
+// The paper's stated limitation (§V): "Only synchronous mode is supported
+// in the task scheduler ... when the single task is time-consuming to GPU,
+// some asynchronous task queuing mechanism must be introduced to keep CPUs
+// busy." Streams are that mechanism. Data operations still execute eagerly
+// on the host (results are real), while completion *times* follow the CUDA
+// overlap rules on the virtual clock:
+//
+//  * kernels from different streams serialize on Fermi
+//    (max_concurrent_kernels == 1, "application-level context switching"),
+//    but may overlap up to 32-wide on Kepler (Hyper-Q). Overlapping kernels
+//    run at full rate — the optimistic Hyper-Q model, appropriate for the
+//    small kernels this workload launches (each far below full occupancy);
+//  * H2D and D2H copies use one copy engine per direction (C2075 has two),
+//    each serializing its own direction across streams;
+//  * operations within one stream are FIFO;
+//  * Event::record marks a stream position; Stream::wait makes a stream
+//    wait for an event (cross-stream dependency).
+
+#include <cstddef>
+#include <vector>
+
+#include "vgpu/device.h"
+
+namespace hspec::vgpu {
+
+class StreamScheduler;
+
+/// Timestamp on the device's virtual clock [s].
+struct Event {
+  double ready_time = 0.0;
+};
+
+class Stream {
+ public:
+  /// Streams attach to a device-wide StreamScheduler.
+  Stream(StreamScheduler& scheduler, Device& device);
+
+  /// Asynchronous kernel launch: executes now (host), completes at a
+  /// virtual time that respects stream order and device concurrency.
+  void launch_async(Dim3 grid, Dim3 block, const WorkEstimate& work,
+                    Kernel kernel);
+
+  void copy_to_device_async(DeviceBuffer& dst, const void* src,
+                            std::size_t bytes);
+  void copy_to_host_async(void* dst, const DeviceBuffer& src,
+                          std::size_t bytes);
+
+  /// Record the stream's current completion time.
+  Event record() const { return {clock_}; }
+  /// Do not start later work before `event` is ready.
+  void wait(const Event& event);
+
+  /// Block until all queued work completes; returns the virtual time.
+  double synchronize() const { return clock_; }
+
+ private:
+  StreamScheduler* scheduler_;
+  Device* device_;
+  double clock_ = 0.0;  ///< completion time of the last queued op
+};
+
+/// Per-device overlap bookkeeping shared by its streams.
+class StreamScheduler {
+ public:
+  explicit StreamScheduler(Device& device);
+
+  /// Virtual time at which all streams' work has drained.
+  double device_sync_time() const noexcept { return device_clock_; }
+
+  const Device& device() const noexcept { return *device_; }
+
+ private:
+  friend class Stream;
+
+  /// Reserve a kernel slot starting no earlier than `earliest`; returns the
+  /// interval [start, end) the kernel occupies.
+  std::pair<double, double> schedule_kernel(double earliest, double duration);
+  double schedule_copy(bool h2d, double earliest, double duration);
+  void note_completion(double t) {
+    if (t > device_clock_) device_clock_ = t;
+  }
+
+  Device* device_;
+  int max_concurrent_;
+  /// End times of in-flight kernels (size <= max_concurrent_).
+  std::vector<double> kernel_lanes_;
+  double h2d_engine_free_ = 0.0;
+  double d2h_engine_free_ = 0.0;
+  double device_clock_ = 0.0;
+};
+
+}  // namespace hspec::vgpu

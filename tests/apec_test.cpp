@@ -1,0 +1,347 @@
+// Tests for the APEC-style spectral calculator: parameter space, energy
+// grids, spectra, continuum, lines, populations, and the serial driver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apec/calculator.h"
+#include "apec/continuum.h"
+#include "apec/energy_grid.h"
+#include "apec/lines.h"
+#include "apec/parameter_space.h"
+#include "apec/spectrum.h"
+#include "atomic/constants.h"
+#include "quad/qags.h"
+
+namespace {
+
+using namespace hspec;
+using namespace hspec::apec;
+
+// ------------------------------------------------------------ parameter space
+
+TEST(Axis, LinearAndLogSampling) {
+  Axis lin{1.0, 3.0, 3, false};
+  EXPECT_DOUBLE_EQ(lin.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(lin.value(1), 2.0);
+  EXPECT_DOUBLE_EQ(lin.value(2), 3.0);
+  Axis lg{1.0, 100.0, 3, true};
+  EXPECT_DOUBLE_EQ(lg.value(1), 10.0);
+  EXPECT_THROW(lin.value(3), std::out_of_range);
+}
+
+TEST(Axis, SinglePointAxisIsConstant) {
+  Axis a{5.0, 9.0, 1, false};
+  EXPECT_DOUBLE_EQ(a.value(0), 5.0);
+}
+
+TEST(ParameterSpace, SizeAndIndexing) {
+  ParameterSpace ps({0.1, 1.0, 4, false}, {1.0, 100.0, 3, true},
+                    {0.0, 10.0, 2, false});
+  EXPECT_EQ(ps.size(), 24u);
+  const GridPoint p0 = ps.point(0);
+  EXPECT_DOUBLE_EQ(p0.kT_keV, 0.1);
+  EXPECT_DOUBLE_EQ(p0.ne_cm3, 1.0);
+  EXPECT_DOUBLE_EQ(p0.time_s, 0.0);
+  const GridPoint last = ps.point(23);
+  EXPECT_DOUBLE_EQ(last.kT_keV, 1.0);
+  EXPECT_DOUBLE_EQ(last.ne_cm3, 100.0);
+  EXPECT_DOUBLE_EQ(last.time_s, 10.0);
+  EXPECT_EQ(last.index, 23u);
+  EXPECT_THROW(ps.point(24), std::out_of_range);
+  EXPECT_EQ(ps.all_points().size(), 24u);
+}
+
+TEST(ParameterSpace, SplitCoversAllPointsOnce) {
+  ParameterSpace ps({0.1, 1.0, 5, false}, {1.0, 1.0, 5, false},
+                    {0.0, 0.0, 1, false});
+  const auto ranges = ps.split(4);  // 25 points over 4 parts: 7,6,6,6
+  ASSERT_EQ(ranges.size(), 4u);
+  std::size_t covered = 0;
+  std::size_t prev_end = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b, prev_end);
+    covered += e - b;
+    prev_end = e;
+  }
+  EXPECT_EQ(covered, 25u);
+  EXPECT_EQ(ranges[0].second - ranges[0].first, 7u);
+}
+
+// ----------------------------------------------------------------- energy grid
+
+TEST(EnergyGrid, LinearEdges) {
+  const auto g = EnergyGrid::linear(1.0, 2.0, 4);
+  EXPECT_EQ(g.bin_count(), 4u);
+  EXPECT_DOUBLE_EQ(g.lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.hi(3), 2.0);
+  EXPECT_DOUBLE_EQ(g.width(1), 0.25);
+  EXPECT_DOUBLE_EQ(g.center(0), 1.125);
+}
+
+TEST(EnergyGrid, LogarithmicRatiosConstant) {
+  const auto g = EnergyGrid::logarithmic(0.1, 10.0, 10);
+  const double r0 = g.edge(1) / g.edge(0);
+  for (std::size_t i = 1; i < 10; ++i)
+    EXPECT_NEAR(g.edge(i + 1) / g.edge(i), r0, 1e-12);
+}
+
+TEST(EnergyGrid, WavelengthGridMatchesHc) {
+  const auto g = EnergyGrid::wavelength(1.0, 50.0, 100);
+  // Ascending in energy: first edge corresponds to 50 A.
+  EXPECT_NEAR(g.min_energy(), atomic::kHCKeVAngstrom / 50.0, 1e-12);
+  EXPECT_NEAR(g.max_energy(), atomic::kHCKeVAngstrom / 1.0, 1e-9);
+  // Center wavelengths decrease with bin index.
+  EXPECT_GT(g.center_wavelength(0), g.center_wavelength(99));
+}
+
+TEST(EnergyGrid, LocateFindsContainingBin) {
+  const auto g = EnergyGrid::linear(0.0 + 1e-9, 10.0, 10);
+  EXPECT_EQ(g.locate(0.5), 0u);
+  EXPECT_EQ(g.locate(9.99), 9u);
+  EXPECT_EQ(g.locate(10.5), g.bin_count());
+  EXPECT_EQ(g.locate(1e-10), g.bin_count());
+}
+
+TEST(EnergyGrid, RejectsBadConstruction) {
+  EXPECT_THROW(EnergyGrid::linear(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(EnergyGrid::linear(1.0, 2.0, 0), std::invalid_argument);
+  EXPECT_THROW(EnergyGrid::logarithmic(-1.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(EnergyGrid::wavelength(50.0, 1.0, 4), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- spectrum
+
+TEST(Spectrum, AccumulateAndScale) {
+  const auto g = EnergyGrid::linear(1.0, 2.0, 4);
+  Spectrum a(g);
+  Spectrum b(g);
+  a[0] = 1.0;
+  b[0] = 2.0;
+  b[3] = 4.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[3], 4.0);
+  a *= 0.5;
+  EXPECT_DOUBLE_EQ(a[0], 1.5);
+  EXPECT_DOUBLE_EQ(a.total(), 3.5);
+  EXPECT_DOUBLE_EQ(a.peak(), 2.0);
+}
+
+TEST(Spectrum, NormalizedFluxPeaksAtOne) {
+  const auto g = EnergyGrid::linear(1.0, 2.0, 3);
+  Spectrum s(g);
+  s[1] = 8.0;
+  s[2] = 4.0;
+  const auto norm = s.normalized_flux();
+  EXPECT_DOUBLE_EQ(norm[1], 1.0);
+  EXPECT_DOUBLE_EQ(norm[2], 0.5);
+  EXPECT_DOUBLE_EQ(norm[0], 0.0);
+}
+
+TEST(Spectrum, WavelengthSeriesSorted) {
+  const auto g = EnergyGrid::wavelength(10.0, 20.0, 16);
+  Spectrum s(g);
+  const auto series = s.wavelength_series();
+  ASSERT_EQ(series.size(), 16u);
+  for (std::size_t i = 0; i + 1 < series.size(); ++i)
+    EXPECT_LT(series[i].first, series[i + 1].first);
+}
+
+TEST(Spectrum, GridMismatchThrows) {
+  const auto g1 = EnergyGrid::linear(1.0, 2.0, 4);
+  const auto g2 = EnergyGrid::linear(1.0, 2.0, 5);
+  Spectrum a(g1);
+  Spectrum b(g2);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- continuum
+
+TEST(FreeFree, BinAccumulationMatchesQuadrature) {
+  const auto g = EnergyGrid::linear(0.5, 5.0, 16);
+  Spectrum s(g);
+  const FreeFreeState st{1.3, 2.0, 3.0};
+  accumulate_free_free(st, s);
+  // Compare one bin against adaptive quadrature of the density, allowing the
+  // bin-center Gaunt approximation a small margin.
+  const std::size_t b = 7;
+  const auto q = quad::qags(
+      [&](double e) { return free_free_power_density(st, e); }, g.lo(b),
+      g.hi(b), 1e-14, 1e-10);
+  EXPECT_NEAR(s[b], q.value, 0.02 * q.value);
+}
+
+TEST(FreeFree, ExponentialCutoff) {
+  const FreeFreeState st{1.0, 1.0, 1.0};
+  EXPECT_GT(free_free_power_density(st, 0.5),
+            free_free_power_density(st, 5.0));
+  EXPECT_DOUBLE_EQ(free_free_power_density(st, 0.0), 0.0);
+  const FreeFreeState bad{0.0, 1.0, 1.0};
+  EXPECT_THROW(free_free_power_density(bad, 1.0), std::invalid_argument);
+}
+
+TEST(FreeFree, GauntAtLeastOne) {
+  EXPECT_GE(free_free_gaunt(5.0, 1.0), 1.0);
+  EXPECT_GE(free_free_gaunt(0.1, 1.0), 1.0);
+}
+
+// ----------------------------------------------------------------------- lines
+
+TEST(Lines, HydrogenicSeriesEnergies) {
+  atomic::IonUnit ion{8, 8};  // hydrogen-like oxygen
+  const auto lines = make_lines(ion, {1.0, 1.0, 1.0}, 3);
+  // Transitions: 2->1, 3->1, 3->2.
+  ASSERT_EQ(lines.size(), 3u);
+  const double scale = atomic::kRydbergKeV * 64.0;
+  EXPECT_NEAR(lines[0].energy_keV, scale * (1.0 - 0.25), 1e-12);
+  EXPECT_NEAR(lines[1].energy_keV, scale * (1.0 - 1.0 / 9.0), 1e-12);
+  EXPECT_NEAR(lines[2].energy_keV, scale * (0.25 - 1.0 / 9.0), 1e-12);
+}
+
+TEST(Lines, NoLinesFromNeutralOrFreeFree) {
+  EXPECT_TRUE(make_lines({8, 0}, {1.0, 1.0, 1.0}).empty());
+  EXPECT_TRUE(make_lines({0, 0}, {1.0, 1.0, 1.0}).empty());
+}
+
+TEST(Lines, DepositConservesEmissivity) {
+  const auto g = EnergyGrid::linear(0.1, 10.0, 400);
+  Spectrum s(g);
+  const EmissionLine line{5.0, 3.0, 0.05};
+  deposit_line(line, s);
+  EXPECT_NEAR(s.total(), line.emissivity, 1e-6 * line.emissivity);
+  // Peak bin is at the line center.
+  const std::size_t peak_bin = g.locate(5.0);
+  EXPECT_DOUBLE_EQ(s[peak_bin], s.peak());
+}
+
+TEST(Lines, ZeroWidthThrows) {
+  const auto g = EnergyGrid::linear(0.1, 10.0, 10);
+  Spectrum s(g);
+  EXPECT_THROW(deposit_line({5.0, 1.0, 0.0}, s), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- populations
+
+TEST(Populations, ElectronBudgetConsistent) {
+  atomic::AtomicDatabase db;
+  const GridPoint pt{1.0, 10.0, 0.0, 0};
+  const auto pops = solve_populations(db, pt);
+  EXPECT_GT(pops.n_h_cm3, 0.0);
+  // Recompute electrons from the ion densities: must reproduce ne.
+  double electrons = 0.0;
+  for (int z = 1; z <= 30; ++z)
+    for (int j = 0; j <= z; ++j)
+      electrons += static_cast<double>(j) * pops.ion_density(z, j);
+  EXPECT_NEAR(electrons, pt.ne_cm3, 1e-6 * pt.ne_cm3);
+  EXPECT_GT(pops.z2_weighted_density_cm3, 0.0);
+}
+
+TEST(Populations, HotterPlasmaNeedsFewerHydrogenNuclei) {
+  atomic::AtomicDatabase db;
+  const auto cold = solve_populations(db, {0.02, 1.0, 0.0, 0});
+  const auto hot = solve_populations(db, {5.0, 1.0, 0.0, 0});
+  // More ionization per nucleus at high T -> fewer nuclei for the same ne.
+  EXPECT_GT(cold.n_h_cm3, hot.n_h_cm3);
+}
+
+TEST(Populations, NonPositiveDensityThrows) {
+  atomic::AtomicDatabase db;
+  EXPECT_THROW(solve_populations(db, {1.0, 0.0, 0.0, 0}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ calculator
+
+class CalculatorTest : public ::testing::Test {
+ protected:
+  CalculatorTest()
+      : db_(small_config()), grid_(EnergyGrid::wavelength(5.0, 40.0, 64)) {}
+
+  static atomic::DatabaseConfig small_config() {
+    atomic::DatabaseConfig cfg;
+    cfg.max_z = 8;
+    cfg.levels = {2, true};  // 3 levels per ion
+    return cfg;
+  }
+
+  atomic::AtomicDatabase db_;
+  EnergyGrid grid_;
+};
+
+TEST_F(CalculatorTest, PopulatedIonsAreASmallSubset) {
+  CalcOptions opt;
+  SpectrumCalculator calc(db_, grid_, opt);
+  const auto pops = solve_populations(db_, {0.3, 1.0, 0.0, 0});
+  const auto populated = calc.populated_ions(pops);
+  EXPECT_GT(populated.size(), 0u);
+  EXPECT_LT(populated.size(), db_.ion_count());
+  // Free-free always survives when enabled.
+  bool has_ff = false;
+  for (const auto& ion : populated) has_ff |= ion.is_free_free();
+  EXPECT_TRUE(has_ff);
+}
+
+TEST_F(CalculatorTest, SerialSpectrumIsNonNegativeAndNonTrivial) {
+  SpectrumCalculator calc(db_, grid_);
+  const Spectrum s = calc.calculate({0.4, 1.0, 0.0, 0});
+  EXPECT_GT(s.total(), 0.0);
+  for (std::size_t b = 0; b < s.bin_count(); ++b) EXPECT_GE(s[b], 0.0);
+}
+
+TEST_F(CalculatorTest, IonAccumulationEqualsSumOfItsLevelsPlusLines) {
+  CalcOptions opt;
+  opt.integration.adaptive = false;
+  SpectrumCalculator calc(db_, grid_, opt);
+  const auto pops = solve_populations(db_, {0.5, 1.0, 0.0, 0});
+  const atomic::IonUnit ion{8, 6};
+
+  Spectrum whole(grid_);
+  calc.accumulate_ion(ion, pops, whole);
+
+  Spectrum parts(grid_);
+  for (std::size_t li = 0; li < db_.level_count_for(ion); ++li)
+    calc.accumulate_level(ion, li, pops, parts);
+  calc.accumulate_ion_lines(ion, pops, parts);
+
+  for (std::size_t b = 0; b < grid_.bin_count(); ++b)
+    EXPECT_NEAR(whole[b], parts[b], 1e-12 * std::max(1.0, std::fabs(whole[b])));
+}
+
+TEST_F(CalculatorTest, AdaptiveAndKernelPathsAgreeClosely) {
+  CalcOptions qags_opt;
+  qags_opt.integration.adaptive = true;
+  qags_opt.include_lines = false;
+  qags_opt.include_free_free = false;
+  CalcOptions simpson_opt = qags_opt;
+  simpson_opt.integration.adaptive = false;
+
+  SpectrumCalculator a(db_, grid_, qags_opt);
+  SpectrumCalculator b(db_, grid_, simpson_opt);
+  const GridPoint pt{0.5, 1.0, 0.0, 0};
+  const Spectrum sa = a.calculate(pt);
+  const Spectrum sb = b.calculate(pt);
+  ASSERT_GT(sa.total(), 0.0);
+  // Fig. 8 scale: sub-0.01% disagreement overall.
+  EXPECT_NEAR(sb.total() / sa.total(), 1.0, 1e-3);
+}
+
+TEST_F(CalculatorTest, FreeFreeToggleChangesSpectrum) {
+  CalcOptions with;
+  CalcOptions without;
+  without.include_free_free = false;
+  SpectrumCalculator a(db_, grid_, with);
+  SpectrumCalculator c(db_, grid_, without);
+  const GridPoint pt{0.4, 1.0, 0.0, 0};
+  EXPECT_GT(a.calculate(pt).total(), c.calculate(pt).total());
+}
+
+TEST_F(CalculatorTest, LevelIndexOutOfRangeThrows) {
+  SpectrumCalculator calc(db_, grid_);
+  const auto pops = solve_populations(db_, {0.5, 1.0, 0.0, 0});
+  Spectrum s(grid_);
+  EXPECT_THROW(calc.accumulate_level({8, 6}, 99, pops, s), std::out_of_range);
+}
+
+}  // namespace

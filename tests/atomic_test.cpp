@@ -1,0 +1,266 @@
+// Tests for the synthetic atomic database: elements, levels, cross
+// sections, rate coefficients, CIE balance, and ion-unit accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "atomic/constants.h"
+#include "atomic/cross_section.h"
+#include "atomic/database.h"
+#include "atomic/element.h"
+#include "atomic/ion_balance.h"
+#include "atomic/levels.h"
+#include "atomic/rates.h"
+
+namespace {
+
+using namespace hspec::atomic;
+
+// -------------------------------------------------------------------- elements
+
+TEST(Elements, TableCoversHThroughZn) {
+  EXPECT_EQ(element_table().size(), 30u);
+  EXPECT_EQ(element(1).symbol, "H");
+  EXPECT_EQ(element(2).symbol, "He");
+  EXPECT_EQ(element(8).symbol, "O");
+  EXPECT_EQ(element(26).symbol, "Fe");
+  EXPECT_EQ(element(30).symbol, "Zn");
+  for (int z = 1; z <= 30; ++z) EXPECT_EQ(element(z).z, z);
+}
+
+TEST(Elements, OutOfRangeThrows) {
+  EXPECT_THROW(element(0), std::out_of_range);
+  EXPECT_THROW(element(31), std::out_of_range);
+}
+
+TEST(Elements, AbundanceScaleIsHydrogenNormalized) {
+  EXPECT_DOUBLE_EQ(abundance_rel_h(1), 1.0);
+  EXPECT_NEAR(abundance_rel_h(2), std::pow(10.0, 10.99 - 12.0), 1e-12);
+  // Abundances fall steeply past the CNO group.
+  EXPECT_GT(abundance_rel_h(8), abundance_rel_h(26));
+  EXPECT_GT(abundance_rel_h(26), abundance_rel_h(21));
+}
+
+// ---------------------------------------------------------------------- levels
+
+TEST(Levels, HydrogenGroundStateIsRydberg) {
+  // The (n=1, l=0) defect shifts the hydrogenic value slightly; check the
+  // scale and the direction (quantum defect binds deeper).
+  const double i = binding_energy_keV(1, 1, 0);
+  EXPECT_NEAR(i, kRydbergKeV, 0.25 * kRydbergKeV);
+  EXPECT_GT(i, kRydbergKeV);  // defect lowers n_eff below n
+}
+
+TEST(Levels, BindingScalesAsChargeSquared) {
+  const double i1 = binding_energy_keV(1, 2, 1);
+  const double i8 = binding_energy_keV(8, 2, 1);
+  EXPECT_NEAR(i8 / i1, 64.0, 4.0);  // defect handling perturbs the pure z^2
+}
+
+TEST(Levels, BindingDecreasesWithN) {
+  for (int n = 1; n < 8; ++n)
+    EXPECT_GT(binding_energy_keV(6, n, 0), binding_energy_keV(6, n + 1, 0));
+}
+
+TEST(Levels, LowerLBindsDeeper) {
+  EXPECT_GT(binding_energy_keV(6, 3, 0), binding_energy_keV(6, 3, 2));
+}
+
+TEST(Levels, InvalidArgumentsThrow) {
+  EXPECT_THROW(binding_energy_keV(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(binding_energy_keV(1, 0, 0), std::invalid_argument);
+  EXPECT_THROW(binding_energy_keV(1, 2, 2), std::invalid_argument);
+}
+
+TEST(Levels, CountFormula) {
+  LevelPolicy sub{10, true};
+  EXPECT_EQ(level_count(sub), 55u);
+  EXPECT_EQ(make_levels(5, sub).size(), 55u);
+  LevelPolicy plain{10, false};
+  EXPECT_EQ(level_count(plain), 10u);
+  EXPECT_EQ(make_levels(5, plain).size(), 10u);
+}
+
+TEST(Levels, StatWeightsAre2Times2lPlus1) {
+  const auto levels = make_levels(3, {3, true});
+  for (const Level& lv : levels)
+    EXPECT_DOUBLE_EQ(lv.stat_weight, 2.0 * (2.0 * lv.l + 1.0));
+}
+
+// -------------------------------------------------------------- cross sections
+
+TEST(CrossSection, ZeroBelowThreshold) {
+  EXPECT_DOUBLE_EQ(kramers_photoionization_cm2(1, 1, 0.0136, 0.010), 0.0);
+  EXPECT_DOUBLE_EQ(recombination_cross_section_cm2(1, 1, 0.0136, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(recombination_cross_section_cm2(1, 1, 0.0136, -1.0), 0.0);
+}
+
+TEST(CrossSection, KramersThresholdValueAndDecay) {
+  const double i = 0.0136;
+  const double at_threshold = kramers_photoionization_cm2(1, 1, i, i);
+  EXPECT_NEAR(at_threshold, kKramersSigma0, 1e-22);
+  // (I/E)^3 falloff.
+  const double at_2i = kramers_photoionization_cm2(1, 1, i, 2.0 * i);
+  EXPECT_NEAR(at_2i / at_threshold, 1.0 / 8.0, 1e-12);
+}
+
+TEST(CrossSection, MilneRecombinationPositiveAboveThreshold) {
+  const double sigma = recombination_cross_section_cm2(8, 2, 0.87, 0.5);
+  EXPECT_GT(sigma, 0.0);
+  EXPECT_LT(sigma, 1e-18);  // physically small
+}
+
+TEST(CrossSection, RecombinationDivergesAtLowElectronEnergy) {
+  // sigma_rec ~ 1/Ee as Ee -> 0 (the Milne 1/Ee factor).
+  const double lo = recombination_cross_section_cm2(8, 1, 0.87, 1e-4);
+  const double hi = recombination_cross_section_cm2(8, 1, 0.87, 1e-2);
+  EXPECT_GT(lo, hi);
+}
+
+TEST(CrossSection, InvalidArgsThrow) {
+  EXPECT_THROW(kramers_photoionization_cm2(0, 1, 1.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(kramers_photoionization_cm2(1, 1, -1.0, 2.0),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------------- rates
+
+TEST(Rates, IonizationPotentialIncreasesAlongIsoNuclear) {
+  // Stripping electrons makes the next one harder to remove.
+  for (int j = 0; j + 1 < 8; ++j)
+    EXPECT_LT(ionization_potential_keV(8, j), ionization_potential_keV(8, j + 1));
+}
+
+TEST(Rates, HydrogenPotentialNearRydberg) {
+  EXPECT_NEAR(ionization_potential_keV(1, 0), kRydbergKeV,
+              0.5 * kRydbergKeV);
+}
+
+TEST(Rates, IonizationVanishesAtLowTemperature) {
+  EXPECT_GT(ionization_rate(8, 3, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ionization_rate(8, 3, 0.0), 0.0);
+  EXPECT_LT(ionization_rate(8, 3, 0.001), ionization_rate(8, 3, 1.0));
+}
+
+TEST(Rates, RecombinationFallsWithTemperature) {
+  EXPECT_GT(recombination_rate(8, 3, 0.1), recombination_rate(8, 3, 10.0));
+}
+
+TEST(Rates, BoundaryStagesThrow) {
+  EXPECT_THROW(ionization_rate(8, 8, 1.0), std::out_of_range);   // bare ion
+  EXPECT_THROW(ionization_rate(8, -1, 1.0), std::out_of_range);
+  EXPECT_THROW(recombination_rate(8, 0, 1.0), std::out_of_range);  // neutral
+  EXPECT_THROW(recombination_rate(8, 9, 1.0), std::out_of_range);
+}
+
+// ------------------------------------------------------------------------- CIE
+
+class CieAllElements : public ::testing::TestWithParam<int> {};
+
+TEST_P(CieAllElements, FractionsFormDistribution) {
+  const int z = GetParam();
+  for (double kT : {0.01, 0.1, 1.0, 10.0}) {
+    const auto f = cie_fractions(z, kT);
+    ASSERT_EQ(f.size(), static_cast<std::size_t>(z) + 1);
+    double sum = 0.0;
+    for (double x : f) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "Z=" << z << " kT=" << kT;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Elements, CieAllElements,
+                         ::testing::Values(1, 2, 6, 8, 14, 26, 30));
+
+TEST(Cie, ColdPlasmaIsNeutral) {
+  const auto f = cie_fractions(8, 1e-4);
+  EXPECT_GT(f[0], 0.99);
+}
+
+TEST(Cie, HotPlasmaIsFullyStripped) {
+  const auto f = cie_fractions(8, 50.0);
+  EXPECT_GT(f[8], 0.5);
+  EXPECT_LT(f[0], 1e-10);
+}
+
+TEST(Cie, MeanChargeMonotoneInTemperature) {
+  double prev = -1.0;
+  for (double kT : {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0}) {
+    const auto f = cie_fractions(26, kT);
+    double mean = 0.0;
+    for (int j = 0; j <= 26; ++j) mean += j * f[static_cast<std::size_t>(j)];
+    EXPECT_GT(mean, prev) << "kT=" << kT;
+    prev = mean;
+  }
+}
+
+TEST(Cie, SingleFractionMatchesVector) {
+  const auto f = cie_fractions(8, 0.3);
+  for (int j = 0; j <= 8; ++j)
+    EXPECT_DOUBLE_EQ(cie_fraction(8, j, 0.3), f[static_cast<std::size_t>(j)]);
+  EXPECT_THROW(cie_fraction(8, 9, 0.3), std::out_of_range);
+  EXPECT_THROW(cie_fractions(8, 0.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- database
+
+TEST(Database, DefaultHas496Units) {
+  AtomicDatabase db;
+  EXPECT_EQ(db.ion_count(), 496u);         // the paper's per-point task count
+  EXPECT_EQ(db.rrc_ions().size(), 465u);   // charged, RRC-emitting stages
+}
+
+TEST(Database, UnitClassification) {
+  AtomicDatabase db;
+  std::size_t free_free = 0;
+  std::size_t neutral = 0;
+  for (const IonUnit& ion : db.ions()) {
+    if (ion.is_free_free()) ++free_free;
+    if (ion.z > 0 && ion.charge == 0) ++neutral;
+  }
+  EXPECT_EQ(free_free, 1u);
+  EXPECT_EQ(neutral, 30u);
+}
+
+TEST(Database, NamesAreHumanReadable) {
+  AtomicDatabase db;
+  const IonUnit ff{0, 0};
+  const IonUnit o7{8, 7};
+  EXPECT_EQ(ff.name(), "free-free");
+  EXPECT_EQ(o7.name(), "O+7");
+}
+
+TEST(Database, LevelsRespectPolicy) {
+  DatabaseConfig cfg;
+  cfg.levels = {4, true};
+  AtomicDatabase db(cfg);
+  const IonUnit ion{8, 3};
+  EXPECT_EQ(db.level_count_for(ion), 10u);
+  EXPECT_EQ(db.levels_for(ion).size(), 10u);
+  EXPECT_EQ(db.level_count_for(IonUnit{0, 0}), 0u);
+  EXPECT_EQ(db.level_count_for(IonUnit{8, 0}), 0u);
+}
+
+TEST(Database, SmallerElementSet) {
+  DatabaseConfig cfg;
+  cfg.max_z = 2;
+  cfg.include_free_free = false;
+  AtomicDatabase db(cfg);
+  // H: 2 stages, He: 3 stages.
+  EXPECT_EQ(db.ion_count(), 5u);
+  EXPECT_EQ(db.rrc_ions().size(), 3u);  // H+1, He+1, He+2
+}
+
+TEST(Database, BadConfigThrows) {
+  DatabaseConfig cfg;
+  cfg.max_z = 0;
+  EXPECT_THROW(AtomicDatabase{cfg}, std::invalid_argument);
+}
+
+}  // namespace

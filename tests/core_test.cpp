@@ -1,0 +1,384 @@
+// Tests for the paper's contribution: Algorithm 1 (scheduler policy, live
+// scheduler, shared memory), task model, autotuner, and the hybrid driver's
+// numerical equivalence to the serial baseline.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "apec/calculator.h"
+#include "core/autotune.h"
+#include "core/hybrid.h"
+#include "core/scheduler.h"
+#include "core/shm.h"
+#include "core/task.h"
+#include "util/statistics.h"
+
+namespace {
+
+using namespace hspec;
+using namespace hspec::core;
+
+// ------------------------------------------------------------ pick_device
+
+TEST(PickDevice, ChoosesMinimumLoad) {
+  const std::int32_t loads[] = {3, 1, 2};
+  const std::int64_t hist[] = {10, 10, 10};
+  EXPECT_EQ(pick_device(loads, hist, 8), 1);
+}
+
+TEST(PickDevice, TieBreaksByMinimumHistory) {
+  const std::int32_t loads[] = {2, 2, 2};
+  const std::int64_t hist[] = {30, 10, 20};
+  EXPECT_EQ(pick_device(loads, hist, 8), 1);
+}
+
+TEST(PickDevice, FirstWinsFullTie) {
+  const std::int32_t loads[] = {1, 1};
+  const std::int64_t hist[] = {5, 5};
+  EXPECT_EQ(pick_device(loads, hist, 8), 0);
+}
+
+TEST(PickDevice, FullQueuesRejected) {
+  const std::int32_t loads[] = {4, 4};
+  const std::int64_t hist[] = {1, 2};
+  EXPECT_EQ(pick_device(loads, hist, 4), -1);
+  EXPECT_EQ(pick_device(loads, hist, 5), 0);
+}
+
+TEST(PickDevice, EmptyAndMismatchedInputs) {
+  EXPECT_EQ(pick_device({}, {}, 4), -1);
+  const std::int32_t loads[] = {0};
+  const std::int64_t hist[] = {0, 0};
+  EXPECT_EQ(pick_device(loads, hist, 4), -1);
+}
+
+// ------------------------------------------------------------------ shm
+
+TEST(Shm, InProcessInitialization) {
+  ShmRegion region = ShmRegion::create_inprocess(3, 10);
+  SchedulerShm& shm = region.view();
+  EXPECT_EQ(shm.device_count, 3);
+  EXPECT_EQ(shm.max_queue_length, 10);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(shm.load[d].load(), 0);
+    EXPECT_EQ(shm.history[d].load(), 0);
+  }
+}
+
+TEST(Shm, PosixCreateAttachRoundTrip) {
+  const std::string name = "/hspec_test_shm_" + std::to_string(::getpid());
+  ShmRegion owner = ShmRegion::create_posix(name, 2, 6);
+  owner.view().load[1].store(4);
+
+  ShmRegion attached = ShmRegion::attach_posix(name);
+  EXPECT_EQ(attached.view().device_count, 2);
+  EXPECT_EQ(attached.view().max_queue_length, 6);
+  EXPECT_EQ(attached.view().load[1].load(), 4);
+  // Writes are visible both ways (same physical pages).
+  attached.view().history[0].store(99);
+  EXPECT_EQ(owner.view().history[0].load(), 99);
+}
+
+TEST(Shm, PosixDuplicateCreateFails) {
+  const std::string name = "/hspec_test_shm_dup_" + std::to_string(::getpid());
+  ShmRegion owner = ShmRegion::create_posix(name, 1, 2);
+  EXPECT_THROW(ShmRegion::create_posix(name, 1, 2), std::runtime_error);
+}
+
+TEST(Shm, UnlinkedAfterOwnerDestroyed) {
+  const std::string name = "/hspec_test_shm_gone_" + std::to_string(::getpid());
+  { ShmRegion owner = ShmRegion::create_posix(name, 1, 2); }
+  EXPECT_THROW(ShmRegion::attach_posix(name), std::runtime_error);
+}
+
+TEST(Shm, ValidatesArguments) {
+  EXPECT_THROW(ShmRegion::create_inprocess(-1, 4), std::invalid_argument);
+  EXPECT_THROW(ShmRegion::create_inprocess(kMaxDevices + 1, 4),
+               std::invalid_argument);
+  EXPECT_THROW(ShmRegion::create_inprocess(2, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- TaskScheduler
+
+TEST(Scheduler, AllocFreeLifecycle) {
+  ShmRegion region = ShmRegion::create_inprocess(2, 2);
+  TaskScheduler sched(region.view());
+  EXPECT_EQ(sched.sche_alloc(), 0);
+  EXPECT_EQ(sched.sche_alloc(), 1);  // min-history tie-break spreads load
+  EXPECT_EQ(sched.sche_alloc(), 0);
+  EXPECT_EQ(sched.sche_alloc(), 1);
+  EXPECT_EQ(sched.sche_alloc(), -1);  // both full
+  EXPECT_EQ(sched.load(0), 2);
+  EXPECT_EQ(sched.history(0), 2);
+  sched.sche_free(0);
+  EXPECT_EQ(sched.load(0), 1);
+  EXPECT_EQ(sched.sche_alloc(), 0);
+  EXPECT_EQ(sched.stats().gpu_allocations, 5);
+  EXPECT_EQ(sched.stats().cpu_fallbacks, 1);
+  EXPECT_NEAR(sched.stats().gpu_task_ratio(), 5.0 / 6.0, 1e-12);
+}
+
+TEST(Scheduler, HistoryPersistsAcrossFrees) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  TaskScheduler sched(region.view());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(sched.sche_alloc(), 0);
+    sched.sche_free(0);
+  }
+  EXPECT_EQ(sched.history(0), 3);
+  EXPECT_EQ(sched.load(0), 0);
+}
+
+TEST(Scheduler, NoDevicesAlwaysCpu) {
+  ShmRegion region = ShmRegion::create_inprocess(0, 4);
+  TaskScheduler sched(region.view());
+  EXPECT_EQ(sched.sche_alloc(), -1);
+  EXPECT_EQ(sched.stats().cpu_fallbacks, 1);
+}
+
+TEST(Scheduler, FreeWithoutAllocThrows) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  TaskScheduler sched(region.view());
+  EXPECT_THROW(sched.sche_free(0), std::logic_error);
+  EXPECT_THROW(sched.sche_free(5), std::out_of_range);
+  EXPECT_THROW(sched.load(9), std::out_of_range);
+  EXPECT_THROW(sched.history(-1), std::out_of_range);
+}
+
+TEST(Scheduler, MaxQueueLengthAdjustable) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 1);
+  TaskScheduler sched(region.view());
+  EXPECT_EQ(sched.sche_alloc(), 0);
+  EXPECT_EQ(sched.sche_alloc(), -1);
+  sched.set_max_queue_length(2);
+  EXPECT_EQ(sched.sche_alloc(), 0);
+  EXPECT_THROW(sched.set_max_queue_length(0), std::invalid_argument);
+}
+
+TEST(Scheduler, ConcurrentAllocNeverExceedsBound) {
+  // Property: under heavy contention the per-device load never exceeds the
+  // maximum queue length, and every successful alloc is eventually freed.
+  constexpr int kDevices = 3;
+  constexpr int kMaxLen = 5;
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 2'000;
+
+  ShmRegion region = ShmRegion::create_inprocess(kDevices, kMaxLen);
+  std::atomic<bool> violation{false};
+  std::atomic<std::int64_t> gpu_total{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      TaskScheduler sched(region.view());
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const int dev = sched.sche_alloc();
+        if (dev >= 0) {
+          for (int d = 0; d < kDevices; ++d) {
+            const auto l = region.view().load[d].load();
+            if (l < 0 || l > kMaxLen) violation = true;
+          }
+          ++gpu_total;
+          sched.sche_free(dev);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(violation.load());
+  for (int d = 0; d < kDevices; ++d)
+    EXPECT_EQ(region.view().load[d].load(), 0);
+  std::int64_t history_total = 0;
+  for (int d = 0; d < kDevices; ++d)
+    history_total += region.view().history[d].load();
+  EXPECT_EQ(history_total, gpu_total.load());
+}
+
+// ------------------------------------------------------------------ autotune
+
+TEST(Autotune, FindsTheKneeOfAConvexCurve) {
+  // Synthetic Fig. 4 curve: improves to q=10 then degrades.
+  auto measure = [](int q) {
+    return 100.0 + 200.0 / q + (q > 10 ? 3.0 * (q - 10) : 0.0);
+  };
+  const auto r = autotune_max_queue_length(measure);
+  EXPECT_EQ(r.best_max_queue_length, 10);
+  EXPECT_GE(r.probes.size(), 5u);
+}
+
+TEST(Autotune, MonotoneCurvePicksLargestProbed) {
+  auto measure = [](int q) { return 1000.0 / q; };
+  AutotuneOptions opt;
+  opt.max_queue_length = 16;
+  const auto r = autotune_max_queue_length(measure, opt);
+  EXPECT_EQ(r.best_max_queue_length, 16);
+}
+
+TEST(Autotune, StopsEarlyAfterInflexion) {
+  int calls = 0;
+  auto measure = [&](int q) {
+    ++calls;
+    return q <= 6 ? 100.0 - q : 200.0 + 10.0 * q;  // sharp inflexion at 6
+  };
+  AutotuneOptions opt;
+  opt.max_queue_length = 32;
+  const auto r = autotune_max_queue_length(measure, opt);
+  EXPECT_EQ(r.best_max_queue_length, 6);
+  EXPECT_LT(calls, 16);  // did not probe the whole range
+}
+
+TEST(Autotune, ValidatesOptions) {
+  auto measure = [](int) { return 1.0; };
+  AutotuneOptions bad;
+  bad.step = 0;
+  EXPECT_THROW(autotune_max_queue_length(measure, bad), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- task model
+
+TEST(TaskModel, GranularityNames) {
+  EXPECT_EQ(to_string(TaskGranularity::ion), "Ion");
+  EXPECT_EQ(to_string(TaskGranularity::level), "Level");
+}
+
+TEST(TaskModel, WorkloadArithmetic) {
+  WorkloadParams w;
+  w.ions_per_point = 496;
+  w.avg_levels_per_ion = 4;
+  w.bins_per_level = 50'000;
+  EXPECT_EQ(w.integrals_per_ion_task(), 200'000u);
+  EXPECT_EQ(w.integrals_per_point(), 99'200'000u);  // ~1e8, paper: "up to 2e8"
+}
+
+// -------------------------------------------------------------- hybrid driver
+
+class HybridTest : public ::testing::Test {
+ protected:
+  HybridTest()
+      : db_(small_db()), grid_(apec::EnergyGrid::wavelength(5.0, 40.0, 48)),
+        calc_(db_, grid_, kernel_options()) {}
+
+  static atomic::DatabaseConfig small_db() {
+    atomic::DatabaseConfig cfg;
+    cfg.max_z = 8;
+    cfg.levels = {2, true};
+    return cfg;
+  }
+  static apec::CalcOptions kernel_options() {
+    apec::CalcOptions opt;
+    opt.integration.adaptive = false;  // same math on both paths
+    return opt;
+  }
+
+  double worst_relative_difference(const apec::Spectrum& a,
+                                   const apec::Spectrum& b) const {
+    return util::max_relative_error(a.values(), b.values(),
+                                    1e-30 * std::max(a.peak(), 1e-300));
+  }
+
+  atomic::AtomicDatabase db_;
+  apec::EnergyGrid grid_;
+  apec::SpectrumCalculator calc_;
+};
+
+TEST_F(HybridTest, MakeTasksCountsMatchGranularity) {
+  const apec::GridPoint pt{0.5, 1.0, 0.0, 0};
+  const auto pops = apec::solve_populations(db_, pt);
+  const auto ion_tasks = make_tasks(calc_, pt, pops, TaskGranularity::ion);
+  const auto level_tasks = make_tasks(calc_, pt, pops, TaskGranularity::level);
+  EXPECT_GT(ion_tasks.size(), 0u);
+  // Level granularity multiplies RRC ions by their level count; free-free
+  // stays a single task.
+  std::size_t expected = 0;
+  for (const auto& t : ion_tasks)
+    expected += t.ion.emits_rrc() ? db_.level_count_for(t.ion) : 1;
+  EXPECT_EQ(level_tasks.size(), expected);
+}
+
+struct HybridCase {
+  int ranks;
+  int devices;
+  TaskGranularity granularity;
+};
+
+class HybridEquivalence : public HybridTest,
+                          public ::testing::WithParamInterface<HybridCase> {};
+
+TEST_P(HybridEquivalence, MatchesSerialBaseline) {
+  const auto [ranks, devices, granularity] = GetParam();
+  const std::vector<apec::GridPoint> points{{0.3, 1.0, 0.0, 0},
+                                            {0.8, 1.0, 0.0, 1}};
+  // The baseline must use the same integration path the hybrid run takes:
+  // with devices the tasks run the Simpson kernels; without devices every
+  // task falls back to QAGS (the serial APEC path).
+  apec::CalcOptions baseline_opt = kernel_options();
+  baseline_opt.integration.adaptive = (devices == 0);
+  apec::SpectrumCalculator baseline(db_, grid_, baseline_opt);
+  std::vector<apec::Spectrum> serial;
+  for (const auto& pt : points) serial.push_back(baseline.calculate(pt));
+
+  HybridConfig cfg;
+  cfg.ranks = ranks;
+  cfg.devices = devices;
+  cfg.granularity = granularity;
+  cfg.max_queue_length = 4;
+  HybridDriver driver(calc_, cfg);
+  const HybridResult res = driver.run(points);
+
+  ASSERT_EQ(res.spectra.size(), 2u);
+  for (std::size_t p = 0; p < points.size(); ++p)
+    EXPECT_LT(worst_relative_difference(serial[p], res.spectra[p]), 1e-10)
+        << "point " << p;
+  EXPECT_GT(res.tasks_total, 0u);
+  EXPECT_EQ(res.scheduling.gpu_allocations + res.scheduling.cpu_fallbacks,
+            static_cast<std::int64_t>(res.tasks_total));
+  if (devices == 0) {
+    EXPECT_EQ(res.scheduling.gpu_allocations, 0);
+  } else {
+    EXPECT_GT(res.scheduling.gpu_allocations, 0);
+    std::int64_t history_total = 0;
+    for (auto h : res.history) history_total += h;
+    EXPECT_EQ(history_total, res.scheduling.gpu_allocations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HybridEquivalence,
+    ::testing::Values(HybridCase{1, 1, TaskGranularity::ion},
+                      HybridCase{4, 2, TaskGranularity::ion},
+                      HybridCase{4, 0, TaskGranularity::ion},
+                      HybridCase{2, 1, TaskGranularity::level},
+                      HybridCase{4, 3, TaskGranularity::level},
+                      HybridCase{8, 2, TaskGranularity::ion}));
+
+TEST_F(HybridTest, DeviceStatsShowCoarseGranularityTransfers) {
+  const std::vector<apec::GridPoint> points{{0.5, 1.0, 0.0, 0}};
+  HybridConfig cfg;
+  cfg.ranks = 2;
+  cfg.devices = 1;
+  HybridDriver driver(calc_, cfg);
+  const HybridResult res = driver.run(points);
+  ASSERT_EQ(res.device_stats.size(), 1u);
+  const auto& st = res.device_stats[0];
+  // Ion granularity: one H2D (edges) and one D2H (emi) per GPU task, and
+  // at least one kernel per level of each task.
+  EXPECT_EQ(st.h2d_copies, st.d2h_copies);
+  EXPECT_GE(st.kernels_launched, st.d2h_copies);
+  EXPECT_GT(st.kernel_time_s, 0.0);
+}
+
+TEST_F(HybridTest, InvalidConfigThrows) {
+  HybridConfig bad;
+  bad.ranks = 0;
+  EXPECT_THROW(HybridDriver(calc_, bad), std::invalid_argument);
+  HybridConfig bad2;
+  bad2.max_queue_length = 0;
+  EXPECT_THROW(HybridDriver(calc_, bad2), std::invalid_argument);
+}
+
+}  // namespace

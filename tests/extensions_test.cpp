@@ -1,0 +1,254 @@
+// Tests for the extension modules: coronal level populations, the INI
+// config reader + parameter-space builder, the cluster simulator, and the
+// NEI trajectory builders.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numbers>
+
+#include "apec/calculator.h"
+#include "apec/level_population.h"
+#include "apec/parameter_space.h"
+#include "atomic/constants.h"
+#include "atomic/ion_balance.h"
+#include "nei/evolve.h"
+#include "nei/trajectory.h"
+#include "sim/cluster_sim.h"
+#include "util/config.h"
+
+namespace {
+
+using namespace hspec;
+
+// -------------------------------------------------------- level populations
+
+TEST(LevelPopulation, OscillatorStrengthsDecreaseAlongTheSeries) {
+  // f(1->2) > f(1->3) > ... (Kramers scaling).
+  double prev = 1e300;
+  for (int n = 2; n <= 6; ++n) {
+    const double f = apec::kramers_oscillator_strength(1, n);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, prev) << "n=" << n;
+    prev = f;
+  }
+  EXPECT_THROW(apec::kramers_oscillator_strength(2, 2), std::invalid_argument);
+}
+
+TEST(LevelPopulation, LymanAlphaEinsteinAOrderOfMagnitude) {
+  // Hydrogen 2->1 ~ 5e8 1/s (our Kramers-f calibration hits the decade).
+  const double a = apec::einstein_a(1, 2, 1);
+  EXPECT_GT(a, 1e8);
+  EXPECT_LT(a, 5e9);
+  // Z^4 scaling through dE^2: O+8 Ly-alpha ~ 4096x hydrogen.
+  EXPECT_NEAR(apec::einstein_a(8, 2, 1) / a, 4096.0, 200.0);
+}
+
+TEST(LevelPopulation, ExcitationRateHasBoltzmannCutoff) {
+  const double cold = apec::collisional_excitation_rate(8, 2, 0.05);
+  const double hot = apec::collisional_excitation_rate(8, 2, 2.0);
+  EXPECT_GT(hot, cold);
+  EXPECT_GT(cold, 0.0);
+  EXPECT_THROW(apec::collisional_excitation_rate(8, 2, 0.0),
+               std::invalid_argument);
+}
+
+TEST(LevelPopulation, CoronalPopulationsScaleWithDensityAndStaySmall) {
+  const auto lo = apec::coronal_populations(8, 1.0, 1.0, 5);
+  const auto hi = apec::coronal_populations(8, 1.0, 100.0, 5);
+  ASSERT_EQ(lo.size(), 4u);  // n = 2..5
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    EXPECT_NEAR(hi[i] / lo[i], 100.0, 1e-6);  // linear in ne
+    EXPECT_LT(lo[i], 1.0);  // coronal regime: excited states underpopulated
+  }
+  EXPECT_THROW(apec::coronal_populations(8, 1.0, 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(LevelPopulation, CoronalLineListResonanceLinesDominate) {
+  const atomic::IonUnit ion{8, 8};
+  const auto lines = apec::make_lines_coronal(ion, {1.0, 1.0, 1.0}, 4);
+  // Transitions: (2,3,4 -> below): 1 + 2 + 3 = 6 lines.
+  ASSERT_EQ(lines.size(), 6u);
+  // Ly-alpha (2->1, the first entry) outshines Ly-beta (3->1).
+  const double ly_alpha = lines[0].emissivity;
+  double ly_beta = 0.0;
+  for (const auto& l : lines)
+    if (std::fabs(l.energy_keV -
+                  (atomic::kRydbergKeV * 64.0 * (1.0 - 1.0 / 9.0))) < 1e-6)
+      ly_beta = l.emissivity;
+  EXPECT_GT(ly_alpha, ly_beta);
+  EXPECT_GT(ly_beta, 0.0);
+}
+
+TEST(LevelPopulation, CoronalOptionChangesTheSpectrum) {
+  atomic::DatabaseConfig db_cfg;
+  db_cfg.max_z = 8;
+  db_cfg.levels = {2, true};
+  atomic::AtomicDatabase db(db_cfg);
+  const auto grid = apec::EnergyGrid::wavelength(5.0, 40.0, 64);
+  apec::CalcOptions boltz;
+  boltz.integration.adaptive = false;
+  apec::CalcOptions coronal = boltz;
+  coronal.coronal_lines = true;
+  const auto a =
+      apec::SpectrumCalculator(db, grid, boltz).calculate({0.4, 1.0, 0.0, 0});
+  const auto b = apec::SpectrumCalculator(db, grid, coronal)
+                     .calculate({0.4, 1.0, 0.0, 0});
+  EXPECT_GT(a.total(), 0.0);
+  EXPECT_GT(b.total(), 0.0);
+  EXPECT_NE(a.total(), b.total());
+}
+
+// ------------------------------------------------------------------- config
+
+TEST(Config, ParsesSectionsCommentsAndTypes) {
+  const auto cfg = util::Config::parse(R"(
+# comment
+top = 1
+[temperature]
+lo = 0.1
+hi = 2.0
+count = 8
+log = true
+; another comment
+[density]
+lo = 1.0
+)");
+  EXPECT_EQ(cfg.get_int("top", 0), 1);
+  EXPECT_DOUBLE_EQ(cfg.get_double("temperature.lo", 0.0), 0.1);
+  EXPECT_EQ(cfg.get_int("temperature.count", 0), 8);
+  EXPECT_TRUE(cfg.get_bool("temperature.log", false));
+  EXPECT_FALSE(cfg.has("density.hi"));
+  EXPECT_DOUBLE_EQ(cfg.get_double("density.hi", 9.0), 9.0);
+}
+
+TEST(Config, RejectsMalformedInput) {
+  EXPECT_THROW(util::Config::parse("[unterminated\n"), std::invalid_argument);
+  EXPECT_THROW(util::Config::parse("novalue\n"), std::invalid_argument);
+  EXPECT_THROW(util::Config::parse("= 1\n"), std::invalid_argument);
+  const auto cfg = util::Config::parse("x = abc\n");
+  EXPECT_THROW(cfg.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_int("x", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_bool("x", false), std::invalid_argument);
+  EXPECT_THROW(util::Config::load("/nonexistent/path.ini"),
+               std::runtime_error);
+}
+
+TEST(Config, BuildsParameterSpace) {
+  const auto cfg = util::Config::parse(R"(
+[temperature]
+lo = 0.1
+hi = 10.0
+count = 3
+log = true
+[density]
+lo = 1.0
+hi = 2.0
+count = 2
+)");
+  const auto space = apec::parameter_space_from_config(cfg);
+  EXPECT_EQ(space.size(), 6u);  // 3 x 2 x 1 (time defaults to one point)
+  EXPECT_DOUBLE_EQ(space.point(1).kT_keV, 1.0);  // log axis midpoint
+  EXPECT_DOUBLE_EQ(space.point(0).ne_cm3, 1.0);
+  EXPECT_DOUBLE_EQ(space.point(0).time_s, 0.0);
+}
+
+// ------------------------------------------------------------- cluster sim
+
+TEST(ClusterSim, SplitsWorkAndScalesNearLinearly) {
+  sim::ClusterSimConfig cfg;
+  cfg.node.ranks = 24;
+  cfg.node.devices = 2;
+  cfg.node.max_queue_length = 10;
+  cfg.node.total_tasks = 8 * 24 * 496;  // 8 nodes' worth of grid points
+  cfg.node.prep_s = 0.115;
+  cfg.node.cpu_task_s = 1.47;
+  cfg.node.gpu_task_s = 0.008;
+  cfg.nodes = 1;
+  const auto one = sim::simulate_cluster(cfg);
+  cfg.nodes = 8;
+  const auto eight = sim::simulate_cluster(cfg);
+  EXPECT_EQ(eight.per_node.size(), 8u);
+  EXPECT_EQ(eight.tasks_gpu() + eight.tasks_cpu(), cfg.node.total_tasks);
+  const double scaling = one.makespan_s / eight.makespan_s;
+  EXPECT_GT(scaling, 6.5);   // near-linear
+  EXPECT_LE(scaling, 8.05);
+  EXPECT_LT(eight.imbalance(), 0.05);  // equal subspaces hold under jitter
+}
+
+TEST(ClusterSim, UnevenTaskCountsStillComplete) {
+  sim::ClusterSimConfig cfg;
+  cfg.nodes = 3;
+  cfg.node.ranks = 4;
+  cfg.node.devices = 1;
+  cfg.node.total_tasks = 100;  // 34 + 33 + 33
+  cfg.node.prep_s = 0.01;
+  cfg.node.cpu_task_s = 0.2;
+  cfg.node.gpu_task_s = 0.002;
+  const auto res = sim::simulate_cluster(cfg);
+  EXPECT_EQ(res.tasks_gpu() + res.tasks_cpu(), 100u);
+  EXPECT_GE(res.makespan_s, res.ideal_makespan_s);
+}
+
+TEST(ClusterSim, ValidatesNodeCount) {
+  sim::ClusterSimConfig cfg;
+  cfg.nodes = 0;
+  EXPECT_THROW(sim::simulate_cluster(cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- trajectories
+
+TEST(Trajectory, ShockStepsAtTheRightTime) {
+  const auto h = nei::shock_heating(1.0, 0.1, 2.0, 100.0);
+  EXPECT_DOUBLE_EQ(h.kT_keV(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.kT_keV(99.9), 0.1);
+  EXPECT_DOUBLE_EQ(h.kT_keV(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.ne_cm3, 1.0);
+}
+
+TEST(Trajectory, ExponentialDecayEndpoints) {
+  const auto h = nei::exponential_decay(2.0, 4.0, 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.kT_keV(0.0), 4.0);
+  EXPECT_NEAR(h.kT_keV(10.0), 1.0 + 3.0 / std::numbers::e, 1e-12);
+  EXPECT_NEAR(h.kT_keV(1e6), 1.0, 1e-12);
+}
+
+TEST(Trajectory, SampledHistoryInterpolatesAndClamps) {
+  const auto h = nei::sampled_history(1.0, {{0.0, 1.0}, {10.0, 3.0},
+                                            {20.0, 2.0}});
+  EXPECT_DOUBLE_EQ(h.kT_keV(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.kT_keV(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.kT_keV(15.0), 2.5);
+  EXPECT_DOUBLE_EQ(h.kT_keV(99.0), 2.0);
+}
+
+TEST(Trajectory, Validation) {
+  EXPECT_THROW(nei::constant_conditions(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(nei::shock_heating(1.0, -1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(nei::exponential_decay(1.0, 1.0, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(nei::sampled_history(1.0, {}), std::invalid_argument);
+  EXPECT_THROW(nei::sampled_history(1.0, {{1.0, 1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(Trajectory, DrivesNeiEvolution) {
+  // A decaying-temperature trajectory: the plasma stays over-ionized
+  // relative to instantaneous CIE while cooling (the classic NEI fossil).
+  const auto h = nei::exponential_decay(1.0, 2.0, 0.1, 1e10);
+  auto st = nei::PointState::equilibrium({8}, 2.0);
+  nei::evolve_point_cpu(st, h, 0.0, 1e9, 40);
+  EXPECT_LT(st.conservation_error(), 1e-12);
+  auto mean_charge = [](const std::vector<double>& f) {
+    double m = 0.0;
+    for (std::size_t j = 0; j < f.size(); ++j) m += j * f[j];
+    return m;
+  };
+  const double now_kt = h.kT_keV(40.0 * 1e9);
+  const auto cie_now = atomic::cie_fractions(8, now_kt);
+  EXPECT_GT(mean_charge(st.ions[0]), mean_charge(cie_now) + 0.05);
+}
+
+}  // namespace

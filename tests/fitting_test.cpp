@@ -1,0 +1,200 @@
+// Tests for the spectral-fitting layer (the paper's motivating use case)
+// and the Brent minimizer underneath it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apec/calculator.h"
+#include "apec/fitting.h"
+#include "core/hybrid.h"
+#include "util/brent.h"
+
+namespace {
+
+using namespace hspec;
+using namespace hspec::apec;
+
+// ----------------------------------------------------------------- minimizer
+
+TEST(Brent, FindsQuadraticMinimum) {
+  auto f = [](double x) { return (x - 2.5) * (x - 2.5) + 1.0; };
+  const auto r = util::brent_minimize(f, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 2.5, 1e-6);
+  EXPECT_NEAR(r.fx, 1.0, 1e-10);
+}
+
+TEST(Brent, HandlesAsymmetricValleys) {
+  auto f = [](double x) { return std::exp(x) - 3.0 * x; };  // min at ln 3
+  const auto r = util::brent_minimize(f, 0.0, 4.0);
+  EXPECT_NEAR(r.x, std::log(3.0), 1e-6);
+}
+
+TEST(Brent, EndpointMinimum) {
+  auto f = [](double x) { return x; };
+  const auto r = util::brent_minimize(f, 1.0, 5.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-3);
+}
+
+TEST(Brent, FewEvaluationsOnSmoothFunctions) {
+  auto f = [](double x) { return std::cos(x); };  // min at pi
+  const auto r = util::brent_minimize(f, 2.0, 4.5);
+  EXPECT_NEAR(r.x, 3.14159265, 1e-5);
+  EXPECT_LT(r.evaluations, 40u);  // parabolic steps, not pure golden
+}
+
+TEST(Brent, RejectsEmptyBracket) {
+  auto f = [](double x) { return x; };
+  EXPECT_THROW(util::brent_minimize(f, 2.0, 2.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- chi-squared
+
+TEST(ChiSquared, PerfectModelWithUnitNormalization) {
+  const auto grid = EnergyGrid::linear(1.0, 2.0, 8);
+  Spectrum model(grid);
+  for (std::size_t b = 0; b < 8; ++b) model[b] = 1.0 + 0.1 * b;
+  ObservedSpectrum obs;
+  obs.counts.assign(model.values().begin(), model.values().end());
+  obs.sigma.assign(8, 0.05);
+  const auto c = chi_squared(obs, model);
+  EXPECT_NEAR(c.value, 0.0, 1e-18);
+  EXPECT_NEAR(c.normalization, 1.0, 1e-12);
+  EXPECT_EQ(c.degrees_of_freedom, 6u);
+}
+
+TEST(ChiSquared, ProfilesOutTheNormalization) {
+  const auto grid = EnergyGrid::linear(1.0, 2.0, 4);
+  Spectrum model(grid);
+  for (std::size_t b = 0; b < 4; ++b) model[b] = 2.0;
+  ObservedSpectrum obs;
+  obs.counts.assign(4, 6.0);  // best A = 3
+  obs.sigma.assign(4, 1.0);
+  const auto c = chi_squared(obs, model);
+  EXPECT_NEAR(c.normalization, 3.0, 1e-12);
+  EXPECT_NEAR(c.value, 0.0, 1e-18);
+}
+
+TEST(ChiSquared, ValidatesInput) {
+  const auto grid = EnergyGrid::linear(1.0, 2.0, 4);
+  Spectrum model(grid);
+  ObservedSpectrum obs;
+  obs.counts.assign(3, 1.0);
+  obs.sigma.assign(3, 1.0);
+  EXPECT_THROW(chi_squared(obs, model), std::invalid_argument);
+  obs.counts.assign(4, 1.0);
+  obs.sigma.assign(4, 0.0);
+  EXPECT_THROW(chi_squared(obs, model), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- temperature
+
+class FitTest : public ::testing::Test {
+ protected:
+  FitTest()
+      : db_(db_config()), grid_(EnergyGrid::wavelength(2.0, 40.0, 48)),
+        calc_(db_, grid_, calc_options()) {}
+
+  static atomic::DatabaseConfig db_config() {
+    atomic::DatabaseConfig cfg;
+    cfg.max_z = 8;
+    cfg.levels = {2, true};
+    return cfg;
+  }
+  static CalcOptions calc_options() {
+    CalcOptions opt;
+    opt.integration.adaptive = false;
+    return opt;
+  }
+
+  ModelEvaluator model() const {
+    return [this](double kT) {
+      return calc_.calculate({kT, 1.0, 0.0, 0});
+    };
+  }
+
+  atomic::AtomicDatabase db_;
+  EnergyGrid grid_;
+  SpectrumCalculator calc_;
+};
+
+TEST_F(FitTest, RecoversTheTrueTemperatureFromNoiselessData) {
+  const double kT_true = 0.55;
+  const Spectrum truth = calc_.calculate({kT_true, 1.0, 0.0, 0});
+  ObservedSpectrum obs;
+  obs.counts.assign(truth.values().begin(), truth.values().end());
+  obs.sigma.assign(truth.bin_count(), 1e-3 * truth.peak());
+  FitOptions opt;
+  opt.kt_min_keV = 0.1;
+  opt.kt_max_keV = 3.0;
+  const FitResult fit = fit_temperature(obs, model(), opt);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.kT_keV, kT_true, 0.01 * kT_true);
+  EXPECT_NEAR(fit.normalization, 1.0, 1e-3);
+  EXPECT_LT(fit.reduced_chi2, 0.01);
+}
+
+TEST_F(FitTest, RecoversTemperatureAndNormalizationUnderNoise) {
+  const double kT_true = 0.8;
+  const double norm_true = 2.5;
+  const Spectrum truth = calc_.calculate({kT_true, 1.0, 0.0, 0});
+  const ObservedSpectrum obs = make_observation(truth, norm_true, 0.02, 17);
+  FitOptions opt;
+  opt.kt_min_keV = 0.1;
+  opt.kt_max_keV = 5.0;
+  const FitResult fit = fit_temperature(obs, model(), opt);
+  EXPECT_NEAR(fit.kT_keV, kT_true, 0.1 * kT_true);
+  EXPECT_NEAR(fit.normalization, norm_true, 0.1 * norm_true);
+  // Gaussian noise at the stated sigma: reduced chi2 ~ 1.
+  EXPECT_GT(fit.reduced_chi2, 0.3);
+  EXPECT_LT(fit.reduced_chi2, 3.0);
+}
+
+TEST_F(FitTest, HybridDriverAsModelEvaluator) {
+  // Fitting through the hybrid CPU/GPU pipeline: the workload the paper
+  // accelerates is exactly these repeated model evaluations.
+  const double kT_true = 0.45;
+  const Spectrum truth = calc_.calculate({kT_true, 1.0, 0.0, 0});
+  ObservedSpectrum obs;
+  obs.counts.assign(truth.values().begin(), truth.values().end());
+  obs.sigma.assign(truth.bin_count(), 1e-3 * truth.peak());
+
+  core::HybridConfig hybrid_cfg;
+  hybrid_cfg.ranks = 2;
+  hybrid_cfg.devices = 1;
+  auto hybrid_model = [&](double kT) {
+    core::HybridDriver driver(calc_, hybrid_cfg);
+    return driver.run({{kT, 1.0, 0.0, 0}}).spectra.at(0);
+  };
+  FitOptions opt;
+  opt.kt_min_keV = 0.2;
+  opt.kt_max_keV = 1.5;
+  const FitResult fit = fit_temperature(obs, hybrid_model, opt);
+  EXPECT_NEAR(fit.kT_keV, kT_true, 0.02 * kT_true);
+  EXPECT_GT(fit.model_evaluations, 5u);
+}
+
+TEST_F(FitTest, ValidatesOptions) {
+  ObservedSpectrum obs;
+  FitOptions bad;
+  bad.kt_min_keV = 2.0;
+  bad.kt_max_keV = 1.0;
+  EXPECT_THROW(fit_temperature(obs, model(), bad), std::invalid_argument);
+}
+
+TEST(MakeObservation, ReproducibleAndScaled) {
+  const auto grid = EnergyGrid::linear(1.0, 2.0, 16);
+  Spectrum truth(grid);
+  for (std::size_t b = 0; b < 16; ++b) truth[b] = 1.0;
+  const auto a = make_observation(truth, 4.0, 0.01, 7);
+  const auto b = make_observation(truth, 4.0, 0.01, 7);
+  EXPECT_EQ(a.counts, b.counts);
+  double mean = 0.0;
+  for (double c : a.counts) mean += c;
+  mean /= 16.0;
+  EXPECT_NEAR(mean, 4.0, 0.1);
+  EXPECT_THROW(make_observation(truth, 1.0, -0.1, 7), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Cross-module integration tests: the Fig. 7/8 accuracy experiment at test
+// scale, the autotuner driving the discrete-event simulator, and the full
+// hybrid pipeline over a 3-D parameter space.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apec/calculator.h"
+#include "apec/parameter_space.h"
+#include "core/autotune.h"
+#include "core/hybrid.h"
+#include "perfmodel/calibration.h"
+#include "sim/hybrid_sim.h"
+#include "util/histogram.h"
+
+namespace {
+
+using namespace hspec;
+
+atomic::DatabaseConfig test_db_config() {
+  atomic::DatabaseConfig cfg;
+  cfg.max_z = 14;
+  cfg.levels = {3, true};  // 6 levels per ion
+  return cfg;
+}
+
+// ----------------------------------------------------- Fig. 7/8 at test scale
+
+TEST(Accuracy, SerialQagsVsHybridSimpsonErrorDistribution) {
+  // The paper's accuracy experiment: serial APEC (QAGS) vs the hybrid
+  // GPU path (Simpson-64), compared bin by bin as relative error. Expect a
+  // tight distribution around zero with a small tail — no bin off by more
+  // than a few times 1e-4 relative, >99% of flux-carrying bins within 5e-5.
+  atomic::AtomicDatabase db(test_db_config());
+  const auto grid = apec::EnergyGrid::wavelength(2.0, 40.0, 96);
+
+  apec::CalcOptions serial_opt;
+  serial_opt.integration.adaptive = true;
+  apec::CalcOptions hybrid_opt;
+  hybrid_opt.integration.adaptive = false;
+
+  apec::SpectrumCalculator serial_calc(db, grid, serial_opt);
+  apec::SpectrumCalculator hybrid_calc(db, grid, hybrid_opt);
+  const apec::GridPoint pt{0.6, 1.0, 0.0, 0};
+
+  const apec::Spectrum serial = serial_calc.calculate(pt);
+  core::HybridDriver driver(hybrid_calc, {2, 8, core::TaskGranularity::ion, 2});
+  const apec::Spectrum hybrid = driver.run({pt}).spectra.at(0);
+
+  const double peak = serial.peak();
+  ASSERT_GT(peak, 0.0);
+  util::Histogram errors(-1e-4, 1e-4, 50);
+  std::size_t counted = 0;
+  for (std::size_t b = 0; b < grid.bin_count(); ++b) {
+    if (serial[b] < 1e-9 * peak) continue;  // ignore empty bins
+    const double rel = (hybrid[b] - serial[b]) / serial[b];
+    errors.add(rel);
+    ++counted;
+    EXPECT_LT(std::fabs(rel), 1e-2) << "bin " << b;
+  }
+  ASSERT_GT(counted, 20u);
+  EXPECT_GT(errors.fraction_between(-5e-5, 5e-5), 0.9);
+}
+
+TEST(Accuracy, SpectraVisuallyIdentical) {
+  // Fig. 7's criterion: the normalized flux series coincide.
+  atomic::AtomicDatabase db(test_db_config());
+  const auto grid = apec::EnergyGrid::wavelength(2.0, 40.0, 64);
+  apec::CalcOptions opt;
+  opt.integration.adaptive = true;
+  apec::SpectrumCalculator serial_calc(db, grid, opt);
+  apec::CalcOptions kernel_opt;
+  kernel_opt.integration.adaptive = false;
+  apec::SpectrumCalculator hybrid_calc(db, grid, kernel_opt);
+
+  const apec::GridPoint pt{0.5, 1.0, 0.0, 0};
+  const auto serial = serial_calc.calculate(pt).normalized_flux();
+  core::HybridDriver driver(hybrid_calc, {4, 6, core::TaskGranularity::ion, 1});
+  const auto hybrid = driver.run({pt}).spectra.at(0).normalized_flux();
+  for (std::size_t b = 0; b < serial.size(); ++b)
+    EXPECT_NEAR(serial[b], hybrid[b], 5e-3);
+}
+
+// ----------------------------------------------------- autotuner over the DES
+
+TEST(AutotuneIntegration, FindsTheFig4KneeOnTheSimulator) {
+  // §III-A: the scheduler tunes the maximum queue length by probing until
+  // the performance inflexion. Drive it with the calibrated simulator.
+  perfmodel::SpectralCostModel model({}, perfmodel::paper_workload());
+  auto measure = [&](int qlen) {
+    sim::HybridSimConfig cfg;
+    cfg.ranks = 24;
+    cfg.devices = 1;
+    cfg.max_queue_length = qlen;
+    cfg.total_tasks = 24 * 496;
+    cfg.prep_s = model.ion_prep_s();
+    cfg.cpu_task_s = model.ion_cpu_s();
+    cfg.gpu_task_s = model.ion_gpu_s();
+    return sim::simulate_hybrid(cfg).makespan_s;
+  };
+  const auto result = core::autotune_max_queue_length(measure);
+  // Fig. 4: peak performance at maximum queue length 10-12 for 1 GPU; our
+  // replica's knee must land in the same neighbourhood.
+  EXPECT_GE(result.best_max_queue_length, 6);
+  EXPECT_LE(result.best_max_queue_length, 16);
+  // And the tuned choice must beat the smallest probe clearly.
+  EXPECT_LT(result.best_time_s, result.probes.front().time_s * 0.75);
+}
+
+// -------------------------------------------------- full pipeline over a grid
+
+TEST(Pipeline, ParameterSpaceSweepMatchesSerial) {
+  atomic::DatabaseConfig cfg;
+  cfg.max_z = 8;
+  cfg.levels = {2, true};
+  atomic::AtomicDatabase db(cfg);
+  const auto grid = apec::EnergyGrid::logarithmic(0.08, 2.0, 40);
+  apec::CalcOptions opt;
+  opt.integration.adaptive = false;
+  apec::SpectrumCalculator calc(db, grid, opt);
+
+  apec::ParameterSpace space({0.2, 1.0, 3, false}, {1.0, 10.0, 2, true},
+                             {0.0, 0.0, 1, false});
+  const auto points = space.all_points();
+  ASSERT_EQ(points.size(), 6u);
+
+  core::HybridConfig hybrid_cfg;
+  hybrid_cfg.ranks = 3;
+  hybrid_cfg.devices = 2;
+  core::HybridDriver driver(calc, hybrid_cfg);
+  const auto result = driver.run(points);
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const apec::Spectrum serial = calc.calculate(points[p]);
+    for (std::size_t b = 0; b < grid.bin_count(); ++b)
+      EXPECT_NEAR(result.spectra[p][b], serial[b],
+                  1e-9 * std::max(serial.peak(), 1e-300))
+          << "point " << p << " bin " << b;
+  }
+  // Hotter points along the temperature axis shift flux to higher energy.
+  const auto cold = result.spectra[0];
+  const auto hot = result.spectra[2];
+  double cold_hi = 0.0;
+  double hot_hi = 0.0;
+  for (std::size_t b = grid.bin_count() / 2; b < grid.bin_count(); ++b) {
+    cold_hi += cold[b];
+    hot_hi += hot[b];
+  }
+  EXPECT_GT(hot_hi / hot.total(), cold_hi / cold.total());
+}
+
+TEST(Pipeline, SpeedupShapesFromCalibratedSimulator) {
+  // The Fig. 3 headline shapes, asserted end to end through perfmodel + sim:
+  // Ion beats Level everywhere; both saturate; Ion(3 GPUs) lands within a
+  // factor ~1.3 of the paper's 305.8.
+  perfmodel::SpectralCostModel m({}, perfmodel::paper_workload());
+  const double serial = 24.0 * m.serial_point_s();
+  auto run = [&](int devices, bool ion) {
+    sim::HybridSimConfig cfg;
+    cfg.devices = devices;
+    cfg.total_tasks = ion ? 24 * 496 : 24 * 496 * 4;
+    cfg.prep_s = ion ? m.ion_prep_s() : m.level_prep_s();
+    cfg.cpu_task_s = ion ? m.ion_cpu_s() : m.level_cpu_s();
+    cfg.gpu_task_s = ion ? m.ion_gpu_s() : m.level_gpu_s();
+    return serial / sim::simulate_hybrid(cfg).makespan_s;
+  };
+  double prev_ion = 0.0;
+  for (int d = 1; d <= 4; ++d) {
+    const double ion = run(d, true);
+    const double level = run(d, false);
+    EXPECT_GT(ion, level) << d << " GPUs";
+    EXPECT_GT(ion, prev_ion * 0.98) << d << " GPUs";  // non-decreasing-ish
+    prev_ion = ion;
+  }
+  const double ion3 = run(3, true);
+  EXPECT_GT(ion3, 305.8 / 1.3);
+  EXPECT_LT(ion3, 305.8 * 1.3);
+}
+
+}  // namespace

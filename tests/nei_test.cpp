@@ -1,0 +1,192 @@
+// Tests for the NEI substrate: Eq. (4) systems, conservation, equilibrium
+// fixed points, relaxation to CIE, and CPU/GPU execution equivalence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atomic/ion_balance.h"
+#include "nei/evolve.h"
+#include "nei/system.h"
+#include "vgpu/device.h"
+
+namespace {
+
+using namespace hspec;
+using namespace hspec::nei;
+
+PlasmaHistory constant_history(double ne, double kT) {
+  PlasmaHistory h;
+  h.ne_cm3 = ne;
+  h.kT_keV = [kT](double) { return kT; };
+  return h;
+}
+
+TEST(NeiSystem, DimensionIsZPlusOne) {
+  NeiSystem sys(8, constant_history(1.0, 1.0));
+  EXPECT_EQ(sys.dimension(), 9u);
+  EXPECT_EQ(sys.z(), 8);
+  EXPECT_THROW(NeiSystem(0, constant_history(1.0, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(NeiSystem(31, constant_history(1.0, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(NeiSystem, RhsConservesTotalDensity) {
+  // Sum of dn_i/dt is identically zero (chain structure of Eq. 4).
+  NeiSystem sys(8, constant_history(2.0, 0.5));
+  std::vector<double> y{0.1, 0.2, 0.1, 0.1, 0.2, 0.1, 0.1, 0.05, 0.05};
+  std::vector<double> dydt(9);
+  sys.rhs(0.0, y, dydt);
+  double sum = 0.0;
+  for (double d : dydt) sum += d;
+  EXPECT_NEAR(sum, 0.0, 1e-18);
+}
+
+TEST(NeiSystem, RhsScalesWithElectronDensity) {
+  NeiSystem lo(8, constant_history(1.0, 0.5));
+  NeiSystem hi(8, constant_history(10.0, 0.5));
+  std::vector<double> y(9, 1.0 / 9.0);
+  std::vector<double> d_lo(9), d_hi(9);
+  lo.rhs(0.0, y, d_lo);
+  hi.rhs(0.0, y, d_hi);
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_NEAR(d_hi[i], 10.0 * d_lo[i], 1e-12 * std::fabs(d_hi[i]) + 1e-30);
+}
+
+TEST(NeiSystem, JacobianIsTridiagonalAndMatchesNumerics) {
+  NeiSystem sys(6, constant_history(3.0, 0.7));
+  std::vector<double> y(7, 1.0 / 7.0);
+  ode::Matrix ana(7, 7);
+  ode::Matrix num(7, 7);
+  sys.jacobian(0.0, y, ana);
+  ode::numerical_jacobian(sys, 0.0, y, num);
+  for (std::size_t r = 0; r < 7; ++r)
+    for (std::size_t c = 0; c < 7; ++c) {
+      if (c + 1 < r || c > r + 1) {
+        EXPECT_DOUBLE_EQ(ana(r, c), 0.0) << r << "," << c;
+      }
+      // Rates are y-independent: the numeric Jacobian must agree well.
+      EXPECT_NEAR(num(r, c), ana(r, c),
+                  1e-4 * std::max(1.0, std::fabs(ana(r, c))));
+    }
+}
+
+TEST(NeiSystem, CieIsAFixedPoint) {
+  // At the equilibrium fractions the net flux through every link vanishes.
+  const double kT = 0.8;
+  NeiSystem sys(8, constant_history(5.0, kT));
+  const auto y = equilibrium_state(8, kT);
+  std::vector<double> dydt(9);
+  sys.rhs(0.0, y, dydt);
+  for (std::size_t i = 0; i < dydt.size(); ++i)
+    EXPECT_NEAR(dydt[i], 0.0, 1e-12) << "state " << i;
+}
+
+TEST(Renormalize, ClipsAndNormalizes) {
+  std::vector<double> y{0.5, -0.1, 0.7};
+  renormalize(y);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_NEAR(y[0] + y[1] + y[2], 1.0, 1e-15);
+  std::vector<double> zeros{0.0, -1.0};
+  EXPECT_THROW(renormalize(zeros), std::runtime_error);
+}
+
+// --------------------------------------------------------------------- evolve
+
+TEST(Evolve, EquilibriumStateStaysPut) {
+  const double kT = 1.2;
+  auto st = PointState::equilibrium({8}, kT);
+  const auto before = st.ions[0];
+  evolve_point_cpu(st, constant_history(4.0, kT), 0.0, 1e8, 20);
+  for (std::size_t j = 0; j < before.size(); ++j)
+    EXPECT_NEAR(st.ions[0][j], before[j], 1e-6);
+}
+
+TEST(Evolve, ShockHeatingRelaxesToNewCie) {
+  // Equilibrated cold, then held at 2 keV long enough to re-equilibrate.
+  auto st = PointState::equilibrium({8, 26}, 0.1);
+  const auto rep =
+      evolve_point_cpu(st, constant_history(1.0, 2.0), 0.0, 1e9, 100);
+  EXPECT_EQ(rep.tasks, 10u);  // 100 steps / 10 per task
+  const auto cie_o = atomic::cie_fractions(8, 2.0);
+  for (std::size_t j = 0; j < cie_o.size(); ++j)
+    EXPECT_NEAR(st.ions[0][j], cie_o[j], 1e-5) << "O state " << j;
+  EXPECT_LT(st.conservation_error(), 1e-12);
+}
+
+TEST(Evolve, UnderIonizedOnTheWayUp) {
+  // Mid-relaxation the plasma must lag the hot equilibrium: mean charge
+  // below CIE(2 keV) but above CIE(0.1 keV) — the NEI phenomenon itself.
+  auto st = PointState::equilibrium({8}, 0.1);
+  evolve_point_cpu(st, constant_history(1.0, 2.0), 0.0, 1e6, 10);
+  auto mean_charge = [](const std::vector<double>& f) {
+    double m = 0.0;
+    for (std::size_t j = 0; j < f.size(); ++j) m += static_cast<double>(j) * f[j];
+    return m;
+  };
+  const double now = mean_charge(st.ions[0]);
+  const double cold = mean_charge(atomic::cie_fractions(8, 0.1));
+  const double hot = mean_charge(atomic::cie_fractions(8, 2.0));
+  EXPECT_GT(now, cold + 1e-3);
+  EXPECT_LT(now, hot - 1e-3);
+}
+
+TEST(Evolve, ConservationHoldsAcrossLongRuns) {
+  auto st = PointState::equilibrium(default_element_set(), 0.3);
+  EXPECT_EQ(st.elements.size(), 12u);  // "about a dozen of ODE groups"
+  evolve_point_cpu(st, constant_history(2.0, 1.0), 0.0, 1e7, 30);
+  EXPECT_LT(st.conservation_error(), 1e-12);
+}
+
+TEST(Evolve, GpuPathBitwiseMatchesCpuPath) {
+  auto cpu_state = PointState::equilibrium({8, 26}, 0.1);
+  auto gpu_state = cpu_state;
+  const auto hist = constant_history(1.0, 2.0);
+  const auto cpu_rep = evolve_point_cpu(cpu_state, hist, 0.0, 1e8, 40);
+  vgpu::Device dev(vgpu::tesla_c2075(), 0);
+  const auto gpu_rep = evolve_point_gpu(gpu_state, hist, 0.0, 1e8, 40, dev);
+  EXPECT_EQ(cpu_rep.tasks, gpu_rep.tasks);
+  EXPECT_EQ(cpu_rep.solver_steps, gpu_rep.solver_steps);
+  for (std::size_t e = 0; e < cpu_state.ions.size(); ++e)
+    for (std::size_t j = 0; j < cpu_state.ions[e].size(); ++j)
+      EXPECT_DOUBLE_EQ(cpu_state.ions[e][j], gpu_state.ions[e][j]);
+  // Task packing: one H2D + one D2H per packed task.
+  const auto st = dev.stats();
+  EXPECT_EQ(st.h2d_copies, gpu_rep.tasks);
+  EXPECT_EQ(st.d2h_copies, gpu_rep.tasks);
+  EXPECT_EQ(st.kernels_launched, gpu_rep.tasks);
+}
+
+TEST(Evolve, TimeVaryingTemperatureHistory) {
+  // Linear ramp: must run without error and land between the endpoints.
+  PlasmaHistory ramp;
+  ramp.ne_cm3 = 1.0;
+  ramp.kT_keV = [](double t) { return 0.1 + 1.9 * std::min(t / 1e10, 1.0); };
+  auto st = PointState::equilibrium({8}, 0.1);
+  evolve_point_cpu(st, ramp, 0.0, 1e8, 50);
+  EXPECT_LT(st.conservation_error(), 1e-12);
+}
+
+TEST(Evolve, StiffRegimeEngagesImplicitSolver) {
+  // Dense plasma, coarse steps: the fastest rate times ne times dt is ~1e5,
+  // far beyond an explicit solver's stability budget per step — the LSODA
+  // path must switch to BDF.
+  auto st = PointState::equilibrium({26}, 0.05);
+  EvolveOptions opt;
+  const auto rep =
+      evolve_point_cpu(st, constant_history(1e8, 5.0), 0.0, 1e5, 10, opt);
+  EXPECT_GT(rep.method_switches + rep.stiff_solves, 0u);
+  EXPECT_LT(st.conservation_error(), 1e-12);
+}
+
+TEST(Evolve, ValidatesOptions) {
+  auto st = PointState::equilibrium({8}, 0.1);
+  EvolveOptions opt;
+  opt.steps_per_task = 0;
+  EXPECT_THROW(
+      evolve_point_cpu(st, constant_history(1.0, 1.0), 0.0, 1.0, 10, opt),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,303 @@
+// Tests for the ODE substrate: linear algebra, explicit RK45, implicit BDF,
+// and the LSODA-style switching driver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ode/bdf.h"
+#include "ode/linalg.h"
+#include "ode/lsoda.h"
+#include "ode/rk45.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hspec::ode;
+
+// ---------------------------------------------------------------------- linalg
+
+TEST(Matrix, IndexingAndMultiply) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 1) = 3.0;
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_THROW(m.multiply(y, y), std::invalid_argument);
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(3, 3);
+  const double vals[9] = {2, 1, 1, 1, 3, 2, 1, 0, 0};
+  for (std::size_t i = 0; i < 9; ++i) a(i / 3, i % 3) = vals[i];
+  LuDecomposition lu(std::move(a));
+  std::vector<double> b{4, 5, 6};
+  lu.solve(b);
+  // x = (6, 15, -23): check by substitution.
+  EXPECT_NEAR(b[0], 6.0, 1e-12);
+  EXPECT_NEAR(b[1], 15.0, 1e-12);
+  EXPECT_NEAR(b[2], -23.0, 1e-12);
+}
+
+TEST(Lu, RandomSystemsRoundTrip) {
+  hspec::util::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.bounded(12);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        a(r, c) = rng.uniform(-1.0, 1.0) + (r == c ? 3.0 : 0.0);
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-5.0, 5.0);
+    std::vector<double> b(n);
+    a.multiply(x_true, b);
+    LuDecomposition lu(std::move(a));
+    lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Lu, DeterminantAndSingularity) {
+  Matrix diag(2, 2);
+  diag(0, 0) = 3.0;
+  diag(1, 1) = -2.0;
+  EXPECT_NEAR(LuDecomposition(std::move(diag)).determinant(), -6.0, 1e-12);
+
+  Matrix sing(2, 2);
+  sing(0, 0) = 1.0;
+  sing(0, 1) = 2.0;
+  sing(1, 0) = 2.0;
+  sing(1, 1) = 4.0;
+  EXPECT_THROW(LuDecomposition{std::move(sing)}, std::runtime_error);
+
+  Matrix rect(2, 3);
+  EXPECT_THROW(LuDecomposition{std::move(rect)}, std::invalid_argument);
+}
+
+TEST(Tridiagonal, MatchesDenseLu) {
+  const std::size_t n = 8;
+  std::vector<double> lower(n - 1), diag(n), upper(n - 1), d(n);
+  hspec::util::Xoshiro256 rng(5);
+  for (auto& v : lower) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : upper) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : diag) v = rng.uniform(3.0, 5.0);  // diagonally dominant
+  for (auto& v : d) v = rng.uniform(-2.0, 2.0);
+
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = diag[i];
+    if (i + 1 < n) {
+      a(i, i + 1) = upper[i];
+      a(i + 1, i) = lower[i];
+    }
+  }
+  std::vector<double> dense = d;
+  LuDecomposition lu(std::move(a));
+  lu.solve(dense);
+
+  std::vector<double> thomas = d;
+  solve_tridiagonal(lower, diag, upper, thomas);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(thomas[i], dense[i], 1e-10);
+}
+
+TEST(Tridiagonal, ValidatesSizes) {
+  std::vector<double> l(2), diag(3), u(2), d(2);
+  EXPECT_THROW(solve_tridiagonal(l, diag, u, d), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- test systems
+
+struct Decay : OdeSystem {
+  std::size_t dimension() const override { return 1; }
+  void rhs(double, std::span<const double> y,
+           std::span<double> d) const override {
+    d[0] = -y[0];
+  }
+};
+
+/// y'' = -y as a system: y(t) = cos(t), y'(t) = -sin(t).
+struct Oscillator : OdeSystem {
+  std::size_t dimension() const override { return 2; }
+  void rhs(double, std::span<const double> y,
+           std::span<double> d) const override {
+    d[0] = y[1];
+    d[1] = -y[0];
+  }
+};
+
+/// Prothero-Robinson-style stiff problem: y' = -L (y - cos t) - sin t,
+/// exact solution y = cos t (for y0 = 1).
+struct StiffPr : OdeSystem {
+  double lambda = 1e5;
+  std::size_t dimension() const override { return 1; }
+  void rhs(double t, std::span<const double> y,
+           std::span<double> d) const override {
+    d[0] = -lambda * (y[0] - std::cos(t)) - std::sin(t);
+  }
+  bool has_jacobian() const override { return true; }
+  void jacobian(double, std::span<const double>, Matrix& j) const override {
+    j(0, 0) = -lambda;
+  }
+};
+
+// ------------------------------------------------------------------ jacobians
+
+TEST(Jacobian, NumericalMatchesAnalytic) {
+  StiffPr sys;
+  sys.lambda = 50.0;
+  Matrix num(1, 1);
+  Matrix ana(1, 1);
+  const std::vector<double> y{0.7};
+  numerical_jacobian(sys, 0.3, y, num);
+  sys.jacobian(0.3, y, ana);
+  EXPECT_NEAR(num(0, 0), ana(0, 0), 1e-3 * std::fabs(ana(0, 0)));
+}
+
+TEST(Jacobian, UnimplementedThrows) {
+  Decay sys;
+  Matrix j(1, 1);
+  EXPECT_THROW(sys.jacobian(0.0, std::vector<double>{1.0}, j),
+               std::logic_error);
+  EXPECT_FALSE(sys.has_jacobian());
+}
+
+// ----------------------------------------------------------------------- RK45
+
+TEST(Rk45, ExponentialDecayAccuracy) {
+  Decay sys;
+  std::vector<double> y{1.0};
+  const auto st = rk45_integrate(sys, 0.0, 2.0, y, {1e-10, 1e-14});
+  EXPECT_NEAR(y[0], std::exp(-2.0), 1e-8);
+  EXPECT_GT(st.steps, 0u);
+  EXPECT_GT(st.rhs_evaluations, 6 * st.steps);
+}
+
+TEST(Rk45, OscillatorEnergyPreservedToTolerance) {
+  Oscillator sys;
+  std::vector<double> y{1.0, 0.0};
+  rk45_integrate(sys, 0.0, 20.0, y, {1e-10, 1e-12});
+  EXPECT_NEAR(y[0], std::cos(20.0), 1e-6);
+  EXPECT_NEAR(y[1], -std::sin(20.0), 1e-6);
+}
+
+TEST(Rk45, TighterToleranceMoreAccurate) {
+  Decay sys;
+  std::vector<double> loose_y{1.0};
+  std::vector<double> tight_y{1.0};
+  rk45_integrate(sys, 0.0, 2.0, loose_y, {1e-4, 1e-8});
+  rk45_integrate(sys, 0.0, 2.0, tight_y, {1e-10, 1e-14});
+  const double exact = std::exp(-2.0);
+  EXPECT_LT(std::fabs(tight_y[0] - exact), std::fabs(loose_y[0] - exact));
+}
+
+TEST(Rk45, StiffProblemExhaustsBudget) {
+  StiffPr sys;
+  std::vector<double> y{1.0};
+  SolverOptions opt;
+  opt.max_steps = 500;
+  EXPECT_THROW(rk45_integrate(sys, 0.0, 1.0, y, opt), std::runtime_error);
+}
+
+TEST(Rk45, ValidatesArguments) {
+  Decay sys;
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(rk45_integrate(sys, 0.0, 1.0, y), std::invalid_argument);
+  std::vector<double> y1{1.0};
+  EXPECT_THROW(rk45_integrate(sys, 1.0, 1.0, y1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------------ BDF
+
+TEST(Bdf, ExponentialDecayAccuracy) {
+  Decay sys;
+  std::vector<double> y{1.0};
+  const auto st = bdf_integrate(sys, 0.0, 2.0, y, {1e-8, 1e-12});
+  EXPECT_NEAR(y[0], std::exp(-2.0), 1e-5);
+  EXPECT_GT(st.newton_iterations, st.steps);
+  EXPECT_GT(st.jacobian_evaluations, 0u);
+  EXPECT_TRUE(st.stiff_finish);
+}
+
+TEST(Bdf, StiffProblemSolvedInFewSteps) {
+  StiffPr sys;
+  std::vector<double> y{1.0};
+  const auto st = bdf_integrate(sys, 0.0, 1.0, y, {1e-7, 1e-12});
+  EXPECT_NEAR(y[0], std::cos(1.0), 1e-4);
+  // The whole point of BDF: step count is tolerance-driven, not
+  // stability-driven (RK45 would need ~ lambda steps).
+  EXPECT_LT(st.steps + st.rejected_steps, 5'000u);
+}
+
+TEST(Bdf, UsesAnalyticJacobianWhenAvailable) {
+  StiffPr sys;
+  std::vector<double> y{1.0};
+  const auto st = bdf_integrate(sys, 0.0, 0.5, y, {1e-6, 1e-12});
+  EXPECT_GT(st.jacobian_evaluations, 0u);
+}
+
+TEST(Bdf, SystemDecayComponentsIndependent) {
+  // Two decoupled decays with different rates.
+  struct TwoDecay : OdeSystem {
+    std::size_t dimension() const override { return 2; }
+    void rhs(double, std::span<const double> y,
+             std::span<double> d) const override {
+      d[0] = -y[0];
+      d[1] = -10.0 * y[1];
+    }
+  } sys;
+  std::vector<double> y{1.0, 1.0};
+  bdf_integrate(sys, 0.0, 1.0, y, {1e-8, 1e-12});
+  EXPECT_NEAR(y[0], std::exp(-1.0), 1e-5);
+  EXPECT_NEAR(y[1], std::exp(-10.0), 1e-5);
+}
+
+TEST(Bdf, ValidatesArguments) {
+  Decay sys;
+  std::vector<double> y{1.0};
+  EXPECT_THROW(bdf_integrate(sys, 1.0, 0.5, y), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------- LSODA
+
+TEST(Lsoda, StaysExplicitOnEasyProblem) {
+  Decay sys;
+  std::vector<double> y{1.0};
+  const auto st = lsoda_integrate(sys, 0.0, 2.0, y);
+  EXPECT_NEAR(y[0], std::exp(-2.0), 1e-6);
+  EXPECT_EQ(st.method_switches, 0u);
+  EXPECT_FALSE(st.stiff_finish);
+  EXPECT_EQ(st.newton_iterations, 0u);  // never touched the implicit path
+}
+
+TEST(Lsoda, SwitchesToBdfOnStiffProblem) {
+  StiffPr sys;
+  std::vector<double> y{1.0};
+  const auto st = lsoda_integrate(sys, 0.0, 1.0, y);
+  EXPECT_NEAR(y[0], std::cos(1.0), 1e-3);
+  EXPECT_GE(st.method_switches, 1u);
+  EXPECT_TRUE(st.stiff_finish);
+  EXPECT_GT(st.newton_iterations, 0u);
+}
+
+TEST(Lsoda, CheaperThanPureExplicitOnStiff) {
+  StiffPr sys;
+  std::vector<double> y1{1.0};
+  const auto auto_st = lsoda_integrate(sys, 0.0, 1.0, y1);
+  // Pure RK45 would need ~ lambda * t / 3 ~ 3e4 evaluations just for
+  // stability; the switching driver must come in well under that.
+  EXPECT_LT(auto_st.rhs_evaluations, 30'000u);
+}
+
+TEST(Lsoda, ValidatesArguments) {
+  Decay sys;
+  std::vector<double> y{1.0};
+  EXPECT_THROW(lsoda_integrate(sys, 1.0, 1.0, y), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests pinning the calibrated cost model to the paper's reported anchors.
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/calibration.h"
+#include "perfmodel/nei_cost.h"
+
+namespace {
+
+using namespace hspec;
+using namespace hspec::perfmodel;
+
+TEST(Calibration, PaperWorkloadScale) {
+  const auto w = paper_workload();
+  EXPECT_EQ(w.ions_per_point, 496u);
+  // "the total amount of RRC integrations in each grid point is up to 1e8
+  // order of magnitude" (Fig. 1 caption says up to 2e8).
+  EXPECT_GE(w.integrals_per_point(), 50'000'000u);
+  EXPECT_LE(w.integrals_per_point(), 200'000'000u);
+}
+
+TEST(Calibration, SerialPointTimeNear800Seconds) {
+  const SpectralCostModel m({}, paper_workload());
+  // §IV: "the average time of one grid point is nearly 800 s".
+  EXPECT_NEAR(m.serial_point_s(), 800.0, 60.0);
+}
+
+TEST(Calibration, IntegralsDominateSerialTime) {
+  // §I: "the integral operations account for more than 90% of the total".
+  const SpectralCostModel m({}, paper_workload());
+  const double integral_share =
+      m.ion_cpu_s() / (m.ion_cpu_s() + m.ion_prep_s());
+  EXPECT_GT(integral_share, 0.90);
+}
+
+TEST(Calibration, MpiOnlySpeedupIs13Point5) {
+  const SpectralCostModel m({}, paper_workload());
+  const double serial = 24.0 * m.serial_point_s();
+  EXPECT_NEAR(serial / m.mpi_only_s(24), 13.5, 0.1);
+  // Fewer ranks than the contention ceiling scale linearly.
+  EXPECT_NEAR(serial / m.mpi_only_s(24, 4), 4.0, 1e-9);
+  EXPECT_THROW(m.mpi_only_s(24, 0), std::invalid_argument);
+}
+
+TEST(Calibration, GpuTaskOrdersOfMagnitude) {
+  const SpectralCostModel m({}, paper_workload());
+  // Per-task: GPU milliseconds, CPU seconds — the ~180x per-device gap that
+  // yields the Fig. 3 speedups once 496 x 24 tasks flow through.
+  EXPECT_GT(m.ion_gpu_s(), 1e-3);
+  EXPECT_LT(m.ion_gpu_s(), 20e-3);
+  EXPECT_GT(m.ion_cpu_s(), 1.0);
+  EXPECT_LT(m.ion_cpu_s(), 2.0);
+  EXPECT_GT(m.ion_cpu_s() / m.ion_gpu_s(), 100.0);
+}
+
+TEST(Calibration, LevelGranularityPaysFixedOverheadFourTimes) {
+  const SpectralCostModel m({}, paper_workload());
+  // One ion = 4 levels: the level path repeats context switch + transfers.
+  EXPECT_LT(m.level_gpu_s(), m.ion_gpu_s());
+  EXPECT_GT(4.0 * m.level_gpu_s(), 1.5 * m.ion_gpu_s());
+  EXPECT_NEAR(m.level_cpu_s() * 4.0, m.ion_cpu_s(), 1e-12);
+  EXPECT_GT(m.level_prep_s() * 4.0, m.ion_prep_s());  // fixed part repeats
+}
+
+TEST(Calibration, RombergComplexityDial) {
+  // Table I: computation per task steps x4 per k += 2.
+  PaperCalibration cal;
+  auto w = paper_workload();
+  w.method = quad::KernelMethod::romberg;
+  double prev = 0.0;
+  for (std::size_t k = 7; k <= 13; k += 2) {
+    w.method_param = k;
+    const SpectralCostModel m(cal, w);
+    EXPECT_NEAR(m.gpu_evals_per_bin(), static_cast<double>((1u << k) + 1),
+                1e-12);
+    if (prev > 0.0) {
+      const double kernel_growth =
+          (m.ion_gpu_s() - cal.gpu_context_switch_s) /
+          (prev - cal.gpu_context_switch_s);
+      EXPECT_NEAR(kernel_growth, 4.0, 0.3) << "k=" << k;
+    }
+    prev = m.ion_gpu_s();
+  }
+}
+
+TEST(Calibration, SimpsonAndRomberg7CostTheSame) {
+  // 2*64+1 == 2^7+1: the Fig. 5 (Simpson) and Table I k=7 rows agree.
+  PaperCalibration cal;
+  auto simpson = paper_workload();
+  auto romberg = paper_workload();
+  romberg.method = quad::KernelMethod::romberg;
+  romberg.method_param = 7;
+  EXPECT_DOUBLE_EQ(SpectralCostModel(cal, simpson).ion_gpu_s(),
+                   SpectralCostModel(cal, romberg).ion_gpu_s());
+}
+
+TEST(Calibration, SchedulerOverheadFarBelowMps) {
+  const PaperCalibration cal;
+  // §II-B/§V: shared memory avoids the client-server overhead of MPS.
+  EXPECT_LT(cal.shm_scheduler_overhead_s * 10.0, cal.mps_scheduler_overhead_s);
+}
+
+TEST(Calibration, RejectsEmptyWorkload) {
+  auto w = paper_workload();
+  w.bins_per_level = 0;
+  EXPECT_THROW(SpectralCostModel({}, w), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ NEI model
+
+TEST(NeiModel, TableIIBaselineAnchor) {
+  const NeiCostModel m({}, {});
+  // Table II: 24-rank MPI baseline = 3137 s x 2.8 ~ 8784 s for 1e6 points
+  // x 1000 steps. Allow 20% on the synthetic flop count.
+  EXPECT_NEAR(m.mpi_only_s(), 8784.0, 0.2 * 8784.0);
+}
+
+TEST(NeiModel, TaskDurationsOrdered) {
+  const NeiCostModel m({}, {});
+  EXPECT_LT(m.gpu_task_s(), m.cpu_task_s());
+  EXPECT_LT(m.prep_s(), m.cpu_task_s());
+  // The packed NEI task is tiny next to a spectral ion task.
+  EXPECT_LT(m.cpu_task_s(), 5e-3);
+  EXPECT_GT(m.gpu_task_s(), 1e-5);
+}
+
+TEST(NeiModel, WorkloadAccounting) {
+  NeiWorkload w;
+  EXPECT_EQ(w.tasks_per_point(), 100u);
+  EXPECT_EQ(w.total_tasks(), 100'000'000u);
+  w.grid_points = 10;
+  w.timesteps = 50;
+  w.steps_per_task = 10;
+  EXPECT_EQ(NeiCostModel({}, w).workload().total_tasks(), 50u);
+  w.steps_per_task = 7;  // does not divide 50
+  EXPECT_THROW(NeiCostModel({}, w), std::invalid_argument);
+}
+
+}  // namespace

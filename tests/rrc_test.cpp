@@ -1,0 +1,186 @@
+// Tests for the RRC emissivity of Eq. (1)/(2): threshold behaviour, the
+// Maxwellian factor-4 identity, and agreement between the closed form, QAGS,
+// and the fixed GPU kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "atomic/constants.h"
+#include "rrc/rrc.h"
+
+namespace {
+
+using namespace hspec;
+using namespace hspec::rrc;
+
+RrcChannel make_channel(int charge, int n, bool gaunt) {
+  RrcChannel ch;
+  ch.recombining_charge = charge;
+  const auto levels = atomic::make_levels(charge, {n, false});
+  ch.level = levels.at(static_cast<std::size_t>(n - 1));
+  ch.gaunt_correction = gaunt;
+  return ch;
+}
+
+TEST(Rrc, SawtoothEdge) {
+  // Below the edge: zero. At and above the edge: positive, the classic RRC
+  // sawtooth (the 1/Ee Milne divergence cancels the Maxwellian Ee flux
+  // factor, leaving a finite jump at threshold).
+  const auto ch = make_channel(8, 1, true);
+  const PlasmaState p{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(rrc_power_density(ch, p, 0.5 * ch.level.binding_keV), 0.0);
+  EXPECT_DOUBLE_EQ(rrc_power_density(ch, p, 0.999 * ch.level.binding_keV),
+                   0.0);
+  const double at_edge = rrc_power_density(ch, p, ch.level.binding_keV);
+  EXPECT_GT(at_edge, 0.0);
+  // Continuity from above: the limit equals the edge value.
+  EXPECT_NEAR(rrc_power_density(ch, p, ch.level.binding_keV * (1.0 + 1e-9)),
+              at_edge, 1e-6 * at_edge);
+}
+
+TEST(Rrc, PaperFactor4IsTheMaxwellianNormalization) {
+  // 2 sqrt(Ee/pi) (kT)^{-3/2} * sqrt(2 Ee / me) ==
+  //     4 (Ee/kT) sqrt(1 / (2 pi me kT))  — the "4(...)" in Eq. (1).
+  const double kT = 0.7;
+  const double ee = 0.33;
+  const double me = atomic::kElectronRestKeV;  // any consistent mass unit
+  const double lhs = 2.0 * std::sqrt(ee / std::numbers::pi) *
+                     std::pow(kT, -1.5) * std::sqrt(2.0 * ee / me);
+  const double rhs =
+      4.0 * (ee / kT) * std::sqrt(1.0 / (2.0 * std::numbers::pi * me * kT));
+  EXPECT_NEAR(lhs, rhs, 1e-15 * lhs);
+}
+
+TEST(Rrc, ScalesLinearlyInBothDensities) {
+  const auto ch = make_channel(6, 2, true);
+  const double e = 2.0 * ch.level.binding_keV;
+  const double base = rrc_power_density(ch, {1.0, 1.0, 1.0}, e);
+  EXPECT_NEAR(rrc_power_density(ch, {1.0, 3.0, 1.0}, e), 3.0 * base, 1e-12 * base);
+  EXPECT_NEAR(rrc_power_density(ch, {1.0, 1.0, 5.0}, e), 5.0 * base, 1e-12 * base);
+  EXPECT_NEAR(rrc_power_density(ch, {1.0, 2.0, 2.0}, e), 4.0 * base, 1e-12 * base);
+}
+
+TEST(Rrc, ExponentialTailAboveEdgeWithoutGaunt) {
+  const auto ch = make_channel(8, 1, false);
+  const PlasmaState p{0.5, 1.0, 1.0};
+  const double i = ch.level.binding_keV;
+  // Without Gaunt, dP/dE = K exp(-(E - I)/kT): check the log-slope.
+  const double f1 = rrc_power_density(ch, p, i + 0.1);
+  const double f2 = rrc_power_density(ch, p, i + 0.6);
+  EXPECT_NEAR(std::log(f1 / f2), 0.5 / p.kT_keV, 1e-9);
+}
+
+TEST(Rrc, GauntFactorIsUnityAtThresholdAndGrows) {
+  EXPECT_DOUBLE_EQ(gaunt_factor(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gaunt_factor(0.5, 1.0), 1.0);
+  EXPECT_GT(gaunt_factor(3.0, 1.0), 1.0);
+  EXPECT_LT(gaunt_factor(3.0, 1.0), 2.0);
+}
+
+// ------------------------------------------------- closed form vs integrators
+
+struct Channel {
+  int charge;
+  int n;
+  double kT;
+};
+
+class RrcExactness : public ::testing::TestWithParam<Channel> {};
+
+TEST_P(RrcExactness, QagsMatchesClosedForm) {
+  const auto [charge, n, kT] = GetParam();
+  auto ch = make_channel(charge, n, false);
+  const PlasmaState p{kT, 2.0, 0.5};
+  const double lo = 0.5 * ch.level.binding_keV;
+  const double hi = ch.level.binding_keV + 5.0 * kT;
+  const double exact = rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi);
+  const auto q = rrc_bin_emissivity_qags(ch, p, lo, hi);
+  ASSERT_GT(exact, 0.0);
+  EXPECT_NEAR(q.value, exact, 1e-8 * exact);
+}
+
+TEST_P(RrcExactness, SimpsonConvergesToClosedFormOnEdgeFreeBin) {
+  const auto [charge, n, kT] = GetParam();
+  auto ch = make_channel(charge, n, false);
+  const PlasmaState p{kT, 1.0, 1.0};
+  const double lo = 1.05 * ch.level.binding_keV;  // safely above the edge
+  const double hi = lo + kT;
+  const double exact = rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi);
+  const auto s64 =
+      rrc_bin_emissivity(ch, p, lo, hi, quad::KernelMethod::simpson, 64);
+  EXPECT_NEAR(s64.value, exact, 1e-8 * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Channels, RrcExactness,
+    ::testing::Values(Channel{1, 1, 0.2}, Channel{8, 1, 0.5},
+                      Channel{8, 3, 1.0}, Channel{26, 2, 2.0},
+                      Channel{26, 5, 5.0}));
+
+TEST(Rrc, EdgeBinsAreClampedLikeAlgorithm2) {
+  // A bin containing the recombination edge: both the QAGS path and the
+  // kernel path split/clamp at the threshold (Algorithm 2 integrates each
+  // level from its own L = I), so neither integrates across the jump.
+  auto ch = make_channel(8, 1, false);
+  const PlasmaState p{0.5, 1.0, 1.0};
+  const double i = ch.level.binding_keV;
+  const double lo = i - 0.3;
+  const double hi = i + 0.3;
+  const double exact = rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi);
+  const auto q = rrc_bin_emissivity_qags(ch, p, lo, hi);
+  const auto s =
+      rrc_bin_emissivity(ch, p, lo, hi, quad::KernelMethod::simpson, 64);
+  EXPECT_NEAR(q.value, exact, 1e-8 * exact);
+  EXPECT_NEAR(s.value, exact, 1e-7 * exact);
+  // Without the clamp, a fixed rule across the jump is visibly wrong — the
+  // design reason for Algorithm 2's per-level lower limit.
+  auto f = [&](double e) { return rrc_power_density(ch, p, e); };
+  const auto raw = quad::simpson(f, lo, hi, 64);
+  EXPECT_GT(std::fabs(raw.value - exact) / exact, 1e-6);
+}
+
+TEST(Rrc, FullyBelowEdgeBinIsZero) {
+  auto ch = make_channel(8, 1, false);
+  const PlasmaState p{0.5, 1.0, 1.0};
+  const double i = ch.level.binding_keV;
+  const auto q = rrc_bin_emissivity_qags(ch, p, 0.1 * i, 0.5 * i);
+  EXPECT_DOUBLE_EQ(q.value, 0.0);
+  EXPECT_DOUBLE_EQ(rrc_bin_emissivity_exact_nogaunt(ch, p, 0.1 * i, 0.5 * i),
+                   0.0);
+}
+
+TEST(Rrc, RombergMatchesSimpsonOnSmoothBin) {
+  auto ch = make_channel(8, 2, true);
+  const PlasmaState p{1.0, 1.0, 1.0};
+  const double lo = 1.2 * ch.level.binding_keV;
+  const double hi = lo + 0.5;
+  const auto s = rrc_bin_emissivity(ch, p, lo, hi,
+                                    quad::KernelMethod::simpson, 64);
+  const auto r = rrc_bin_emissivity(ch, p, lo, hi,
+                                    quad::KernelMethod::romberg, 8);
+  EXPECT_NEAR(r.value, s.value, 1e-8 * std::fabs(s.value));
+}
+
+TEST(Rrc, InvalidInputsThrow) {
+  auto ch = make_channel(8, 1, false);
+  const PlasmaState bad_t{0.0, 1.0, 1.0};
+  EXPECT_THROW(rrc_power_density(ch, bad_t, 2.0), std::invalid_argument);
+  const PlasmaState p{1.0, 1.0, 1.0};
+  EXPECT_THROW(
+      rrc_bin_emissivity(ch, p, 2.0, 1.0, quad::KernelMethod::simpson, 64),
+      std::invalid_argument);
+  auto gaunt_ch = make_channel(8, 1, true);
+  EXPECT_THROW(rrc_bin_emissivity_exact_nogaunt(gaunt_ch, p, 1.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Rrc, HigherChargeEmitsHarderPhotons) {
+  // The spectral edge of O+8 sits at higher energy than O+1's.
+  const auto low = make_channel(1, 1, false);
+  const auto high = make_channel(8, 1, false);
+  EXPECT_GT(high.level.binding_keV, low.level.binding_keV);
+}
+
+}  // namespace
