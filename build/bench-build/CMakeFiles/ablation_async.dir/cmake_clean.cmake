@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_async"
+  "../bench/ablation_async.pdb"
+  "CMakeFiles/ablation_async.dir/ablation_async.cpp.o"
+  "CMakeFiles/ablation_async.dir/ablation_async.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

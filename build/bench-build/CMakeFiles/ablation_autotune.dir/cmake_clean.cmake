@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_autotune"
+  "../bench/ablation_autotune.pdb"
+  "CMakeFiles/ablation_autotune.dir/ablation_autotune.cpp.o"
+  "CMakeFiles/ablation_autotune.dir/ablation_autotune.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

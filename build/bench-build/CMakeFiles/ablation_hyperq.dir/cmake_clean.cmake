@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hyperq"
+  "../bench/ablation_hyperq.pdb"
+  "CMakeFiles/ablation_hyperq.dir/ablation_hyperq.cpp.o"
+  "CMakeFiles/ablation_hyperq.dir/ablation_hyperq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hyperq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_audit"
+  "../bench/baseline_audit.pdb"
+  "CMakeFiles/baseline_audit.dir/baseline_audit.cpp.o"
+  "CMakeFiles/baseline_audit.dir/baseline_audit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cluster_scaling"
+  "../bench/cluster_scaling.pdb"
+  "CMakeFiles/cluster_scaling.dir/cluster_scaling.cpp.o"
+  "CMakeFiles/cluster_scaling.dir/cluster_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_granularity"
+  "../bench/fig3_granularity.pdb"
+  "CMakeFiles/fig3_granularity.dir/fig3_granularity.cpp.o"
+  "CMakeFiles/fig3_granularity.dir/fig3_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

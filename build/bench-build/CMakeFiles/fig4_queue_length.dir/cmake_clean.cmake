@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_queue_length"
+  "../bench/fig4_queue_length.pdb"
+  "CMakeFiles/fig4_queue_length.dir/fig4_queue_length.cpp.o"
+  "CMakeFiles/fig4_queue_length.dir/fig4_queue_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_queue_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_gpu_ratio"
+  "../bench/fig5_gpu_ratio.pdb"
+  "CMakeFiles/fig5_gpu_ratio.dir/fig5_gpu_ratio.cpp.o"
+  "CMakeFiles/fig5_gpu_ratio.dir/fig5_gpu_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gpu_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

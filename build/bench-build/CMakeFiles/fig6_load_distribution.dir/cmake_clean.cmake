@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_load_distribution"
+  "../bench/fig6_load_distribution.pdb"
+  "CMakeFiles/fig6_load_distribution.dir/fig6_load_distribution.cpp.o"
+  "CMakeFiles/fig6_load_distribution.dir/fig6_load_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_load_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_spectrum"
+  "../bench/fig7_spectrum.pdb"
+  "CMakeFiles/fig7_spectrum.dir/fig7_spectrum.cpp.o"
+  "CMakeFiles/fig7_spectrum.dir/fig7_spectrum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_error_distribution"
+  "../bench/fig8_error_distribution.pdb"
+  "CMakeFiles/fig8_error_distribution.dir/fig8_error_distribution.cpp.o"
+  "CMakeFiles/fig8_error_distribution.dir/fig8_error_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_error_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_quad"
+  "../bench/micro_quad.pdb"
+  "CMakeFiles/micro_quad.dir/micro_quad.cpp.o"
+  "CMakeFiles/micro_quad.dir/micro_quad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

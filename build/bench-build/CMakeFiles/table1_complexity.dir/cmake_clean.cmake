@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_complexity"
+  "../bench/table1_complexity.pdb"
+  "CMakeFiles/table1_complexity.dir/table1_complexity.cpp.o"
+  "CMakeFiles/table1_complexity.dir/table1_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

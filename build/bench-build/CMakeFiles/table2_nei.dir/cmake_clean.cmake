@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_nei"
+  "../bench/table2_nei.pdb"
+  "CMakeFiles/table2_nei.dir/table2_nei.cpp.o"
+  "CMakeFiles/table2_nei.dir/table2_nei.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_playground.dir/hybrid_playground.cpp.o"
+  "CMakeFiles/hybrid_playground.dir/hybrid_playground.cpp.o.d"
+  "hybrid_playground"
+  "hybrid_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

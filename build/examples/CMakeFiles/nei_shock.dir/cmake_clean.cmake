@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nei_shock.dir/nei_shock.cpp.o"
+  "CMakeFiles/nei_shock.dir/nei_shock.cpp.o.d"
+  "nei_shock"
+  "nei_shock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nei_shock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nei_shock.
+# This may be replaced when dependencies are built.

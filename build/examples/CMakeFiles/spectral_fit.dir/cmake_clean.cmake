@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_fit.dir/spectral_fit.cpp.o"
+  "CMakeFiles/spectral_fit.dir/spectral_fit.cpp.o.d"
+  "spectral_fit"
+  "spectral_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_survey.dir/spectral_survey.cpp.o"
+  "CMakeFiles/spectral_survey.dir/spectral_survey.cpp.o.d"
+  "spectral_survey"
+  "spectral_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

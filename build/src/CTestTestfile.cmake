@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("quad")
+subdirs("atomic")
+subdirs("rrc")
+subdirs("apec")
+subdirs("vgpu")
+subdirs("minimpi")
+subdirs("core")
+subdirs("perfmodel")
+subdirs("sim")
+subdirs("ode")
+subdirs("nei")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apec/calculator.cpp" "src/apec/CMakeFiles/hspec_apec.dir/calculator.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/calculator.cpp.o.d"
+  "/root/repo/src/apec/continuum.cpp" "src/apec/CMakeFiles/hspec_apec.dir/continuum.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/continuum.cpp.o.d"
+  "/root/repo/src/apec/energy_grid.cpp" "src/apec/CMakeFiles/hspec_apec.dir/energy_grid.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/energy_grid.cpp.o.d"
+  "/root/repo/src/apec/fitting.cpp" "src/apec/CMakeFiles/hspec_apec.dir/fitting.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/fitting.cpp.o.d"
+  "/root/repo/src/apec/level_population.cpp" "src/apec/CMakeFiles/hspec_apec.dir/level_population.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/level_population.cpp.o.d"
+  "/root/repo/src/apec/lines.cpp" "src/apec/CMakeFiles/hspec_apec.dir/lines.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/lines.cpp.o.d"
+  "/root/repo/src/apec/parameter_space.cpp" "src/apec/CMakeFiles/hspec_apec.dir/parameter_space.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/parameter_space.cpp.o.d"
+  "/root/repo/src/apec/response.cpp" "src/apec/CMakeFiles/hspec_apec.dir/response.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/response.cpp.o.d"
+  "/root/repo/src/apec/spectrum.cpp" "src/apec/CMakeFiles/hspec_apec.dir/spectrum.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/spectrum.cpp.o.d"
+  "/root/repo/src/apec/two_photon.cpp" "src/apec/CMakeFiles/hspec_apec.dir/two_photon.cpp.o" "gcc" "src/apec/CMakeFiles/hspec_apec.dir/two_photon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rrc/CMakeFiles/hspec_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/atomic/CMakeFiles/hspec_atomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/quad/CMakeFiles/hspec_quad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hspec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

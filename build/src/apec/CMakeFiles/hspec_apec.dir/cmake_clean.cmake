@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_apec.dir/calculator.cpp.o"
+  "CMakeFiles/hspec_apec.dir/calculator.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/continuum.cpp.o"
+  "CMakeFiles/hspec_apec.dir/continuum.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/energy_grid.cpp.o"
+  "CMakeFiles/hspec_apec.dir/energy_grid.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/fitting.cpp.o"
+  "CMakeFiles/hspec_apec.dir/fitting.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/level_population.cpp.o"
+  "CMakeFiles/hspec_apec.dir/level_population.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/lines.cpp.o"
+  "CMakeFiles/hspec_apec.dir/lines.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/parameter_space.cpp.o"
+  "CMakeFiles/hspec_apec.dir/parameter_space.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/response.cpp.o"
+  "CMakeFiles/hspec_apec.dir/response.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/spectrum.cpp.o"
+  "CMakeFiles/hspec_apec.dir/spectrum.cpp.o.d"
+  "CMakeFiles/hspec_apec.dir/two_photon.cpp.o"
+  "CMakeFiles/hspec_apec.dir/two_photon.cpp.o.d"
+  "libhspec_apec.a"
+  "libhspec_apec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_apec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhspec_apec.a"
+)

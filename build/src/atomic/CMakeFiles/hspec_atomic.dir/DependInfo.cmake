@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atomic/cross_section.cpp" "src/atomic/CMakeFiles/hspec_atomic.dir/cross_section.cpp.o" "gcc" "src/atomic/CMakeFiles/hspec_atomic.dir/cross_section.cpp.o.d"
+  "/root/repo/src/atomic/database.cpp" "src/atomic/CMakeFiles/hspec_atomic.dir/database.cpp.o" "gcc" "src/atomic/CMakeFiles/hspec_atomic.dir/database.cpp.o.d"
+  "/root/repo/src/atomic/element.cpp" "src/atomic/CMakeFiles/hspec_atomic.dir/element.cpp.o" "gcc" "src/atomic/CMakeFiles/hspec_atomic.dir/element.cpp.o.d"
+  "/root/repo/src/atomic/ion_balance.cpp" "src/atomic/CMakeFiles/hspec_atomic.dir/ion_balance.cpp.o" "gcc" "src/atomic/CMakeFiles/hspec_atomic.dir/ion_balance.cpp.o.d"
+  "/root/repo/src/atomic/levels.cpp" "src/atomic/CMakeFiles/hspec_atomic.dir/levels.cpp.o" "gcc" "src/atomic/CMakeFiles/hspec_atomic.dir/levels.cpp.o.d"
+  "/root/repo/src/atomic/rates.cpp" "src/atomic/CMakeFiles/hspec_atomic.dir/rates.cpp.o" "gcc" "src/atomic/CMakeFiles/hspec_atomic.dir/rates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hspec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_atomic.dir/cross_section.cpp.o"
+  "CMakeFiles/hspec_atomic.dir/cross_section.cpp.o.d"
+  "CMakeFiles/hspec_atomic.dir/database.cpp.o"
+  "CMakeFiles/hspec_atomic.dir/database.cpp.o.d"
+  "CMakeFiles/hspec_atomic.dir/element.cpp.o"
+  "CMakeFiles/hspec_atomic.dir/element.cpp.o.d"
+  "CMakeFiles/hspec_atomic.dir/ion_balance.cpp.o"
+  "CMakeFiles/hspec_atomic.dir/ion_balance.cpp.o.d"
+  "CMakeFiles/hspec_atomic.dir/levels.cpp.o"
+  "CMakeFiles/hspec_atomic.dir/levels.cpp.o.d"
+  "CMakeFiles/hspec_atomic.dir/rates.cpp.o"
+  "CMakeFiles/hspec_atomic.dir/rates.cpp.o.d"
+  "libhspec_atomic.a"
+  "libhspec_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/hspec_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/hspec_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/cpu_task_executor.cpp" "src/core/CMakeFiles/hspec_core.dir/cpu_task_executor.cpp.o" "gcc" "src/core/CMakeFiles/hspec_core.dir/cpu_task_executor.cpp.o.d"
+  "/root/repo/src/core/gpu_task_executor.cpp" "src/core/CMakeFiles/hspec_core.dir/gpu_task_executor.cpp.o" "gcc" "src/core/CMakeFiles/hspec_core.dir/gpu_task_executor.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/hspec_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/hspec_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/hspec_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hspec_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/shm.cpp" "src/core/CMakeFiles/hspec_core.dir/shm.cpp.o" "gcc" "src/core/CMakeFiles/hspec_core.dir/shm.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/hspec_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/hspec_core.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apec/CMakeFiles/hspec_apec.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/hspec_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/hspec_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hspec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrc/CMakeFiles/hspec_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/atomic/CMakeFiles/hspec_atomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/quad/CMakeFiles/hspec_quad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

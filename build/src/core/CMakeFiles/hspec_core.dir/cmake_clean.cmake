@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_core.dir/autotune.cpp.o"
+  "CMakeFiles/hspec_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/hspec_core.dir/cpu_task_executor.cpp.o"
+  "CMakeFiles/hspec_core.dir/cpu_task_executor.cpp.o.d"
+  "CMakeFiles/hspec_core.dir/gpu_task_executor.cpp.o"
+  "CMakeFiles/hspec_core.dir/gpu_task_executor.cpp.o.d"
+  "CMakeFiles/hspec_core.dir/hybrid.cpp.o"
+  "CMakeFiles/hspec_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/hspec_core.dir/scheduler.cpp.o"
+  "CMakeFiles/hspec_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hspec_core.dir/shm.cpp.o"
+  "CMakeFiles/hspec_core.dir/shm.cpp.o.d"
+  "CMakeFiles/hspec_core.dir/task.cpp.o"
+  "CMakeFiles/hspec_core.dir/task.cpp.o.d"
+  "libhspec_core.a"
+  "libhspec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_minimpi.dir/minimpi.cpp.o"
+  "CMakeFiles/hspec_minimpi.dir/minimpi.cpp.o.d"
+  "libhspec_minimpi.a"
+  "libhspec_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

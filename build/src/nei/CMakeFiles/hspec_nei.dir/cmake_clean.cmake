@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_nei.dir/evolve.cpp.o"
+  "CMakeFiles/hspec_nei.dir/evolve.cpp.o.d"
+  "CMakeFiles/hspec_nei.dir/expm_solver.cpp.o"
+  "CMakeFiles/hspec_nei.dir/expm_solver.cpp.o.d"
+  "CMakeFiles/hspec_nei.dir/hybrid_nei.cpp.o"
+  "CMakeFiles/hspec_nei.dir/hybrid_nei.cpp.o.d"
+  "CMakeFiles/hspec_nei.dir/system.cpp.o"
+  "CMakeFiles/hspec_nei.dir/system.cpp.o.d"
+  "CMakeFiles/hspec_nei.dir/trajectory.cpp.o"
+  "CMakeFiles/hspec_nei.dir/trajectory.cpp.o.d"
+  "libhspec_nei.a"
+  "libhspec_nei.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_nei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

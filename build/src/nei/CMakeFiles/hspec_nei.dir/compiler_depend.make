@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hspec_nei.
+# This may be replaced when dependencies are built.

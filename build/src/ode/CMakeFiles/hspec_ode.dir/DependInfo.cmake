@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/bdf.cpp" "src/ode/CMakeFiles/hspec_ode.dir/bdf.cpp.o" "gcc" "src/ode/CMakeFiles/hspec_ode.dir/bdf.cpp.o.d"
+  "/root/repo/src/ode/linalg.cpp" "src/ode/CMakeFiles/hspec_ode.dir/linalg.cpp.o" "gcc" "src/ode/CMakeFiles/hspec_ode.dir/linalg.cpp.o.d"
+  "/root/repo/src/ode/lsoda.cpp" "src/ode/CMakeFiles/hspec_ode.dir/lsoda.cpp.o" "gcc" "src/ode/CMakeFiles/hspec_ode.dir/lsoda.cpp.o.d"
+  "/root/repo/src/ode/rk45.cpp" "src/ode/CMakeFiles/hspec_ode.dir/rk45.cpp.o" "gcc" "src/ode/CMakeFiles/hspec_ode.dir/rk45.cpp.o.d"
+  "/root/repo/src/ode/system.cpp" "src/ode/CMakeFiles/hspec_ode.dir/system.cpp.o" "gcc" "src/ode/CMakeFiles/hspec_ode.dir/system.cpp.o.d"
+  "/root/repo/src/ode/tridiag_eigen.cpp" "src/ode/CMakeFiles/hspec_ode.dir/tridiag_eigen.cpp.o" "gcc" "src/ode/CMakeFiles/hspec_ode.dir/tridiag_eigen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hspec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

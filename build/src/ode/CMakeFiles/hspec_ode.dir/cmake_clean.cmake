@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_ode.dir/bdf.cpp.o"
+  "CMakeFiles/hspec_ode.dir/bdf.cpp.o.d"
+  "CMakeFiles/hspec_ode.dir/linalg.cpp.o"
+  "CMakeFiles/hspec_ode.dir/linalg.cpp.o.d"
+  "CMakeFiles/hspec_ode.dir/lsoda.cpp.o"
+  "CMakeFiles/hspec_ode.dir/lsoda.cpp.o.d"
+  "CMakeFiles/hspec_ode.dir/rk45.cpp.o"
+  "CMakeFiles/hspec_ode.dir/rk45.cpp.o.d"
+  "CMakeFiles/hspec_ode.dir/system.cpp.o"
+  "CMakeFiles/hspec_ode.dir/system.cpp.o.d"
+  "CMakeFiles/hspec_ode.dir/tridiag_eigen.cpp.o"
+  "CMakeFiles/hspec_ode.dir/tridiag_eigen.cpp.o.d"
+  "libhspec_ode.a"
+  "libhspec_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

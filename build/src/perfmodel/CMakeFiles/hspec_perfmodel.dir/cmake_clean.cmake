@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_perfmodel.dir/calibration.cpp.o"
+  "CMakeFiles/hspec_perfmodel.dir/calibration.cpp.o.d"
+  "CMakeFiles/hspec_perfmodel.dir/nei_cost.cpp.o"
+  "CMakeFiles/hspec_perfmodel.dir/nei_cost.cpp.o.d"
+  "libhspec_perfmodel.a"
+  "libhspec_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

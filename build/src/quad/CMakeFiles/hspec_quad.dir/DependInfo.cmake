@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quad/gauss_kronrod.cpp" "src/quad/CMakeFiles/hspec_quad.dir/gauss_kronrod.cpp.o" "gcc" "src/quad/CMakeFiles/hspec_quad.dir/gauss_kronrod.cpp.o.d"
+  "/root/repo/src/quad/gauss_legendre.cpp" "src/quad/CMakeFiles/hspec_quad.dir/gauss_legendre.cpp.o" "gcc" "src/quad/CMakeFiles/hspec_quad.dir/gauss_legendre.cpp.o.d"
+  "/root/repo/src/quad/integrate.cpp" "src/quad/CMakeFiles/hspec_quad.dir/integrate.cpp.o" "gcc" "src/quad/CMakeFiles/hspec_quad.dir/integrate.cpp.o.d"
+  "/root/repo/src/quad/newton_cotes.cpp" "src/quad/CMakeFiles/hspec_quad.dir/newton_cotes.cpp.o" "gcc" "src/quad/CMakeFiles/hspec_quad.dir/newton_cotes.cpp.o.d"
+  "/root/repo/src/quad/qagp.cpp" "src/quad/CMakeFiles/hspec_quad.dir/qagp.cpp.o" "gcc" "src/quad/CMakeFiles/hspec_quad.dir/qagp.cpp.o.d"
+  "/root/repo/src/quad/qags.cpp" "src/quad/CMakeFiles/hspec_quad.dir/qags.cpp.o" "gcc" "src/quad/CMakeFiles/hspec_quad.dir/qags.cpp.o.d"
+  "/root/repo/src/quad/qng.cpp" "src/quad/CMakeFiles/hspec_quad.dir/qng.cpp.o" "gcc" "src/quad/CMakeFiles/hspec_quad.dir/qng.cpp.o.d"
+  "/root/repo/src/quad/romberg.cpp" "src/quad/CMakeFiles/hspec_quad.dir/romberg.cpp.o" "gcc" "src/quad/CMakeFiles/hspec_quad.dir/romberg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hspec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_quad.dir/gauss_kronrod.cpp.o"
+  "CMakeFiles/hspec_quad.dir/gauss_kronrod.cpp.o.d"
+  "CMakeFiles/hspec_quad.dir/gauss_legendre.cpp.o"
+  "CMakeFiles/hspec_quad.dir/gauss_legendre.cpp.o.d"
+  "CMakeFiles/hspec_quad.dir/integrate.cpp.o"
+  "CMakeFiles/hspec_quad.dir/integrate.cpp.o.d"
+  "CMakeFiles/hspec_quad.dir/newton_cotes.cpp.o"
+  "CMakeFiles/hspec_quad.dir/newton_cotes.cpp.o.d"
+  "CMakeFiles/hspec_quad.dir/qagp.cpp.o"
+  "CMakeFiles/hspec_quad.dir/qagp.cpp.o.d"
+  "CMakeFiles/hspec_quad.dir/qags.cpp.o"
+  "CMakeFiles/hspec_quad.dir/qags.cpp.o.d"
+  "CMakeFiles/hspec_quad.dir/qng.cpp.o"
+  "CMakeFiles/hspec_quad.dir/qng.cpp.o.d"
+  "CMakeFiles/hspec_quad.dir/romberg.cpp.o"
+  "CMakeFiles/hspec_quad.dir/romberg.cpp.o.d"
+  "libhspec_quad.a"
+  "libhspec_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_rrc.dir/rrc.cpp.o"
+  "CMakeFiles/hspec_rrc.dir/rrc.cpp.o.d"
+  "libhspec_rrc.a"
+  "libhspec_rrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_rrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

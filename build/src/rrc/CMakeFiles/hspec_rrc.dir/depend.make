@@ -1,0 +1,2 @@
+# Empty dependencies file for hspec_rrc.
+# This may be replaced when dependencies are built.

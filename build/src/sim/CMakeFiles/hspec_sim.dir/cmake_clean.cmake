@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_sim.dir/analytic_bounds.cpp.o"
+  "CMakeFiles/hspec_sim.dir/analytic_bounds.cpp.o.d"
+  "CMakeFiles/hspec_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/hspec_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/hspec_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hspec_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hspec_sim.dir/hybrid_sim.cpp.o"
+  "CMakeFiles/hspec_sim.dir/hybrid_sim.cpp.o.d"
+  "libhspec_sim.a"
+  "libhspec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

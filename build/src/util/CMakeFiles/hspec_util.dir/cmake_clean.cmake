@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_util.dir/brent.cpp.o"
+  "CMakeFiles/hspec_util.dir/brent.cpp.o.d"
+  "CMakeFiles/hspec_util.dir/cli.cpp.o"
+  "CMakeFiles/hspec_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hspec_util.dir/config.cpp.o"
+  "CMakeFiles/hspec_util.dir/config.cpp.o.d"
+  "CMakeFiles/hspec_util.dir/histogram.cpp.o"
+  "CMakeFiles/hspec_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/hspec_util.dir/statistics.cpp.o"
+  "CMakeFiles/hspec_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/hspec_util.dir/table.cpp.o"
+  "CMakeFiles/hspec_util.dir/table.cpp.o.d"
+  "libhspec_util.a"
+  "libhspec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hspec_util.
+# This may be replaced when dependencies are built.

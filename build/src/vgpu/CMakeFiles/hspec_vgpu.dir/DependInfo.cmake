@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/buffer_pool.cpp" "src/vgpu/CMakeFiles/hspec_vgpu.dir/buffer_pool.cpp.o" "gcc" "src/vgpu/CMakeFiles/hspec_vgpu.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/vgpu/cost_model.cpp" "src/vgpu/CMakeFiles/hspec_vgpu.dir/cost_model.cpp.o" "gcc" "src/vgpu/CMakeFiles/hspec_vgpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/vgpu/device.cpp" "src/vgpu/CMakeFiles/hspec_vgpu.dir/device.cpp.o" "gcc" "src/vgpu/CMakeFiles/hspec_vgpu.dir/device.cpp.o.d"
+  "/root/repo/src/vgpu/device_properties.cpp" "src/vgpu/CMakeFiles/hspec_vgpu.dir/device_properties.cpp.o" "gcc" "src/vgpu/CMakeFiles/hspec_vgpu.dir/device_properties.cpp.o.d"
+  "/root/repo/src/vgpu/integr_kernel.cpp" "src/vgpu/CMakeFiles/hspec_vgpu.dir/integr_kernel.cpp.o" "gcc" "src/vgpu/CMakeFiles/hspec_vgpu.dir/integr_kernel.cpp.o.d"
+  "/root/repo/src/vgpu/reduce_kernel.cpp" "src/vgpu/CMakeFiles/hspec_vgpu.dir/reduce_kernel.cpp.o" "gcc" "src/vgpu/CMakeFiles/hspec_vgpu.dir/reduce_kernel.cpp.o.d"
+  "/root/repo/src/vgpu/stream.cpp" "src/vgpu/CMakeFiles/hspec_vgpu.dir/stream.cpp.o" "gcc" "src/vgpu/CMakeFiles/hspec_vgpu.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quad/CMakeFiles/hspec_quad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hspec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

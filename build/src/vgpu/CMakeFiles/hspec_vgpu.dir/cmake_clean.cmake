@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec_vgpu.dir/buffer_pool.cpp.o"
+  "CMakeFiles/hspec_vgpu.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/hspec_vgpu.dir/cost_model.cpp.o"
+  "CMakeFiles/hspec_vgpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hspec_vgpu.dir/device.cpp.o"
+  "CMakeFiles/hspec_vgpu.dir/device.cpp.o.d"
+  "CMakeFiles/hspec_vgpu.dir/device_properties.cpp.o"
+  "CMakeFiles/hspec_vgpu.dir/device_properties.cpp.o.d"
+  "CMakeFiles/hspec_vgpu.dir/integr_kernel.cpp.o"
+  "CMakeFiles/hspec_vgpu.dir/integr_kernel.cpp.o.d"
+  "CMakeFiles/hspec_vgpu.dir/reduce_kernel.cpp.o"
+  "CMakeFiles/hspec_vgpu.dir/reduce_kernel.cpp.o.d"
+  "CMakeFiles/hspec_vgpu.dir/stream.cpp.o"
+  "CMakeFiles/hspec_vgpu.dir/stream.cpp.o.d"
+  "libhspec_vgpu.a"
+  "libhspec_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apec_test.dir/apec_test.cpp.o"
+  "CMakeFiles/apec_test.dir/apec_test.cpp.o.d"
+  "apec_test"
+  "apec_test.pdb"
+  "apec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fitting_test.cpp" "tests/CMakeFiles/fitting_test.dir/fitting_test.cpp.o" "gcc" "tests/CMakeFiles/fitting_test.dir/fitting_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hspec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hspec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/hspec_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nei/CMakeFiles/hspec_nei.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/hspec_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/apec/CMakeFiles/hspec_apec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrc/CMakeFiles/hspec_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/atomic/CMakeFiles/hspec_atomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/quad/CMakeFiles/hspec_quad.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/hspec_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/hspec_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hspec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

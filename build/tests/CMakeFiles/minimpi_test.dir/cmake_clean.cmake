@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_test.dir/minimpi_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi_test.cpp.o.d"
+  "minimpi_test"
+  "minimpi_test.pdb"
+  "minimpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

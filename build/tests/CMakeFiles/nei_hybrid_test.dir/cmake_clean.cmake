@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nei_hybrid_test.dir/nei_hybrid_test.cpp.o"
+  "CMakeFiles/nei_hybrid_test.dir/nei_hybrid_test.cpp.o.d"
+  "nei_hybrid_test"
+  "nei_hybrid_test.pdb"
+  "nei_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nei_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nei_test.dir/nei_test.cpp.o"
+  "CMakeFiles/nei_test.dir/nei_test.cpp.o.d"
+  "nei_test"
+  "nei_test.pdb"
+  "nei_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nei_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

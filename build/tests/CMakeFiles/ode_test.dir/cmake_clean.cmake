@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_test.dir/ode_test.cpp.o"
+  "CMakeFiles/ode_test.dir/ode_test.cpp.o.d"
+  "ode_test"
+  "ode_test.pdb"
+  "ode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

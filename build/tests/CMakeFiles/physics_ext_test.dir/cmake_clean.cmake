@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physics_ext_test.dir/physics_ext_test.cpp.o"
+  "CMakeFiles/physics_ext_test.dir/physics_ext_test.cpp.o.d"
+  "physics_ext_test"
+  "physics_ext_test.pdb"
+  "physics_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physics_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrc_test.dir/rrc_test.cpp.o"
+  "CMakeFiles/rrc_test.dir/rrc_test.cpp.o.d"
+  "rrc_test"
+  "rrc_test.pdb"
+  "rrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgpu_test.dir/vgpu_test.cpp.o"
+  "CMakeFiles/vgpu_test.dir/vgpu_test.cpp.o.d"
+  "vgpu_test"
+  "vgpu_test.pdb"
+  "vgpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

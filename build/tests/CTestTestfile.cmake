@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/quad_test[1]_include.cmake")
+include("/root/repo/build/tests/atomic_test[1]_include.cmake")
+include("/root/repo/build/tests/rrc_test[1]_include.cmake")
+include("/root/repo/build/tests/apec_test[1]_include.cmake")
+include("/root/repo/build/tests/vgpu_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/ode_test[1]_include.cmake")
+include("/root/repo/build/tests/nei_test[1]_include.cmake")
+include("/root/repo/build/tests/nei_hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/fitting_test[1]_include.cmake")
+include("/root/repo/build/tests/physics_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

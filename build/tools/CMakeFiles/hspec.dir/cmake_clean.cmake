@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hspec.dir/hspec.cpp.o"
+  "CMakeFiles/hspec.dir/hspec.cpp.o.d"
+  "hspec"
+  "hspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
