@@ -1,0 +1,182 @@
+#include "core/async_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "rrc/rrc.h"
+#include "vgpu/integr_kernel.h"
+
+namespace hspec::core {
+
+AsyncGpuExecutor::AsyncGpuExecutor(const apec::SpectrumCalculator& calc,
+                                   const std::vector<DevicePipeline*>& pipelines,
+                                   TaskScheduler& scheduler,
+                                   const CpuTaskExecutor& cpu, int depth)
+    : calc_(&calc),
+      pipelines_(pipelines),
+      scheduler_(&scheduler),
+      cpu_(&cpu),
+      depth_(depth),
+      lanes_(pipelines.size()) {
+  if (depth_ < 1)
+    throw std::invalid_argument("AsyncGpuExecutor: depth must be >= 1");
+  for (const DevicePipeline* p : pipelines_)
+    if (p == nullptr || p->device == nullptr || p->pool == nullptr)
+      throw std::invalid_argument("AsyncGpuExecutor: incomplete pipeline");
+}
+
+AsyncGpuExecutor::~AsyncGpuExecutor() { drain_all(); }
+
+void AsyncGpuExecutor::submit(const SpectralTask& task,
+                              const apec::PointPopulations& pops, int device,
+                              apec::Spectrum& spectrum) {
+  if (device >= static_cast<int>(pipelines_.size()))
+    throw std::out_of_range("AsyncGpuExecutor::submit: bad device id");
+
+  Slot slot;
+  slot.task = task;
+  slot.pops = &pops;
+  slot.target = &spectrum;
+  slot.free_device = device;
+
+  // Closed-form / non-emitting ions never launch kernels (same early-out as
+  // the synchronous executor); they still travel through the FIFO so the
+  // accumulation order matches the synchronous driver exactly.
+  const bool host_only =
+      device < 0 || task.ion.is_free_free() || !task.ion.emits_rrc();
+  if (host_only) {
+    ++stats_.host_tasks;
+  } else {
+    submit_gpu(slot, device);
+    ++stats_.gpu_tasks;
+  }
+  fifo_.push_back(std::move(slot));
+}
+
+void AsyncGpuExecutor::submit_gpu(Slot& slot, int device) {
+  DevicePipeline& pipe = *pipelines_[static_cast<std::size_t>(device)];
+  Lane& lane = lanes_[static_cast<std::size_t>(device)];
+
+  // This rank's streams on the device, created on first use. Tasks rotate
+  // across `depth_` streams so task i+1's kernels can overlap task i's
+  // readback (and, on Kepler, its kernels) on the virtual timeline.
+  if (lane.streams.empty()) {
+    for (int s = 0; s < depth_; ++s)
+      lane.streams.push_back(
+          std::make_unique<vgpu::Stream>(*pipe.streams, *pipe.device));
+    pipe.streams_opened.fetch_add(static_cast<std::uint64_t>(depth_),
+                                  std::memory_order_relaxed);
+  }
+  // Double-buffer bound: at most `depth_` of this rank's tasks in flight per
+  // device. Draining the FIFO front (oldest first, any device) preserves the
+  // accumulation order; host-only slots drained on the way cost nothing.
+  while (lane.in_flight >= depth_) drain_front();
+
+  const apec::EnergyGrid& grid = calc_->grid();
+  const std::size_t n_bins = grid.bin_count();
+
+  const auto levels = calc_->database().levels_for(slot.task.ion);
+  const std::size_t level_begin =
+      slot.task.granularity == TaskGranularity::level ? slot.task.level_index
+                                                      : 0;
+  const std::size_t level_end =
+      slot.task.granularity == TaskGranularity::level
+          ? slot.task.level_index + 1
+          : levels.size();
+  if (level_end > levels.size())
+    throw std::out_of_range("AsyncGpuExecutor: level index out of range");
+
+  slot.gpu = true;
+  slot.emi = pipe.pool->acquire(n_bins * sizeof(double));
+  if (staging_pool_.empty()) {
+    slot.staging.resize(n_bins);
+  } else {
+    slot.staging = std::move(staging_pool_.back());
+    staging_pool_.pop_back();
+    slot.staging.resize(n_bins);
+  }
+
+  // The bin edges are immutable for the whole run: lease the resident copy
+  // instead of paying the (n_bins + 1) * 8-byte H2D transfer per task.
+  const vgpu::DeviceBuffer& edges_dev =
+      pipe.cache->lease(grid.edges().data(), (n_bins + 1) * sizeof(double));
+
+  vgpu::Stream& stream = *lane.streams[lane.next_stream];
+  lane.next_stream = (lane.next_stream + 1) % lane.streams.size();
+
+  const double n_rec =
+      slot.pops->ion_density(slot.task.ion.z, slot.task.ion.charge);
+  const apec::IntegrationPolicy& pol = calc_->options().integration;
+  vgpu::IntegrLaunchConfig cfg;
+  cfg.method = pol.kernel;
+  cfg.method_param = pol.kernel_param;
+
+  for (std::size_t li = level_begin; li < level_end; ++li) {
+    rrc::RrcChannel ch;
+    ch.recombining_charge = slot.task.ion.charge;
+    ch.level = levels[li];
+    ch.gaunt_correction = calc_->options().gaunt_correction;
+    rrc::PlasmaState plasma{slot.pops->kT_keV, slot.pops->ne_cm3, n_rec};
+    // Algorithm 2: the level integrates from its own threshold upward. The
+    // first launch overwrites the recycled emi buffer (no memset upload);
+    // later launches accumulate, exactly as the synchronous path does on a
+    // zeroed buffer.
+    cfg.lower_cutoff = ch.level.binding_keV;
+    cfg.accumulate = li != level_begin;
+    auto f = [&](double e) { return rrc::rrc_power_density(ch, plasma, e); };
+    vgpu::gpu_integr_edges_stream(stream, edges_dev, n_bins, f, slot.emi, cfg);
+    ++stats_.kernels;
+  }
+  if (level_begin == level_end) {
+    // No levels => nothing was written; drain still adds the staging array.
+    std::fill(slot.staging.begin(), slot.staging.end(), 0.0);
+  } else {
+    // One readback finishes the task (the coarse-granularity win), queued on
+    // the stream so it overlaps the next task's kernels.
+    stream.copy_to_host_async(slot.staging.data(), slot.emi,
+                              n_bins * sizeof(double));
+  }
+
+  ++lane.in_flight;
+  std::uint64_t in_flight_total = 0;
+  for (const Lane& l : lanes_)
+    in_flight_total += static_cast<std::uint64_t>(l.in_flight);
+  stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_total);
+}
+
+void AsyncGpuExecutor::drain_front() {
+  Slot slot = std::move(fifo_.front());
+  fifo_.pop_front();
+
+  if (slot.gpu) {
+    apec::Spectrum& out = *slot.target;
+    for (std::size_t b = 0; b < slot.staging.size(); ++b)
+      out[b] += slot.staging[b];
+    // Line emission stays host-side on every path; in level granularity the
+    // ion's lines belong to the level-0 task so they are added exactly once.
+    if (slot.task.granularity == TaskGranularity::ion ||
+        slot.task.level_index == 0)
+      calc_->accumulate_ion_lines(slot.task.ion, *slot.pops, out);
+    DevicePipeline& pipe = *pipelines_[static_cast<std::size_t>(slot.free_device)];
+    pipe.pool->release(std::move(slot.emi));
+    staging_pool_.push_back(std::move(slot.staging));
+    --lanes_[static_cast<std::size_t>(slot.free_device)].in_flight;
+  } else if (slot.free_device >= 0) {
+    // Scheduler sent the task to a device but it has a closed form / no RRC
+    // emission: the synchronous executor's early-out, deferred to its FIFO
+    // position.
+    calc_->accumulate_ion(slot.task.ion, *slot.pops, *slot.target);
+  } else {
+    // CPU fallback (queues full): QAGS on this rank, in submission order.
+    cpu_->execute(slot.task, *slot.pops, *slot.target);
+  }
+
+  if (slot.free_device >= 0) scheduler_->sche_free(slot.free_device);
+}
+
+void AsyncGpuExecutor::drain_all() {
+  while (!fifo_.empty()) drain_front();
+}
+
+}  // namespace hspec::core

@@ -2,25 +2,38 @@
 
 namespace hspec::core {
 
+namespace {
+
+apec::CalcOptions qags_options(const apec::SpectrumCalculator& calc) {
+  apec::CalcOptions options = calc.options();
+  options.integration.adaptive = true;
+  return options;
+}
+
+}  // namespace
+
+CpuTaskExecutor::CpuTaskExecutor(const apec::SpectrumCalculator& calc)
+    : qags_(calc.database(), calc.grid(), qags_options(calc)) {}
+
+std::size_t CpuTaskExecutor::execute(const SpectralTask& task,
+                                     const apec::PointPopulations& pops,
+                                     apec::Spectrum& spectrum) const {
+  if (task.granularity == TaskGranularity::level && task.ion.emits_rrc()) {
+    const std::size_t bins =
+        qags_.accumulate_level(task.ion, task.level_index, pops, spectrum);
+    // In level granularity the ion's lines belong to the level-0 task.
+    if (task.level_index == 0)
+      qags_.accumulate_ion_lines(task.ion, pops, spectrum);
+    return bins;
+  }
+  return qags_.accumulate_ion(task.ion, pops, spectrum);
+}
+
 std::size_t execute_task_on_cpu(const apec::SpectrumCalculator& calc,
                                 const SpectralTask& task,
                                 const apec::PointPopulations& pops,
                                 apec::Spectrum& spectrum) {
-  // The CPU path must use QAGS regardless of how the calculator is
-  // configured for GPU kernels: clone the options with adaptive integration.
-  apec::CalcOptions options = calc.options();
-  options.integration.adaptive = true;
-  apec::SpectrumCalculator cpu_calc(calc.database(), calc.grid(), options);
-
-  if (task.granularity == TaskGranularity::level && task.ion.emits_rrc()) {
-    const std::size_t bins =
-        cpu_calc.accumulate_level(task.ion, task.level_index, pops, spectrum);
-    // In level granularity the ion's lines belong to the level-0 task.
-    if (task.level_index == 0)
-      cpu_calc.accumulate_ion_lines(task.ion, pops, spectrum);
-    return bins;
-  }
-  return cpu_calc.accumulate_ion(task.ion, pops, spectrum);
+  return CpuTaskExecutor(calc).execute(task, pops, spectrum);
 }
 
 }  // namespace hspec::core

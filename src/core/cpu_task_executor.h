@@ -9,8 +9,30 @@
 
 namespace hspec::core {
 
-/// Execute `task` with the adaptive QAGS path on the calling thread and
-/// accumulate into `spectrum`. Returns the number of bin integrals done.
+/// Per-rank QAGS executor. The CPU path must use adaptive integration
+/// regardless of how the hybrid calculator is configured for GPU kernels;
+/// building that QAGS calculator is not free, so each rank constructs one
+/// CpuTaskExecutor up front and reuses it for every fallback task instead
+/// of paying the construction on each task (the old per-task behaviour).
+class CpuTaskExecutor {
+ public:
+  /// Clones `calc`'s configuration with adaptive (QAGS) integration.
+  explicit CpuTaskExecutor(const apec::SpectrumCalculator& calc);
+
+  /// Execute `task` on the calling thread and accumulate into `spectrum`.
+  /// Returns the number of bin integrals done.
+  std::size_t execute(const SpectralTask& task,
+                      const apec::PointPopulations& pops,
+                      apec::Spectrum& spectrum) const;
+
+  const apec::SpectrumCalculator& calculator() const noexcept { return qags_; }
+
+ private:
+  apec::SpectrumCalculator qags_;
+};
+
+/// One-shot convenience wrapper: builds a CpuTaskExecutor for a single task.
+/// Hot loops should construct the executor once per rank instead.
 std::size_t execute_task_on_cpu(const apec::SpectrumCalculator& calc,
                                 const SpectralTask& task,
                                 const apec::PointPopulations& pops,

@@ -1,9 +1,12 @@
 #include "core/hybrid.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
+#include "core/async_executor.h"
 #include "core/cpu_task_executor.h"
 #include "core/gpu_task_executor.h"
 #include "minimpi/minimpi.h"
@@ -32,8 +35,14 @@ HybridDriver::HybridDriver(const apec::SpectrumCalculator& calculator,
     : calc_(&calculator), config_(config) {
   if (config_.ranks < 1)
     throw std::invalid_argument("HybridDriver: need at least one rank");
+  if (config_.ranks > kMaxRanks)
+    throw std::invalid_argument("HybridDriver: too many ranks for the queue");
   if (config_.max_queue_length < 1)
     throw std::invalid_argument("HybridDriver: max queue length must be >= 1");
+  if (config_.pipeline_depth < 1)
+    throw std::invalid_argument("HybridDriver: pipeline depth must be >= 1");
+  if (config_.steal_chunk < 1)
+    throw std::invalid_argument("HybridDriver: steal chunk must be >= 1");
 }
 
 HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
@@ -41,12 +50,25 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
   const int n_dev = static_cast<int>(registry.device_count());
   ShmRegion shm =
       ShmRegion::create_inprocess(n_dev, config_.max_queue_length);
+  // Near-equal contiguous seed ranges (the old static split) that ranks
+  // drain chunk-by-chunk and rebalance by stealing.
+  shm.view().points.initialize(static_cast<std::int64_t>(points.size()),
+                               config_.ranks, config_.steal_chunk);
+
+  const bool pipelined = config_.mode == ExecutionMode::pipelined;
+
   // One shared buffer pool per device: steady-state task execution never
-  // touches the device allocator.
+  // touches the device allocator. The pipelined path adds the per-device
+  // stream scheduler and the resident edge cache on top.
   std::vector<std::unique_ptr<vgpu::BufferPool>> pools;
-  for (int d = 0; d < n_dev; ++d)
-    pools.push_back(std::make_unique<vgpu::BufferPool>(
-        registry.device(static_cast<std::size_t>(d))));
+  std::vector<std::unique_ptr<DevicePipeline>> pipes;
+  std::vector<DevicePipeline*> pipe_views;
+  for (int d = 0; d < n_dev; ++d) {
+    vgpu::Device& dev = registry.device(static_cast<std::size_t>(d));
+    pools.push_back(std::make_unique<vgpu::BufferPool>(dev));
+    pipes.push_back(std::make_unique<DevicePipeline>(dev, *pools.back()));
+    pipe_views.push_back(pipes.back().get());
+  }
 
   HybridResult result;
   result.spectra.reserve(points.size());
@@ -57,37 +79,44 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
 
   minimpi::run(config_.ranks, [&](minimpi::Communicator& comm) {
     const int rank = comm.rank();
-    const int size = comm.size();
     TaskScheduler scheduler(shm.view());
-
-    // Contiguous near-equal split of the point list across ranks.
-    const std::size_t n = points.size();
-    const std::size_t base = n / static_cast<std::size_t>(size);
-    const std::size_t extra = n % static_cast<std::size_t>(size);
-    const auto r = static_cast<std::size_t>(rank);
-    const std::size_t begin = r * base + std::min(r, extra);
-    const std::size_t end = begin + base + (r < extra ? 1 : 0);
+    // Per-rank QAGS calculator, built once and reused by every CPU-fallback
+    // task (the old code rebuilt it per task).
+    const CpuTaskExecutor cpu_exec(*calc_);
+    std::optional<AsyncGpuExecutor> async;
+    if (pipelined)
+      async.emplace(*calc_, pipe_views, scheduler, cpu_exec,
+                    config_.pipeline_depth);
 
     std::size_t my_tasks = 0;
-    for (std::size_t p = begin; p < end; ++p) {
-      const apec::PointPopulations pops =
-          apec::solve_populations(calc_->database(), points[p]);
-      apec::Spectrum local(calc_->grid());
-      for (const SpectralTask& task :
-           make_tasks(*calc_, points[p], pops, config_.granularity)) {
-        ++my_tasks;
-        const int device = scheduler.sche_alloc();
-        if (device >= 0) {
-          execute_task_on_gpu(*calc_, task, pops, registry.device(device),
-                              local,
-                              pools[static_cast<std::size_t>(device)].get());
-          scheduler.sche_free(device);
-        } else {
-          execute_task_on_cpu(*calc_, task, pops, local);
+    PointWorkQueue& queue = shm.view().points;
+    for (PointWorkQueue::Claim claim = queue.claim(rank); !claim.empty();
+         claim = queue.claim(rank)) {
+      for (std::int64_t pi = claim.begin; pi < claim.end; ++pi) {
+        const auto p = static_cast<std::size_t>(pi);
+        const apec::PointPopulations pops =
+            apec::solve_populations(calc_->database(), points[p]);
+        apec::Spectrum local(calc_->grid());
+        for (const SpectralTask& task :
+             make_tasks(*calc_, points[p], pops, config_.granularity)) {
+          ++my_tasks;
+          const int device = scheduler.sche_alloc();
+          if (pipelined) {
+            async->submit(task, pops, device, local);
+          } else if (device >= 0) {
+            execute_task_on_gpu(*calc_, task, pops, registry.device(device),
+                                local,
+                                pools[static_cast<std::size_t>(device)].get());
+            scheduler.sche_free(device);
+          } else {
+            cpu_exec.execute(task, pops, local);
+          }
         }
+        // All of a point's tasks drain before its spectrum is published;
+        // points are claimed exactly once, so accumulation is race-free.
+        if (pipelined) async->drain_all();
+        result.spectra[p] += local;
       }
-      // Points are rank-disjoint: direct accumulation is race-free.
-      result.spectra[p] += local;
     }
 
     comm.barrier();
@@ -95,16 +124,42 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
       std::lock_guard lock(result_mu);
       result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
       result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
+      result.scheduling.cas_retries += scheduler.stats().cas_retries;
       result.tasks_total += my_tasks;
+      if (async) {
+        result.pipeline.tasks_pipelined += async->stats().gpu_tasks;
+        result.pipeline.max_in_flight =
+            std::max(result.pipeline.max_in_flight,
+                     async->stats().max_in_flight);
+      }
     }
   });
 
   for (int d = 0; d < n_dev; ++d) {
+    vgpu::Device& dev = registry.device(static_cast<std::size_t>(d));
     result.history.push_back(
         shm.view().history[d].load(std::memory_order_relaxed));
-    result.device_stats.push_back(registry.device(static_cast<std::size_t>(d))
-                                      .stats());
+    vgpu::DeviceStats st = dev.stats();
+    const vgpu::ResidentCache::Stats cst = pipes[d]->cache->stats();
+    st.streams_used = pipes[d]->streams_opened.load(std::memory_order_relaxed);
+    st.cache_hits = cst.hits;
+    st.bytes_h2d_saved = cst.bytes_saved;
+    result.device_stats.push_back(st);
+
+    result.pipeline.streams_used += st.streams_used;
+    result.pipeline.cache_hits += cst.hits;
+    result.pipeline.cache_misses += cst.misses;
+    result.pipeline.bytes_h2d_saved += cst.bytes_saved;
+
+    const double sync_time =
+        pipelined ? pipes[d]->streams->device_sync_time() : dev.busy_time_s();
+    result.device_sync_time_s.push_back(sync_time);
+    result.virtual_makespan_s = std::max(result.virtual_makespan_s, sync_time);
   }
+  result.pipeline.steals = static_cast<std::uint64_t>(
+      shm.view().points.steals.load(std::memory_order_relaxed));
+  result.pipeline.stolen_points = static_cast<std::uint64_t>(
+      shm.view().points.stolen_points.load(std::memory_order_relaxed));
   return result;
 }
 

@@ -12,6 +12,19 @@
 // are numerically checked against the serial APEC baseline in the tests.
 // (Wall-clock performance claims come from the DES in src/sim, which drives
 // the very same TaskScheduler.)
+//
+// Two execution modes share every scheduling decision:
+//  * synchronous — the paper's shipped mode: the rank blocks on each GPU
+//    task and re-uploads the bin edges every time (kept as the ablation
+//    baseline);
+//  * pipelined — the §V remedy: per-rank streams, resident edge cache and
+//    double-buffered accumulators (core/async_executor.h). Spectra are
+//    bit-identical between the modes; only the virtual timeline and the
+//    PCIe byte counts differ.
+// Grid points are distributed by the work-stealing PointWorkQueue in shm
+// (each rank drains its own contiguous range, then steals from the most
+// loaded victim) instead of the old static split, so a slow rank no longer
+// sets the wall clock.
 
 #include <cstdint>
 #include <vector>
@@ -24,6 +37,8 @@
 
 namespace hspec::core {
 
+enum class ExecutionMode { synchronous, pipelined };
+
 struct HybridConfig {
   int ranks = 4;
   int max_queue_length = 10;
@@ -31,6 +46,24 @@ struct HybridConfig {
   /// Number of virtual GPUs; -1 detects from HSPEC_VGPU_COUNT (0 => CPU-only,
   /// "it can run normally in the runtime environment without GPU device").
   int devices = -1;
+  /// Pipelined is the production default; synchronous is the paper baseline.
+  ExecutionMode mode = ExecutionMode::pipelined;
+  /// In-flight GPU tasks (and streams) per rank per device when pipelined.
+  int pipeline_depth = 2;
+  /// Grid points claimed per work-queue visit (steal granularity).
+  std::int64_t steal_chunk = 1;
+};
+
+/// Counters specific to the pipelined path and the work-stealing queue.
+struct PipelineStats {
+  std::uint64_t streams_used = 0;      ///< streams opened across all devices
+  std::uint64_t cache_hits = 0;        ///< resident-cache leases served free
+  std::uint64_t cache_misses = 0;      ///< leases that actually uploaded
+  std::uint64_t bytes_h2d_saved = 0;   ///< H2D bytes the cache did not send
+  std::uint64_t steals = 0;            ///< point chunks taken from other ranks
+  std::uint64_t stolen_points = 0;     ///< grid points inside those chunks
+  std::uint64_t tasks_pipelined = 0;   ///< tasks that ran through streams
+  std::uint64_t max_in_flight = 0;     ///< deepest pipeline any rank reached
 };
 
 struct HybridResult {
@@ -38,6 +71,13 @@ struct HybridResult {
   SchedulerStats scheduling;            ///< aggregated over all ranks
   std::vector<std::int64_t> history;    ///< final history count per device
   std::vector<vgpu::DeviceStats> device_stats;
+  PipelineStats pipeline;
+  /// Per device: virtual time at which its work drains. Pipelined mode reads
+  /// the stream scheduler (overlap-aware); synchronous mode is the device's
+  /// serialized busy time.
+  std::vector<double> device_sync_time_s;
+  /// max over devices of device_sync_time_s (0 with no GPUs).
+  double virtual_makespan_s = 0.0;
   std::size_t tasks_total = 0;
 };
 
@@ -45,10 +85,10 @@ class HybridDriver {
  public:
   HybridDriver(const apec::SpectrumCalculator& calculator, HybridConfig config);
 
-  /// Calculate the spectra of `points`. Points are split into near-equal
-  /// contiguous ranges across ranks (the paper's inter-node strategy applied
-  /// intra-node); each rank schedules its tasks through the shared-memory
-  /// scheduler.
+  /// Calculate the spectra of `points`. Points are seeded to ranks in
+  /// near-equal contiguous ranges (the paper's inter-node strategy applied
+  /// intra-node) and rebalanced by work stealing; each rank schedules its
+  /// tasks through the shared-memory scheduler.
   HybridResult run(const std::vector<apec::GridPoint>& points);
 
   const HybridConfig& config() const noexcept { return config_; }

@@ -30,16 +30,22 @@ int TaskScheduler::sche_alloc() {
     return -1;
   }
   const std::int32_t lmax = shm_->max_queue_length;
-  // Bounded retry: a failed CAS means another rank just took the slot we
-  // chose; rescan. After the scan repeatedly finds only full devices, give
-  // the task to the CPU exactly as Algorithm 1 line 21 does.
+  // One full scan up front; afterwards only the contended entry is refreshed.
+  // A failed CAS means another rank touched exactly the device we chose, so
+  // the other devices' cached loads are still the freshest values we have —
+  // re-reading all of them per retry (the old behaviour) just multiplies
+  // shared-cache-line traffic under the very contention that caused the
+  // retry. Histories only drift while we race, and they are a tie-break
+  // only, so the stale copies cannot violate the queue-length bound.
+  std::int32_t loads[kMaxDevices];
+  std::int64_t histories[kMaxDevices];
+  for (int i = 0; i < n; ++i) {
+    loads[i] = shm_->load[i].load(std::memory_order_acquire);
+    histories[i] = shm_->history[i].load(std::memory_order_relaxed);
+  }
+  // Bounded retry: after repeatedly finding only full devices, give the
+  // task to the CPU exactly as Algorithm 1 line 21 does.
   for (int attempt = 0; attempt < 8; ++attempt) {
-    std::int32_t loads[kMaxDevices];
-    std::int64_t histories[kMaxDevices];
-    for (int i = 0; i < n; ++i) {
-      loads[i] = shm_->load[i].load(std::memory_order_acquire);
-      histories[i] = shm_->history[i].load(std::memory_order_relaxed);
-    }
     const int device = pick_device({loads, static_cast<std::size_t>(n)},
                                    {histories, static_cast<std::size_t>(n)},
                                    lmax);
@@ -53,8 +59,13 @@ int TaskScheduler::sche_alloc() {
         ++stats_.gpu_allocations;
         return device;
       }
+      ++stats_.cas_retries;
       // expected reloaded by compare_exchange_weak; loop re-checks the cap.
     }
+    // The chosen device filled up under us: refresh that one entry (its
+    // load came back through `expected`) and re-pick from the cache.
+    loads[device] = expected;
+    histories[device] = shm_->history[device].load(std::memory_order_relaxed);
   }
   ++stats_.cpu_fallbacks;
   return -1;

@@ -33,6 +33,10 @@ int pick_device(std::span<const std::int32_t> loads,
 struct SchedulerStats {
   std::int64_t gpu_allocations = 0;
   std::int64_t cpu_fallbacks = 0;
+  /// Lost CAS races on the load increment (another rank took the slot this
+  /// scan chose first). Contention diagnostic: high values mean many ranks
+  /// are fighting over the same min-load device.
+  std::int64_t cas_retries = 0;
 
   double gpu_task_ratio() const noexcept {
     const auto total = gpu_allocations + cpu_fallbacks;

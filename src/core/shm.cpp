@@ -10,6 +10,71 @@
 
 namespace hspec::core {
 
+void PointWorkQueue::initialize(std::int64_t n_points, std::int32_t ranks,
+                                std::int64_t chunk_size) noexcept {
+  if (ranks > kMaxRanks) ranks = kMaxRanks;
+  if (ranks < 0) ranks = 0;
+  if (chunk_size < 1) chunk_size = 1;
+  const std::int64_t r64 = ranks > 0 ? ranks : 1;
+  const std::int64_t base = n_points / r64;
+  const std::int64_t extra = n_points % r64;
+  for (int r = 0; r < kMaxRanks; ++r) {
+    if (r < ranks) {
+      range_begin[r] = r * base + std::min<std::int64_t>(r, extra);
+      range_end[r] = range_begin[r] + base + (r < extra ? 1 : 0);
+    } else {
+      range_begin[r] = 0;
+      range_end[r] = 0;
+    }
+    cursor[r].store(range_begin[r], std::memory_order_relaxed);
+  }
+  steals.store(0, std::memory_order_relaxed);
+  stolen_points.store(0, std::memory_order_relaxed);
+  nranks = ranks;
+  chunk = chunk_size;
+}
+
+PointWorkQueue::Claim PointWorkQueue::claim(int rank) noexcept {
+  if (rank < 0 || rank >= nranks) return {};
+  auto take = [&](int r) -> Claim {
+    const std::int64_t start = cursor[r].fetch_add(chunk,
+                                                   std::memory_order_acq_rel);
+    if (start >= range_end[r]) return {};  // exhausted; overshoot is harmless
+    return {start, std::min(start + chunk, range_end[r]), r != rank};
+  };
+  if (Claim own = take(rank); !own.empty()) return own;
+  // Own range drained: steal from the rank with the most unclaimed points.
+  // A lost race just bumps the victim's cursor past its end, which the next
+  // scan sees as empty, so the loop always terminates.
+  for (;;) {
+    int victim = -1;
+    std::int64_t best_remaining = 0;
+    for (int r = 0; r < nranks; ++r) {
+      if (r == rank) continue;
+      const std::int64_t rem =
+          range_end[r] - cursor[r].load(std::memory_order_acquire);
+      if (rem > best_remaining) {
+        best_remaining = rem;
+        victim = r;
+      }
+    }
+    if (victim < 0) return {};
+    if (Claim c = take(victim); !c.empty()) {
+      steals.fetch_add(1, std::memory_order_relaxed);
+      stolen_points.fetch_add(c.end - c.begin, std::memory_order_relaxed);
+      return c;
+    }
+  }
+}
+
+std::int64_t PointWorkQueue::remaining() const noexcept {
+  std::int64_t total = 0;
+  for (int r = 0; r < nranks; ++r)
+    total += std::max<std::int64_t>(
+        0, range_end[r] - cursor[r].load(std::memory_order_acquire));
+  return total;
+}
+
 void SchedulerShm::initialize(int devices, int max_queue_len) noexcept {
   for (int i = 0; i < kMaxDevices; ++i) {
     load[i].store(0, std::memory_order_relaxed);
@@ -17,6 +82,7 @@ void SchedulerShm::initialize(int devices, int max_queue_len) noexcept {
   }
   device_count = devices;
   max_queue_length = max_queue_len;
+  points.initialize(0, 0, 1);
 }
 
 namespace {

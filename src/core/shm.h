@@ -21,13 +21,55 @@ namespace hspec::core {
 /// Maximum GPUs one node's scheduler can manage.
 inline constexpr int kMaxDevices = 64;
 
+/// Maximum ranks the work-stealing point queue can partition across.
+inline constexpr int kMaxRanks = 128;
+
+/// Work-stealing distribution of grid points across ranks, living in the
+/// same shared segment as the Algorithm 1 arrays. Each rank owns an initial
+/// contiguous range (the old static split) and claims chunks from its own
+/// cursor; a rank whose range is exhausted steals chunks from the victim
+/// with the most unclaimed points instead of idling at the barrier. Cursors
+/// only grow, so every point index is handed out exactly once even when
+/// thieves race; a fetch_add that lands past the range end simply claims
+/// nothing.
+struct PointWorkQueue {
+  std::atomic<std::int64_t> cursor[kMaxRanks];  ///< next unclaimed point
+  std::int64_t range_begin[kMaxRanks];
+  std::int64_t range_end[kMaxRanks];
+  std::atomic<std::int64_t> steals;             ///< chunks taken from others
+  std::atomic<std::int64_t> stolen_points;      ///< points those chunks held
+  std::int32_t nranks;
+  std::int64_t chunk;
+
+  /// Partition [0, n_points) into near-equal contiguous ranges (identical
+  /// to the old static split) claimed `chunk_size` points at a time.
+  void initialize(std::int64_t n_points, std::int32_t ranks,
+                  std::int64_t chunk_size) noexcept;
+
+  struct Claim {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    bool stolen = false;
+    bool empty() const noexcept { return begin >= end; }
+  };
+
+  /// Claim the next chunk of points for `rank`: its own range first, then
+  /// steal from the most-loaded victim. Empty claim => all points handed out.
+  Claim claim(int rank) noexcept;
+
+  /// Points not yet claimed by anyone (racy snapshot, for reporting).
+  std::int64_t remaining() const noexcept;
+};
+
 /// POD-with-atomics segment: load l_i and history h_i per device
-/// (Algorithm 1's global variables). Lock-free on every target we support.
+/// (Algorithm 1's global variables), plus the work-stealing point queue.
+/// Lock-free on every target we support.
 struct SchedulerShm {
   std::atomic<std::int32_t> load[kMaxDevices];
   std::atomic<std::int64_t> history[kMaxDevices];
   std::int32_t device_count;
   std::int32_t max_queue_length;
+  PointWorkQueue points;
 
   void initialize(int devices, int max_queue_len) noexcept;
 };

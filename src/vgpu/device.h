@@ -99,6 +99,11 @@ struct DeviceStats {
   std::uint64_t bytes_d2h = 0;
   double kernel_time_s = 0.0;
   double transfer_time_s = 0.0;
+  // Pipeline counters, filled by the hybrid driver (the device itself does
+  // not know about streams or the resident cache).
+  std::uint64_t streams_used = 0;     ///< streams ranks opened on this device
+  std::uint64_t cache_hits = 0;       ///< resident-cache leases served free
+  std::uint64_t bytes_h2d_saved = 0;  ///< H2D bytes the cache did not send
 };
 
 class Device {

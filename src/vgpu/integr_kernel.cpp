@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "vgpu/stream.h"
+
 namespace hspec::vgpu {
 
 namespace {
@@ -63,10 +65,14 @@ void gpu_integr_device(Device& device, double lo, double hi, std::size_t n_bins,
   });
 }
 
-void gpu_integr_edges_device(Device& device, const DeviceBuffer& edges_dev,
-                             std::size_t n_bins, quad::Integrand f,
-                             DeviceBuffer& emi_dev,
-                             const IntegrLaunchConfig& cfg) {
+namespace {
+
+/// Shared body of the blocking and stream variants: validates the buffers
+/// and hands the kernel to `launch` (Device::launch or Stream::launch_async).
+template <class LaunchFn>
+void integr_edges_launch(LaunchFn&& launch, const DeviceBuffer& edges_dev,
+                         std::size_t n_bins, quad::Integrand f,
+                         DeviceBuffer& emi_dev, const IntegrLaunchConfig& cfg) {
   if (n_bins == 0) throw std::invalid_argument("gpu_integr_edges: no bins");
   if (edges_dev.size() < (n_bins + 1) * sizeof(double))
     throw std::out_of_range("gpu_integr_edges: edges buffer too small");
@@ -78,7 +84,7 @@ void gpu_integr_edges_device(Device& device, const DeviceBuffer& edges_dev,
   const Dim3 grid = pick_grid(n_bins, cfg);
   const Dim3 block{cfg.block_dim, 1, 1};
 
-  device.launch(grid, block, integr_work(n_bins, cfg), [&](const KernelCtx& c) {
+  launch(grid, block, integr_work(n_bins, cfg), [&](const KernelCtx& c) {
     for (std::size_t b = c.global_x(); b < n_bins; b += c.stride_x()) {
       double v = 0.0;
       if (edges[b + 1] > cfg.lower_cutoff) {
@@ -93,6 +99,30 @@ void gpu_integr_edges_device(Device& device, const DeviceBuffer& edges_dev,
         emi[b] = v;
     }
   });
+}
+
+}  // namespace
+
+void gpu_integr_edges_device(Device& device, const DeviceBuffer& edges_dev,
+                             std::size_t n_bins, quad::Integrand f,
+                             DeviceBuffer& emi_dev,
+                             const IntegrLaunchConfig& cfg) {
+  integr_edges_launch(
+      [&](Dim3 grid, Dim3 block, const WorkEstimate& work, Kernel kernel) {
+        device.launch(grid, block, work, kernel);
+      },
+      edges_dev, n_bins, f, emi_dev, cfg);
+}
+
+void gpu_integr_edges_stream(Stream& stream, const DeviceBuffer& edges_dev,
+                             std::size_t n_bins, quad::Integrand f,
+                             DeviceBuffer& emi_dev,
+                             const IntegrLaunchConfig& cfg) {
+  integr_edges_launch(
+      [&](Dim3 grid, Dim3 block, const WorkEstimate& work, Kernel kernel) {
+        stream.launch_async(grid, block, work, kernel);
+      },
+      edges_dev, n_bins, f, emi_dev, cfg);
 }
 
 void gpu_integr(Device& device, double lo, double hi, quad::Integrand f,

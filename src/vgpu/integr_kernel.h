@@ -22,6 +22,8 @@
 
 namespace hspec::vgpu {
 
+class Stream;
+
 struct IntegrLaunchConfig {
   unsigned block_dim = 128;       ///< threads per block
   unsigned max_grid_dim = 64;     ///< cap on blocks (C2075: 14 SMs)
@@ -48,6 +50,15 @@ void gpu_integr_device(Device& device, double lo, double hi, std::size_t n_bins,
 /// holds n_bins+1 doubles on the device (the spectral grids of APEC are
 /// wavelength-uniform, hence energy-non-uniform).
 void gpu_integr_edges_device(Device& device, const DeviceBuffer& edges_dev,
+                             std::size_t n_bins, quad::Integrand f,
+                             DeviceBuffer& emi_dev,
+                             const IntegrLaunchConfig& cfg = {});
+
+/// Stream (asynchronous) variant of gpu_integr_edges_device: the launch is
+/// queued on `stream`, so consecutive tasks' kernels and transfers overlap
+/// per the device's concurrency rules instead of serializing with the rest
+/// of the device. Results are identical to the blocking variant.
+void gpu_integr_edges_stream(Stream& stream, const DeviceBuffer& edges_dev,
                              std::size_t n_bins, quad::Integrand f,
                              DeviceBuffer& emi_dev,
                              const IntegrLaunchConfig& cfg = {});

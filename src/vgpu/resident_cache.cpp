@@ -1,0 +1,41 @@
+#include "vgpu/resident_cache.h"
+
+#include <stdexcept>
+
+namespace hspec::vgpu {
+
+const DeviceBuffer& ResidentCache::lease(const void* data, std::size_t bytes) {
+  if (data == nullptr || bytes == 0)
+    throw std::invalid_argument("ResidentCache::lease: empty host array");
+  std::lock_guard lock(mu_);
+  const auto key = std::make_pair(data, bytes);
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    stats_.bytes_saved += bytes;
+    return it->second;
+  }
+  DeviceBuffer buf = device_->alloc(bytes);
+  device_->copy_to_device(buf, data, bytes);
+  ++stats_.misses;
+  stats_.bytes_uploaded += bytes;
+  // std::map nodes are stable: the reference survives later insertions.
+  return resident_.emplace(key, std::move(buf)).first->second;
+}
+
+ResidentCache::Stats ResidentCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t ResidentCache::entries() const {
+  std::lock_guard lock(mu_);
+  return resident_.size();
+}
+
+void ResidentCache::clear() {
+  std::lock_guard lock(mu_);
+  resident_.clear();
+}
+
+}  // namespace hspec::vgpu

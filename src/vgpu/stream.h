@@ -20,6 +20,7 @@
 //    wait for an event (cross-stream dependency).
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "vgpu/device.h"
@@ -62,13 +63,18 @@ class Stream {
   double clock_ = 0.0;  ///< completion time of the last queued op
 };
 
-/// Per-device overlap bookkeeping shared by its streams.
+/// Per-device overlap bookkeeping shared by its streams. Thread-safe: the
+/// hybrid driver gives every rank its own streams, and all of a device's
+/// streams funnel into the one scheduler; each Stream stays single-owner.
 class StreamScheduler {
  public:
   explicit StreamScheduler(Device& device);
 
   /// Virtual time at which all streams' work has drained.
-  double device_sync_time() const noexcept { return device_clock_; }
+  double device_sync_time() const noexcept {
+    std::lock_guard lock(mu_);
+    return device_clock_;
+  }
 
   const Device& device() const noexcept { return *device_; }
 
@@ -79,12 +85,13 @@ class StreamScheduler {
   /// interval [start, end) the kernel occupies.
   std::pair<double, double> schedule_kernel(double earliest, double duration);
   double schedule_copy(bool h2d, double earliest, double duration);
-  void note_completion(double t) {
+  void note_completion(double t) {  // callers hold mu_
     if (t > device_clock_) device_clock_ = t;
   }
 
   Device* device_;
   int max_concurrent_;
+  mutable std::mutex mu_;  // guards the lanes, engines, and device clock
   /// End times of in-flight kernels (size <= max_concurrent_).
   std::vector<double> kernel_lanes_;
   double h2d_engine_free_ = 0.0;

@@ -96,6 +96,91 @@ TEST(Shm, UnlinkedAfterOwnerDestroyed) {
   EXPECT_THROW(ShmRegion::attach_posix(name), std::runtime_error);
 }
 
+// ------------------------------------------------------- PointWorkQueue
+
+TEST(Shm, PointQueueStaticSeedMatchesOldSplit) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  PointWorkQueue& q = region.view().points;
+  q.initialize(10, 3, 2);
+  // Seed ranges are the old near-equal contiguous split: 4/3/3.
+  EXPECT_EQ(q.range_begin[0], 0);
+  EXPECT_EQ(q.range_end[0], 4);
+  EXPECT_EQ(q.range_begin[1], 4);
+  EXPECT_EQ(q.range_end[1], 7);
+  EXPECT_EQ(q.range_begin[2], 7);
+  EXPECT_EQ(q.range_end[2], 10);
+  EXPECT_EQ(q.remaining(), 10);
+}
+
+TEST(Shm, PointQueueClaimsOwnRangeThenSteals) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  PointWorkQueue& q = region.view().points;
+  q.initialize(6, 2, 2);
+  // Rank 0 drains its own range [0, 3) in chunks of 2...
+  auto c = q.claim(0);
+  EXPECT_EQ(c.begin, 0);
+  EXPECT_EQ(c.end, 2);
+  EXPECT_FALSE(c.stolen);
+  c = q.claim(0);
+  EXPECT_EQ(c.begin, 2);
+  EXPECT_EQ(c.end, 3);
+  EXPECT_FALSE(c.stolen);
+  // ...then steals rank 1's untouched range [3, 6).
+  c = q.claim(0);
+  EXPECT_EQ(c.begin, 3);
+  EXPECT_TRUE(c.stolen);
+  EXPECT_EQ(q.steals.load(), 1);
+  EXPECT_EQ(q.stolen_points.load(), c.end - c.begin);
+  // Invalid ranks claim nothing.
+  EXPECT_TRUE(q.claim(-1).empty());
+  EXPECT_TRUE(q.claim(2).empty());
+}
+
+TEST(Shm, PointQueueEveryPointClaimedExactlyOnceUnderContention) {
+  constexpr std::int64_t kPoints = 4000;
+  constexpr int kRanks = 8;
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  PointWorkQueue& q = region.view().points;
+  q.initialize(kPoints, kRanks, 3);
+
+  std::vector<std::atomic<int>> seen(kPoints);
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> workers;
+  for (int r = 0; r < kRanks; ++r) {
+    workers.emplace_back([&, r] {
+      // Rank 0 never touches its own range until every other rank finished,
+      // so thieves must drain it: steals are guaranteed, not just likely.
+      if (r == 0) {
+        while (finished.load() < kRanks - 1) std::this_thread::yield();
+      }
+      for (auto c = q.claim(r); !c.empty(); c = q.claim(r))
+        for (std::int64_t p = c.begin; p < c.end; ++p)
+          seen[static_cast<std::size_t>(p)].fetch_add(1);
+      finished.fetch_add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (std::int64_t p = 0; p < kPoints; ++p)
+    ASSERT_EQ(seen[static_cast<std::size_t>(p)].load(), 1) << "point " << p;
+  EXPECT_EQ(q.remaining(), 0);
+  EXPECT_GT(q.steals.load(), 0);
+  EXPECT_GT(q.stolen_points.load(), 0);
+}
+
+TEST(Shm, PointQueueHandlesFewerPointsThanRanks) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  PointWorkQueue& q = region.view().points;
+  q.initialize(2, 5, 1);
+  int claimed = 0;
+  for (int r = 0; r < 5; ++r)
+    for (auto c = q.claim(r); !c.empty(); c = q.claim(r))
+      claimed += static_cast<int>(c.end - c.begin);
+  EXPECT_EQ(claimed, 2);
+  EXPECT_EQ(q.remaining(), 0);
+}
+
 TEST(Shm, ValidatesArguments) {
   EXPECT_THROW(ShmRegion::create_inprocess(-1, 4), std::invalid_argument);
   EXPECT_THROW(ShmRegion::create_inprocess(kMaxDevices + 1, 4),
@@ -361,15 +446,37 @@ TEST_F(HybridTest, DeviceStatsShowCoarseGranularityTransfers) {
   HybridConfig cfg;
   cfg.ranks = 2;
   cfg.devices = 1;
+  cfg.mode = ExecutionMode::synchronous;
   HybridDriver driver(calc_, cfg);
   const HybridResult res = driver.run(points);
   ASSERT_EQ(res.device_stats.size(), 1u);
   const auto& st = res.device_stats[0];
-  // Ion granularity: one H2D (edges) and one D2H (emi) per GPU task, and
-  // at least one kernel per level of each task.
+  // Synchronous mode, ion granularity: one H2D (edges) and one D2H (emi)
+  // per GPU task, and at least one kernel per level of each task.
   EXPECT_EQ(st.h2d_copies, st.d2h_copies);
   EXPECT_GE(st.kernels_launched, st.d2h_copies);
   EXPECT_GT(st.kernel_time_s, 0.0);
+}
+
+TEST_F(HybridTest, ResidentCacheEliminatesPerTaskUploads) {
+  const std::vector<apec::GridPoint> points{{0.5, 1.0, 0.0, 0}};
+  HybridConfig cfg;
+  cfg.ranks = 2;
+  cfg.devices = 1;
+  cfg.mode = ExecutionMode::pipelined;
+  HybridDriver driver(calc_, cfg);
+  const HybridResult res = driver.run(points);
+  ASSERT_EQ(res.device_stats.size(), 1u);
+  const auto& st = res.device_stats[0];
+  // The bin edges go up exactly once per device; every task still reads
+  // its emissivity back, so D2H dwarfs H2D.
+  EXPECT_EQ(st.h2d_copies, 1u);
+  EXPECT_GT(st.d2h_copies, 1u);
+  EXPECT_GT(st.cache_hits, 0u);
+  EXPECT_GT(st.bytes_h2d_saved, 0u);
+  EXPECT_GT(st.streams_used, 0u);
+  EXPECT_GE(st.kernels_launched, st.d2h_copies);
+  EXPECT_GT(res.virtual_makespan_s, 0.0);
 }
 
 TEST_F(HybridTest, InvalidConfigThrows) {

@@ -148,6 +148,22 @@ TEST(Pipeline, ParameterSpaceSweepMatchesSerial) {
     hot_hi += hot[b];
   }
   EXPECT_GT(hot_hi / hot.total(), cold_hi / cold.total());
+
+  // The default driver is the pipelined one: the resident cache and the
+  // per-rank streams must actually have been exercised.
+  EXPECT_GT(result.pipeline.streams_used, 0u);
+  EXPECT_GT(result.pipeline.cache_hits, 0u);
+  EXPECT_GT(result.pipeline.bytes_h2d_saved, 0u);
+  EXPECT_GT(result.pipeline.tasks_pipelined, 0u);
+  EXPECT_GT(result.virtual_makespan_s, 0.0);
+
+  // Work stealing: the first rank to drain its seed range takes points from
+  // the others. One run steals with overwhelming probability on a loaded
+  // machine; a few retries make the assertion deterministic in practice.
+  std::uint64_t steals = result.pipeline.steals;
+  for (int attempt = 0; attempt < 5 && steals == 0; ++attempt)
+    steals = driver.run(points).pipeline.steals;
+  EXPECT_GT(steals, 0u);
 }
 
 TEST(Pipeline, SpeedupShapesFromCalibratedSimulator) {
