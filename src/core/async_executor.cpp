@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "rrc/rrc.h"
+#include "util/dcheck.h"
 #include "vgpu/integr_kernel.h"
 
 namespace hspec::core {
@@ -139,6 +140,8 @@ void AsyncGpuExecutor::submit_gpu(Slot& slot, int device) {
   }
 
   ++lane.in_flight;
+  HSPEC_DCHECK(lane.in_flight >= 1 && lane.in_flight <= depth_,
+               "pipeline lane in-flight count outside [1, depth]");
   std::uint64_t in_flight_total = 0;
   for (const Lane& l : lanes_)
     in_flight_total += static_cast<std::uint64_t>(l.in_flight);
@@ -161,7 +164,10 @@ void AsyncGpuExecutor::drain_front() {
     DevicePipeline& pipe = *pipelines_[static_cast<std::size_t>(slot.free_device)];
     pipe.pool->release(std::move(slot.emi));
     staging_pool_.push_back(std::move(slot.staging));
-    --lanes_[static_cast<std::size_t>(slot.free_device)].in_flight;
+    Lane& lane = lanes_[static_cast<std::size_t>(slot.free_device)];
+    --lane.in_flight;
+    HSPEC_DCHECK(lane.in_flight >= 0,
+                 "pipeline lane drained more tasks than it submitted");
   } else if (slot.free_device >= 0) {
     // Scheduler sent the task to a device but it has a closed form / no RRC
     // emission: the synchronous executor's early-out, deferred to its FIFO

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -10,6 +9,7 @@
 #include "core/cpu_task_executor.h"
 #include "core/gpu_task_executor.h"
 #include "minimpi/minimpi.h"
+#include "util/thread_annotations.h"
 
 namespace hspec::core {
 
@@ -75,7 +75,7 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
   for (std::size_t i = 0; i < points.size(); ++i)
     result.spectra.emplace_back(calc_->grid());
 
-  std::mutex result_mu;  // guards the aggregated scheduling stats
+  util::Mutex result_mu;  // guards the aggregated scheduling stats
 
   minimpi::run(config_.ranks, [&](minimpi::Communicator& comm) {
     const int rank = comm.rank();
@@ -90,6 +90,7 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
 
     std::size_t my_tasks = 0;
     PointWorkQueue& queue = shm.view().points;
+    if (config_.rank_start_hook) config_.rank_start_hook(rank, queue);
     for (PointWorkQueue::Claim claim = queue.claim(rank); !claim.empty();
          claim = queue.claim(rank)) {
       for (std::int64_t pi = claim.begin; pi < claim.end; ++pi) {
@@ -121,7 +122,7 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
 
     comm.barrier();
     {
-      std::lock_guard lock(result_mu);
+      util::MutexLock lock(result_mu);
       result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
       result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
       result.scheduling.cas_retries += scheduler.stats().cas_retries;

@@ -27,6 +27,7 @@
 // sets the wall clock.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "apec/calculator.h"
@@ -52,6 +53,11 @@ struct HybridConfig {
   int pipeline_depth = 2;
   /// Grid points claimed per work-queue visit (steal granularity).
   std::int64_t steal_chunk = 1;
+  /// Test seam: invoked by each rank right before its first work-queue
+  /// claim, with read access to the shared queue. Lets tests stage
+  /// deterministic imbalance (e.g. hold ranks back until another rank has
+  /// stolen) instead of betting on OS scheduling. Null in production.
+  std::function<void(int rank, const PointWorkQueue& queue)> rank_start_hook;
 };
 
 /// Counters specific to the pipelined path and the work-stealing queue.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/dcheck.h"
+
 namespace hspec::core {
 
 int pick_device(std::span<const std::int32_t> loads,
@@ -55,7 +57,14 @@ int TaskScheduler::sche_alloc() {
     while (expected < lmax) {
       if (shm_->load[device].compare_exchange_weak(expected, expected + 1,
                                                    std::memory_order_acq_rel)) {
-        shm_->history[device].fetch_add(1, std::memory_order_relaxed);
+        // The bounded CAS proves the pre-increment load sat in [0, lmax);
+        // anything else means another writer drove the slot negative or past
+        // the cap behind our back.
+        HSPEC_DCHECK(expected >= 0 && expected < lmax,
+                     "device load outside [0, max_queue_length) at alloc");
+        [[maybe_unused]] const std::int64_t prev_hist =
+            shm_->history[device].fetch_add(1, std::memory_order_relaxed);
+        HSPEC_DCHECK(prev_hist >= 0, "history task count went negative");
         ++stats_.gpu_allocations;
         return device;
       }
@@ -78,6 +87,10 @@ void TaskScheduler::sche_free(int device) {
       shm_->load[device].fetch_sub(1, std::memory_order_acq_rel);
   if (prev <= 0)
     throw std::logic_error("sche_free: load underflow (free without alloc)");
+  // Upper bound: every increment went through the bounded CAS, so the load
+  // being freed can never have exceeded the queue-length cap in force.
+  HSPEC_DCHECK(prev <= shm_->max_queue_length,
+               "device load above max_queue_length at free");
 }
 
 void TaskScheduler::set_max_queue_length(std::int32_t len) {

@@ -5,16 +5,24 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
+#include <system_error>
+
+#include "util/dcheck.h"
 
 namespace hspec::core {
 
 void PointWorkQueue::initialize(std::int64_t n_points, std::int32_t ranks,
-                                std::int64_t chunk_size) noexcept {
-  if (ranks > kMaxRanks) ranks = kMaxRanks;
-  if (ranks < 0) ranks = 0;
-  if (chunk_size < 1) chunk_size = 1;
+                                std::int64_t chunk_size) {
+  if (ranks < 0 || ranks > kMaxRanks)
+    throw std::invalid_argument(
+        "PointWorkQueue: rank count outside [0, kMaxRanks]");
+  if (n_points < 0)
+    throw std::invalid_argument("PointWorkQueue: negative point count");
+  if (n_points > 0 && ranks == 0)
+    throw std::invalid_argument("PointWorkQueue: points but no ranks");
+  if (chunk_size < 1)
+    throw std::invalid_argument("PointWorkQueue: chunk size must be >= 1");
   const std::int64_t r64 = ranks > 0 ? ranks : 1;
   const std::int64_t base = n_points / r64;
   const std::int64_t extra = n_points % r64;
@@ -39,6 +47,10 @@ PointWorkQueue::Claim PointWorkQueue::claim(int rank) noexcept {
   auto take = [&](int r) -> Claim {
     const std::int64_t start = cursor[r].fetch_add(chunk,
                                                    std::memory_order_acq_rel);
+    // Cursors are monotone: fetch_add only grows them, so a start below the
+    // seed range means the segment was corrupted (or re-initialized mid-run).
+    HSPEC_DCHECK(start >= range_begin[r],
+                 "point-queue cursor below its seed range");
     if (start >= range_end[r]) return {};  // exhausted; overshoot is harmless
     return {start, std::min(start + chunk, range_end[r]), r != rank};
   };
@@ -75,7 +87,12 @@ std::int64_t PointWorkQueue::remaining() const noexcept {
   return total;
 }
 
-void SchedulerShm::initialize(int devices, int max_queue_len) noexcept {
+void SchedulerShm::initialize(int devices, int max_queue_len) {
+  if (devices < 0 || devices > kMaxDevices)
+    throw std::invalid_argument(
+        "SchedulerShm: device count outside [0, kMaxDevices]");
+  if (max_queue_len < 1)
+    throw std::invalid_argument("SchedulerShm: max queue length must be >= 1");
   for (int i = 0; i < kMaxDevices; ++i) {
     load[i].store(0, std::memory_order_relaxed);
     history[i].store(0, std::memory_order_relaxed);
@@ -95,7 +112,10 @@ void validate(int devices, int max_queue_len) {
 }
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  // system_category().message() instead of strerror(): ranks throw from
+  // concurrent attach paths and strerror's static buffer is not MT-safe.
+  throw std::runtime_error(what + ": " +
+                           std::system_category().message(errno));
 }
 
 }  // namespace

@@ -43,8 +43,11 @@ struct PointWorkQueue {
 
   /// Partition [0, n_points) into near-equal contiguous ranges (identical
   /// to the old static split) claimed `chunk_size` points at a time.
+  /// Throws std::invalid_argument on `ranks` outside [0, kMaxRanks] (an
+  /// out-of-range count would write past the cursor arrays), negative
+  /// `n_points`, points with zero ranks, or `chunk_size < 1`.
   void initialize(std::int64_t n_points, std::int32_t ranks,
-                  std::int64_t chunk_size) noexcept;
+                  std::int64_t chunk_size);
 
   struct Claim {
     std::int64_t begin = 0;
@@ -71,7 +74,10 @@ struct SchedulerShm {
   std::int32_t max_queue_length;
   PointWorkQueue points;
 
-  void initialize(int devices, int max_queue_len) noexcept;
+  /// Throws std::invalid_argument on `devices` outside [0, kMaxDevices] or
+  /// `max_queue_len < 1` — a device count past kMaxDevices would let every
+  /// scheduler scan read past the load/history arrays.
+  void initialize(int devices, int max_queue_len);
 };
 
 static_assert(std::atomic<std::int32_t>::is_always_lock_free,

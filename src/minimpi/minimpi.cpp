@@ -1,16 +1,19 @@
 #include "minimpi/minimpi.h"
 
+#include <condition_variable>
 #include <exception>
 #include <thread>
+
+#include "util/thread_annotations.h"
 
 namespace hspec::minimpi {
 
 namespace {
 
 struct Mailbox {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Message> queue;
+  util::Mutex mu;
+  std::condition_variable_any cv;
+  std::deque<Message> queue HSPEC_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -27,7 +30,7 @@ class World {
   void deliver(int dest, Message msg) {
     Mailbox& mb = *mailboxes_.at(static_cast<std::size_t>(dest));
     {
-      std::lock_guard lock(mb.mu);
+      util::MutexLock lock(mb.mu);
       mb.queue.push_back(std::move(msg));
     }
     mb.cv.notify_all();
@@ -40,7 +43,7 @@ class World {
 
   Message receive(int rank, int source, int tag) {
     Mailbox& mb = *mailboxes_.at(static_cast<std::size_t>(rank));
-    std::unique_lock lock(mb.mu);
+    util::MutexLock lock(mb.mu);
     while (true) {
       for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
         if (matches(*it, source, tag)) {
@@ -55,21 +58,23 @@ class World {
 
   bool probe(int rank, int source, int tag) const {
     Mailbox& mb = *mailboxes_.at(static_cast<std::size_t>(rank));
-    std::lock_guard lock(mb.mu);
+    util::MutexLock lock(mb.mu);
     for (const Message& m : mb.queue)
       if (matches(m, source, tag)) return true;
     return false;
   }
 
   void barrier() {
-    std::unique_lock lock(barrier_mu_);
+    util::MutexLock lock(barrier_mu_);
     const std::uint64_t gen = barrier_generation_;
     if (++barrier_count_ == nranks_) {
       barrier_count_ = 0;
       ++barrier_generation_;
       barrier_cv_.notify_all();
     } else {
-      barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+      // Manual loop (not the predicate overload): the analysis sees the
+      // guarded read in this scope, where the capability is provably held.
+      while (barrier_generation_ == gen) barrier_cv_.wait(lock);
     }
   }
 
@@ -77,10 +82,10 @@ class World {
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  util::Mutex barrier_mu_;
+  std::condition_variable_any barrier_cv_;
+  int barrier_count_ HSPEC_GUARDED_BY(barrier_mu_) = 0;
+  std::uint64_t barrier_generation_ HSPEC_GUARDED_BY(barrier_mu_) = 0;
 };
 
 int Communicator::size() const noexcept { return world_->size(); }

@@ -1,9 +1,9 @@
 #include "nei/hybrid_nei.h"
 
-#include <mutex>
 #include <stdexcept>
 
 #include "minimpi/minimpi.h"
+#include "util/thread_annotations.h"
 #include "vgpu/device.h"
 
 namespace hspec::nei {
@@ -25,7 +25,7 @@ NeiHybridResult run_nei_hybrid(std::vector<PointState> initial_states,
   NeiHybridResult result;
   result.states = std::move(initial_states);
 
-  std::mutex agg_mu;
+  util::Mutex agg_mu;
 
   minimpi::run(config.ranks, [&](minimpi::Communicator& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
@@ -69,7 +69,7 @@ NeiHybridResult run_nei_hybrid(std::vector<PointState> initial_states,
 
     comm.barrier();
     {
-      std::lock_guard lock(agg_mu);
+      util::MutexLock lock(agg_mu);
       result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
       result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
       result.tasks_total += my_tasks;

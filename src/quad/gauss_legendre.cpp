@@ -2,9 +2,10 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <numbers>
 #include <stdexcept>
+
+#include "util/thread_annotations.h"
 
 namespace hspec::quad {
 
@@ -32,9 +33,9 @@ LegendreEval legendre(std::size_t n, double x) noexcept {
 const GaussLegendreRule& gauss_legendre_rule(std::size_t n) {
   if (n == 0)
     throw std::invalid_argument("gauss_legendre_rule: order must be positive");
-  static std::mutex mu;
+  static hspec::util::Mutex mu;
   static std::map<std::size_t, GaussLegendreRule> cache;
-  std::lock_guard lock(mu);
+  hspec::util::MutexLock lock(mu);
   auto it = cache.find(n);
   if (it != cache.end()) return it->second;
 

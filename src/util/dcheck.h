@@ -1,0 +1,30 @@
+#pragma once
+// Debug-build invariant checks for the scheduler hot paths.
+//
+// HSPEC_DCHECK(cond, msg) aborts with file:line + msg when `cond` is false.
+// Active in debug builds (NDEBUG unset) and whenever HSPEC_ENABLE_DCHECK is
+// defined (the sanitizer CI builds define it so TSan/ASan/UBSan runs also
+// verify scheduler invariants); compiled out entirely otherwise, so release
+// hot paths pay nothing — not even the operand evaluation.
+
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(NDEBUG) && !defined(HSPEC_ENABLE_DCHECK)
+#define HSPEC_ENABLE_DCHECK 1
+#endif
+
+#if defined(HSPEC_ENABLE_DCHECK)
+#define HSPEC_DCHECK(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "%s:%d: HSPEC_DCHECK failed: %s — %s\n",   \
+                   __FILE__, __LINE__, #cond, (msg));                 \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+#else
+#define HSPEC_DCHECK(cond, msg) \
+  do {                          \
+  } while (false)
+#endif

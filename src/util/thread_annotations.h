@@ -1,0 +1,79 @@
+#pragma once
+// Clang thread-safety analysis for the repo's mutex-guarded state.
+//
+// The hot core is lock-free (core/shm atomics) but every shared service
+// around it — device stats, stream overlap bookkeeping, buffer pools, the
+// resident cache, minimpi mailboxes — is mutex-guarded. These macros let
+// Clang prove, at compile time and on every build, that each GUARDED_BY
+// member is only touched with its capability held (-Werror=thread-safety
+// under the HSPEC_THREAD_SAFETY_ANALYSIS CMake option). GCC sees no-ops, so
+// the annotations cost nothing on the default toolchain.
+//
+// std::mutex/std::lock_guard carry no annotations in libstdc++, so the
+// analysis cannot see their acquire/release. util::Mutex and util::MutexLock
+// are drop-in annotated wrappers; annotated classes must use them (hlint's
+// sibling, the thread-safety build, only checks capabilities it can name).
+
+#include <mutex>
+
+#if defined(__clang__)
+#define HSPEC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HSPEC_THREAD_ANNOTATION(x)  // no-op on GCC and MSVC
+#endif
+
+#define HSPEC_CAPABILITY(x) HSPEC_THREAD_ANNOTATION(capability(x))
+#define HSPEC_SCOPED_CAPABILITY HSPEC_THREAD_ANNOTATION(scoped_lockable)
+#define HSPEC_GUARDED_BY(x) HSPEC_THREAD_ANNOTATION(guarded_by(x))
+#define HSPEC_PT_GUARDED_BY(x) HSPEC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define HSPEC_ACQUIRE(...) \
+  HSPEC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HSPEC_RELEASE(...) \
+  HSPEC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HSPEC_TRY_ACQUIRE(...) \
+  HSPEC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define HSPEC_REQUIRES(...) \
+  HSPEC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HSPEC_EXCLUDES(...) HSPEC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define HSPEC_RETURN_CAPABILITY(x) HSPEC_THREAD_ANNOTATION(lock_returned(x))
+#define HSPEC_NO_THREAD_SAFETY_ANALYSIS \
+  HSPEC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hspec::util {
+
+/// std::mutex with the capability annotation the analysis needs to track
+/// acquire/release through MutexLock.
+class HSPEC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HSPEC_ACQUIRE() { mu_.lock(); }
+  void unlock() HSPEC_RELEASE() { mu_.unlock(); }
+  bool try_lock() HSPEC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated std::lock_guard analogue. Also satisfies BasicLockable so
+/// std::condition_variable_any can release/reacquire it inside wait() —
+/// that round trip happens inside the (unanalyzed) standard library and
+/// restores the held state, so the analysis stays sound.
+class HSPEC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HSPEC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HSPEC_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable surface for condition_variable_any::wait.
+  void lock() HSPEC_ACQUIRE() { mu_.lock(); }
+  void unlock() HSPEC_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace hspec::util

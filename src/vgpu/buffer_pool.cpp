@@ -6,7 +6,7 @@
 namespace hspec::vgpu {
 
 DeviceBuffer BufferPool::acquire(std::size_t bytes) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.acquisitions;
   // Smallest adequate free buffer.
   auto best = free_list_.end();
@@ -28,17 +28,17 @@ DeviceBuffer BufferPool::acquire(std::size_t bytes) {
 
 void BufferPool::release(DeviceBuffer buffer) {
   if (!buffer.valid()) return;
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   free_list_.push_back(std::move(buffer));
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 void BufferPool::trim() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   free_list_.clear();
 }
 

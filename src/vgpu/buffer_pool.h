@@ -6,9 +6,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "util/thread_annotations.h"
 #include "vgpu/device.h"
 
 namespace hspec::vgpu {
@@ -40,9 +40,9 @@ class BufferPool {
 
  private:
   Device* device_;
-  mutable std::mutex mu_;
-  std::vector<DeviceBuffer> free_list_;
-  Stats stats_;
+  mutable util::Mutex mu_;
+  std::vector<DeviceBuffer> free_list_ HSPEC_GUARDED_BY(mu_);
+  Stats stats_ HSPEC_GUARDED_BY(mu_);
 };
 
 /// RAII lease: acquires on construction, releases back on destruction.

@@ -65,7 +65,7 @@ void Device::copy_to_device(DeviceBuffer& dst, const void* src,
   if (bytes > dst.size())
     throw std::out_of_range("copy_to_device: byte count exceeds buffer");
   std::memcpy(dst.device_ptr(), src, bytes);
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.h2d_copies;
   stats_.bytes_h2d += bytes;
   stats_.transfer_time_s += model_.transfer_time_s(bytes);
@@ -76,7 +76,7 @@ void Device::copy_to_host(void* dst, const DeviceBuffer& src,
   if (bytes > src.size())
     throw std::out_of_range("copy_to_host: byte count exceeds buffer");
   std::memcpy(dst, src.device_ptr(), bytes);
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.d2h_copies;
   stats_.bytes_d2h += bytes;
   stats_.transfer_time_s += model_.transfer_time_s(bytes);
@@ -92,7 +92,7 @@ void Device::launch(Dim3 grid, Dim3 block, const WorkEstimate& work,
                     Kernel kernel) {
   if (grid.total() == 0 || block.total() == 0)
     throw std::invalid_argument("Device::launch: empty grid or block");
-  std::lock_guard lock(mu_);  // Fermi: queued kernels execute serially
+  util::MutexLock lock(mu_);  // Fermi: queued kernels execute serially
   KernelCtx ctx;
   ctx.grid_dim = grid;
   ctx.block_dim = block;
@@ -112,12 +112,12 @@ void Device::launch(Dim3 grid, Dim3 block, const WorkEstimate& work,
 }
 
 double Device::busy_time_s() const noexcept {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_.kernel_time_s + stats_.transfer_time_s;
 }
 
 DeviceStats Device::stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -14,10 +14,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/function_ref.h"
+#include "util/thread_annotations.h"
 #include "vgpu/cost_model.h"
 #include "vgpu/device_properties.h"
 
@@ -121,7 +121,9 @@ class Device {
 
   /// cudaMalloc. Throws std::bad_alloc when the 6 GB budget is exceeded.
   DeviceBuffer alloc(std::size_t bytes);
-  std::size_t bytes_allocated() const noexcept { return allocated_.load(); }
+  std::size_t bytes_allocated() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
 
   /// cudaMemcpy(HostToDevice): real copy + virtual PCIe cost.
   void copy_to_device(DeviceBuffer& dst, const void* src, std::size_t bytes);
@@ -146,8 +148,9 @@ class Device {
   GpuCostModel model_;
   int id_;
   std::atomic<std::size_t> allocated_{0};
-  mutable std::mutex mu_;  // serializes execution and stats (Fermi context switch)
-  DeviceStats stats_;
+  // Serializes execution and stats (Fermi "application-level context switch").
+  mutable util::Mutex mu_;
+  DeviceStats stats_ HSPEC_GUARDED_BY(mu_);
 };
 
 /// The machine's virtual GPUs. "The program will detect the number of GPU

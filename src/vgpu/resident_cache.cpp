@@ -7,7 +7,7 @@ namespace hspec::vgpu {
 const DeviceBuffer& ResidentCache::lease(const void* data, std::size_t bytes) {
   if (data == nullptr || bytes == 0)
     throw std::invalid_argument("ResidentCache::lease: empty host array");
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto key = std::make_pair(data, bytes);
   auto it = resident_.find(key);
   if (it != resident_.end()) {
@@ -24,17 +24,17 @@ const DeviceBuffer& ResidentCache::lease(const void* data, std::size_t bytes) {
 }
 
 ResidentCache::Stats ResidentCache::stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t ResidentCache::entries() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return resident_.size();
 }
 
 void ResidentCache::clear() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   resident_.clear();
 }
 

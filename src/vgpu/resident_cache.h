@@ -19,9 +19,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <utility>
 
+#include "util/thread_annotations.h"
 #include "vgpu/device.h"
 
 namespace hspec::vgpu {
@@ -55,9 +55,10 @@ class ResidentCache {
 
  private:
   Device* device_;
-  mutable std::mutex mu_;
-  std::map<std::pair<const void*, std::size_t>, DeviceBuffer> resident_;
-  Stats stats_;
+  mutable util::Mutex mu_;
+  std::map<std::pair<const void*, std::size_t>, DeviceBuffer> resident_
+      HSPEC_GUARDED_BY(mu_);
+  Stats stats_ HSPEC_GUARDED_BY(mu_);
 };
 
 }  // namespace hspec::vgpu

@@ -14,7 +14,7 @@ StreamScheduler::StreamScheduler(Device& device)
 
 std::pair<double, double> StreamScheduler::schedule_kernel(double earliest,
                                                            double duration) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   // Find a free lane; if all lanes are busy past `earliest`, take the one
   // that frees first (the kernel queues behind it).
   if (kernel_lanes_.size() < static_cast<std::size_t>(max_concurrent_)) {
@@ -30,7 +30,7 @@ std::pair<double, double> StreamScheduler::schedule_kernel(double earliest,
 
 double StreamScheduler::schedule_copy(bool h2d, double earliest,
                                       double duration) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   double& engine = h2d ? h2d_engine_free_ : d2h_engine_free_;
   const double start = std::max(earliest, engine);
   const double end = start + duration;

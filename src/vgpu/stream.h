@@ -20,9 +20,9 @@
 //    wait for an event (cross-stream dependency).
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
+#include "util/thread_annotations.h"
 #include "vgpu/device.h"
 
 namespace hspec::vgpu {
@@ -72,7 +72,7 @@ class StreamScheduler {
 
   /// Virtual time at which all streams' work has drained.
   double device_sync_time() const noexcept {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     return device_clock_;
   }
 
@@ -83,20 +83,22 @@ class StreamScheduler {
 
   /// Reserve a kernel slot starting no earlier than `earliest`; returns the
   /// interval [start, end) the kernel occupies.
-  std::pair<double, double> schedule_kernel(double earliest, double duration);
-  double schedule_copy(bool h2d, double earliest, double duration);
-  void note_completion(double t) {  // callers hold mu_
+  std::pair<double, double> schedule_kernel(double earliest, double duration)
+      HSPEC_EXCLUDES(mu_);
+  double schedule_copy(bool h2d, double earliest, double duration)
+      HSPEC_EXCLUDES(mu_);
+  void note_completion(double t) HSPEC_REQUIRES(mu_) {
     if (t > device_clock_) device_clock_ = t;
   }
 
   Device* device_;
   int max_concurrent_;
-  mutable std::mutex mu_;  // guards the lanes, engines, and device clock
+  mutable util::Mutex mu_;  // guards the lanes, engines, and device clock
   /// End times of in-flight kernels (size <= max_concurrent_).
-  std::vector<double> kernel_lanes_;
-  double h2d_engine_free_ = 0.0;
-  double d2h_engine_free_ = 0.0;
-  double device_clock_ = 0.0;
+  std::vector<double> kernel_lanes_ HSPEC_GUARDED_BY(mu_);
+  double h2d_engine_free_ HSPEC_GUARDED_BY(mu_) = 0.0;
+  double d2h_engine_free_ HSPEC_GUARDED_BY(mu_) = 0.0;
+  double device_clock_ HSPEC_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace hspec::vgpu

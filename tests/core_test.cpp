@@ -3,6 +3,7 @@
 // numerical equivalence to the serial baseline.
 
 #include <gtest/gtest.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -96,6 +97,27 @@ TEST(Shm, UnlinkedAfterOwnerDestroyed) {
   EXPECT_THROW(ShmRegion::attach_posix(name), std::runtime_error);
 }
 
+TEST(Shm, AttachToMissingSegmentFails) {
+  const std::string name =
+      "/hspec_test_shm_never_" + std::to_string(::getpid());
+  EXPECT_THROW(ShmRegion::attach_posix(name), std::runtime_error);
+}
+
+TEST(Shm, AttachAfterExplicitUnlinkFails) {
+  // Unlink removes the name immediately, but the owner's mapping stays valid
+  // until it unmaps (POSIX shm follows file semantics). New ranks must get a
+  // clean error instead of silently creating a fresh, empty segment.
+  const std::string name =
+      "/hspec_test_shm_unlinked_" + std::to_string(::getpid());
+  ShmRegion owner = ShmRegion::create_posix(name, 2, 4);
+  owner.view().load[0].store(7);
+  ASSERT_EQ(::shm_unlink(name.c_str()), 0);
+  EXPECT_THROW(ShmRegion::attach_posix(name), std::runtime_error);
+  // The live mapping is unaffected by the unlink.
+  EXPECT_EQ(owner.view().load[0].load(), 7);
+  EXPECT_EQ(owner.view().device_count, 2);
+}
+
 // ------------------------------------------------------- PointWorkQueue
 
 TEST(Shm, PointQueueStaticSeedMatchesOldSplit) {
@@ -186,6 +208,32 @@ TEST(Shm, ValidatesArguments) {
   EXPECT_THROW(ShmRegion::create_inprocess(kMaxDevices + 1, 4),
                std::invalid_argument);
   EXPECT_THROW(ShmRegion::create_inprocess(2, 0), std::invalid_argument);
+}
+
+TEST(Shm, SchedulerInitializeValidatesBounds) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  SchedulerShm& shm = region.view();
+  EXPECT_THROW(shm.initialize(-1, 4), std::invalid_argument);
+  EXPECT_THROW(shm.initialize(kMaxDevices + 1, 4), std::invalid_argument);
+  EXPECT_THROW(shm.initialize(2, 0), std::invalid_argument);
+  // Boundary values are accepted.
+  EXPECT_NO_THROW(shm.initialize(kMaxDevices, 1));
+  EXPECT_EQ(shm.device_count, kMaxDevices);
+}
+
+TEST(Shm, PointQueueInitializeValidatesBounds) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  PointWorkQueue& q = region.view().points;
+  EXPECT_THROW(q.initialize(10, -1, 2), std::invalid_argument);
+  EXPECT_THROW(q.initialize(10, kMaxRanks + 1, 2), std::invalid_argument);
+  EXPECT_THROW(q.initialize(-1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(q.initialize(10, 0, 2), std::invalid_argument);  // points, no ranks
+  EXPECT_THROW(q.initialize(10, 2, 0), std::invalid_argument);
+  // Boundary values are accepted: zero points with zero ranks (the
+  // SchedulerShm::initialize default) and the maximum rank count.
+  EXPECT_NO_THROW(q.initialize(0, 0, 1));
+  EXPECT_NO_THROW(q.initialize(10, kMaxRanks, 1));
+  EXPECT_EQ(q.remaining(), 10);
 }
 
 // ------------------------------------------------------------- TaskScheduler

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "apec/calculator.h"
 #include "apec/parameter_space.h"
@@ -157,13 +159,26 @@ TEST(Pipeline, ParameterSpaceSweepMatchesSerial) {
   EXPECT_GT(result.pipeline.tasks_pipelined, 0u);
   EXPECT_GT(result.virtual_makespan_s, 0.0);
 
-  // Work stealing: the first rank to drain its seed range takes points from
-  // the others. One run steals with overwhelming probability on a loaded
-  // machine; a few retries make the assertion deterministic in practice.
-  std::uint64_t steals = result.pipeline.steals;
-  for (int attempt = 0; attempt < 5 && steals == 0; ++attempt)
-    steals = driver.run(points).pipeline.steals;
-  EXPECT_GT(steals, 0u);
+  // Work stealing, made deterministic via the rank-start test seam: every
+  // rank but 0 holds at the start line until a steal has happened, so rank 0
+  // must drain its own seed range and then take a chunk of theirs. (The old
+  // retry-until-steal loop was a coin flip on a single-core host, where fair
+  // scheduling keeps equal-cost ranks in lockstep and nobody falls behind.)
+  core::HybridConfig steal_cfg = hybrid_cfg;
+  steal_cfg.rank_start_hook = [](int rank, const core::PointWorkQueue& q) {
+    if (rank == 0) return;
+    while (q.steals.load(std::memory_order_acquire) == 0)
+      std::this_thread::yield();
+  };
+  core::HybridDriver steal_driver(calc, steal_cfg);
+  const auto stolen = steal_driver.run(points);
+  EXPECT_GT(stolen.pipeline.steals, 0u);
+  EXPECT_GT(stolen.pipeline.stolen_points, 0u);
+  // Stolen points are still computed exactly once, bit-identical.
+  for (std::size_t p = 0; p < points.size(); ++p)
+    for (std::size_t b = 0; b < grid.bin_count(); ++b)
+      EXPECT_EQ(stolen.spectra[p][b], result.spectra[p][b])
+          << "point " << p << " bin " << b;
 }
 
 TEST(Pipeline, SpeedupShapesFromCalibratedSimulator) {

@@ -1,0 +1,305 @@
+// hlint — the repo's concurrency-correctness lint.
+//
+// Enforces repo-specific rules the compiler cannot (and that code review
+// keeps re-litigating), over the directories given on the command line:
+//
+//  [memory-order]  every atomic load/store/RMW in src/core and src/vgpu
+//                  names an explicit std::memory_order — a defaulted
+//                  seq_cst on a scheduler hot path is either a missing
+//                  decision or a hidden fence; either way it must be
+//                  written down (files under other roots are exempt:
+//                  tests favour brevity over fence discipline);
+//  [naked-new]     no naked `new`/`delete` outside RAII owners — placement
+//                  new, `::operator new/delete` (the vgpu allocator), and
+//                  `= delete` declarations are the sanctioned forms;
+//  [volatile]      `volatile` is not a synchronization primitive; use
+//                  std::atomic;
+//  [pragma-once]   every header starts its include guard with #pragma once.
+//
+// Output: one `file:line: [rule] message` per violation, exit 1 when any
+// fired (exit 2 on usage/IO errors) — the format CI and editors both parse.
+// Registered as a ctest (label: lint/tier1) so a regression fails `ctest`
+// locally before it ever reaches CI; a second WILL_FAIL ctest runs hlint
+// over tools/hlint_fixtures to prove the lint still bites.
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blank out comments and string/char literals so token scans cannot match
+/// inside them; newlines survive so line numbers stay exact.
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class State { code, line_comment, block_comment, str, chr } state =
+      State::code;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::code:
+        if (c == '/' && next == '/') {
+          state = State::line_comment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::block_comment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::str;
+        } else if (c == '\'') {
+          state = State::chr;
+        }
+        break;
+      case State::line_comment:
+        if (c == '\n')
+          state = State::code;
+        else
+          out[i] = ' ';
+        break;
+      case State::block_comment:
+        if (c == '*' && next == '/') {
+          state = State::code;
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::str:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && src[i + 1] != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::chr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && src[i + 1] != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+/// The argument text of the call whose opening parenthesis is at `open`,
+/// up to the matching close (or end of file on imbalance).
+std::string_view call_arguments(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0)
+      return std::string_view(text).substr(open + 1, i - open - 1);
+  }
+  return std::string_view(text).substr(open + 1);
+}
+
+const char* const kAtomicOps[] = {
+    "load",          "store",          "exchange",
+    "fetch_add",     "fetch_sub",      "fetch_and",
+    "fetch_or",      "fetch_xor",      "test_and_set",
+    "compare_exchange_weak",           "compare_exchange_strong",
+};
+
+void check_memory_order(const std::string& path, const std::string& text,
+                        std::vector<Violation>& out) {
+  for (const char* op : kAtomicOps) {
+    const std::size_t oplen = std::strlen(op);
+    std::size_t pos = 0;
+    while ((pos = text.find(op, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += oplen;
+      // Must be a member call: `.op(` or `->op(`, with `op` a whole word.
+      if (start == 0) continue;
+      const char before = text[start - 1];
+      const bool member = before == '.' ||
+                          (before == '>' && start >= 2 && text[start - 2] == '-');
+      if (!member) continue;
+      if (pos < text.size() && ident_char(text[pos])) continue;
+      std::size_t open = pos;
+      while (open < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[open])) != 0)
+        ++open;
+      if (open >= text.size() || text[open] != '(') continue;
+      const std::string_view args = call_arguments(text, open);
+      if (args.find("memory_order") == std::string_view::npos)
+        out.push_back({path, line_of(text, start), "memory-order",
+                       std::string("atomic ") + op +
+                           " without an explicit std::memory_order"});
+    }
+  }
+}
+
+void check_naked_new_delete(const std::string& path, const std::string& text,
+                            std::vector<Violation>& out) {
+  for (const char* kw : {"new", "delete"}) {
+    const std::size_t kwlen = std::strlen(kw);
+    std::size_t pos = 0;
+    while ((pos = text.find(kw, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += kwlen;
+      if (start > 0 && ident_char(text[start - 1])) continue;
+      if (pos < text.size() && ident_char(text[pos])) continue;
+      // Preceding token: `operator new` / `operator delete` / `= delete`
+      // are sanctioned; so is placement new `new (addr) T`.
+      std::size_t p = start;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
+        --p;
+      if (p >= 8 && std::string_view(text).substr(p - 8, 8) == "operator")
+        continue;
+      if (p >= 1 && text[p - 1] == '<') continue;  // #include <new>
+      if (kw[0] == 'd' && p >= 1 && text[p - 1] == '=')
+        continue;  // deleted special member
+      std::size_t q = pos;
+      while (q < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[q])) != 0)
+        ++q;
+      if (kw[0] == 'n' && q < text.size() && text[q] == '(')
+        continue;  // placement new constructs into storage someone else owns
+      out.push_back({path, line_of(text, start), "naked-new",
+                     std::string("naked `") + kw +
+                         "` outside an RAII owner (use make_unique, "
+                         "DeviceBuffer, or placement forms)"});
+    }
+  }
+}
+
+void check_volatile(const std::string& path, const std::string& text,
+                    std::vector<Violation>& out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("volatile", pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += 8;
+    if (start > 0 && ident_char(text[start - 1])) continue;
+    if (pos < text.size() && ident_char(text[pos])) continue;
+    out.push_back({path, line_of(text, start), "volatile",
+                   "`volatile` is not a synchronization primitive; "
+                   "use std::atomic"});
+  }
+}
+
+void check_pragma_once(const std::string& path, const std::string& text,
+                       std::vector<Violation>& out) {
+  if (text.find("#pragma once") == std::string::npos)
+    out.push_back({path, 1, "pragma-once", "header lacks #pragma once"});
+}
+
+bool is_header(const fs::path& p) {
+  return p.extension() == ".h" || p.extension() == ".hpp";
+}
+
+bool is_source(const fs::path& p) {
+  return is_header(p) || p.extension() == ".cpp" || p.extension() == ".cc";
+}
+
+/// Roots whose atomics must spell out their fences: the lock-free scheduler
+/// core and the device layer its counters live in.
+bool memory_order_scope(const std::string& path) {
+  return path.find("src/core") != std::string::npos ||
+         path.find("src/vgpu") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) {
+    std::cerr << "usage: hlint <dir-or-file>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && is_source(entry.path()))
+          files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "hlint: cannot open " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "hlint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    const std::string text = strip_comments_and_strings(raw);
+    const std::string path = file.generic_string();
+
+    if (memory_order_scope(path)) check_memory_order(path, text, violations);
+    check_naked_new_delete(path, text, violations);
+    check_volatile(path, text, violations);
+    // Stripped text, not raw: a comment *mentioning* the pragma must not
+    // satisfy the rule.
+    if (is_header(file)) check_pragma_once(path, text, violations);
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return a.file != b.file ? a.file < b.file : a.line < b.line;
+            });
+  for (const Violation& v : violations)
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  if (!violations.empty()) {
+    std::cout << "hlint: " << violations.size() << " violation(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "hlint: clean (" << files.size() << " files)\n";
+  return 0;
+}

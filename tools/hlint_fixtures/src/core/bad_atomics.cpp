@@ -1,0 +1,26 @@
+// hlint fixture: every line marked BAD must be reported. The fixture tree
+// mirrors src/core so the memory-order rule's scope filter applies to it;
+// a WILL_FAIL ctest runs hlint here to prove the lint still bites.
+
+#include <atomic>
+
+namespace hspec::fixture {
+
+int defaulted_order() {
+  std::atomic<int> counter{0};
+  counter.store(1);                                 // BAD: defaulted seq_cst
+  counter.fetch_add(2);                             // BAD: defaulted seq_cst
+  counter.fetch_add(1, std::memory_order_relaxed);  // ok: explicit
+  return counter.load();                            // BAD: defaulted seq_cst
+}
+
+int naked_ownership() {
+  int* p = new int(7);  // BAD: naked new outside an RAII owner
+  const int v = *p;
+  delete p;  // BAD: naked delete
+  return v;
+}
+
+volatile int spin_flag = 0;  // BAD: volatile as a synchronization primitive
+
+}  // namespace hspec::fixture

@@ -1,0 +1,6 @@
+// hlint fixture: header without #pragma once — the pragma-once rule must
+// flag this file (and nothing in the real tree, where every header has it).
+
+namespace hspec::fixture {
+inline int answer() { return 42; }
+}  // namespace hspec::fixture
