@@ -93,11 +93,11 @@ BENCHMARK(BM_Rk45Decay);
 void BM_NeiWindowLsoda(benchmark::State& state) {
   // One element chain, one packed ten-step window — the §IV-D task body.
   nei::PlasmaHistory h;
-  h.ne_cm3 = 1.0;
+  h.ne_cm3 = util::PerCm3{1.0};
   h.kT_keV = [](double) { return 2.0; };
   nei::NeiSystem sys(8, h);
   for (auto _ : state) {
-    auto y = nei::equilibrium_state(8, 0.1);
+    auto y = nei::equilibrium_state(8, util::KeV{0.1});
     for (int s = 0; s < 10; ++s)
       ode::lsoda_integrate(sys, s * 1e8, (s + 1) * 1e8, y);
     benchmark::DoNotOptimize(y[0]);

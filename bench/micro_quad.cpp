@@ -8,10 +8,13 @@
 #include "atomic/levels.h"
 #include "quad/integrate.h"
 #include "rrc/rrc.h"
+#include "util/units.h"
 
 namespace {
 
 using namespace hspec;
+using namespace hspec::util::unit_literals;
+using hspec::util::KeV;
 
 rrc::RrcChannel bench_channel(bool gaunt = true) {
   rrc::RrcChannel ch;
@@ -23,10 +26,10 @@ rrc::RrcChannel bench_channel(bool gaunt = true) {
 
 void BM_RrcIntegrandEval(benchmark::State& state) {
   const auto ch = bench_channel();
-  const rrc::PlasmaState p{0.6, 1.0, 1.0};
+  const rrc::PlasmaState p{0.6_keV, 1.0_per_cm3, 1.0_per_cm3};
   double e = ch.level.binding_keV * 1.1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rrc::rrc_power_density(ch, p, e));
+    benchmark::DoNotOptimize(rrc::rrc_power_density(ch, p, KeV{e}));
     e += 1e-9;  // defeat value caching
   }
 }
@@ -35,11 +38,11 @@ BENCHMARK(BM_RrcIntegrandEval);
 void BM_SimpsonBin(benchmark::State& state) {
   const auto panels = static_cast<std::size_t>(state.range(0));
   const auto ch = bench_channel();
-  const rrc::PlasmaState p{0.6, 1.0, 1.0};
-  const double lo = ch.level.binding_keV * 1.05;
+  const rrc::PlasmaState p{0.6_keV, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV lo{ch.level.binding_keV * 1.05};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rrc::rrc_bin_emissivity(ch, p, lo, lo + 0.01,
+        rrc::rrc_bin_emissivity(ch, p, lo, lo + 0.01_keV,
                                 quad::KernelMethod::simpson, panels));
   }
   state.SetItemsProcessed(state.iterations());
@@ -49,11 +52,11 @@ BENCHMARK(BM_SimpsonBin)->Arg(16)->Arg(64)->Arg(256);
 void BM_RombergBin(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   const auto ch = bench_channel();
-  const rrc::PlasmaState p{0.6, 1.0, 1.0};
-  const double lo = ch.level.binding_keV * 1.05;
+  const rrc::PlasmaState p{0.6_keV, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV lo{ch.level.binding_keV * 1.05};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rrc::rrc_bin_emissivity(ch, p, lo, lo + 0.01,
+        rrc::rrc_bin_emissivity(ch, p, lo, lo + 0.01_keV,
                                 quad::KernelMethod::romberg, k));
   }
 }
@@ -61,10 +64,10 @@ BENCHMARK(BM_RombergBin)->Arg(7)->Arg(9)->Arg(11)->Arg(13);
 
 void BM_QagsBinSmooth(benchmark::State& state) {
   const auto ch = bench_channel();
-  const rrc::PlasmaState p{0.6, 1.0, 1.0};
-  const double lo = ch.level.binding_keV * 1.05;
+  const rrc::PlasmaState p{0.6_keV, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV lo{ch.level.binding_keV * 1.05};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(rrc::rrc_bin_emissivity_qags(ch, p, lo, lo + 0.01));
+    benchmark::DoNotOptimize(rrc::rrc_bin_emissivity_qags(ch, p, lo, lo + 0.01_keV));
   }
 }
 BENCHMARK(BM_QagsBinSmooth);
@@ -72,11 +75,11 @@ BENCHMARK(BM_QagsBinSmooth);
 void BM_QagsBinEdge(benchmark::State& state) {
   // A bin containing the recombination edge: the expensive QAGS case.
   const auto ch = bench_channel();
-  const rrc::PlasmaState p{0.6, 1.0, 1.0};
-  const double edge = ch.level.binding_keV;
+  const rrc::PlasmaState p{0.6_keV, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV edge{ch.level.binding_keV};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rrc::rrc_bin_emissivity_qags(ch, p, edge - 0.05, edge + 0.05));
+        rrc::rrc_bin_emissivity_qags(ch, p, edge - 0.05_keV, edge + 0.05_keV));
   }
 }
 BENCHMARK(BM_QagsBinEdge);

@@ -27,10 +27,11 @@ int main(int argc, char** argv) {
               kT0, kT1, ne);
 
   nei::PlasmaHistory shock;
-  shock.ne_cm3 = ne;
+  shock.ne_cm3 = util::PerCm3{ne};
   shock.kT_keV = [kT1](double) { return kT1; };
 
-  auto state = nei::PointState::equilibrium(nei::default_element_set(), kT0);
+  auto state = nei::PointState::equilibrium(nei::default_element_set(),
+                                            util::KeV{kT0});
   std::printf("evolving %zu element chains (the paper's 'about a dozen of "
               "ODE groups')\n",
               state.elements.size());
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
   }
   std::fputs(t.str().c_str(), stdout);
 
-  const auto cie_hot = atomic::cie_fractions(8, kT1);
+  const auto cie_hot = atomic::cie_fractions(8, util::KeV{kT1});
   std::printf("\nCIE target at %.3g keV: O mean charge %.4f\n", kT1,
               mean_charge(cie_hot));
   std::printf("conservation error: %.2e\n", state.conservation_error());

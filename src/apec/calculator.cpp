@@ -13,9 +13,9 @@
 
 namespace hspec::apec {
 
-double PointPopulations::ion_density(int z, int j) const {
-  return n_h_cm3 * atomic::abundance_rel_h(z) *
-         atomic::cie_fraction(z, j, kT_keV);
+util::PerCm3 PointPopulations::ion_density(int z, int j) const {
+  return n_h_cm3 * (atomic::abundance_rel_h(z) *
+                    atomic::cie_fraction(z, j, kT_keV));
 }
 
 PointPopulations solve_populations(const atomic::AtomicDatabase& db,
@@ -29,7 +29,7 @@ PointPopulations solve_populations(const atomic::AtomicDatabase& db,
   const int max_z = db.config().max_z;
   for (int z = 1; z <= max_z; ++z) {
     const double ab = atomic::abundance_rel_h(z);
-    const auto f = atomic::cie_fractions(z, point.kT_keV);
+    const auto f = atomic::cie_fractions(z, point.kT());
     double mq = 0.0;
     double z2 = 0.0;
     for (int j = 0; j <= z; ++j) {
@@ -42,10 +42,12 @@ PointPopulations solve_populations(const atomic::AtomicDatabase& db,
   }
   if (electrons_per_h <= 0.0) electrons_per_h = 1e-8;  // fully neutral plasma
 
+  // GridPoint fields are raw suffixed doubles (they live in shm task
+  // records); this is where they acquire their types.
   PointPopulations pops;
-  pops.kT_keV = point.kT_keV;
-  pops.ne_cm3 = point.ne_cm3;
-  pops.n_h_cm3 = point.ne_cm3 / electrons_per_h;
+  pops.kT_keV = point.kT();
+  pops.ne_cm3 = point.ne();
+  pops.n_h_cm3 = point.ne() / electrons_per_h;
   pops.z2_weighted_density_cm3 = pops.n_h_cm3 * z2_per_h;
   return pops;
 }
@@ -66,7 +68,7 @@ std::size_t SpectrumCalculator::accumulate_level(const atomic::IonUnit& ion,
 
   // The recombining ion is the charge state `ion.charge`; the electron lands
   // in charge state `ion.charge - 1`.
-  const double n_rec = pops.ion_density(ion.z, ion.charge);
+  const util::PerCm3 n_rec = pops.ion_density(ion.z, ion.charge);
   rrc::PlasmaState plasma{pops.kT_keV, pops.ne_cm3, n_rec};
   rrc::RrcChannel ch;
   ch.recombining_charge = ion.charge;
@@ -76,17 +78,20 @@ std::size_t SpectrumCalculator::accumulate_level(const atomic::IonUnit& ion,
   const IntegrationPolicy& pol = options_.integration;
   std::size_t bins_done = 0;
   for (std::size_t b = 0; b < grid_->bin_count(); ++b) {
-    const double hi = grid_->hi(b);
-    if (hi <= ch.level.binding_keV) continue;  // fully below the edge
-    quad::IntegrationResult r;
+    const util::KeV hi{grid_->hi(b)};
+    if (hi.value() <= ch.level.binding_keV) continue;  // fully below the edge
+    const util::KeV lo{grid_->lo(b)};
+    rrc::BinEmissivity r;
     if (pol.adaptive) {
-      r = rrc::rrc_bin_emissivity_qags(ch, plasma, grid_->lo(b), hi,
-                                       pol.qags_errabs, pol.qags_errrel);
+      r = rrc::rrc_bin_emissivity_qags(ch, plasma, lo, hi, pol.qags_errabs,
+                                       pol.qags_errrel);
     } else {
-      r = rrc::rrc_bin_emissivity(ch, plasma, grid_->lo(b), hi, pol.kernel,
+      r = rrc::rrc_bin_emissivity(ch, plasma, lo, hi, pol.kernel,
                                   pol.kernel_param);
     }
-    spectrum[b] += r.value;
+    // Spectrum bins are raw doubles in EmissivityPhotCm3PerS: they are the
+    // buffer the vgpu kernels and shm reducers accumulate into.
+    spectrum[b] += r.value.value();
     ++bins_done;
   }
   return bins_done;
@@ -117,7 +122,7 @@ void SpectrumCalculator::accumulate_ion_lines(const atomic::IonUnit& ion,
                                               const PointPopulations& pops,
                                               Spectrum& spectrum) const {
   if (!options_.include_lines || !ion.emits_rrc()) return;
-  const double n_rec = pops.ion_density(ion.z, ion.charge);
+  const util::PerCm3 n_rec = pops.ion_density(ion.z, ion.charge);
   const LinePlasma plasma{pops.kT_keV, pops.ne_cm3, n_rec};
   const auto lines =
       options_.coronal_lines
@@ -138,6 +143,7 @@ std::vector<atomic::IonUnit> SpectrumCalculator::populated_ions(
       continue;
     }
     if (!ion.emits_rrc()) continue;
+    // PerCm3 / PerCm3 collapses to a plain dimensionless fraction.
     const double pop_per_h =
         pops.ion_density(ion.z, ion.charge) / pops.n_h_cm3;
     if (pop_per_h >= options_.population_floor) out.push_back(ion);

@@ -13,6 +13,7 @@
 #include "apec/spectrum.h"
 #include "atomic/database.h"
 #include "quad/integrate.h"
+#include "util/units.h"
 
 namespace hspec::apec {
 
@@ -45,16 +46,18 @@ struct CalcOptions {
   int line_max_upper_n = 4;
 };
 
-/// Derived densities at a grid point under CIE.
+/// Derived densities at a grid point under CIE. Dimension-checked: these
+/// flow into rrc::PlasmaState / FreeFreeState / LinePlasma without ever
+/// passing through a raw double.
 struct PointPopulations {
-  double n_h_cm3 = 0.0;                 ///< hydrogen nuclei density
-  double z2_weighted_density_cm3 = 0.0; ///< sum_i n_i z_i^2 (for free-free)
+  util::PerCm3 n_h_cm3{};                 ///< hydrogen nuclei density
+  util::PerCm3 z2_weighted_density_cm3{}; ///< sum_i n_i z_i^2 (for free-free)
 
-  /// n_{Z,j} [cm^-3] of a specific charge state.
-  double ion_density(int z, int j) const;
+  /// n_{Z,j} of a specific charge state.
+  util::PerCm3 ion_density(int z, int j) const;
 
-  double kT_keV = 0.0;
-  double ne_cm3 = 0.0;
+  util::KeV kT_keV{};
+  util::PerCm3 ne_cm3{};
 };
 
 /// Solve the CIE populations for a grid point: finds n_H such that the

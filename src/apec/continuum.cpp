@@ -12,30 +12,33 @@ namespace {
 constexpr double kFfNorm = 1.0e-18;  // [keV cm^3 s^-1 keV^-1] scale
 }  // namespace
 
-double free_free_gaunt(double e_keV, double kT_keV) {
+double free_free_gaunt(util::KeV e, util::KeV kT) {
   // Kellogg-style approximation: g ~ sqrt(3)/pi * ln(...) clipped at 1.
-  const double ratio = kT_keV / e_keV;
+  const double ratio = kT / e;
   const double g = std::numbers::sqrt3 / std::numbers::pi *
                    std::log(1.0 + 2.25 * std::pow(ratio, 0.7));
   return g < 1.0 ? 1.0 : g;
 }
 
-double free_free_power_density(const FreeFreeState& s, double e_keV) {
-  if (s.kT_keV <= 0.0)
+util::SpectralEmissivity free_free_power_density(const FreeFreeState& s,
+                                                 util::KeV e) {
+  const double kt = s.kT_keV.value();
+  if (kt <= 0.0)
     throw std::invalid_argument("free_free: temperature must be positive");
-  if (e_keV <= 0.0) return 0.0;
-  return kFfNorm * s.ne_cm3 * s.z2_weighted_ion_density_cm3 *
-         free_free_gaunt(e_keV, s.kT_keV) / std::sqrt(s.kT_keV) *
-         std::exp(-e_keV / s.kT_keV);
+  if (e.value() <= 0.0) return util::SpectralEmissivity{0.0};
+  return util::SpectralEmissivity{
+      kFfNorm * s.ne_cm3.value() * s.z2_weighted_ion_density_cm3.value() *
+      free_free_gaunt(e, s.kT_keV) / std::sqrt(kt) *
+      std::exp(-e.value() / kt)};
 }
 
 void accumulate_free_free(const FreeFreeState& s, Spectrum& spec) {
   const EnergyGrid& grid = spec.grid();
-  const double kt = s.kT_keV;
-  const double pref = kFfNorm * s.ne_cm3 * s.z2_weighted_ion_density_cm3 /
-                      std::sqrt(kt);
+  const double kt = s.kT_keV.value();
+  const double pref = kFfNorm * s.ne_cm3.value() *
+                      s.z2_weighted_ion_density_cm3.value() / std::sqrt(kt);
   for (std::size_t b = 0; b < grid.bin_count(); ++b) {
-    const double g = free_free_gaunt(grid.center(b), kt);
+    const double g = free_free_gaunt(util::KeV{grid.center(b)}, s.kT_keV);
     // Exact integral of exp(-E/kT) over the bin.
     const double integral =
         kt * (std::exp(-grid.lo(b) / kt) - std::exp(-grid.hi(b) / kt));

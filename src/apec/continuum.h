@@ -5,21 +5,23 @@
 
 #include "apec/energy_grid.h"
 #include "apec/spectrum.h"
+#include "util/units.h"
 
 namespace hspec::apec {
 
 struct FreeFreeState {
-  double kT_keV = 1.0;
-  double ne_cm3 = 1.0;
-  double z2_weighted_ion_density_cm3 = 1.0;  ///< sum_i n_i z_i^2
+  util::KeV kT_keV{1.0};
+  util::PerCm3 ne_cm3{1.0};
+  util::PerCm3 z2_weighted_ion_density_cm3{1.0};  ///< sum_i n_i z_i^2
 };
 
-/// Differential free-free emissivity dP/dE at photon energy e_keV
+/// Differential free-free emissivity dP/dE at photon energy e
 /// [keV s^-1 cm^-3 keV^-1]:  C ne (sum n_i z^2) g_ff exp(-E/kT) / sqrt(kT).
-double free_free_power_density(const FreeFreeState& s, double e_keV);
+util::SpectralEmissivity free_free_power_density(const FreeFreeState& s,
+                                                 util::KeV e);
 
 /// Thermally averaged free-free Gaunt factor (Born-approximation shape).
-double free_free_gaunt(double e_keV, double kT_keV);
+double free_free_gaunt(util::KeV e, util::KeV kT);
 
 /// Accumulate the free-free continuum into `spec` (exact per-bin integral of
 /// the exponential; the Gaunt factor is evaluated at the bin center).

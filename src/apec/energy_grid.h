@@ -7,19 +7,32 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/units.h"
+
 namespace hspec::apec {
 
 class EnergyGrid {
  public:
-  /// `bins` bins spanning [emin, emax] keV.
+  /// `bins` bins spanning [emin, emax] keV. The suffixed-double factories
+  /// remain the primitive form (config files and shm records hand us raw
+  /// doubles); the typed overloads forward to them.
   static EnergyGrid linear(double emin_keV, double emax_keV, std::size_t bins);
   static EnergyGrid logarithmic(double emin_keV, double emax_keV,
                                 std::size_t bins);
+  static EnergyGrid linear(util::KeV emin, util::KeV emax, std::size_t bins) {
+    return linear(emin.value(), emax.value(), bins);
+  }
+  static EnergyGrid logarithmic(util::KeV emin, util::KeV emax,
+                                std::size_t bins) {
+    return logarithmic(emin.value(), emax.value(), bins);
+  }
   /// Bins uniform in wavelength over [lambda_min, lambda_max] Angstrom
   /// (stored ascending in energy).
   static EnergyGrid wavelength(double lambda_min_A, double lambda_max_A,
                                std::size_t bins);
 
+  /// Accessors stay raw suffixed doubles: edge arrays are the bulk buffers
+  /// that integrand kernels and device batches consume directly.
   std::size_t bin_count() const noexcept { return edges_.size() - 1; }
   double edge(std::size_t i) const { return edges_.at(i); }
   double lo(std::size_t bin) const { return edges_.at(bin); }
@@ -31,6 +44,7 @@ class EnergyGrid {
 
   /// Bin containing energy e, or bin_count() if outside the grid.
   std::size_t locate(double e_keV) const;
+  std::size_t locate(util::KeV e) const { return locate(e.value()); }
 
   /// Wavelength [Angstrom] of a bin center.
   double center_wavelength(std::size_t bin) const;

@@ -33,36 +33,38 @@ double kramers_oscillator_strength(int n_lo, int n_up) {
          (std::pow(nl, 5.0) * std::pow(nu, 3.0) * gap * gap * gap);
 }
 
-double einstein_a(int zeff, int n_up, int n_lo) {
+util::PerSecond einstein_a(int zeff, int n_up, int n_lo) {
   if (zeff < 1) throw std::invalid_argument("einstein_a: zeff >= 1");
   const double f = kramers_oscillator_strength(n_lo, n_up);
   const double de = transition_energy(zeff, n_lo, n_up);
   const double g_ratio = static_cast<double>(n_lo * n_lo) /
                          static_cast<double>(n_up * n_up);  // g = 2 n^2
-  return kEinsteinNorm * f * g_ratio * de * de;
+  return util::PerSecond{kEinsteinNorm * f * g_ratio * de * de};
 }
 
-double collisional_excitation_rate(int zeff, int n_up, double kT_keV) {
-  if (kT_keV <= 0.0)
+util::Cm3PerS collisional_excitation_rate(int zeff, int n_up, util::KeV kT) {
+  const double kt = kT.value();
+  if (kt <= 0.0)
     throw std::invalid_argument("excitation rate: kT must be positive");
   const double de = transition_energy(zeff, 1, n_up);
   const double f = kramers_oscillator_strength(1, n_up);
   // Van Regemorter: C ~ 3.2e-7 f <g> / (dE sqrt(kT)) exp(-dE/kT), with
   // dE in keV-consistent normalization and <g> ~ 0.2 for ions.
-  return 3.2e-9 * f * 0.2 / (de * std::sqrt(kT_keV)) *
-         std::exp(-de / kT_keV);
+  return util::Cm3PerS{3.2e-9 * f * 0.2 / (de * std::sqrt(kt)) *
+                       std::exp(-de / kt)};
 }
 
-std::vector<double> coronal_populations(int zeff, double kT_keV, double ne_cm3,
-                                        int max_n) {
+std::vector<double> coronal_populations(int zeff, util::KeV kT,
+                                        util::PerCm3 ne, int max_n) {
   if (max_n < 2) throw std::invalid_argument("coronal_populations: max_n >= 2");
   std::vector<double> pop;
   pop.reserve(static_cast<std::size_t>(max_n) - 1);
   for (int n = 2; n <= max_n; ++n) {
-    double a_total = 0.0;
+    util::PerSecond a_total{0.0};
     for (int nl = 1; nl < n; ++nl) a_total += einstein_a(zeff, n, nl);
-    const double c = collisional_excitation_rate(zeff, n, kT_keV);
-    pop.push_back(ne_cm3 * c / a_total);
+    const util::Cm3PerS c = collisional_excitation_rate(zeff, n, kT);
+    // [cm^-3] * [cm^3/s] / [1/s] collapses to a dimensionless ratio.
+    pop.push_back(ne * c / a_total);
   }
   return pop;
 }
@@ -78,14 +80,14 @@ std::vector<EmissionLine> make_lines_coronal(const atomic::IonUnit& ion,
 
   const double amu_keV = 931494.10242;
   const double a_weight = atomic::element(ion.z).atomic_weight;
-  const double doppler = std::sqrt(plasma.kT_keV / (a_weight * amu_keV));
+  const double doppler = std::sqrt(plasma.kT_keV.value() / (a_weight * amu_keV));
 
   for (int nu = 2; nu <= max_upper_n; ++nu) {
     const double n_k =
-        plasma.n_ion_cm3 * pops[static_cast<std::size_t>(nu - 2)];
+        plasma.n_ion_cm3.value() * pops[static_cast<std::size_t>(nu - 2)];
     for (int nl = 1; nl < nu; ++nl) {
       const double de = transition_energy(zeff, nl, nu);
-      const double a = einstein_a(zeff, nu, nl);
+      const double a = einstein_a(zeff, nu, nl).value();
       const double emissivity = n_k * a * de;  // [keV s^-1 cm^-3]
       lines.push_back({de, emissivity, de * doppler});
     }

@@ -18,25 +18,27 @@
 
 #include "apec/lines.h"
 #include "atomic/database.h"
+#include "util/units.h"
 
 namespace hspec::apec {
 
 /// Kramers absorption oscillator strength for n_lo -> n_up (n_up > n_lo).
 double kramers_oscillator_strength(int n_lo, int n_up);
 
-/// Hydrogenic Einstein A coefficient [1/s] for the n_up -> n_lo decay of an
+/// Hydrogenic Einstein A coefficient for the n_up -> n_lo decay of an
 /// ion with recombining charge `zeff` (transition energy scales as zeff^2,
 /// A as dE^2 * f).
-double einstein_a(int zeff, int n_up, int n_lo);
+util::PerSecond einstein_a(int zeff, int n_up, int n_lo);
 
-/// Van-Regemorter collisional excitation rate coefficient [cm^3/s] from the
+/// Van-Regemorter collisional excitation rate coefficient from the
 /// ground state to n_up at temperature kT.
-double collisional_excitation_rate(int zeff, int n_up, double kT_keV);
+util::Cm3PerS collisional_excitation_rate(int zeff, int n_up, util::KeV kT);
 
 /// Relative populations n_k / n_ground for k = 2..max_n under the coronal
-/// balance at (kT, ne). Index 0 of the result corresponds to n = 2.
-std::vector<double> coronal_populations(int zeff, double kT_keV, double ne_cm3,
-                                        int max_n);
+/// balance at (kT, ne). Index 0 of the result corresponds to n = 2. The
+/// entries are dimensionless ratios: [cm^-3] * [cm^3/s] / [1/s].
+std::vector<double> coronal_populations(int zeff, util::KeV kT,
+                                        util::PerCm3 ne, int max_n);
 
 /// Full coronal line list of an ion unit: every (n_up -> n_lo) transition
 /// with emissivity n_ion * (n_k/n_g) * A * dE and thermal Doppler width.

@@ -15,7 +15,10 @@ std::vector<EmissionLine> make_lines(const atomic::IonUnit& ion,
                                      int max_upper_n) {
   std::vector<EmissionLine> lines;
   if (!ion.emits_rrc()) return lines;  // lines come from the same charged units
-  if (plasma.kT_keV <= 0.0)
+  const double kt = plasma.kT_keV.value();
+  const double ne = plasma.ne_cm3.value();
+  const double n_ion = plasma.n_ion_cm3.value();
+  if (kt <= 0.0)
     throw std::invalid_argument("make_lines: temperature must be positive");
 
   const double zeff = static_cast<double>(ion.charge);
@@ -23,7 +26,7 @@ std::vector<EmissionLine> make_lines(const atomic::IonUnit& ion,
   // Thermal Doppler width: sigma/E = sqrt(kT / (A m_p c^2)).
   const double amu_keV = 931494.10242;  // 1 amu in keV
   const double a = atomic::element(ion.z).atomic_weight;
-  const double doppler = std::sqrt(plasma.kT_keV / (a * amu_keV));
+  const double doppler = std::sqrt(kt / (a * amu_keV));
 
   for (int nu = 2; nu <= max_upper_n; ++nu) {
     for (int nl = 1; nl < nu; ++nl) {
@@ -35,9 +38,8 @@ std::vector<EmissionLine> make_lines(const atomic::IonUnit& ion,
                                  static_cast<double>(nu) *
                                  static_cast<double>(nu) *
                                  static_cast<double>(nl));
-      const double emis = 1.0e-16 * plasma.ne_cm3 * plasma.n_ion_cm3 * fosc *
-                          std::exp(-e / plasma.kT_keV) /
-                          std::sqrt(plasma.kT_keV) * e;
+      const double emis = 1.0e-16 * ne * n_ion * fosc *
+                          std::exp(-e / kt) / std::sqrt(kt) * e;
       lines.push_back({e, emis, e * doppler});
     }
   }

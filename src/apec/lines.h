@@ -9,9 +9,12 @@
 #include "apec/energy_grid.h"
 #include "apec/spectrum.h"
 #include "atomic/database.h"
+#include "util/units.h"
 
 namespace hspec::apec {
 
+/// A finished line record: raw suffixed doubles, since lists of these are
+/// bulk data headed for the deposit loop (and, eventually, device buffers).
 struct EmissionLine {
   double energy_keV = 0.0;  ///< line center
   double emissivity = 0.0;  ///< integrated line power [keV s^-1 cm^-3]
@@ -19,9 +22,9 @@ struct EmissionLine {
 };
 
 struct LinePlasma {
-  double kT_keV = 1.0;
-  double ne_cm3 = 1.0;
-  double n_ion_cm3 = 1.0;
+  util::KeV kT_keV{1.0};
+  util::PerCm3 ne_cm3{1.0};
+  util::PerCm3 n_ion_cm3{1.0};
 };
 
 /// Hydrogenic line list for an ion unit (transitions up to max_upper_n).

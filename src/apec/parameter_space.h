@@ -7,14 +7,25 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/units.h"
+
 namespace hspec::apec {
 
 /// One grid point: a determinate (temperature, density, time) triple.
+///
+/// The fields stay raw suffixed doubles on purpose: GridPoint is copied
+/// verbatim into shm task records and device-resident batches, so its layout
+/// is part of the serialization edge. The accessors below are where values
+/// re-enter the typed world.
 struct GridPoint {
   double kT_keV = 1.0;    ///< electron temperature [keV]
   double ne_cm3 = 1.0;    ///< electron density [cm^-3]
   double time_s = 0.0;    ///< epoch [s] (selects the NEI history when used)
   std::size_t index = 0;  ///< flat index within the parameter space
+
+  util::KeV kT() const noexcept { return util::KeV{kT_keV}; }
+  util::PerCm3 ne() const noexcept { return util::PerCm3{ne_cm3}; }
+  util::Seconds time() const noexcept { return util::Seconds{time_s}; }
 };
 
 /// Axis sampling: `count` values spanning [lo, hi], linear or logarithmic.

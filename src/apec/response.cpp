@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "util/fp_compare.h"
 
 namespace hspec::apec {
 
@@ -49,7 +50,9 @@ Spectrum GaussianResponse::fold(const Spectrum& model) const {
   Spectrum out(*grid_);
   for (std::size_t j = 0; j < columns_.size(); ++j) {
     const double counts = model[j];
-    if (counts == 0.0) continue;
+    // Skip guard: empty model bins hold an exact 0.0 (never computed
+    // noise), so the bit-exact test is the cheap fast path.
+    if (util::fp_exact_equal(counts, 0.0)) continue;
     const Column& col = columns_[j];
     for (std::size_t k = 0; k < col.weights.size(); ++k)
       out[col.first + k] += counts * col.weights[k];

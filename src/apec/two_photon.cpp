@@ -15,20 +15,21 @@ double two_photon_profile(double y) noexcept {
   return 12.0 * y * (1.0 - y);
 }
 
-TwoPhotonChannel two_photon_channel(const atomic::IonUnit& ion, double kT_keV,
-                                    double ne_cm3, double n_ion_cm3) {
+TwoPhotonChannel two_photon_channel(const atomic::IonUnit& ion, util::KeV kT,
+                                    util::PerCm3 ne, util::PerCm3 n_ion) {
   TwoPhotonChannel ch;
   if (!ion.emits_rrc()) return ch;
-  if (kT_keV <= 0.0)
+  if (kT.value() <= 0.0)
     throw std::invalid_argument("two_photon_channel: kT must be positive");
 
   const int zeff = ion.charge;
   const double z2 = static_cast<double>(zeff) * static_cast<double>(zeff);
-  ch.transition_keV = atomic::kRydbergKeV * z2 * (1.0 - 0.25);  // 1s-2s gap
+  ch.transition_keV =
+      util::KeV{atomic::kRydbergKeV * z2 * (1.0 - 0.25)};  // 1s-2s gap
 
   // n = 2 coronal population; statistically 1/4 of it sits in 2s.
-  const double pop_n2 = coronal_populations(zeff, kT_keV, ne_cm3, 2).front();
-  const double n_2s = 0.25 * pop_n2 * n_ion_cm3;
+  const double pop_n2 = coronal_populations(zeff, kT, ne, 2).front();
+  const double n_2s = 0.25 * pop_n2 * n_ion.value();
   // Two-photon decay rate scales as Z^6 from the hydrogen value 8.23 1/s.
   const double a_2photon = 8.23 * z2 * z2 * z2;
   ch.decay_rate = n_2s * a_2photon;
@@ -36,9 +37,9 @@ TwoPhotonChannel two_photon_channel(const atomic::IonUnit& ion, double kT_keV,
 }
 
 void accumulate_two_photon(const TwoPhotonChannel& channel, Spectrum& spec) {
-  if (channel.decay_rate <= 0.0 || channel.transition_keV <= 0.0) return;
+  const double e_tot = channel.transition_keV.value();
+  if (channel.decay_rate <= 0.0 || e_tot <= 0.0) return;
   const EnergyGrid& grid = spec.grid();
-  const double e_tot = channel.transition_keV;
   for (std::size_t b = 0; b < grid.bin_count(); ++b) {
     const double lo = std::max(grid.lo(b), 0.0) / e_tot;
     const double hi = std::min(grid.hi(b), e_tot) / e_tot;

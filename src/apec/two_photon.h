@@ -11,12 +11,13 @@
 
 #include "apec/spectrum.h"
 #include "atomic/database.h"
+#include "util/units.h"
 
 namespace hspec::apec {
 
 struct TwoPhotonChannel {
-  double transition_keV = 0.0;  ///< 2s-1s energy E_tot
-  double decay_rate = 0.0;      ///< n_2s * A_2photon [decays s^-1 cm^-3]
+  util::KeV transition_keV{0.0};  ///< 2s-1s energy E_tot
+  double decay_rate = 0.0;        ///< n_2s * A_2photon [decays s^-1 cm^-3]
 };
 
 /// Normalized spectral shape phi(y), y in (0, 1): integral of phi over
@@ -26,8 +27,8 @@ double two_photon_profile(double y) noexcept;
 /// The 2s -> 1s channel of a hydrogen-like ion unit under the coronal
 /// population of the n = 2 shell (a fixed 2s share of it). Returns a zero
 /// channel for units without the transition.
-TwoPhotonChannel two_photon_channel(const atomic::IonUnit& ion, double kT_keV,
-                                    double ne_cm3, double n_ion_cm3);
+TwoPhotonChannel two_photon_channel(const atomic::IonUnit& ion, util::KeV kT,
+                                    util::PerCm3 ne, util::PerCm3 n_ion);
 
 /// Accumulate the channel's power density into the spectrum:
 /// dP/dE = rate * E_tot * phi(E / E_tot) / E_tot per unit energy.

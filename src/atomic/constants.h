@@ -1,11 +1,15 @@
 #pragma once
 // Physical constants in the unit system used throughout the library:
 // energies in keV, lengths in cm, times in s, densities in cm^-3.
+// Unit-conversion constants live in util/units.h (the dimensional-
+// correctness layer); the legacy names here alias them.
+
+#include "util/units.h"
 
 namespace hspec::atomic {
 
 /// Boltzmann constant [keV / K].
-inline constexpr double kBoltzmannKeV = 8.617333262e-8;
+inline constexpr double kBoltzmannKeV = util::kBoltzmannKeVPerKelvin;
 
 /// Electron rest mass energy m_e c^2 [keV].
 inline constexpr double kElectronRestKeV = 510.99895;
@@ -27,7 +31,7 @@ inline constexpr double kThomsonCm2 = 6.6524587321e-25;
 inline constexpr double kKramersSigma0 = 7.91e-18;
 
 /// hc [keV * Angstrom]: E[keV] = kHCKeVAngstrom / lambda[Angstrom].
-inline constexpr double kHCKeVAngstrom = 12.39841984;
+inline constexpr double kHCKeVAngstrom = util::kHCKeVPerAngstrom;
 
 /// Planck constant [keV * s].
 inline constexpr double kPlanckKeVs = 4.135667696e-18;

@@ -7,27 +7,28 @@
 
 namespace hspec::atomic {
 
-double kramers_photoionization_cm2(int charge, int n, double binding_keV,
-                                   double photon_keV) {
+util::Cm2 kramers_photoionization_cm2(int charge, int n, util::KeV binding,
+                                      util::KeV photon) {
   if (charge < 1 || n < 1)
     throw std::invalid_argument("kramers: charge and n must be >= 1");
-  if (binding_keV <= 0.0)
+  if (binding.value() <= 0.0)
     throw std::invalid_argument("kramers: binding energy must be positive");
-  if (photon_keV < binding_keV) return 0.0;
+  if (photon < binding) return util::Cm2{0.0};
   const double z2 = static_cast<double>(charge) * static_cast<double>(charge);
-  const double ratio = binding_keV / photon_keV;
-  return kKramersSigma0 * (static_cast<double>(n) / z2) * ratio * ratio * ratio;
+  const double ratio = binding / photon;  // dimensionless
+  return util::Cm2{kKramersSigma0 * (static_cast<double>(n) / z2) * ratio *
+                   ratio * ratio};
 }
 
-double recombination_cross_section_cm2(int charge, int n, double binding_keV,
-                                       double electron_keV,
-                                       double stat_weight_ratio) {
-  if (electron_keV <= 0.0) return 0.0;
-  const double photon_keV = electron_keV + binding_keV;
-  const double sigma_ph =
-      kramers_photoionization_cm2(charge, n, binding_keV, photon_keV);
-  const double milne = stat_weight_ratio * photon_keV * photon_keV /
-                       (kElectronRestKeV * electron_keV);
+util::Cm2 recombination_cross_section_cm2(int charge, int n, util::KeV binding,
+                                          util::KeV electron,
+                                          double stat_weight_ratio) {
+  if (electron.value() <= 0.0) return util::Cm2{0.0};
+  const util::KeV photon = electron + binding;
+  const util::Cm2 sigma_ph =
+      kramers_photoionization_cm2(charge, n, binding, photon);
+  const double milne = stat_weight_ratio * photon.value() * photon.value() /
+                       (kElectronRestKeV * electron.value());
   return milne * sigma_ph;
 }
 

@@ -7,20 +7,26 @@
 // section at electron energy Ee (photon energy Eg = Ee + I_n):
 //   sigma_rec(Ee) = (g_n / (2 g_+)) * Eg^2 / (me c^2 * Ee) * sigma_ph(Eg).
 // This is sigma_n^rec(Eg - I_{Z,j,n}) in Eq. (1) of the paper.
+//
+// Energies are util::KeV and cross sections util::Cm2: swapping the binding
+// and photon energies — the classic silent Milne-relation bug — still
+// compiles (same dimension), but passing a density or a raw double does not.
+
+#include "util/units.h"
 
 namespace hspec::atomic {
 
-/// Kramers photoionization cross section [cm^2] for photon energy
-/// photon_keV from level n of an ion with recombining charge `charge`.
+/// Kramers photoionization cross section for photon energy `photon`
+/// from level n of an ion with recombining charge `charge`.
 /// Zero below threshold.
-double kramers_photoionization_cm2(int charge, int n, double binding_keV,
-                                   double photon_keV);
+util::Cm2 kramers_photoionization_cm2(int charge, int n, util::KeV binding,
+                                      util::KeV photon);
 
-/// Radiative recombination cross section [cm^2] at electron kinetic energy
-/// electron_keV (> 0) onto level n with the given binding energy.
+/// Radiative recombination cross section at electron kinetic energy
+/// `electron` (> 0) onto level n with the given binding energy.
 /// `stat_weight_ratio` is g_n / (2 g_+), default 1.
-double recombination_cross_section_cm2(int charge, int n, double binding_keV,
-                                       double electron_keV,
-                                       double stat_weight_ratio = 1.0);
+util::Cm2 recombination_cross_section_cm2(int charge, int n, util::KeV binding,
+                                          util::KeV electron,
+                                          double stat_weight_ratio = 1.0);
 
 }  // namespace hspec::atomic

@@ -9,14 +9,14 @@
 
 namespace hspec::atomic {
 
-std::vector<double> cie_fractions(int z, double kT_keV) {
-  if (kT_keV <= 0.0)
+std::vector<double> cie_fractions(int z, util::KeV kT) {
+  if (kT.value() <= 0.0)
     throw std::invalid_argument("cie_fractions: temperature must be positive");
   // log f_{j+1} - log f_j = log(S_j / alpha_{j+1}).
   std::vector<double> logf(static_cast<std::size_t>(z) + 1, 0.0);
   for (int j = 0; j < z; ++j) {
-    const double s = ionization_rate(z, j, kT_keV);
-    const double alpha = recombination_rate(z, j + 1, kT_keV);
+    const double s = ionization_rate(z, j, kT).value();
+    const double alpha = recombination_rate(z, j + 1, kT).value();
     double ratio;
     if (s <= 0.0) {
       ratio = -745.0;  // underflow floor: stage j+1 unpopulated
@@ -39,9 +39,9 @@ std::vector<double> cie_fractions(int z, double kT_keV) {
   return f;
 }
 
-double cie_fraction(int z, int j, double kT_keV) {
+double cie_fraction(int z, int j, util::KeV kT) {
   if (j < 0 || j > z) throw std::out_of_range("cie_fraction: need 0 <= j <= Z");
-  return cie_fractions(z, kT_keV)[static_cast<std::size_t>(j)];
+  return cie_fractions(z, kT)[static_cast<std::size_t>(j)];
 }
 
 }  // namespace hspec::atomic

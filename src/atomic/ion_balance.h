@@ -7,13 +7,15 @@
 
 #include <vector>
 
+#include "util/units.h"
+
 namespace hspec::atomic {
 
-/// Fractions f_j, j = 0..Z (sum = 1) of element Z at temperature kT [keV].
+/// Fractions f_j, j = 0..Z (sum = 1) of element Z at temperature kT.
 /// Computed in log space to survive 30-stage chains at extreme temperatures.
-std::vector<double> cie_fractions(int z, double kT_keV);
+std::vector<double> cie_fractions(int z, util::KeV kT);
 
 /// Convenience: fraction of the single charge state j.
-double cie_fraction(int z, int j, double kT_keV);
+double cie_fraction(int z, int j, util::KeV kT);
 
 }  // namespace hspec::atomic

@@ -28,7 +28,7 @@ void check_element(int z) {
 
 }  // namespace
 
-double ionization_potential_keV(int z, int j) {
+util::KeV ionization_potential_keV(int z, int j) {
   check_element(z);
   if (j < 0 || j >= z)
     throw std::out_of_range("ionization_potential: need 0 <= j < Z");
@@ -38,34 +38,36 @@ double ionization_potential_keV(int z, int j) {
   const double zeff = static_cast<double>(j) + 1.0 +
                       0.35 * static_cast<double>(std::max(0, electrons - 1)) /
                           static_cast<double>(n);
-  return kRydbergKeV * zeff * zeff /
-         (static_cast<double>(n) * static_cast<double>(n));
+  return util::KeV{kRydbergKeV * zeff * zeff /
+                   (static_cast<double>(n) * static_cast<double>(n))};
 }
 
-double ionization_rate(int z, int j, double kT_keV) {
+util::Cm3PerS ionization_rate(int z, int j, util::KeV kT) {
   check_element(z);
   if (j < 0 || j >= z) throw std::out_of_range("ionization_rate: need 0 <= j < Z");
-  if (kT_keV <= 0.0) return 0.0;
-  const double ip = ionization_potential_keV(z, j);
-  const double u = ip / kT_keV;
+  if (kT.value() <= 0.0) return util::Cm3PerS{0.0};
+  const util::KeV ip = ionization_potential_keV(z, j);
+  const double u = ip / kT;  // dimensionless by construction
   // Voronov (1997)-style fit with generic shape parameters.
   const double a = 2.5e-8;  // cm^3/s at I = 1 keV scale
-  return a / std::sqrt(ip) * std::pow(u, 0.25) * std::exp(-u) / (1.0 + 0.2 * u);
+  return util::Cm3PerS{a / std::sqrt(ip.value()) * std::pow(u, 0.25) *
+                       std::exp(-u) / (1.0 + 0.2 * u)};
 }
 
-double recombination_rate(int z, int j, double kT_keV) {
+util::Cm3PerS recombination_rate(int z, int j, util::KeV kT) {
   check_element(z);
   if (j < 1 || j > z) throw std::out_of_range("recombination_rate: need 1 <= j <= Z");
-  if (kT_keV <= 0.0) return 0.0;
+  if (kT.value() <= 0.0) return util::Cm3PerS{0.0};
+  const double kt = kT.value();
   const double zz = static_cast<double>(j);
   // Radiative: alpha_rr = A z^2 (kT / 1 keV)^-0.7.
-  const double alpha_rr = 2.6e-13 * zz * zz * std::pow(kT_keV, -0.7);
+  const double alpha_rr = 2.6e-13 * zz * zz * std::pow(kt, -0.7);
   // Dielectronic: resonant bump near kT ~ I/4 of the recombined ion.
-  const double ip = ionization_potential_keV(z, j - 1);
-  const double e_dr = 0.25 * ip;
+  const util::KeV ip = ionization_potential_keV(z, j - 1);
+  const double e_dr = 0.25 * ip.value();
   const double alpha_dr =
-      1.0e-11 * zz * std::pow(kT_keV, -1.5) * std::exp(-e_dr / kT_keV);
-  return alpha_rr + alpha_dr;
+      1.0e-11 * zz * std::pow(kt, -1.5) * std::exp(-e_dr / kt);
+  return util::Cm3PerS{alpha_rr + alpha_dr};
 }
 
 }  // namespace hspec::atomic

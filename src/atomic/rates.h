@@ -9,20 +9,26 @@
 // a power of T, and the resulting NEI systems (Eq. 4) are stiff. The same
 // coefficients define the collisional-ionization-equilibrium (CIE) balance
 // used by the spectral calculator, so NEI relaxes to CIE exactly.
+//
+// Signatures are dimension-checked (util/units.h): temperatures arrive as
+// util::KeV, rate coefficients leave as util::Cm3PerS, so a density or a
+// time passed where a temperature belongs is a compile error.
+
+#include "util/units.h"
 
 namespace hspec::atomic {
 
-/// Ionization potential [keV] of ion (Z, j): the energy to remove the
+/// Ionization potential of ion (Z, j): the energy to remove the
 /// outermost electron of the charge-j ion (screened hydrogenic estimate).
 /// Requires 0 <= j < Z.
-double ionization_potential_keV(int z, int j);
+util::KeV ionization_potential_keV(int z, int j);
 
 /// Collisional ionization rate coefficient S_j(T) [cm^3/s] for
 /// (Z, j) -> (Z, j+1). Zero-temperature limit is 0. Requires 0 <= j < Z.
-double ionization_rate(int z, int j, double kT_keV);
+util::Cm3PerS ionization_rate(int z, int j, util::KeV kT);
 
 /// Total (radiative + dielectronic) recombination rate coefficient
 /// alpha_j(T) [cm^3/s] for (Z, j) -> (Z, j-1). Requires 1 <= j <= Z.
-double recombination_rate(int z, int j, double kT_keV);
+util::Cm3PerS recombination_rate(int z, int j, util::KeV kT);
 
 }  // namespace hspec::atomic

@@ -106,7 +106,7 @@ void AsyncGpuExecutor::submit_gpu(Slot& slot, int device) {
   vgpu::Stream& stream = *lane.streams[lane.next_stream];
   lane.next_stream = (lane.next_stream + 1) % lane.streams.size();
 
-  const double n_rec =
+  const util::PerCm3 n_rec =
       slot.pops->ion_density(slot.task.ion.z, slot.task.ion.charge);
   const apec::IntegrationPolicy& pol = calc_->options().integration;
   vgpu::IntegrLaunchConfig cfg;
@@ -125,7 +125,11 @@ void AsyncGpuExecutor::submit_gpu(Slot& slot, int device) {
     // zeroed buffer.
     cfg.lower_cutoff = ch.level.binding_keV;
     cfg.accumulate = li != level_begin;
-    auto f = [&](double e) { return rrc::rrc_power_density(ch, plasma, e); };
+    // Kernel edge: the integrator hands us raw abscissae; wrap on entry and
+    // unwrap the typed emissivity into the device accumulation buffer.
+    auto f = [&](double e) {
+      return rrc::rrc_power_density(ch, plasma, util::KeV{e}).value();
+    };
     vgpu::gpu_integr_edges_stream(stream, edges_dev, n_bins, f, slot.emi, cfg);
     ++stats_.kernels;
   }

@@ -47,7 +47,7 @@ GpuExecutionReport execute_task_on_gpu(const apec::SpectrumCalculator& calc,
                         (n_bins + 1) * sizeof(double));
   device.memset_device(emi_dev, 0, n_bins * sizeof(double));
 
-  const double n_rec = pops.ion_density(task.ion.z, task.ion.charge);
+  const util::PerCm3 n_rec = pops.ion_density(task.ion.z, task.ion.charge);
   const apec::IntegrationPolicy& pol = calc.options().integration;
   vgpu::IntegrLaunchConfig cfg;
   cfg.method = pol.kernel;
@@ -62,7 +62,11 @@ GpuExecutionReport execute_task_on_gpu(const apec::SpectrumCalculator& calc,
     rrc::PlasmaState plasma{pops.kT_keV, pops.ne_cm3, n_rec};
     // Algorithm 2: the level integrates from its own threshold upward.
     cfg.lower_cutoff = ch.level.binding_keV;
-    auto f = [&](double e) { return rrc::rrc_power_density(ch, plasma, e); };
+    // Kernel edge: the integrator hands us raw abscissae; wrap on entry and
+    // unwrap the typed emissivity into the device accumulation buffer.
+    auto f = [&](double e) {
+      return rrc::rrc_power_density(ch, plasma, util::KeV{e}).value();
+    };
     vgpu::gpu_integr_edges_device(device, edges_dev, n_bins, f, emi_dev, cfg);
     ++report.kernels;
     ++report.levels_done;

@@ -11,11 +11,11 @@ std::vector<int> default_element_set() {
 }
 
 PointState PointState::equilibrium(const std::vector<int>& elements,
-                                   double kT_keV) {
+                                   util::KeV kT) {
   PointState st;
   st.elements = elements;
   st.ions.reserve(elements.size());
-  for (int z : elements) st.ions.push_back(equilibrium_state(z, kT_keV));
+  for (int z : elements) st.ions.push_back(equilibrium_state(z, kT));
   return st;
 }
 
@@ -30,7 +30,7 @@ double PointState::conservation_error() const {
 }
 
 EvolveReport evolve_window_cpu(PointState& state, const PlasmaHistory& history,
-                               double t_begin, double dt, std::size_t n_steps,
+                               double t_begin_s, double dt_s, std::size_t n_steps,
                                const EvolveOptions& opt) {
   EvolveReport rep;
   rep.tasks = 1;
@@ -41,8 +41,8 @@ EvolveReport evolve_window_cpu(PointState& state, const PlasmaHistory& history,
       throw std::invalid_argument("evolve: state dimension mismatch");
     ode::SolveStats last{};
     for (std::size_t s = 0; s < n_steps; ++s) {
-      const double ta = t_begin + static_cast<double>(s) * dt;
-      last = ode::lsoda_integrate(system, ta, ta + dt, y, opt.solver);
+      const double ta = t_begin_s + static_cast<double>(s) * dt_s;
+      last = ode::lsoda_integrate(system, ta, ta + dt_s, y, opt.solver);
       rep.solver_steps += last.steps;
       rep.method_switches += last.method_switches;
       if (opt.renormalize_each_step) renormalize(y);
@@ -53,7 +53,7 @@ EvolveReport evolve_window_cpu(PointState& state, const PlasmaHistory& history,
 }
 
 EvolveReport evolve_window_gpu(PointState& state, const PlasmaHistory& history,
-                               double t_begin, double dt, std::size_t n_steps,
+                               double t_begin_s, double dt_s, std::size_t n_steps,
                                vgpu::Device& device, const EvolveOptions& opt) {
   // Flatten chain states into one device buffer; one H2D before the kernel,
   // one D2H after — the task-packing transfer pattern of §IV-D.
@@ -90,8 +90,8 @@ EvolveReport evolve_window_gpu(PointState& state, const PlasmaHistory& history,
         std::span<double> y(dev_state + offsets[e], system.dimension());
         ode::SolveStats last{};
         for (std::size_t s = 0; s < n_steps; ++s) {
-          const double ta = t_begin + static_cast<double>(s) * dt;
-          last = ode::lsoda_integrate(system, ta, ta + dt, y, opt.solver);
+          const double ta = t_begin_s + static_cast<double>(s) * dt_s;
+          last = ode::lsoda_integrate(system, ta, ta + dt_s, y, opt.solver);
           rep.solver_steps += last.steps;
           rep.method_switches += last.method_switches;
           if (opt.renormalize_each_step) renormalize(y);
@@ -120,7 +120,7 @@ void accumulate(EvolveReport& total, const EvolveReport& part) {
 }  // namespace
 
 EvolveReport evolve_point_cpu(PointState& state, const PlasmaHistory& history,
-                              double t0, double dt, std::size_t timesteps,
+                              double t0_s, double dt_s, std::size_t timesteps,
                               const EvolveOptions& opt) {
   if (opt.steps_per_task == 0)
     throw std::invalid_argument("evolve: steps_per_task == 0");
@@ -129,7 +129,7 @@ EvolveReport evolve_point_cpu(PointState& state, const PlasmaHistory& history,
     const std::size_t n = std::min(opt.steps_per_task, timesteps - done);
     accumulate(total,
                evolve_window_cpu(state, history,
-                                 t0 + static_cast<double>(done) * dt, dt, n,
+                                 t0_s + static_cast<double>(done) * dt_s, dt_s, n,
                                  opt));
     done += n;
   }
@@ -137,7 +137,7 @@ EvolveReport evolve_point_cpu(PointState& state, const PlasmaHistory& history,
 }
 
 EvolveReport evolve_point_gpu(PointState& state, const PlasmaHistory& history,
-                              double t0, double dt, std::size_t timesteps,
+                              double t0_s, double dt_s, std::size_t timesteps,
                               vgpu::Device& device, const EvolveOptions& opt) {
   if (opt.steps_per_task == 0)
     throw std::invalid_argument("evolve: steps_per_task == 0");
@@ -146,7 +146,7 @@ EvolveReport evolve_point_gpu(PointState& state, const PlasmaHistory& history,
     const std::size_t n = std::min(opt.steps_per_task, timesteps - done);
     accumulate(total,
                evolve_window_gpu(state, history,
-                                 t0 + static_cast<double>(done) * dt, dt, n,
+                                 t0_s + static_cast<double>(done) * dt_s, dt_s, n,
                                  device, opt));
     done += n;
   }

@@ -25,7 +25,7 @@ struct PointState {
   std::vector<std::vector<double>> ions;  ///< ions[e][j], j = 0..Z_e
 
   static PointState equilibrium(const std::vector<int>& elements,
-                                double kT_keV);
+                                util::KeV kT);
   /// Largest |sum_j ions[e][j] - 1| across elements.
   double conservation_error() const;
 };
@@ -44,30 +44,30 @@ struct EvolveReport {
 };
 
 /// Evolve all chains of one point across a single packed task window
-/// [t_begin, t_begin + n_steps * dt] on the CPU (LSODA per chain). This is
+/// [t_begin_s, t_begin_s + n_steps * dt] on the CPU (LSODA per chain). This is
 /// the body of one schedulable NEI task.
 EvolveReport evolve_window_cpu(PointState& state, const PlasmaHistory& history,
-                               double t_begin, double dt, std::size_t n_steps,
+                               double t_begin_s, double dt_s, std::size_t n_steps,
                                const EvolveOptions& opt = {});
 
 /// The same packed window on a virtual GPU: one kernel, one thread per
 /// chain, one transfer each way.
 EvolveReport evolve_window_gpu(PointState& state, const PlasmaHistory& history,
-                               double t_begin, double dt, std::size_t n_steps,
+                               double t_begin_s, double dt_s, std::size_t n_steps,
                                vgpu::Device& device,
                                const EvolveOptions& opt = {});
 
 /// Evolve one point through `timesteps` steps of length dt on the CPU
 /// (LSODA per chain, task-packed like the paper's scheduling unit).
 EvolveReport evolve_point_cpu(PointState& state, const PlasmaHistory& history,
-                              double t0, double dt, std::size_t timesteps,
+                              double t0_s, double dt_s, std::size_t timesteps,
                               const EvolveOptions& opt = {});
 
 /// The same evolution executed as virtual-GPU tasks: one kernel per packed
 /// task, one device thread per element chain, state resident on the device
 /// between the task's timesteps, one transfer each way per task.
 EvolveReport evolve_point_gpu(PointState& state, const PlasmaHistory& history,
-                              double t0, double dt, std::size_t timesteps,
+                              double t0_s, double dt_s, std::size_t timesteps,
                               vgpu::Device& device,
                               const EvolveOptions& opt = {});
 

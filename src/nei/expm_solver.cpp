@@ -9,19 +9,21 @@
 
 namespace hspec::nei {
 
-ExpmPropagator::ExpmPropagator(int z, double kT_keV, double ne_cm3) : z_(z) {
+ExpmPropagator::ExpmPropagator(int z, util::KeV kT, util::PerCm3 ne) : z_(z) {
   if (z < 1 || z > atomic::kMaxZ)
     throw std::invalid_argument("ExpmPropagator: Z out of range");
-  if (kT_keV <= 0.0 || ne_cm3 <= 0.0)
+  const double ne_cm3 = ne.value();
+  if (kT.value() <= 0.0 || ne_cm3 <= 0.0)
     throw std::invalid_argument("ExpmPropagator: kT and ne must be positive");
   const auto n = static_cast<std::size_t>(z) + 1;
 
   std::vector<double> s(n, 0.0);
   std::vector<double> a(n, 0.0);
   for (int j = 0; j < z; ++j)
-    s[static_cast<std::size_t>(j)] = atomic::ionization_rate(z, j, kT_keV);
+    s[static_cast<std::size_t>(j)] = atomic::ionization_rate(z, j, kT).value();
   for (int j = 1; j <= z; ++j)
-    a[static_cast<std::size_t>(j)] = atomic::recombination_rate(z, j, kT_keV);
+    a[static_cast<std::size_t>(j)] =
+        atomic::recombination_rate(z, j, kT).value();
 
   // Symmetrizer: B = D A D^{-1} needs B_{i,i+1} == B_{i+1,i}, i.e.
   // a_{i+1} d_i / d_{i+1} == S_i d_{i+1} / d_i, so

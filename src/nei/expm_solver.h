@@ -26,10 +26,10 @@ namespace hspec::nei {
 
 class ExpmPropagator {
  public:
-  /// Build the propagator for element `z` at fixed kT [keV] and ne [cm^-3].
+  /// Build the propagator for element `z` at fixed kT and ne.
   /// Throws std::domain_error when the symmetrizer's dynamic range exceeds
   /// double precision (extreme temperatures; use the LSODA path there).
-  ExpmPropagator(int z, double kT_keV, double ne_cm3);
+  ExpmPropagator(int z, util::KeV kT, util::PerCm3 ne);
 
   /// y(t) from y(0). `t` in seconds; y0.size() must be Z+1.
   std::vector<double> propagate(std::span<const double> y0, double t) const;

@@ -9,8 +9,8 @@
 namespace hspec::nei {
 
 NeiHybridResult run_nei_hybrid(std::vector<PointState> initial_states,
-                               const PlasmaHistory& history, double t0,
-                               double dt, std::size_t timesteps,
+                               const PlasmaHistory& history, double t0_s,
+                               double dt_s, std::size_t timesteps,
                                const NeiHybridConfig& config) {
   if (config.ranks < 1)
     throw std::invalid_argument("run_nei_hybrid: need at least one rank");
@@ -45,18 +45,18 @@ NeiHybridResult run_nei_hybrid(std::vector<PointState> initial_states,
       for (std::size_t done = 0; done < timesteps;) {
         const std::size_t steps =
             std::min(config.evolve.steps_per_task, timesteps - done);
-        const double t_begin = t0 + static_cast<double>(done) * dt;
+        const double t_begin_s = t0_s + static_cast<double>(done) * dt_s;
         ++my_tasks;
         const int device = scheduler.sche_alloc();
         EvolveReport rep;
         if (device >= 0) {
-          rep = evolve_window_gpu(state, history, t_begin, dt, steps,
+          rep = evolve_window_gpu(state, history, t_begin_s, dt_s, steps,
                                   registry.device(
                                       static_cast<std::size_t>(device)),
                                   config.evolve);
           scheduler.sche_free(device);
         } else {
-          rep = evolve_window_cpu(state, history, t_begin, dt, steps,
+          rep = evolve_window_cpu(state, history, t_begin_s, dt_s, steps,
                                   config.evolve);
         }
         local.tasks += rep.tasks;

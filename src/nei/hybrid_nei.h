@@ -38,8 +38,8 @@ struct NeiHybridResult {
 /// shared plasma history, scheduling packed windows through the
 /// shared-memory scheduler.
 NeiHybridResult run_nei_hybrid(std::vector<PointState> initial_states,
-                               const PlasmaHistory& history, double t0,
-                               double dt, std::size_t timesteps,
+                               const PlasmaHistory& history, double t0_s,
+                               double dt_s, std::size_t timesteps,
                                const NeiHybridConfig& config = {});
 
 }  // namespace hspec::nei

@@ -25,10 +25,13 @@ void NeiSystem::rates_at(double kT_keV, std::vector<double>& s,
   const auto n = dimension();
   s.assign(n, 0.0);
   a.assign(n, 0.0);
+  const util::KeV kT{kT_keV};
   for (int j = 0; j < z_; ++j)
-    s[static_cast<std::size_t>(j)] = atomic::ionization_rate(z_, j, kT_keV);
+    s[static_cast<std::size_t>(j)] =
+        atomic::ionization_rate(z_, j, kT).value();
   for (int j = 1; j <= z_; ++j)
-    a[static_cast<std::size_t>(j)] = atomic::recombination_rate(z_, j, kT_keV);
+    a[static_cast<std::size_t>(j)] =
+        atomic::recombination_rate(z_, j, kT).value();
 }
 
 void NeiSystem::rhs(double t, std::span<const double> y,
@@ -39,7 +42,7 @@ void NeiSystem::rhs(double t, std::span<const double> y,
   const double kT = history_.kT_keV(t);
   std::vector<double> s, a;
   rates_at(kT, s, a);
-  const double ne = history_.ne_cm3;
+  const double ne = history_.ne_cm3.value();
   for (std::size_t i = 0; i < n; ++i) {
     double acc = -y[i] * (a[i] + s[i]);
     if (i + 1 < n) acc += y[i + 1] * a[i + 1];
@@ -56,7 +59,7 @@ void NeiSystem::jacobian(double t, std::span<const double> y,
   const double kT = history_.kT_keV(t);
   std::vector<double> s, a;
   rates_at(kT, s, a);
-  const double ne = history_.ne_cm3;
+  const double ne = history_.ne_cm3.value();
   for (std::size_t r = 0; r < n; ++r)
     for (std::size_t c = 0; c < n; ++c) j(r, c) = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -66,8 +69,8 @@ void NeiSystem::jacobian(double t, std::span<const double> y,
   }
 }
 
-std::vector<double> equilibrium_state(int z, double kT_keV) {
-  return atomic::cie_fractions(z, kT_keV);
+std::vector<double> equilibrium_state(int z, util::KeV kT) {
+  return atomic::cie_fractions(z, kT);
 }
 
 void renormalize(std::span<double> y) {

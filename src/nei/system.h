@@ -13,13 +13,16 @@
 #include <vector>
 
 #include "ode/system.h"
+#include "util/units.h"
 
 namespace hspec::nei {
 
 /// Plasma history driving the rates. kT may vary with time (shock heating
 /// etc.); Ne is constant over an evolution window (Eq. 4's prefactor).
+/// The temperature history stays a raw double(double) map — it is evaluated
+/// inside the generic ODE right-hand side, which is a unitless math edge.
 struct PlasmaHistory {
-  double ne_cm3 = 1.0;
+  util::PerCm3 ne_cm3{1.0};
   std::function<double(double)> kT_keV = [](double) { return 1.0; };
 };
 
@@ -47,7 +50,7 @@ class NeiSystem : public ode::OdeSystem {
 };
 
 /// Equilibrium start state: CIE fractions at kT (see atomic::cie_fractions).
-std::vector<double> equilibrium_state(int z, double kT_keV);
+std::vector<double> equilibrium_state(int z, util::KeV kT);
 
 /// Fraction-conservation guard: rescale y to sum exactly 1 (the ODE
 /// conserves the sum analytically; this removes integrator drift).

@@ -12,44 +12,45 @@ void check_positive(double v, const char* what) {
 }
 }  // namespace
 
-PlasmaHistory constant_conditions(double ne_cm3, double kT_keV) {
-  check_positive(ne_cm3, "ne");
-  check_positive(kT_keV, "kT");
+PlasmaHistory constant_conditions(util::PerCm3 ne, util::KeV kT) {
+  check_positive(ne.value(), "ne");
+  check_positive(kT.value(), "kT");
   PlasmaHistory h;
-  h.ne_cm3 = ne_cm3;
-  h.kT_keV = [kT_keV](double) { return kT_keV; };
+  h.ne_cm3 = ne;
+  h.kT_keV = [kt = kT.value()](double) { return kt; };
   return h;
 }
 
-PlasmaHistory shock_heating(double ne_cm3, double kT_pre_keV,
-                            double kT_post_keV, double t_shock_s) {
-  check_positive(ne_cm3, "ne");
-  check_positive(kT_pre_keV, "kT_pre");
-  check_positive(kT_post_keV, "kT_post");
+PlasmaHistory shock_heating(util::PerCm3 ne, util::KeV kT_pre,
+                            util::KeV kT_post, util::Seconds t_shock) {
+  check_positive(ne.value(), "ne");
+  check_positive(kT_pre.value(), "kT_pre");
+  check_positive(kT_post.value(), "kT_post");
   PlasmaHistory h;
-  h.ne_cm3 = ne_cm3;
-  h.kT_keV = [=](double t) { return t < t_shock_s ? kT_pre_keV : kT_post_keV; };
+  h.ne_cm3 = ne;
+  h.kT_keV = [pre = kT_pre.value(), post = kT_post.value(),
+              ts = t_shock.value()](double t) { return t < ts ? pre : post; };
   return h;
 }
 
-PlasmaHistory exponential_decay(double ne_cm3, double kT_initial_keV,
-                                double kT_final_keV, double tau_s) {
-  check_positive(ne_cm3, "ne");
-  check_positive(kT_initial_keV, "kT_initial");
-  check_positive(kT_final_keV, "kT_final");
-  check_positive(tau_s, "tau");
+PlasmaHistory exponential_decay(util::PerCm3 ne, util::KeV kT_initial,
+                                util::KeV kT_final, util::Seconds tau) {
+  check_positive(ne.value(), "ne");
+  check_positive(kT_initial.value(), "kT_initial");
+  check_positive(kT_final.value(), "kT_final");
+  check_positive(tau.value(), "tau");
   PlasmaHistory h;
-  h.ne_cm3 = ne_cm3;
-  h.kT_keV = [=](double t) {
-    return kT_final_keV +
-           (kT_initial_keV - kT_final_keV) * std::exp(-std::max(t, 0.0) / tau_s);
+  h.ne_cm3 = ne;
+  h.kT_keV = [ki = kT_initial.value(), kf = kT_final.value(),
+              ts = tau.value()](double t) {
+    return kf + (ki - kf) * std::exp(-std::max(t, 0.0) / ts);
   };
   return h;
 }
 
-PlasmaHistory sampled_history(double ne_cm3,
+PlasmaHistory sampled_history(util::PerCm3 ne,
                               std::vector<std::pair<double, double>> samples) {
-  check_positive(ne_cm3, "ne");
+  check_positive(ne.value(), "ne");
   if (samples.empty())
     throw std::invalid_argument("sampled_history: no samples");
   for (std::size_t i = 0; i + 1 < samples.size(); ++i)
@@ -58,7 +59,7 @@ PlasmaHistory sampled_history(double ne_cm3,
   for (const auto& [t, kt] : samples) check_positive(kt, "sampled kT");
 
   PlasmaHistory h;
-  h.ne_cm3 = ne_cm3;
+  h.ne_cm3 = ne;
   h.kT_keV = [samples = std::move(samples)](double t) {
     if (t <= samples.front().first) return samples.front().second;
     if (t >= samples.back().first) return samples.back().second;

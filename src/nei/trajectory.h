@@ -7,25 +7,28 @@
 #include <vector>
 
 #include "nei/system.h"
+#include "util/units.h"
 
 namespace hspec::nei {
 
 /// Constant-condition history.
-PlasmaHistory constant_conditions(double ne_cm3, double kT_keV);
+PlasmaHistory constant_conditions(util::PerCm3 ne, util::KeV kT);
 
 /// Instantaneous shock at t_shock: kT jumps from kT_pre to kT_post.
-PlasmaHistory shock_heating(double ne_cm3, double kT_pre_keV,
-                            double kT_post_keV, double t_shock_s = 0.0);
+PlasmaHistory shock_heating(util::PerCm3 ne, util::KeV kT_pre,
+                            util::KeV kT_post,
+                            util::Seconds t_shock = util::Seconds{0.0});
 
 /// Exponential relaxation kT(t) = kT_final + (kT_initial - kT_final)
 /// * exp(-t / tau): adiabatic expansion cooling and similar.
-PlasmaHistory exponential_decay(double ne_cm3, double kT_initial_keV,
-                                double kT_final_keV, double tau_s);
+PlasmaHistory exponential_decay(util::PerCm3 ne, util::KeV kT_initial,
+                                util::KeV kT_final, util::Seconds tau);
 
-/// Piecewise-linear interpolation through (time, kT) samples — the shape a
-/// tracer particle's recorded history takes. Samples must ascend in time;
-/// the history clamps outside the sampled range.
-PlasmaHistory sampled_history(double ne_cm3,
+/// Piecewise-linear interpolation through (time [s], kT [keV]) samples — the
+/// shape a tracer particle's recorded history takes: raw pairs, exactly as a
+/// hydro code dumps them. Samples must ascend in time; the history clamps
+/// outside the sampled range.
+PlasmaHistory sampled_history(util::PerCm3 ne,
                               std::vector<std::pair<double, double>> samples);
 
 }  // namespace hspec::nei

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include "util/fp_compare.h"
 
 namespace hspec::ode {
 
@@ -48,7 +49,9 @@ TridiagEigen tridiagonal_eigen(std::span<const double> diag,
           const double b = c * e[i];
           r = std::hypot(f, g);
           e[i + 1] = r;
-          if (r == 0.0) {
+          // Underflow guard: hypot flushed to exactly zero, so the
+          // rotation below would divide by it — bit-exact test intended.
+          if (util::fp_exact_equal(r, 0.0)) {
             // Recover from underflow: deflate and restart this l.
             d[i + 1] -= p;
             e[m] = 0.0;

@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include "util/fp_compare.h"
 
 namespace hspec::quad {
 
@@ -110,7 +111,10 @@ KronrodEstimate qk(Integrand f, double a, double b,
   out.resabs = resabs * dhlgth;
   out.resasc = resasc * dhlgth;
   double err = std::fabs((resk - resg) * hlgth);
-  if (out.resasc != 0.0 && err != 0.0)
+  // QUADPACK qk15: the rescaling only applies when both quantities are
+  // nonzero sentinels; exact-zero tests are the original algorithm.
+  if (!util::fp_exact_equal(out.resasc, 0.0) &&
+      !util::fp_exact_equal(err, 0.0))
     err = out.resasc * std::min(1.0, std::pow(200.0 * err / out.resasc, 1.5));
   const double eps = std::numeric_limits<double>::epsilon();
   const double uflow = std::numeric_limits<double>::min();

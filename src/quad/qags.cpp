@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 #include <vector>
+#include "util/fp_compare.h"
 
 namespace hspec::quad {
 
@@ -66,7 +67,9 @@ EpsilonResult wynn_epsilon(std::span<const double> seq) {
 IntegrationResult qags(Integrand f, double a, double b, const QagsOptions& opt) {
   if (opt.max_subintervals == 0)
     throw std::invalid_argument("qags: max_subintervals must be positive");
-  if (a == b) return {0.0, 0.0, 0, true};
+  // Zero-width interval: the caller passed identical endpoints (a
+  // degenerate bin), which only an exact compare can recognise.
+  if (util::fp_exact_equal(a, b)) return {0.0, 0.0, 0, true};
 
   KronrodEstimate first = kronrod_apply(f, a, b, opt.rule);
   std::size_t evals = first.evaluations;
@@ -103,7 +106,10 @@ IntegrationResult qags(Integrand f, double a, double b, const QagsOptions& opt) 
 
     // QUADPACK roundoff detection: error refuses to shrink although the
     // values agree well -> further bisection is pointless noise.
-    if (left.resasc != left.error && right.resasc != right.error) {
+    // QUADPACK qagse: resasc == error flags the pure-roundoff regime; the
+    // comparison is against a stored copy, so bit-exact is correct.
+    if (!util::fp_exact_equal(left.resasc, left.error) &&
+        !util::fp_exact_equal(right.resasc, right.error)) {
       if (std::fabs(worst.value - new_value) <= 1e-5 * std::fabs(new_value) &&
           new_error >= 0.99 * worst.error)
         ++roundoff_type1;

@@ -18,6 +18,26 @@ struct IntegrationResult {
   bool converged = true;     ///< whether the requested tolerance was met
 };
 
+/// A dimension-carrying integration result: the integrators themselves are
+/// unitless (an Integrand is double -> double), but a physics caller knows
+/// what its integrand measures and re-attaches the unit at its boundary —
+/// e.g. rrc::BinEmissivity = TypedResult<util::EmissivityPhotCm3PerS>.
+/// `raw()` unwraps back to IntegrationResult at the vgpu/shm edges.
+template <class Q>
+struct TypedResult {
+  Q value{};
+  Q error{};
+  std::size_t evaluations = 0;
+  bool converged = true;
+
+  static constexpr TypedResult from(const IntegrationResult& r) noexcept {
+    return {Q{r.value}, Q{r.error}, r.evaluations, r.converged};
+  }
+  constexpr IntegrationResult raw() const noexcept {
+    return {value.value(), error.value(), evaluations, converged};
+  }
+};
+
 /// Convergence request shared by the adaptive integrators.
 struct Tolerance {
   double absolute = 1e-10;

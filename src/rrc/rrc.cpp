@@ -16,94 +16,109 @@ namespace {
 /// The density- and temperature-dependent prefactor of Eq. (1):
 /// ne * n_i * 4/kT * c * sqrt(1/(2 pi me_c2 kT))   [cm^-5 s^-1 keV^-2].
 double maxwellian_prefactor(const PlasmaState& p) {
-  if (p.kT_keV <= 0.0)
+  const double kt = p.kT_keV.value();
+  if (kt <= 0.0)
     throw std::invalid_argument("rrc: temperature must be positive");
-  return p.ne_cm3 * p.n_ion_cm3 * 4.0 / p.kT_keV * atomic::kSpeedOfLight *
-         std::sqrt(1.0 / (2.0 * std::numbers::pi * atomic::kElectronRestKeV *
-                          p.kT_keV));
+  return p.ne_cm3.value() * p.n_ion_cm3.value() * 4.0 / kt *
+         atomic::kSpeedOfLight *
+         std::sqrt(1.0 /
+                   (2.0 * std::numbers::pi * atomic::kElectronRestKeV * kt));
 }
 
 }  // namespace
 
-double gaunt_factor(double photon_keV, double binding_keV) noexcept {
-  const double ratio = photon_keV / binding_keV;
+double gaunt_factor(util::KeV photon, util::KeV binding) noexcept {
+  const double ratio = photon / binding;
   if (ratio <= 1.0) return 1.0;
   const double lg = std::log(ratio);
   return 1.0 + 0.1727 * lg - 0.0496 * lg * lg / (1.0 + 0.5 * lg);
 }
 
-double rrc_power_density(const RrcChannel& ch, const PlasmaState& plasma,
-                         double photon_keV) {
-  const double binding = ch.level.binding_keV;
-  const double ee = photon_keV - binding;
-  if (ee < 0.0) return 0.0;
+util::SpectralEmissivity rrc_power_density(const RrcChannel& ch,
+                                           const PlasmaState& plasma,
+                                           util::KeV photon) {
+  const util::KeV binding{ch.level.binding_keV};
+  const util::KeV ee = photon - binding;
+  if (ee.value() < 0.0) return util::SpectralEmissivity{0.0};
   // The Milne 1/Ee divergence of sigma_rec cancels exactly against the
   // Maxwellian flux factor Ee, so form the product analytically:
   //   Ee * sigma_rec(Ee) = (g ratio) * Eg^2 / (me c^2) * sigma_ph(Eg).
   // The integrand is then smooth on [I, inf) with a positive value AT the
   // threshold — the classic RRC sawtooth edge — which keeps fixed-cost
   // rules accurate on edge-clamped bins.
+  const double e_kev = photon.value();
   const double sigma_ph = atomic::kramers_photoionization_cm2(
-      ch.recombining_charge, ch.level.n, binding, photon_keV);
-  const double ee_sigma = photon_keV * photon_keV / atomic::kElectronRestKeV *
+                              ch.recombining_charge, ch.level.n, binding,
+                              photon)
+                              .value();
+  const double ee_sigma = e_kev * e_kev / atomic::kElectronRestKeV *
                           sigma_ph;  // stat-weight ratio 1, as before
-  double a = ee_sigma * std::exp(-ee / plasma.kT_keV) * photon_keV;
-  if (ch.gaunt_correction) a *= gaunt_factor(photon_keV, binding);
-  return maxwellian_prefactor(plasma) * a;
+  double a = ee_sigma * std::exp(-ee.value() / plasma.kT_keV.value()) * e_kev;
+  if (ch.gaunt_correction) a *= gaunt_factor(photon, binding);
+  return util::SpectralEmissivity{maxwellian_prefactor(plasma) * a};
 }
 
-quad::IntegrationResult rrc_bin_emissivity(const RrcChannel& ch,
-                                           const PlasmaState& plasma,
-                                           double e0_keV, double e1_keV,
-                                           quad::KernelMethod method,
-                                           std::size_t method_param) {
-  if (!(e1_keV > e0_keV))
+BinEmissivity rrc_bin_emissivity(const RrcChannel& ch,
+                                 const PlasmaState& plasma, util::KeV e0,
+                                 util::KeV e1, quad::KernelMethod method,
+                                 std::size_t method_param) {
+  if (!(e1 > e0))
     throw std::invalid_argument("rrc_bin_emissivity: need e1 > e0");
   // Algorithm 2 integrates each level from its own threshold upward
   // (L = I_{Z,j,n}), so a fixed-cost rule never spans the recombination
   // edge: clamp the bin to the emitting part.
-  const double edge = ch.level.binding_keV;
-  if (e1_keV <= edge) return {0.0, 0.0, 0, true};
-  const double lo = std::max(e0_keV, edge);
-  auto f = [&](double e) { return rrc_power_density(ch, plasma, e); };
-  return quad::kernel_integrate(method, method_param, f, lo, e1_keV);
+  const util::KeV edge{ch.level.binding_keV};
+  if (e1 <= edge) return {};
+  const util::KeV lo = std::max(e0, edge);
+  // The quad substrate is unitless: unwrap to double for the integrand and
+  // re-attach the emissivity unit on the result.
+  auto f = [&](double e) {
+    return rrc_power_density(ch, plasma, util::KeV{e}).value();
+  };
+  return BinEmissivity::from(
+      quad::kernel_integrate(method, method_param, f, lo.value(), e1.value()));
 }
 
-quad::IntegrationResult rrc_bin_emissivity_qags(const RrcChannel& ch,
-                                                const PlasmaState& plasma,
-                                                double e0_keV, double e1_keV,
-                                                double errabs, double errrel) {
-  if (!(e1_keV > e0_keV))
+BinEmissivity rrc_bin_emissivity_qags(const RrcChannel& ch,
+                                      const PlasmaState& plasma, util::KeV e0,
+                                      util::KeV e1, double errabs,
+                                      double errrel) {
+  if (!(e1 > e0))
     throw std::invalid_argument("rrc_bin_emissivity_qags: need e1 > e0");
-  auto f = [&](double e) { return rrc_power_density(ch, plasma, e); };
-  const double edge = ch.level.binding_keV;
-  if (edge > e0_keV && edge < e1_keV) {
+  auto f = [&](double e) {
+    return rrc_power_density(ch, plasma, util::KeV{e}).value();
+  };
+  const util::KeV edge{ch.level.binding_keV};
+  if (edge > e0 && edge < e1) {
     // Split at the recombination edge: below is identically zero.
-    auto r = quad::qags(f, edge, e1_keV, errabs, errrel);
-    return r;
+    return BinEmissivity::from(
+        quad::qags(f, edge.value(), e1.value(), errabs, errrel));
   }
-  if (edge >= e1_keV) return {0.0, 0.0, 0, true};
-  return quad::qags(f, e0_keV, e1_keV, errabs, errrel);
+  if (edge >= e1) return {};
+  return BinEmissivity::from(
+      quad::qags(f, e0.value(), e1.value(), errabs, errrel));
 }
 
-double rrc_bin_emissivity_exact_nogaunt(const RrcChannel& ch,
-                                        const PlasmaState& plasma,
-                                        double e0_keV, double e1_keV) {
+util::EmissivityPhotCm3PerS rrc_bin_emissivity_exact_nogaunt(
+    const RrcChannel& ch, const PlasmaState& plasma, util::KeV e0,
+    util::KeV e1) {
   if (ch.gaunt_correction)
     throw std::invalid_argument(
         "exact form is only valid without the Gaunt correction");
-  const double binding = ch.level.binding_keV;
-  if (e1_keV <= binding) return 0.0;
-  const double lo = std::max(e0_keV, binding);
+  const util::KeV binding{ch.level.binding_keV};
+  if (e1 <= binding) return util::EmissivityPhotCm3PerS{0.0};
+  const double lo = std::max(e0, binding).value();
   // sigma_rec * Ee * Eg == sw * sigma0 * n / z^2 * I^3 / me_c2 (constant).
   const double z = static_cast<double>(ch.recombining_charge);
+  const double b = binding.value();
   const double c_const = atomic::kKramersSigma0 *
-                         static_cast<double>(ch.level.n) / (z * z) * binding *
-                         binding * binding / atomic::kElectronRestKeV;
-  const double kt = plasma.kT_keV;
+                         static_cast<double>(ch.level.n) / (z * z) * b * b * b /
+                         atomic::kElectronRestKeV;
+  const double kt = plasma.kT_keV.value();
   const double integral =
-      kt * (std::exp(-(lo - binding) / kt) - std::exp(-(e1_keV - binding) / kt));
-  return maxwellian_prefactor(plasma) * c_const * integral;
+      kt * (std::exp(-(lo - b) / kt) - std::exp(-(e1.value() - b) / kt));
+  return util::EmissivityPhotCm3PerS{maxwellian_prefactor(plasma) * c_const *
+                                     integral};
 }
 
 }  // namespace hspec::rrc

@@ -17,17 +17,23 @@
 // K * exp(-Ee/kT) above threshold, which has a closed form used by the
 // property tests; the optional Gaunt-factor correction (default on in the
 // spectral calculator) restores a slowly varying non-analytic shape.
+//
+// The API is dimension-checked (util/units.h): plasma state, bin bounds,
+// and emissivities are strong-typed; the quad substrate underneath stays
+// unitless (an Integrand is double -> double), so the units are unwrapped
+// exactly where the integrand lambda is built and re-attached on the result.
 
 #include "atomic/levels.h"
 #include "quad/integrate.h"
+#include "util/units.h"
 
 namespace hspec::rrc {
 
 /// Plasma and ion-population inputs of Eq. (1).
 struct PlasmaState {
-  double kT_keV = 1.0;          ///< electron temperature [keV]
-  double ne_cm3 = 1.0;          ///< electron density [cm^-3]
-  double n_ion_cm3 = 1.0;       ///< density of the recombining ion [cm^-3]
+  util::KeV kT_keV{1.0};          ///< electron temperature
+  util::PerCm3 ne_cm3{1.0};       ///< electron density
+  util::PerCm3 n_ion_cm3{1.0};    ///< density of the recombining ion
 };
 
 /// Integrand configuration for one recombination channel.
@@ -39,33 +45,36 @@ struct RrcChannel {
 
 /// Slowly varying free-bound Gaunt-like correction g(Eg / I).
 /// g(1) == 1; grows logarithmically. Pure shape realism.
-double gaunt_factor(double photon_keV, double binding_keV) noexcept;
+double gaunt_factor(util::KeV photon, util::KeV binding) noexcept;
 
 /// The differential emissivity dP/dE of Eq. (1) [keV s^-1 cm^-3 keV^-1].
-/// Zero below threshold (photon_keV < level.binding_keV).
-double rrc_power_density(const RrcChannel& ch, const PlasmaState& plasma,
-                         double photon_keV);
+/// Zero below threshold (photon < level.binding_keV).
+util::SpectralEmissivity rrc_power_density(const RrcChannel& ch,
+                                           const PlasmaState& plasma,
+                                           util::KeV photon);
+
+/// A bin integral of Eq. (2) with its unit attached; `.raw()` unwraps to
+/// quad::IntegrationResult at the vgpu/shm edges.
+using BinEmissivity = quad::TypedResult<util::EmissivityPhotCm3PerS>;
 
 /// Lambda_RRC over [e0, e1] by the requested kernel method (Eq. 2).
-quad::IntegrationResult rrc_bin_emissivity(const RrcChannel& ch,
-                                           const PlasmaState& plasma,
-                                           double e0_keV, double e1_keV,
-                                           quad::KernelMethod method,
-                                           std::size_t method_param);
+BinEmissivity rrc_bin_emissivity(const RrcChannel& ch,
+                                 const PlasmaState& plasma, util::KeV e0,
+                                 util::KeV e1, quad::KernelMethod method,
+                                 std::size_t method_param);
 
 /// Reference adaptive evaluation (QAGS), used by the serial baseline and the
 /// CPU fallback path. Splits at the threshold so the edge discontinuity does
 /// not poison the extrapolation.
-quad::IntegrationResult rrc_bin_emissivity_qags(const RrcChannel& ch,
-                                                const PlasmaState& plasma,
-                                                double e0_keV, double e1_keV,
-                                                double errabs = 1e-14,
-                                                double errrel = 1e-10);
+BinEmissivity rrc_bin_emissivity_qags(const RrcChannel& ch,
+                                      const PlasmaState& plasma, util::KeV e0,
+                                      util::KeV e1, double errabs = 1e-14,
+                                      double errrel = 1e-10);
 
 /// Closed form of Eq. (2) valid when gaunt_correction == false:
 ///   K kT [exp(-(max(E0,I)-I)/kT) - exp(-(E1-I)/kT)]  for E1 > I, else 0.
-double rrc_bin_emissivity_exact_nogaunt(const RrcChannel& ch,
-                                        const PlasmaState& plasma,
-                                        double e0_keV, double e1_keV);
+util::EmissivityPhotCm3PerS rrc_bin_emissivity_exact_nogaunt(
+    const RrcChannel& ch, const PlasmaState& plasma, util::KeV e0,
+    util::KeV e1);
 
 }  // namespace hspec::rrc

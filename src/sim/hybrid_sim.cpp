@@ -7,6 +7,7 @@
 #include "core/scheduler.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
+#include "util/fp_compare.h"
 
 namespace hspec::sim {
 
@@ -75,7 +76,9 @@ class HybridSimulator {
   };
 
   double jittered(double base) {
-    if (cfg_.jitter == 0.0) return base;
+    // Sentinel: jitter exactly 0.0 means "deterministic run", never a
+    // computed value — exact compare is the intent.
+    if (util::fp_exact_equal(cfg_.jitter, 0.0)) return base;
     return base * (1.0 + cfg_.jitter * (2.0 * rng_.uniform() - 1.0));
   }
 

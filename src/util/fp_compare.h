@@ -1,0 +1,43 @@
+#pragma once
+// The repo's floating-point comparison policy (DESIGN.md §10).
+//
+// `tools/hlint` rule [fp-equal] forbids `==` / `!=` between floating-point
+// expressions anywhere in src/: an exact comparison is either a bug (two
+// independently computed values will almost never be bit-equal) or a
+// deliberate sentinel/guard test that deserves to be spelled out. The two
+// sanctioned spellings live here:
+//
+//   fp_equal(a, b[, rel, abs])  tolerant equality — use when two values are
+//                               expected to agree up to rounding;
+//   fp_exact_equal(a, b)        intentional bit-exact comparison — use for
+//                               sentinel values (`jitter == 0 means off`),
+//                               division guards (`r == 0 would divide by
+//                               zero`), and QUADPACK-style exact-zero tests.
+//
+// Both names contain "fp_equal", which is the substring the lint allowlists,
+// so call sites read as policy-compliant on sight.
+
+namespace hspec::util {
+
+/// Tolerant equality: |a - b| <= max(abs_tol, rel_tol * max(|a|, |b|)).
+/// The default relative tolerance (1e-12) is ~4500 ulp at magnitude 1 —
+/// loose enough for differently-ordered reductions, tight enough that any
+/// genuine algorithmic divergence fails it.
+constexpr bool fp_equal(double a, double b, double rel_tol = 1e-12,
+                        double abs_tol = 0.0) noexcept {
+  const double diff = a > b ? a - b : b - a;
+  const double abs_a = a < 0.0 ? -a : a;
+  const double abs_b = b < 0.0 ? -b : b;
+  const double mag = abs_a > abs_b ? abs_a : abs_b;
+  const double bound = rel_tol * mag;
+  return diff <= (abs_tol > bound ? abs_tol : bound);
+}
+
+/// Intentional bit-exact comparison. By calling this instead of writing
+/// `a == b` you are asserting the comparison is a sentinel or guard test,
+/// not a numeric-agreement check.
+constexpr bool fp_exact_equal(double a, double b) noexcept {
+  return a == b;  // hlint:allow(fp-equal) — the one sanctioned exact compare
+}
+
+}  // namespace hspec::util

@@ -1,0 +1,241 @@
+#pragma once
+// Compile-time dimensional correctness for the physics pipeline.
+//
+// Every temperature/density/energy quantity used to travel the
+// apec -> atomic -> rrc -> quad -> nei chain as a raw `double` whose unit
+// lived only in a field-name suffix (`kT_keV`, `ne_cm3`, `time_s`). The
+// paper's accuracy claim (Fig. 8: relative error < 1e-6 over ~2e8
+// integrals) rests on every one of those doubles reaching the right
+// formula in the right unit — a class of silent bug hybrid integrators in
+// related work report as their dominant validation cost. This header makes
+// it a *build failure* instead:
+//
+//   Quantity<Dim<...>> is a strong type holding one double. Dimensions are
+//   compile-time exponent tuples over the repo's basis (energy [keV],
+//   length [cm], time [s], thermodynamic temperature [K]). `*` and `/`
+//   compose dimensions; `+`, `-` and comparisons require identical ones, so
+//   `KeV + Seconds` does not compile (proved by a negative-compile test).
+//   Products whose dimensions cancel collapse to plain `double`.
+//
+// Zero overhead by construction: a Quantity is exactly one double —
+// static_asserted below — so GPU-kernel and shm layouts are untouched.
+// Raw doubles remain legal at exactly two kinds of edge:
+//   * the vgpu kernel / quad::Integrand boundary (device code is unitless;
+//     callers unwrap with .value() when building the integrand lambda), and
+//   * shm / serialization records (core::Task, apec::GridPoint fields),
+//     which carry unit-suffixed field names checked by `tools/hlint`
+//     rule [unit-suffix] instead.
+// See DESIGN.md §10 for the full units-and-numerics model.
+
+#include <ostream>
+#include <type_traits>
+
+namespace hspec::util {
+
+/// Dimension exponents over the library's unit basis: energy is carried in
+/// keV, length in cm, time in s, temperature in K (constants below convert).
+template <int EnergyExp, int LengthExp, int TimeExp, int TemperatureExp>
+struct Dim {
+  static constexpr int energy = EnergyExp;
+  static constexpr int length = LengthExp;
+  static constexpr int time = TimeExp;
+  static constexpr int temperature = TemperatureExp;
+};
+
+using DimNone = Dim<0, 0, 0, 0>;
+
+template <class A, class B>
+using DimMultiply = Dim<A::energy + B::energy, A::length + B::length,
+                        A::time + B::time, A::temperature + B::temperature>;
+
+template <class A, class B>
+using DimDivide = Dim<A::energy - B::energy, A::length - B::length,
+                      A::time - B::time, A::temperature - B::temperature>;
+
+/// One double with a compile-time dimension. Construction from a raw
+/// double is explicit (that is the point); unwrapping is spelled .value().
+template <class D>
+class Quantity {
+ public:
+  using dimension = D;
+
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double v) noexcept : v_(v) {}
+
+  constexpr double value() const noexcept { return v_; }
+
+  constexpr Quantity operator-() const noexcept { return Quantity{-v_}; }
+  constexpr Quantity operator+() const noexcept { return *this; }
+
+  constexpr Quantity& operator+=(Quantity o) noexcept {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) noexcept {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) noexcept {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) noexcept {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) noexcept {
+    return Quantity{a.v_ + b.v_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) noexcept {
+    return Quantity{a.v_ - b.v_};
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) noexcept {
+    return Quantity{a.v_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) noexcept {
+    return Quantity{s * a.v_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) noexcept {
+    return Quantity{a.v_ / s};
+  }
+
+  friend constexpr bool operator==(Quantity a, Quantity b) noexcept = default;
+  friend constexpr auto operator<=>(Quantity a, Quantity b) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.v_;  // bare magnitude; the type carries the unit
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Cross-dimension product: exponents add; a dimensionless result collapses
+/// to plain double (so `PerCm3 / PerCm3` is just a fraction again).
+template <class DA, class DB>
+constexpr auto operator*(Quantity<DA> a, Quantity<DB> b) noexcept {
+  using R = DimMultiply<DA, DB>;
+  if constexpr (std::is_same_v<R, DimNone>)
+    return a.value() * b.value();
+  else
+    return Quantity<R>{a.value() * b.value()};
+}
+
+template <class DA, class DB>
+constexpr auto operator/(Quantity<DA> a, Quantity<DB> b) noexcept {
+  using R = DimDivide<DA, DB>;
+  if constexpr (std::is_same_v<R, DimNone>)
+    return a.value() / b.value();
+  else
+    return Quantity<R>{a.value() / b.value()};
+}
+
+/// double / Quantity inverts the dimension.
+template <class D>
+constexpr auto operator/(double s, Quantity<D> b) noexcept {
+  return Quantity<DimDivide<DimNone, D>>{s / b.value()};
+}
+
+// ---------------------------------------------------------------------------
+// The repo's physics vocabulary.
+
+using Dimensionless = Quantity<DimNone>;
+using KeV = Quantity<Dim<1, 0, 0, 0>>;      ///< photon/particle/thermal energy
+using Kelvin = Quantity<Dim<0, 0, 0, 1>>;   ///< thermodynamic temperature
+using Seconds = Quantity<Dim<0, 0, 1, 0>>;  ///< epoch / evolution time
+using PerSecond = Quantity<Dim<0, 0, -1, 0>>;  ///< decay / transition rate
+using Cm2 = Quantity<Dim<0, 2, 0, 0>>;         ///< cross section
+using Cm3 = Quantity<Dim<0, 3, 0, 0>>;         ///< volume
+using PerCm3 = Quantity<Dim<0, -3, 0, 0>>;     ///< number density
+using Cm3PerS = Quantity<Dim<0, 3, -1, 0>>;    ///< rate coefficient [cm^3/s]
+/// Per-bin emissivity Lambda_RRC of Eq. (2): energy per unit time per unit
+/// volume [keV s^-1 cm^-3] (the photon-weighted bin integral).
+using EmissivityPhotCm3PerS = Quantity<Dim<1, -3, -1, 0>>;
+/// Differential emissivity dP/dE of Eq. (1): EmissivityPhotCm3PerS per keV,
+/// i.e. [keV s^-1 cm^-3 keV^-1] — the energy exponent cancels.
+using SpectralEmissivity = Quantity<Dim<0, -3, -1, 0>>;
+
+// Zero-overhead guarantee: a Quantity is bit-identical to the double it
+// wraps, so arrays of them can cross the vgpu / shm edges unchanged.
+static_assert(sizeof(KeV) == sizeof(double));
+static_assert(alignof(KeV) == alignof(double));
+static_assert(std::is_trivially_copyable_v<KeV>);
+static_assert(std::is_standard_layout_v<KeV>);
+
+// Dimensional sanity of the vocabulary itself.
+static_assert(
+    std::is_same_v<decltype(PerCm3{} * Cm3PerS{}), PerSecond>,
+    "density * rate coefficient must be a per-second rate");
+static_assert(
+    std::is_same_v<decltype(SpectralEmissivity{} * KeV{}),
+                   EmissivityPhotCm3PerS>,
+    "dP/dE * bin width must be the bin emissivity");
+
+// ---------------------------------------------------------------------------
+// Unit conversions. These constants are the single source of truth; the
+// legacy names in atomic/constants.h alias them.
+
+/// Boltzmann constant [keV / K].
+inline constexpr double kBoltzmannKeVPerKelvin = 8.617333262e-8;
+
+/// hc [keV * Angstrom]: E[keV] = kHCKeVPerAngstrom / lambda[Angstrom].
+inline constexpr double kHCKeVPerAngstrom = 12.39841984;
+
+constexpr Kelvin kev_to_kelvin(KeV e) noexcept {
+  return Kelvin{e.value() / kBoltzmannKeVPerKelvin};
+}
+
+constexpr KeV kelvin_to_kev(Kelvin t) noexcept {
+  return KeV{t.value() * kBoltzmannKeVPerKelvin};
+}
+
+/// Photon wavelength [Angstrom] <-> energy. Wavelengths stay raw doubles
+/// (suffix `_A`): they exist only at the Fig.-7 plotting boundary.
+constexpr KeV angstrom_to_kev(double lambda_A) noexcept {
+  return KeV{kHCKeVPerAngstrom / lambda_A};
+}
+
+constexpr double kev_to_angstrom(KeV e) noexcept {
+  return kHCKeVPerAngstrom / e.value();
+}
+
+// ---------------------------------------------------------------------------
+// Literals: `using namespace hspec::util::unit_literals;` then `2.0_keV`.
+
+namespace unit_literals {
+
+constexpr KeV operator""_keV(long double v) noexcept {
+  return KeV{static_cast<double>(v)};
+}
+constexpr KeV operator""_keV(unsigned long long v) noexcept {
+  return KeV{static_cast<double>(v)};
+}
+constexpr Kelvin operator""_K(long double v) noexcept {
+  return Kelvin{static_cast<double>(v)};
+}
+constexpr Kelvin operator""_K(unsigned long long v) noexcept {
+  return Kelvin{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(long double v) noexcept {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) noexcept {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr PerCm3 operator""_per_cm3(long double v) noexcept {
+  return PerCm3{static_cast<double>(v)};
+}
+constexpr PerCm3 operator""_per_cm3(unsigned long long v) noexcept {
+  return PerCm3{static_cast<double>(v)};
+}
+constexpr Cm2 operator""_cm2(long double v) noexcept {
+  return Cm2{static_cast<double>(v)};
+}
+constexpr Cm2 operator""_cm2(unsigned long long v) noexcept {
+  return Cm2{static_cast<double>(v)};
+}
+
+}  // namespace unit_literals
+
+}  // namespace hspec::util

@@ -18,6 +18,8 @@ namespace {
 
 using namespace hspec;
 using namespace hspec::apec;
+using namespace hspec::util::unit_literals;
+using hspec::util::KeV;
 
 // ------------------------------------------------------------ parameter space
 
@@ -162,36 +164,37 @@ TEST(Spectrum, GridMismatchThrows) {
 TEST(FreeFree, BinAccumulationMatchesQuadrature) {
   const auto g = EnergyGrid::linear(0.5, 5.0, 16);
   Spectrum s(g);
-  const FreeFreeState st{1.3, 2.0, 3.0};
+  const FreeFreeState st{1.3_keV, 2.0_per_cm3, 3.0_per_cm3};
   accumulate_free_free(st, s);
   // Compare one bin against adaptive quadrature of the density, allowing the
   // bin-center Gaunt approximation a small margin.
   const std::size_t b = 7;
   const auto q = quad::qags(
-      [&](double e) { return free_free_power_density(st, e); }, g.lo(b),
-      g.hi(b), 1e-14, 1e-10);
+      [&](double e) { return free_free_power_density(st, KeV{e}).value(); },
+      g.lo(b), g.hi(b), 1e-14, 1e-10);
   EXPECT_NEAR(s[b], q.value, 0.02 * q.value);
 }
 
 TEST(FreeFree, ExponentialCutoff) {
-  const FreeFreeState st{1.0, 1.0, 1.0};
-  EXPECT_GT(free_free_power_density(st, 0.5),
-            free_free_power_density(st, 5.0));
-  EXPECT_DOUBLE_EQ(free_free_power_density(st, 0.0), 0.0);
-  const FreeFreeState bad{0.0, 1.0, 1.0};
-  EXPECT_THROW(free_free_power_density(bad, 1.0), std::invalid_argument);
+  const FreeFreeState st{1.0_keV, 1.0_per_cm3, 1.0_per_cm3};
+  EXPECT_GT(free_free_power_density(st, 0.5_keV),
+            free_free_power_density(st, 5.0_keV));
+  EXPECT_DOUBLE_EQ(free_free_power_density(st, 0.0_keV).value(), 0.0);
+  const FreeFreeState bad{0.0_keV, 1.0_per_cm3, 1.0_per_cm3};
+  EXPECT_THROW(free_free_power_density(bad, 1.0_keV), std::invalid_argument);
 }
 
 TEST(FreeFree, GauntAtLeastOne) {
-  EXPECT_GE(free_free_gaunt(5.0, 1.0), 1.0);
-  EXPECT_GE(free_free_gaunt(0.1, 1.0), 1.0);
+  EXPECT_GE(free_free_gaunt(5.0_keV, 1.0_keV), 1.0);
+  EXPECT_GE(free_free_gaunt(0.1_keV, 1.0_keV), 1.0);
 }
 
 // ----------------------------------------------------------------------- lines
 
 TEST(Lines, HydrogenicSeriesEnergies) {
   atomic::IonUnit ion{8, 8};  // hydrogen-like oxygen
-  const auto lines = make_lines(ion, {1.0, 1.0, 1.0}, 3);
+  const auto lines =
+      make_lines(ion, {1.0_keV, 1.0_per_cm3, 1.0_per_cm3}, 3);
   // Transitions: 2->1, 3->1, 3->2.
   ASSERT_EQ(lines.size(), 3u);
   const double scale = atomic::kRydbergKeV * 64.0;
@@ -201,8 +204,9 @@ TEST(Lines, HydrogenicSeriesEnergies) {
 }
 
 TEST(Lines, NoLinesFromNeutralOrFreeFree) {
-  EXPECT_TRUE(make_lines({8, 0}, {1.0, 1.0, 1.0}).empty());
-  EXPECT_TRUE(make_lines({0, 0}, {1.0, 1.0, 1.0}).empty());
+  const LinePlasma plasma{1.0_keV, 1.0_per_cm3, 1.0_per_cm3};
+  EXPECT_TRUE(make_lines({8, 0}, plasma).empty());
+  EXPECT_TRUE(make_lines({0, 0}, plasma).empty());
 }
 
 TEST(Lines, DepositConservesEmissivity) {
@@ -228,14 +232,14 @@ TEST(Populations, ElectronBudgetConsistent) {
   atomic::AtomicDatabase db;
   const GridPoint pt{1.0, 10.0, 0.0, 0};
   const auto pops = solve_populations(db, pt);
-  EXPECT_GT(pops.n_h_cm3, 0.0);
+  EXPECT_GT(pops.n_h_cm3.value(), 0.0);
   // Recompute electrons from the ion densities: must reproduce ne.
   double electrons = 0.0;
   for (int z = 1; z <= 30; ++z)
     for (int j = 0; j <= z; ++j)
-      electrons += static_cast<double>(j) * pops.ion_density(z, j);
+      electrons += static_cast<double>(j) * pops.ion_density(z, j).value();
   EXPECT_NEAR(electrons, pt.ne_cm3, 1e-6 * pt.ne_cm3);
-  EXPECT_GT(pops.z2_weighted_density_cm3, 0.0);
+  EXPECT_GT(pops.z2_weighted_density_cm3.value(), 0.0);
 }
 
 TEST(Populations, HotterPlasmaNeedsFewerHydrogenNuclei) {

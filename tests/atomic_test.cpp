@@ -13,10 +13,13 @@
 #include "atomic/ion_balance.h"
 #include "atomic/levels.h"
 #include "atomic/rates.h"
+#include "util/units.h"
 
 namespace {
 
 using namespace hspec::atomic;
+using namespace hspec::util::unit_literals;
+using hspec::util::KeV;
 
 // -------------------------------------------------------------------- elements
 
@@ -92,37 +95,42 @@ TEST(Levels, StatWeightsAre2Times2lPlus1) {
 // -------------------------------------------------------------- cross sections
 
 TEST(CrossSection, ZeroBelowThreshold) {
-  EXPECT_DOUBLE_EQ(kramers_photoionization_cm2(1, 1, 0.0136, 0.010), 0.0);
-  EXPECT_DOUBLE_EQ(recombination_cross_section_cm2(1, 1, 0.0136, 0.0), 0.0);
-  EXPECT_DOUBLE_EQ(recombination_cross_section_cm2(1, 1, 0.0136, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      kramers_photoionization_cm2(1, 1, 0.0136_keV, 0.010_keV).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      recombination_cross_section_cm2(1, 1, 0.0136_keV, 0.0_keV).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      recombination_cross_section_cm2(1, 1, 0.0136_keV, -1.0_keV).value(),
+      0.0);
 }
 
 TEST(CrossSection, KramersThresholdValueAndDecay) {
-  const double i = 0.0136;
-  const double at_threshold = kramers_photoionization_cm2(1, 1, i, i);
+  const KeV i = 0.0136_keV;
+  const double at_threshold = kramers_photoionization_cm2(1, 1, i, i).value();
   EXPECT_NEAR(at_threshold, kKramersSigma0, 1e-22);
   // (I/E)^3 falloff.
-  const double at_2i = kramers_photoionization_cm2(1, 1, i, 2.0 * i);
+  const double at_2i = kramers_photoionization_cm2(1, 1, i, 2.0 * i).value();
   EXPECT_NEAR(at_2i / at_threshold, 1.0 / 8.0, 1e-12);
 }
 
 TEST(CrossSection, MilneRecombinationPositiveAboveThreshold) {
-  const double sigma = recombination_cross_section_cm2(8, 2, 0.87, 0.5);
+  const double sigma =
+      recombination_cross_section_cm2(8, 2, 0.87_keV, 0.5_keV).value();
   EXPECT_GT(sigma, 0.0);
   EXPECT_LT(sigma, 1e-18);  // physically small
 }
 
 TEST(CrossSection, RecombinationDivergesAtLowElectronEnergy) {
   // sigma_rec ~ 1/Ee as Ee -> 0 (the Milne 1/Ee factor).
-  const double lo = recombination_cross_section_cm2(8, 1, 0.87, 1e-4);
-  const double hi = recombination_cross_section_cm2(8, 1, 0.87, 1e-2);
-  EXPECT_GT(lo, hi);
+  const auto lo = recombination_cross_section_cm2(8, 1, 0.87_keV, 1e-4_keV);
+  const auto hi = recombination_cross_section_cm2(8, 1, 0.87_keV, 1e-2_keV);
+  EXPECT_GT(lo, hi);  // same-dimension comparison, no unwrap needed
 }
 
 TEST(CrossSection, InvalidArgsThrow) {
-  EXPECT_THROW(kramers_photoionization_cm2(0, 1, 1.0, 2.0),
+  EXPECT_THROW(kramers_photoionization_cm2(0, 1, 1.0_keV, 2.0_keV),
                std::invalid_argument);
-  EXPECT_THROW(kramers_photoionization_cm2(1, 1, -1.0, 2.0),
+  EXPECT_THROW(kramers_photoionization_cm2(1, 1, -1.0_keV, 2.0_keV),
                std::invalid_argument);
 }
 
@@ -135,25 +143,26 @@ TEST(Rates, IonizationPotentialIncreasesAlongIsoNuclear) {
 }
 
 TEST(Rates, HydrogenPotentialNearRydberg) {
-  EXPECT_NEAR(ionization_potential_keV(1, 0), kRydbergKeV,
+  EXPECT_NEAR(ionization_potential_keV(1, 0).value(), kRydbergKeV,
               0.5 * kRydbergKeV);
 }
 
 TEST(Rates, IonizationVanishesAtLowTemperature) {
-  EXPECT_GT(ionization_rate(8, 3, 1.0), 0.0);
-  EXPECT_DOUBLE_EQ(ionization_rate(8, 3, 0.0), 0.0);
-  EXPECT_LT(ionization_rate(8, 3, 0.001), ionization_rate(8, 3, 1.0));
+  EXPECT_GT(ionization_rate(8, 3, 1.0_keV).value(), 0.0);
+  EXPECT_DOUBLE_EQ(ionization_rate(8, 3, 0.0_keV).value(), 0.0);
+  EXPECT_LT(ionization_rate(8, 3, 0.001_keV), ionization_rate(8, 3, 1.0_keV));
 }
 
 TEST(Rates, RecombinationFallsWithTemperature) {
-  EXPECT_GT(recombination_rate(8, 3, 0.1), recombination_rate(8, 3, 10.0));
+  EXPECT_GT(recombination_rate(8, 3, 0.1_keV),
+            recombination_rate(8, 3, 10.0_keV));
 }
 
 TEST(Rates, BoundaryStagesThrow) {
-  EXPECT_THROW(ionization_rate(8, 8, 1.0), std::out_of_range);   // bare ion
-  EXPECT_THROW(ionization_rate(8, -1, 1.0), std::out_of_range);
-  EXPECT_THROW(recombination_rate(8, 0, 1.0), std::out_of_range);  // neutral
-  EXPECT_THROW(recombination_rate(8, 9, 1.0), std::out_of_range);
+  EXPECT_THROW(ionization_rate(8, 8, 1.0_keV), std::out_of_range);  // bare ion
+  EXPECT_THROW(ionization_rate(8, -1, 1.0_keV), std::out_of_range);
+  EXPECT_THROW(recombination_rate(8, 0, 1.0_keV), std::out_of_range);
+  EXPECT_THROW(recombination_rate(8, 9, 1.0_keV), std::out_of_range);
 }
 
 // ------------------------------------------------------------------------- CIE
@@ -163,7 +172,7 @@ class CieAllElements : public ::testing::TestWithParam<int> {};
 TEST_P(CieAllElements, FractionsFormDistribution) {
   const int z = GetParam();
   for (double kT : {0.01, 0.1, 1.0, 10.0}) {
-    const auto f = cie_fractions(z, kT);
+    const auto f = cie_fractions(z, KeV{kT});
     ASSERT_EQ(f.size(), static_cast<std::size_t>(z) + 1);
     double sum = 0.0;
     for (double x : f) {
@@ -179,12 +188,12 @@ INSTANTIATE_TEST_SUITE_P(Elements, CieAllElements,
                          ::testing::Values(1, 2, 6, 8, 14, 26, 30));
 
 TEST(Cie, ColdPlasmaIsNeutral) {
-  const auto f = cie_fractions(8, 1e-4);
+  const auto f = cie_fractions(8, 1e-4_keV);
   EXPECT_GT(f[0], 0.99);
 }
 
 TEST(Cie, HotPlasmaIsFullyStripped) {
-  const auto f = cie_fractions(8, 50.0);
+  const auto f = cie_fractions(8, 50.0_keV);
   EXPECT_GT(f[8], 0.5);
   EXPECT_LT(f[0], 1e-10);
 }
@@ -192,7 +201,7 @@ TEST(Cie, HotPlasmaIsFullyStripped) {
 TEST(Cie, MeanChargeMonotoneInTemperature) {
   double prev = -1.0;
   for (double kT : {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0}) {
-    const auto f = cie_fractions(26, kT);
+    const auto f = cie_fractions(26, KeV{kT});
     double mean = 0.0;
     for (int j = 0; j <= 26; ++j) mean += j * f[static_cast<std::size_t>(j)];
     EXPECT_GT(mean, prev) << "kT=" << kT;
@@ -201,11 +210,12 @@ TEST(Cie, MeanChargeMonotoneInTemperature) {
 }
 
 TEST(Cie, SingleFractionMatchesVector) {
-  const auto f = cie_fractions(8, 0.3);
+  const auto f = cie_fractions(8, 0.3_keV);
   for (int j = 0; j <= 8; ++j)
-    EXPECT_DOUBLE_EQ(cie_fraction(8, j, 0.3), f[static_cast<std::size_t>(j)]);
-  EXPECT_THROW(cie_fraction(8, 9, 0.3), std::out_of_range);
-  EXPECT_THROW(cie_fractions(8, 0.0), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(cie_fraction(8, j, 0.3_keV),
+                     f[static_cast<std::size_t>(j)]);
+  EXPECT_THROW(cie_fraction(8, 9, 0.3_keV), std::out_of_range);
+  EXPECT_THROW(cie_fractions(8, 0.0_keV), std::invalid_argument);
 }
 
 // -------------------------------------------------------------------- database

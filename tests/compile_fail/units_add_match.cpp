@@ -1,0 +1,14 @@
+// Positive control for the negative-compile test: identical harness, same
+// header, same-dimension addition — this file MUST compile, proving the
+// units_add_mismatch failure comes from the dimension mismatch and not a
+// broken include path or flag set.
+
+#include "util/units.h"
+
+int main() {
+  using namespace hspec::util;
+  const KeV a{1.0};
+  const KeV b{2.0};
+  const KeV fine = a + b;
+  return static_cast<int>(fine.value());
+}

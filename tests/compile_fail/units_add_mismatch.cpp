@@ -1,0 +1,15 @@
+// Negative-compile fixture: adding quantities of different dimensions MUST
+// be rejected at compile time — this file failing to build is the test
+// (ctest `units_add_mismatch_rejected`, WILL_FAIL on a -fsyntax-only run).
+// Its sibling units_add_match.cpp is the positive control proving the
+// harness itself compiles quantities fine.
+
+#include "util/units.h"
+
+int main() {
+  using namespace hspec::util;
+  const KeV e{1.0};
+  const Seconds t{2.0};
+  const auto broken = e + t;  // energy + time: no such operator
+  return static_cast<int>(broken.value());
+}

@@ -21,6 +21,9 @@
 namespace {
 
 using namespace hspec;
+using namespace hspec::util::unit_literals;
+using hspec::util::KeV;
+using hspec::util::PerCm3;
 
 // -------------------------------------------------------- level populations
 
@@ -38,37 +41,38 @@ TEST(LevelPopulation, OscillatorStrengthsDecreaseAlongTheSeries) {
 
 TEST(LevelPopulation, LymanAlphaEinsteinAOrderOfMagnitude) {
   // Hydrogen 2->1 ~ 5e8 1/s (our Kramers-f calibration hits the decade).
-  const double a = apec::einstein_a(1, 2, 1);
+  const double a = apec::einstein_a(1, 2, 1).value();
   EXPECT_GT(a, 1e8);
   EXPECT_LT(a, 5e9);
   // Z^4 scaling through dE^2: O+8 Ly-alpha ~ 4096x hydrogen.
-  EXPECT_NEAR(apec::einstein_a(8, 2, 1) / a, 4096.0, 200.0);
+  EXPECT_NEAR(apec::einstein_a(8, 2, 1).value() / a, 4096.0, 200.0);
 }
 
 TEST(LevelPopulation, ExcitationRateHasBoltzmannCutoff) {
-  const double cold = apec::collisional_excitation_rate(8, 2, 0.05);
-  const double hot = apec::collisional_excitation_rate(8, 2, 2.0);
+  const double cold = apec::collisional_excitation_rate(8, 2, 0.05_keV).value();
+  const double hot = apec::collisional_excitation_rate(8, 2, 2.0_keV).value();
   EXPECT_GT(hot, cold);
   EXPECT_GT(cold, 0.0);
-  EXPECT_THROW(apec::collisional_excitation_rate(8, 2, 0.0),
+  EXPECT_THROW(apec::collisional_excitation_rate(8, 2, 0.0_keV),
                std::invalid_argument);
 }
 
 TEST(LevelPopulation, CoronalPopulationsScaleWithDensityAndStaySmall) {
-  const auto lo = apec::coronal_populations(8, 1.0, 1.0, 5);
-  const auto hi = apec::coronal_populations(8, 1.0, 100.0, 5);
+  const auto lo = apec::coronal_populations(8, 1.0_keV, 1.0_per_cm3, 5);
+  const auto hi = apec::coronal_populations(8, 1.0_keV, 100.0_per_cm3, 5);
   ASSERT_EQ(lo.size(), 4u);  // n = 2..5
   for (std::size_t i = 0; i < lo.size(); ++i) {
     EXPECT_NEAR(hi[i] / lo[i], 100.0, 1e-6);  // linear in ne
     EXPECT_LT(lo[i], 1.0);  // coronal regime: excited states underpopulated
   }
-  EXPECT_THROW(apec::coronal_populations(8, 1.0, 1.0, 1),
+  EXPECT_THROW(apec::coronal_populations(8, 1.0_keV, 1.0_per_cm3, 1),
                std::invalid_argument);
 }
 
 TEST(LevelPopulation, CoronalLineListResonanceLinesDominate) {
   const atomic::IonUnit ion{8, 8};
-  const auto lines = apec::make_lines_coronal(ion, {1.0, 1.0, 1.0}, 4);
+  const auto lines =
+      apec::make_lines_coronal(ion, {1.0_keV, 1.0_per_cm3, 1.0_per_cm3}, 4);
   // Transitions: (2,3,4 -> below): 1 + 2 + 3 = 6 lines.
   ASSERT_EQ(lines.size(), 6u);
   // Ly-alpha (2->1, the first entry) outshines Ly-beta (3->1).
@@ -201,23 +205,23 @@ TEST(ClusterSim, ValidatesNodeCount) {
 // ------------------------------------------------------------- trajectories
 
 TEST(Trajectory, ShockStepsAtTheRightTime) {
-  const auto h = nei::shock_heating(1.0, 0.1, 2.0, 100.0);
+  const auto h = nei::shock_heating(1.0_per_cm3, 0.1_keV, 2.0_keV, 100.0_s);
   EXPECT_DOUBLE_EQ(h.kT_keV(0.0), 0.1);
   EXPECT_DOUBLE_EQ(h.kT_keV(99.9), 0.1);
   EXPECT_DOUBLE_EQ(h.kT_keV(100.0), 2.0);
-  EXPECT_DOUBLE_EQ(h.ne_cm3, 1.0);
+  EXPECT_DOUBLE_EQ(h.ne_cm3.value(), 1.0);
 }
 
 TEST(Trajectory, ExponentialDecayEndpoints) {
-  const auto h = nei::exponential_decay(2.0, 4.0, 1.0, 10.0);
+  const auto h = nei::exponential_decay(2.0_per_cm3, 4.0_keV, 1.0_keV, 10.0_s);
   EXPECT_DOUBLE_EQ(h.kT_keV(0.0), 4.0);
   EXPECT_NEAR(h.kT_keV(10.0), 1.0 + 3.0 / std::numbers::e, 1e-12);
   EXPECT_NEAR(h.kT_keV(1e6), 1.0, 1e-12);
 }
 
 TEST(Trajectory, SampledHistoryInterpolatesAndClamps) {
-  const auto h = nei::sampled_history(1.0, {{0.0, 1.0}, {10.0, 3.0},
-                                            {20.0, 2.0}});
+  const auto h = nei::sampled_history(1.0_per_cm3, {{0.0, 1.0}, {10.0, 3.0},
+                                                    {20.0, 2.0}});
   EXPECT_DOUBLE_EQ(h.kT_keV(-5.0), 1.0);
   EXPECT_DOUBLE_EQ(h.kT_keV(5.0), 2.0);
   EXPECT_DOUBLE_EQ(h.kT_keV(15.0), 2.5);
@@ -225,20 +229,23 @@ TEST(Trajectory, SampledHistoryInterpolatesAndClamps) {
 }
 
 TEST(Trajectory, Validation) {
-  EXPECT_THROW(nei::constant_conditions(0.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(nei::shock_heating(1.0, -1.0, 2.0), std::invalid_argument);
-  EXPECT_THROW(nei::exponential_decay(1.0, 1.0, 1.0, 0.0),
+  EXPECT_THROW(nei::constant_conditions(0.0_per_cm3, 1.0_keV),
                std::invalid_argument);
-  EXPECT_THROW(nei::sampled_history(1.0, {}), std::invalid_argument);
-  EXPECT_THROW(nei::sampled_history(1.0, {{1.0, 1.0}, {1.0, 2.0}}),
+  EXPECT_THROW(nei::shock_heating(1.0_per_cm3, -1.0_keV, 2.0_keV),
+               std::invalid_argument);
+  EXPECT_THROW(nei::exponential_decay(1.0_per_cm3, 1.0_keV, 1.0_keV, 0.0_s),
+               std::invalid_argument);
+  EXPECT_THROW(nei::sampled_history(1.0_per_cm3, {}), std::invalid_argument);
+  EXPECT_THROW(nei::sampled_history(1.0_per_cm3, {{1.0, 1.0}, {1.0, 2.0}}),
                std::invalid_argument);
 }
 
 TEST(Trajectory, DrivesNeiEvolution) {
   // A decaying-temperature trajectory: the plasma stays over-ionized
   // relative to instantaneous CIE while cooling (the classic NEI fossil).
-  const auto h = nei::exponential_decay(1.0, 2.0, 0.1, 1e10);
-  auto st = nei::PointState::equilibrium({8}, 2.0);
+  const auto h =
+      nei::exponential_decay(1.0_per_cm3, 2.0_keV, 0.1_keV, 1e10_s);
+  auto st = nei::PointState::equilibrium({8}, 2.0_keV);
   nei::evolve_point_cpu(st, h, 0.0, 1e9, 40);
   EXPECT_LT(st.conservation_error(), 1e-12);
   auto mean_charge = [](const std::vector<double>& f) {
@@ -247,7 +254,7 @@ TEST(Trajectory, DrivesNeiEvolution) {
     return m;
   };
   const double now_kt = h.kT_keV(40.0 * 1e9);
-  const auto cie_now = atomic::cie_fractions(8, now_kt);
+  const auto cie_now = atomic::cie_fractions(8, KeV{now_kt});
   EXPECT_GT(mean_charge(st.ions[0]), mean_charge(cie_now) + 0.05);
 }
 

@@ -15,10 +15,13 @@ namespace {
 
 using namespace hspec;
 using namespace hspec::nei;
+using namespace hspec::util::unit_literals;
+using hspec::util::KeV;
+using hspec::util::PerCm3;
 
 PlasmaHistory constant_history(double ne, double kT) {
   PlasmaHistory h;
-  h.ne_cm3 = ne;
+  h.ne_cm3 = PerCm3{ne};
   h.kT_keV = [kT](double) { return kT; };
   return h;
 }
@@ -29,7 +32,7 @@ TEST(NeiHybrid, MatchesCpuOnlyEvolution) {
   const auto hist = constant_history(1.0, 1.5);
   std::vector<PointState> points;
   for (int p = 0; p < 3; ++p)
-    points.push_back(PointState::equilibrium({8, 26}, 0.1 + 0.1 * p));
+    points.push_back(PointState::equilibrium({8, 26}, KeV{0.1 + 0.1 * p}));
 
   // Reference: every point evolved on the CPU path.
   auto reference = points;
@@ -51,7 +54,7 @@ TEST(NeiHybrid, MatchesCpuOnlyEvolution) {
 
 TEST(NeiHybrid, SchedulerAccounting) {
   const auto hist = constant_history(1.0, 1.0);
-  std::vector<PointState> points(4, PointState::equilibrium({8}, 0.2));
+  std::vector<PointState> points(4, PointState::equilibrium({8}, 0.2_keV));
   NeiHybridConfig cfg;
   cfg.ranks = 2;
   cfg.devices = 1;
@@ -71,7 +74,7 @@ TEST(NeiHybrid, SchedulerAccounting) {
 
 TEST(NeiHybrid, CpuOnlyWhenNoDevices) {
   const auto hist = constant_history(1.0, 1.0);
-  std::vector<PointState> points(2, PointState::equilibrium({8}, 0.2));
+  std::vector<PointState> points(2, PointState::equilibrium({8}, 0.2_keV));
   NeiHybridConfig cfg;
   cfg.ranks = 2;
   cfg.devices = 0;
@@ -83,7 +86,7 @@ TEST(NeiHybrid, CpuOnlyWhenNoDevices) {
 
 TEST(NeiHybrid, ValidatesConfig) {
   const auto hist = constant_history(1.0, 1.0);
-  std::vector<PointState> points(1, PointState::equilibrium({8}, 0.2));
+  std::vector<PointState> points(1, PointState::equilibrium({8}, 0.2_keV));
   NeiHybridConfig bad;
   bad.ranks = 0;
   EXPECT_THROW(run_nei_hybrid(points, hist, 0.0, 1.0, 10, bad),
@@ -156,7 +159,7 @@ TEST(TridiagEigen, TraceAndSizeChecks) {
 // ------------------------------------------------------- expm propagator
 
 TEST(Expm, EigenvaluesNonPositiveWithOneZero) {
-  const ExpmPropagator prop(8, 0.2, 2.0);
+  const ExpmPropagator prop(8, KeV{0.2}, PerCm3{2.0});
   const auto& vals = prop.eigenvalues();
   ASSERT_EQ(vals.size(), 9u);
   for (double v : vals) EXPECT_LE(v, 1e-9);
@@ -166,16 +169,16 @@ TEST(Expm, EigenvaluesNonPositiveWithOneZero) {
 }
 
 TEST(Expm, ZeroTimeIsIdentity) {
-  const ExpmPropagator prop(8, 0.2, 1.0);
-  const auto y0 = atomic::cie_fractions(8, 0.2);
+  const ExpmPropagator prop(8, KeV{0.2}, PerCm3{1.0});
+  const auto y0 = atomic::cie_fractions(8, KeV{0.2});
   const auto y = prop.propagate(y0, 0.0);
   for (std::size_t i = 0; i < y0.size(); ++i)
     EXPECT_NEAR(y[i], y0[i], 1e-10);
 }
 
 TEST(Expm, ConservesTotalDensity) {
-  const ExpmPropagator prop(8, 0.2, 3.0);
-  const auto y0 = atomic::cie_fractions(8, 0.1);
+  const ExpmPropagator prop(8, KeV{0.2}, PerCm3{3.0});
+  const auto y0 = atomic::cie_fractions(8, KeV{0.1});
   for (double t : {1e6, 1e9, 1e12}) {
     const auto y = prop.propagate(y0, t);
     double sum = 0.0;
@@ -186,10 +189,10 @@ TEST(Expm, ConservesTotalDensity) {
 
 TEST(Expm, InfiniteTimeLimitIsCie) {
   const double kT = 0.2;
-  const ExpmPropagator prop(8, kT, 1.0);
-  const auto y0 = atomic::cie_fractions(8, 0.05);
+  const ExpmPropagator prop(8, KeV{kT}, PerCm3{1.0});
+  const auto y0 = atomic::cie_fractions(8, KeV{0.05});
   const auto y_inf = prop.propagate(y0, 1e16);
-  const auto cie = atomic::cie_fractions(8, kT);
+  const auto cie = atomic::cie_fractions(8, KeV{kT});
   for (std::size_t i = 0; i < cie.size(); ++i)
     EXPECT_NEAR(y_inf[i], cie[i], 1e-6) << "state " << i;
   // And the null-space eigenvector agrees directly.
@@ -204,11 +207,11 @@ TEST(Expm, AgreesWithLsodaMidRelaxation) {
   const double kT = 0.3;
   const double ne = 1.0;
   const double t = 1e11;
-  const ExpmPropagator prop(6, kT, ne);
-  const auto y0 = atomic::cie_fractions(6, 0.05);
+  const ExpmPropagator prop(6, KeV{kT}, PerCm3{ne});
+  const auto y0 = atomic::cie_fractions(6, KeV{0.05});
   const auto exact = prop.propagate(y0, t);
 
-  auto st = PointState::equilibrium({6}, 0.05);
+  auto st = PointState::equilibrium({6}, 0.05_keV);
   EvolveOptions opt;
   opt.solver.base.rtol = 1e-9;
   opt.solver.base.atol = 1e-14;
@@ -221,8 +224,8 @@ TEST(Expm, AgreesWithLsodaMidRelaxation) {
 
 TEST(Expm, PropagationIsASemigroup) {
   // exp(A (t1+t2)) y = exp(A t2) exp(A t1) y.
-  const ExpmPropagator prop(6, 0.3, 2.0);
-  const auto y0 = atomic::cie_fractions(6, 0.1);
+  const ExpmPropagator prop(6, KeV{0.3}, PerCm3{2.0});
+  const auto y0 = atomic::cie_fractions(6, KeV{0.1});
   const auto one_hop = prop.propagate(y0, 7e9);
   const auto two_hop = prop.propagate(prop.propagate(y0, 3e9), 4e9);
   for (std::size_t i = 0; i < y0.size(); ++i)
@@ -230,12 +233,12 @@ TEST(Expm, PropagationIsASemigroup) {
 }
 
 TEST(Expm, ValidatesInput) {
-  EXPECT_THROW(ExpmPropagator(0, 1.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(ExpmPropagator(8, -1.0, 1.0), std::invalid_argument);
-  const ExpmPropagator prop(8, 0.2, 1.0);
+  EXPECT_THROW(ExpmPropagator(0, KeV{1.0}, PerCm3{1.0}), std::invalid_argument);
+  EXPECT_THROW(ExpmPropagator(8, KeV{-1.0}, PerCm3{1.0}), std::invalid_argument);
+  const ExpmPropagator prop(8, KeV{0.2}, PerCm3{1.0});
   std::vector<double> wrong(3, 0.0);
   EXPECT_THROW(prop.propagate(wrong, 1.0), std::invalid_argument);
-  const auto y0 = atomic::cie_fractions(8, 0.2);
+  const auto y0 = atomic::cie_fractions(8, KeV{0.2});
   EXPECT_THROW(prop.propagate(y0, -1.0), std::invalid_argument);
 }
 
@@ -243,8 +246,8 @@ TEST(Expm, RefusesExtremeDynamicRange) {
   // Fe at coronal temperatures spans hundreds of e-folds between charge
   // states: the symmetrized propagator must refuse rather than silently
   // lose the minority states (use LSODA there).
-  EXPECT_THROW(ExpmPropagator(26, 0.05, 1.0), std::domain_error);
-  EXPECT_THROW(ExpmPropagator(8, 2.0, 1.0), std::domain_error);
+  EXPECT_THROW(ExpmPropagator(26, KeV{0.05}, PerCm3{1.0}), std::domain_error);
+  EXPECT_THROW(ExpmPropagator(8, KeV{2.0}, PerCm3{1.0}), std::domain_error);
 }
 
 }  // namespace

@@ -14,10 +14,13 @@ namespace {
 
 using namespace hspec;
 using namespace hspec::nei;
+using namespace hspec::util::unit_literals;
+using hspec::util::KeV;
+using hspec::util::PerCm3;
 
 PlasmaHistory constant_history(double ne, double kT) {
   PlasmaHistory h;
-  h.ne_cm3 = ne;
+  h.ne_cm3 = PerCm3{ne};
   h.kT_keV = [kT](double) { return kT; };
   return h;
 }
@@ -76,7 +79,7 @@ TEST(NeiSystem, CieIsAFixedPoint) {
   // At the equilibrium fractions the net flux through every link vanishes.
   const double kT = 0.8;
   NeiSystem sys(8, constant_history(5.0, kT));
-  const auto y = equilibrium_state(8, kT);
+  const auto y = equilibrium_state(8, KeV{kT});
   std::vector<double> dydt(9);
   sys.rhs(0.0, y, dydt);
   for (std::size_t i = 0; i < dydt.size(); ++i)
@@ -96,7 +99,7 @@ TEST(Renormalize, ClipsAndNormalizes) {
 
 TEST(Evolve, EquilibriumStateStaysPut) {
   const double kT = 1.2;
-  auto st = PointState::equilibrium({8}, kT);
+  auto st = PointState::equilibrium({8}, KeV{kT});
   const auto before = st.ions[0];
   evolve_point_cpu(st, constant_history(4.0, kT), 0.0, 1e8, 20);
   for (std::size_t j = 0; j < before.size(); ++j)
@@ -105,11 +108,11 @@ TEST(Evolve, EquilibriumStateStaysPut) {
 
 TEST(Evolve, ShockHeatingRelaxesToNewCie) {
   // Equilibrated cold, then held at 2 keV long enough to re-equilibrate.
-  auto st = PointState::equilibrium({8, 26}, 0.1);
+  auto st = PointState::equilibrium({8, 26}, 0.1_keV);
   const auto rep =
       evolve_point_cpu(st, constant_history(1.0, 2.0), 0.0, 1e9, 100);
   EXPECT_EQ(rep.tasks, 10u);  // 100 steps / 10 per task
-  const auto cie_o = atomic::cie_fractions(8, 2.0);
+  const auto cie_o = atomic::cie_fractions(8, 2.0_keV);
   for (std::size_t j = 0; j < cie_o.size(); ++j)
     EXPECT_NEAR(st.ions[0][j], cie_o[j], 1e-5) << "O state " << j;
   EXPECT_LT(st.conservation_error(), 1e-12);
@@ -118,7 +121,7 @@ TEST(Evolve, ShockHeatingRelaxesToNewCie) {
 TEST(Evolve, UnderIonizedOnTheWayUp) {
   // Mid-relaxation the plasma must lag the hot equilibrium: mean charge
   // below CIE(2 keV) but above CIE(0.1 keV) — the NEI phenomenon itself.
-  auto st = PointState::equilibrium({8}, 0.1);
+  auto st = PointState::equilibrium({8}, 0.1_keV);
   evolve_point_cpu(st, constant_history(1.0, 2.0), 0.0, 1e6, 10);
   auto mean_charge = [](const std::vector<double>& f) {
     double m = 0.0;
@@ -126,21 +129,21 @@ TEST(Evolve, UnderIonizedOnTheWayUp) {
     return m;
   };
   const double now = mean_charge(st.ions[0]);
-  const double cold = mean_charge(atomic::cie_fractions(8, 0.1));
-  const double hot = mean_charge(atomic::cie_fractions(8, 2.0));
+  const double cold = mean_charge(atomic::cie_fractions(8, 0.1_keV));
+  const double hot = mean_charge(atomic::cie_fractions(8, 2.0_keV));
   EXPECT_GT(now, cold + 1e-3);
   EXPECT_LT(now, hot - 1e-3);
 }
 
 TEST(Evolve, ConservationHoldsAcrossLongRuns) {
-  auto st = PointState::equilibrium(default_element_set(), 0.3);
+  auto st = PointState::equilibrium(default_element_set(), 0.3_keV);
   EXPECT_EQ(st.elements.size(), 12u);  // "about a dozen of ODE groups"
   evolve_point_cpu(st, constant_history(2.0, 1.0), 0.0, 1e7, 30);
   EXPECT_LT(st.conservation_error(), 1e-12);
 }
 
 TEST(Evolve, GpuPathBitwiseMatchesCpuPath) {
-  auto cpu_state = PointState::equilibrium({8, 26}, 0.1);
+  auto cpu_state = PointState::equilibrium({8, 26}, 0.1_keV);
   auto gpu_state = cpu_state;
   const auto hist = constant_history(1.0, 2.0);
   const auto cpu_rep = evolve_point_cpu(cpu_state, hist, 0.0, 1e8, 40);
@@ -161,9 +164,9 @@ TEST(Evolve, GpuPathBitwiseMatchesCpuPath) {
 TEST(Evolve, TimeVaryingTemperatureHistory) {
   // Linear ramp: must run without error and land between the endpoints.
   PlasmaHistory ramp;
-  ramp.ne_cm3 = 1.0;
+  ramp.ne_cm3 = 1.0_per_cm3;
   ramp.kT_keV = [](double t) { return 0.1 + 1.9 * std::min(t / 1e10, 1.0); };
-  auto st = PointState::equilibrium({8}, 0.1);
+  auto st = PointState::equilibrium({8}, 0.1_keV);
   evolve_point_cpu(st, ramp, 0.0, 1e8, 50);
   EXPECT_LT(st.conservation_error(), 1e-12);
 }
@@ -172,7 +175,7 @@ TEST(Evolve, StiffRegimeEngagesImplicitSolver) {
   // Dense plasma, coarse steps: the fastest rate times ne times dt is ~1e5,
   // far beyond an explicit solver's stability budget per step — the LSODA
   // path must switch to BDF.
-  auto st = PointState::equilibrium({26}, 0.05);
+  auto st = PointState::equilibrium({26}, 0.05_keV);
   EvolveOptions opt;
   const auto rep =
       evolve_point_cpu(st, constant_history(1e8, 5.0), 0.0, 1e5, 10, opt);
@@ -181,7 +184,7 @@ TEST(Evolve, StiffRegimeEngagesImplicitSolver) {
 }
 
 TEST(Evolve, ValidatesOptions) {
-  auto st = PointState::equilibrium({8}, 0.1);
+  auto st = PointState::equilibrium({8}, 0.1_keV);
   EvolveOptions opt;
   opt.steps_per_task = 0;
   EXPECT_THROW(

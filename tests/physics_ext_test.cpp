@@ -15,6 +15,7 @@ namespace {
 
 using namespace hspec;
 using namespace hspec::apec;
+using namespace hspec::util::unit_literals;
 
 // ------------------------------------------------------------------ response
 
@@ -107,30 +108,31 @@ TEST(TwoPhoton, ProfileNormalization) {
 
 TEST(TwoPhoton, ChannelEnergyAndScaling) {
   const atomic::IonUnit o8{8, 8};
-  const auto ch = two_photon_channel(o8, 1.0, 1.0, 1.0);
+  const auto ch = two_photon_channel(o8, 1.0_keV, 1.0_per_cm3, 1.0_per_cm3);
   // 2s-1s gap = (3/4) Z^2 Ry.
-  EXPECT_NEAR(ch.transition_keV, 0.75 * 64.0 * 0.0136057, 1e-3);
+  EXPECT_NEAR(ch.transition_keV.value(), 0.75 * 64.0 * 0.0136057, 1e-3);
   EXPECT_GT(ch.decay_rate, 0.0);
   // Linear in both densities.
-  const auto ch2 = two_photon_channel(o8, 1.0, 2.0, 3.0);
+  const auto ch2 = two_photon_channel(o8, 1.0_keV, 2.0_per_cm3, 3.0_per_cm3);
   EXPECT_NEAR(ch2.decay_rate / ch.decay_rate, 6.0, 1e-9);
   // Inert units produce nothing.
-  EXPECT_DOUBLE_EQ(two_photon_channel({0, 0}, 1.0, 1.0, 1.0).decay_rate, 0.0);
-  EXPECT_DOUBLE_EQ(two_photon_channel({8, 0}, 1.0, 1.0, 1.0).decay_rate, 0.0);
+  EXPECT_DOUBLE_EQ(two_photon_channel({0, 0}, 1.0_keV, 1.0_per_cm3, 1.0_per_cm3).decay_rate, 0.0);
+  EXPECT_DOUBLE_EQ(two_photon_channel({8, 0}, 1.0_keV, 1.0_per_cm3, 1.0_per_cm3).decay_rate, 0.0);
 }
 
 TEST(TwoPhoton, DepositConservesEnergyBelowTheEdge) {
   const atomic::IonUnit o8{8, 8};
-  const auto ch = two_photon_channel(o8, 1.0, 1.0, 1.0);
+  const auto ch = two_photon_channel(o8, 1.0_keV, 1.0_per_cm3, 1.0_per_cm3);
   // Grid covering [~0, E_tot] fully.
-  const auto grid = EnergyGrid::linear(1e-4, ch.transition_keV * 1.01, 400);
+  const auto grid = EnergyGrid::linear(1e-4, ch.transition_keV.value() * 1.01, 400);
   Spectrum spec(grid);
   accumulate_two_photon(ch, spec);
-  EXPECT_NEAR(spec.total(), ch.decay_rate * ch.transition_keV,
-              1e-3 * ch.decay_rate * ch.transition_keV);
+  const double e_tot = ch.transition_keV.value();
+  EXPECT_NEAR(spec.total(), ch.decay_rate * e_tot,
+              1e-3 * ch.decay_rate * e_tot);
   // Nothing above the transition energy.
   for (std::size_t b = 0; b < grid.bin_count(); ++b)
-    if (grid.lo(b) > ch.transition_keV) EXPECT_DOUBLE_EQ(spec[b], 0.0);
+    if (grid.lo(b) > ch.transition_keV.value()) EXPECT_DOUBLE_EQ(spec[b], 0.0);
 }
 
 TEST(TwoPhoton, CalculatorOptionAddsContinuum) {

@@ -179,14 +179,17 @@ TEST(PhysicsFuzz, RrcClosedFormAcrossRandomChannels) {
     ch.recombining_charge = charge;
     ch.level = atomic::make_levels(charge, {n, false}).back();
     ch.gaunt_correction = false;
-    const rrc::PlasmaState p{rng.uniform(0.05, 5.0), rng.uniform(0.5, 5.0),
-                             rng.uniform(0.1, 2.0)};
+    const rrc::PlasmaState p{hspec::util::KeV{rng.uniform(0.05, 5.0)},
+                             hspec::util::PerCm3{rng.uniform(0.5, 5.0)},
+                             hspec::util::PerCm3{rng.uniform(0.1, 2.0)}};
     const double edge = ch.level.binding_keV;
-    const double lo = edge * rng.uniform(0.3, 1.5);
-    const double hi = std::max(lo, edge) + p.kT_keV * rng.uniform(0.5, 4.0);
-    const double exact = rrc::rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi);
+    const hspec::util::KeV lo{edge * rng.uniform(0.3, 1.5)};
+    const hspec::util::KeV hi{std::max(lo.value(), edge) +
+                              p.kT_keV.value() * rng.uniform(0.5, 4.0)};
+    const double exact =
+        rrc::rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi).value();
     const auto q = rrc::rrc_bin_emissivity_qags(ch, p, lo, hi);
-    ASSERT_NEAR(q.value, exact, 1e-7 * std::max(exact, 1e-300))
+    ASSERT_NEAR(q.value.value(), exact, 1e-7 * std::max(exact, 1e-300))
         << "trial " << trial << " charge " << charge << " n " << n;
   }
 }
@@ -196,7 +199,7 @@ TEST(PhysicsFuzz, CieDistributionsAcrossTheWholeTable) {
   for (int trial = 0; trial < 300; ++trial) {
     const int z = 1 + static_cast<int>(rng.bounded(30));
     const double kT = std::exp(rng.uniform(std::log(1e-3), std::log(30.0)));
-    const auto f = atomic::cie_fractions(z, kT);
+    const auto f = atomic::cie_fractions(z, hspec::util::KeV{kT});
     double sum = 0.0;
     for (double x : f) {
       ASSERT_GE(x, 0.0);
@@ -211,7 +214,7 @@ TEST(PhysicsFuzz, NeiRhsConservesForRandomStates) {
   for (int trial = 0; trial < 100; ++trial) {
     const int z = 1 + static_cast<int>(rng.bounded(30));
     nei::PlasmaHistory h;
-    h.ne_cm3 = rng.uniform(0.1, 100.0);
+    h.ne_cm3 = hspec::util::PerCm3{rng.uniform(0.1, 100.0)};
     const double kT = rng.uniform(0.01, 10.0);
     h.kT_keV = [kT](double) { return kT; };
     nei::NeiSystem sys(z, h);
@@ -226,7 +229,7 @@ TEST(PhysicsFuzz, NeiRhsConservesForRandomStates) {
     sys.rhs(0.0, y, dydt);
     double sum = 0.0;
     for (double d : dydt) sum += d;
-    ASSERT_NEAR(sum, 0.0, 1e-12 * h.ne_cm3) << "Z=" << z;
+    ASSERT_NEAR(sum, 0.0, 1e-12 * h.ne_cm3.value()) << "Z=" << z;
   }
 }
 
@@ -234,12 +237,12 @@ TEST(PhysicsFuzz, RatesStayFiniteAndNonNegativeEverywhere) {
   for (int z = 1; z <= 30; ++z) {
     for (double kT : {1e-4, 1e-2, 0.1, 1.0, 10.0, 100.0}) {
       for (int j = 0; j < z; ++j) {
-        const double s = atomic::ionization_rate(z, j, kT);
+        const double s = atomic::ionization_rate(z, j, hspec::util::KeV{kT}).value();
         ASSERT_TRUE(std::isfinite(s));
         ASSERT_GE(s, 0.0);
       }
       for (int j = 1; j <= z; ++j) {
-        const double a = atomic::recombination_rate(z, j, kT);
+        const double a = atomic::recombination_rate(z, j, hspec::util::KeV{kT}).value();
         ASSERT_TRUE(std::isfinite(a));
         ASSERT_GT(a, 0.0);
       }

@@ -359,4 +359,62 @@ TEST(Qagp, EmptyIntervalZero) {
   EXPECT_DOUBLE_EQ(r.value, 0.0);
 }
 
+// ------------------------------------------------- degenerate-input edges
+// The RRC binning clamps integration limits to the recombination edge
+// (Algorithm 2), which routinely produces zero-width bins [a, a] and bins
+// whose integrand is identically zero. Every kernel must return an exact
+// 0 with a zero error estimate — not a NaN, not accumulated noise.
+
+TEST(EdgeCases, QagsZeroWidthIntervalIsExactZero) {
+  std::size_t calls = 0;
+  auto f = [&](double x) {
+    ++calls;
+    return std::exp(x);
+  };
+  const auto r = qags(f, 0.75, 0.75, {});
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_DOUBLE_EQ(r.error, 0.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(calls, 0u);  // the guard short-circuits before any evaluation
+}
+
+TEST(EdgeCases, RombergZeroWidthIntervalIsExactZero) {
+  const auto fixed = romberg_fixed([](double x) { return std::exp(x); },
+                                   0.75, 0.75, 6);
+  EXPECT_DOUBLE_EQ(fixed.value, 0.0);
+  const auto adaptive = romberg([](double x) { return std::exp(x); },
+                                0.75, 0.75, {});
+  EXPECT_DOUBLE_EQ(adaptive.value, 0.0);
+}
+
+TEST(EdgeCases, SimpsonZeroWidthIntervalIsExactZero) {
+  const auto r = simpson([](double x) { return std::exp(x); }, 2.0, 2.0, 64);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(EdgeCases, ZeroIntegrandGivesExactZeroOnEveryKernel) {
+  auto zero = [](double) { return 0.0; };
+  const auto q = qags(zero, 0.0, 10.0, {});
+  EXPECT_DOUBLE_EQ(q.value, 0.0);
+  EXPECT_DOUBLE_EQ(q.error, 0.0);
+  EXPECT_TRUE(q.converged);
+  EXPECT_DOUBLE_EQ(simpson(zero, 0.0, 10.0, 64).value, 0.0);
+  EXPECT_DOUBLE_EQ(romberg_fixed(zero, 0.0, 10.0, 8).value, 0.0);
+  EXPECT_DOUBLE_EQ(gauss_kronrod(zero, 0.0, 10.0, KronrodRule::k21).value,
+                   0.0);
+}
+
+TEST(EdgeCases, QagsZeroIntegrandConvergesImmediately) {
+  // A zero integrand must not trigger the roundoff heuristics or subdivide:
+  // one Kronrod application decides everything.
+  std::size_t calls = 0;
+  auto zero = [&](double) {
+    ++calls;
+    return 0.0;
+  };
+  const auto r = qags(zero, 0.0, 1.0, {});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(calls, 21u + 1u);  // one k21 pass, nothing more
+}
+
 }  // namespace

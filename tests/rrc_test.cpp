@@ -14,6 +14,8 @@ namespace {
 
 using namespace hspec;
 using namespace hspec::rrc;
+using namespace hspec::util::unit_literals;
+using hspec::util::KeV;
 
 RrcChannel make_channel(int charge, int n, bool gaunt) {
   RrcChannel ch;
@@ -29,15 +31,15 @@ TEST(Rrc, SawtoothEdge) {
   // sawtooth (the 1/Ee Milne divergence cancels the Maxwellian Ee flux
   // factor, leaving a finite jump at threshold).
   const auto ch = make_channel(8, 1, true);
-  const PlasmaState p{1.0, 1.0, 1.0};
-  EXPECT_DOUBLE_EQ(rrc_power_density(ch, p, 0.5 * ch.level.binding_keV), 0.0);
-  EXPECT_DOUBLE_EQ(rrc_power_density(ch, p, 0.999 * ch.level.binding_keV),
-                   0.0);
-  const double at_edge = rrc_power_density(ch, p, ch.level.binding_keV);
+  const PlasmaState p{1.0_keV, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV edge{ch.level.binding_keV};
+  EXPECT_DOUBLE_EQ(rrc_power_density(ch, p, 0.5 * edge).value(), 0.0);
+  EXPECT_DOUBLE_EQ(rrc_power_density(ch, p, 0.999 * edge).value(), 0.0);
+  const double at_edge = rrc_power_density(ch, p, edge).value();
   EXPECT_GT(at_edge, 0.0);
   // Continuity from above: the limit equals the edge value.
-  EXPECT_NEAR(rrc_power_density(ch, p, ch.level.binding_keV * (1.0 + 1e-9)),
-              at_edge, 1e-6 * at_edge);
+  EXPECT_NEAR(rrc_power_density(ch, p, (1.0 + 1e-9) * edge).value(), at_edge,
+              1e-6 * at_edge);
 }
 
 TEST(Rrc, PaperFactor4IsTheMaxwellianNormalization) {
@@ -55,28 +57,35 @@ TEST(Rrc, PaperFactor4IsTheMaxwellianNormalization) {
 
 TEST(Rrc, ScalesLinearlyInBothDensities) {
   const auto ch = make_channel(6, 2, true);
-  const double e = 2.0 * ch.level.binding_keV;
-  const double base = rrc_power_density(ch, {1.0, 1.0, 1.0}, e);
-  EXPECT_NEAR(rrc_power_density(ch, {1.0, 3.0, 1.0}, e), 3.0 * base, 1e-12 * base);
-  EXPECT_NEAR(rrc_power_density(ch, {1.0, 1.0, 5.0}, e), 5.0 * base, 1e-12 * base);
-  EXPECT_NEAR(rrc_power_density(ch, {1.0, 2.0, 2.0}, e), 4.0 * base, 1e-12 * base);
+  const KeV e{2.0 * ch.level.binding_keV};
+  const double base =
+      rrc_power_density(ch, {1.0_keV, 1.0_per_cm3, 1.0_per_cm3}, e).value();
+  EXPECT_NEAR(
+      rrc_power_density(ch, {1.0_keV, 3.0_per_cm3, 1.0_per_cm3}, e).value(),
+      3.0 * base, 1e-12 * base);
+  EXPECT_NEAR(
+      rrc_power_density(ch, {1.0_keV, 1.0_per_cm3, 5.0_per_cm3}, e).value(),
+      5.0 * base, 1e-12 * base);
+  EXPECT_NEAR(
+      rrc_power_density(ch, {1.0_keV, 2.0_per_cm3, 2.0_per_cm3}, e).value(),
+      4.0 * base, 1e-12 * base);
 }
 
 TEST(Rrc, ExponentialTailAboveEdgeWithoutGaunt) {
   const auto ch = make_channel(8, 1, false);
-  const PlasmaState p{0.5, 1.0, 1.0};
-  const double i = ch.level.binding_keV;
+  const PlasmaState p{0.5_keV, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV i{ch.level.binding_keV};
   // Without Gaunt, dP/dE = K exp(-(E - I)/kT): check the log-slope.
-  const double f1 = rrc_power_density(ch, p, i + 0.1);
-  const double f2 = rrc_power_density(ch, p, i + 0.6);
-  EXPECT_NEAR(std::log(f1 / f2), 0.5 / p.kT_keV, 1e-9);
+  const double f1 = rrc_power_density(ch, p, i + 0.1_keV).value();
+  const double f2 = rrc_power_density(ch, p, i + 0.6_keV).value();
+  EXPECT_NEAR(std::log(f1 / f2), 0.5_keV / p.kT_keV, 1e-9);
 }
 
 TEST(Rrc, GauntFactorIsUnityAtThresholdAndGrows) {
-  EXPECT_DOUBLE_EQ(gaunt_factor(1.0, 1.0), 1.0);
-  EXPECT_DOUBLE_EQ(gaunt_factor(0.5, 1.0), 1.0);
-  EXPECT_GT(gaunt_factor(3.0, 1.0), 1.0);
-  EXPECT_LT(gaunt_factor(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gaunt_factor(1.0_keV, 1.0_keV), 1.0);
+  EXPECT_DOUBLE_EQ(gaunt_factor(0.5_keV, 1.0_keV), 1.0);
+  EXPECT_GT(gaunt_factor(3.0_keV, 1.0_keV), 1.0);
+  EXPECT_LT(gaunt_factor(3.0_keV, 1.0_keV), 2.0);
 }
 
 // ------------------------------------------------- closed form vs integrators
@@ -92,25 +101,27 @@ class RrcExactness : public ::testing::TestWithParam<Channel> {};
 TEST_P(RrcExactness, QagsMatchesClosedForm) {
   const auto [charge, n, kT] = GetParam();
   auto ch = make_channel(charge, n, false);
-  const PlasmaState p{kT, 2.0, 0.5};
-  const double lo = 0.5 * ch.level.binding_keV;
-  const double hi = ch.level.binding_keV + 5.0 * kT;
-  const double exact = rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi);
+  const PlasmaState p{KeV{kT}, 2.0_per_cm3, 0.5_per_cm3};
+  const KeV lo{0.5 * ch.level.binding_keV};
+  const KeV hi{ch.level.binding_keV + 5.0 * kT};
+  const double exact =
+      rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi).value();
   const auto q = rrc_bin_emissivity_qags(ch, p, lo, hi);
   ASSERT_GT(exact, 0.0);
-  EXPECT_NEAR(q.value, exact, 1e-8 * exact);
+  EXPECT_NEAR(q.value.value(), exact, 1e-8 * exact);
 }
 
 TEST_P(RrcExactness, SimpsonConvergesToClosedFormOnEdgeFreeBin) {
   const auto [charge, n, kT] = GetParam();
   auto ch = make_channel(charge, n, false);
-  const PlasmaState p{kT, 1.0, 1.0};
-  const double lo = 1.05 * ch.level.binding_keV;  // safely above the edge
-  const double hi = lo + kT;
-  const double exact = rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi);
+  const PlasmaState p{KeV{kT}, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV lo{1.05 * ch.level.binding_keV};  // safely above the edge
+  const KeV hi = lo + KeV{kT};
+  const double exact =
+      rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi).value();
   const auto s64 =
       rrc_bin_emissivity(ch, p, lo, hi, quad::KernelMethod::simpson, 64);
-  EXPECT_NEAR(s64.value, exact, 1e-8 * exact);
+  EXPECT_NEAR(s64.value.value(), exact, 1e-8 * exact);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -124,56 +135,61 @@ TEST(Rrc, EdgeBinsAreClampedLikeAlgorithm2) {
   // kernel path split/clamp at the threshold (Algorithm 2 integrates each
   // level from its own L = I), so neither integrates across the jump.
   auto ch = make_channel(8, 1, false);
-  const PlasmaState p{0.5, 1.0, 1.0};
+  const PlasmaState p{0.5_keV, 1.0_per_cm3, 1.0_per_cm3};
   const double i = ch.level.binding_keV;
-  const double lo = i - 0.3;
-  const double hi = i + 0.3;
-  const double exact = rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi);
+  const KeV lo{i - 0.3};
+  const KeV hi{i + 0.3};
+  const double exact =
+      rrc_bin_emissivity_exact_nogaunt(ch, p, lo, hi).value();
   const auto q = rrc_bin_emissivity_qags(ch, p, lo, hi);
   const auto s =
       rrc_bin_emissivity(ch, p, lo, hi, quad::KernelMethod::simpson, 64);
-  EXPECT_NEAR(q.value, exact, 1e-8 * exact);
-  EXPECT_NEAR(s.value, exact, 1e-7 * exact);
+  EXPECT_NEAR(q.value.value(), exact, 1e-8 * exact);
+  EXPECT_NEAR(s.value.value(), exact, 1e-7 * exact);
   // Without the clamp, a fixed rule across the jump is visibly wrong — the
   // design reason for Algorithm 2's per-level lower limit.
-  auto f = [&](double e) { return rrc_power_density(ch, p, e); };
-  const auto raw = quad::simpson(f, lo, hi, 64);
+  auto f = [&](double e) {
+    return rrc_power_density(ch, p, KeV{e}).value();
+  };
+  const auto raw = quad::simpson(f, lo.value(), hi.value(), 64);
   EXPECT_GT(std::fabs(raw.value - exact) / exact, 1e-6);
 }
 
 TEST(Rrc, FullyBelowEdgeBinIsZero) {
   auto ch = make_channel(8, 1, false);
-  const PlasmaState p{0.5, 1.0, 1.0};
-  const double i = ch.level.binding_keV;
+  const PlasmaState p{0.5_keV, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV i{ch.level.binding_keV};
   const auto q = rrc_bin_emissivity_qags(ch, p, 0.1 * i, 0.5 * i);
-  EXPECT_DOUBLE_EQ(q.value, 0.0);
-  EXPECT_DOUBLE_EQ(rrc_bin_emissivity_exact_nogaunt(ch, p, 0.1 * i, 0.5 * i),
-                   0.0);
+  EXPECT_DOUBLE_EQ(q.value.value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      rrc_bin_emissivity_exact_nogaunt(ch, p, 0.1 * i, 0.5 * i).value(), 0.0);
 }
 
 TEST(Rrc, RombergMatchesSimpsonOnSmoothBin) {
   auto ch = make_channel(8, 2, true);
-  const PlasmaState p{1.0, 1.0, 1.0};
-  const double lo = 1.2 * ch.level.binding_keV;
-  const double hi = lo + 0.5;
+  const PlasmaState p{1.0_keV, 1.0_per_cm3, 1.0_per_cm3};
+  const KeV lo{1.2 * ch.level.binding_keV};
+  const KeV hi = lo + 0.5_keV;
   const auto s = rrc_bin_emissivity(ch, p, lo, hi,
                                     quad::KernelMethod::simpson, 64);
   const auto r = rrc_bin_emissivity(ch, p, lo, hi,
                                     quad::KernelMethod::romberg, 8);
-  EXPECT_NEAR(r.value, s.value, 1e-8 * std::fabs(s.value));
+  EXPECT_NEAR(r.value.value(), s.value.value(),
+              1e-8 * std::fabs(s.value.value()));
 }
 
 TEST(Rrc, InvalidInputsThrow) {
   auto ch = make_channel(8, 1, false);
-  const PlasmaState bad_t{0.0, 1.0, 1.0};
-  EXPECT_THROW(rrc_power_density(ch, bad_t, 2.0), std::invalid_argument);
-  const PlasmaState p{1.0, 1.0, 1.0};
-  EXPECT_THROW(
-      rrc_bin_emissivity(ch, p, 2.0, 1.0, quad::KernelMethod::simpson, 64),
-      std::invalid_argument);
-  auto gaunt_ch = make_channel(8, 1, true);
-  EXPECT_THROW(rrc_bin_emissivity_exact_nogaunt(gaunt_ch, p, 1.0, 2.0),
+  const PlasmaState bad_t{0.0_keV, 1.0_per_cm3, 1.0_per_cm3};
+  EXPECT_THROW(rrc_power_density(ch, bad_t, 2.0_keV), std::invalid_argument);
+  const PlasmaState p{1.0_keV, 1.0_per_cm3, 1.0_per_cm3};
+  EXPECT_THROW(rrc_bin_emissivity(ch, p, 2.0_keV, 1.0_keV,
+                                  quad::KernelMethod::simpson, 64),
                std::invalid_argument);
+  auto gaunt_ch = make_channel(8, 1, true);
+  EXPECT_THROW(
+      rrc_bin_emissivity_exact_nogaunt(gaunt_ch, p, 1.0_keV, 2.0_keV),
+      std::invalid_argument);
 }
 
 TEST(Rrc, HigherChargeEmitsHarderPhotons) {

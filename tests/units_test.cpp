@@ -1,0 +1,150 @@
+// Tests for the strong-typed unit layer (util/units.h): dimension algebra,
+// conversions, the zero-overhead guarantee, and the fp-comparison policy
+// helpers. The *negative* half of the contract — `KeV + Seconds` must not
+// compile — is proved by the units_add_mismatch_rejected ctest, which
+// feeds tests/compile_fail/units_add_mismatch.cpp to the compiler and
+// requires failure.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <type_traits>
+
+#include "util/fp_compare.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace hspec::util;
+using namespace hspec::util::unit_literals;
+
+// ------------------------------------------------------- dimension algebra
+
+TEST(Units, SameDimensionArithmetic) {
+  const KeV a = 1.5_keV;
+  const KeV b = 0.5_keV;
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -1.5);
+  KeV c = a;
+  c += b;
+  c -= 0.25_keV;
+  EXPECT_DOUBLE_EQ(c.value(), 1.75);
+}
+
+TEST(Units, ScalarScaling) {
+  const PerCm3 n = 2.0_per_cm3;
+  EXPECT_DOUBLE_EQ((3.0 * n).value(), 6.0);
+  EXPECT_DOUBLE_EQ((n * 3.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((n / 2.0).value(), 1.0);
+  PerCm3 m = n;
+  m *= 5.0;
+  m /= 2.0;
+  EXPECT_DOUBLE_EQ(m.value(), 5.0);
+}
+
+TEST(Units, ProductsComposeDimensions) {
+  // density * rate coefficient = rate (the coronal-population identity).
+  const PerCm3 ne{4.0};
+  const Cm3PerS c{0.5};
+  const PerSecond rate = ne * c;
+  EXPECT_DOUBLE_EQ(rate.value(), 2.0);
+  static_assert(std::is_same_v<decltype(ne * c), PerSecond>);
+  // dP/dE * dE = bin emissivity (Eq. 1 -> Eq. 2).
+  const SpectralEmissivity dpde{3.0};
+  const EmissivityPhotCm3PerS bin = dpde * KeV{0.5};
+  EXPECT_DOUBLE_EQ(bin.value(), 1.5);
+}
+
+TEST(Units, DimensionlessRatiosCollapseToDouble) {
+  // Same-dimension division is a plain double: no wrapper survives.
+  const auto ratio = 3.0_keV / 1.5_keV;
+  static_assert(std::is_same_v<decltype(ratio), const double>);
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+  // Inverse dimensions multiply out too.
+  const auto x = PerCm3{2.0} * Cm3{0.25};
+  static_assert(std::is_same_v<decltype(x), const double>);
+  EXPECT_DOUBLE_EQ(x, 0.5);
+}
+
+TEST(Units, DoubleOverQuantityInvertsDimension) {
+  const auto inv = 1.0 / Seconds{4.0};
+  static_assert(std::is_same_v<decltype(inv), const PerSecond>);
+  EXPECT_DOUBLE_EQ(inv.value(), 0.25);
+}
+
+TEST(Units, ComparisonsWorkWithinADimension) {
+  EXPECT_LT(1.0_keV, 2.0_keV);
+  EXPECT_GT(2.0_per_cm3, 1.0_per_cm3);
+  EXPECT_EQ(1.0_s, 1.0_s);
+  EXPECT_NE(1.0_s, 2.0_s);
+}
+
+TEST(Units, LiteralsIncludingIntegerAndNegatedForms) {
+  EXPECT_DOUBLE_EQ((2_keV).value(), 2.0);
+  EXPECT_DOUBLE_EQ((-1.0_keV).value(), -1.0);  // literal then unary minus
+  EXPECT_DOUBLE_EQ((1e10_s).value(), 1e10);
+  EXPECT_DOUBLE_EQ((300_K).value(), 300.0);
+  EXPECT_DOUBLE_EQ((1.0_cm2).value(), 1.0);
+}
+
+// ------------------------------------------------------------- conversions
+
+TEST(Units, KevKelvinRoundTrip) {
+  // 1 keV ~ 1.16e7 K; round trips survive to ~1 ulp.
+  const KeV e = 1.0_keV;
+  const Kelvin t = kev_to_kelvin(e);
+  EXPECT_NEAR(t.value(), 1.1604518e7, 1e1);
+  const KeV back = kelvin_to_kev(t);
+  EXPECT_NEAR(back.value(), e.value(), 4.0 * 2.220446049250313e-16);
+  // And the other direction.
+  const Kelvin room{300.0};
+  EXPECT_NEAR(kev_to_kelvin(kelvin_to_kev(room)).value(), 300.0,
+              300.0 * 4.0 * 2.220446049250313e-16);
+}
+
+TEST(Units, AngstromConversionsMatchHC) {
+  // E[keV] * lambda[A] == hc for any wavelength.
+  for (const double lambda_A : {1.0, 5.0, 12.39841984, 40.0}) {
+    const KeV e = angstrom_to_kev(lambda_A);
+    EXPECT_NEAR(e.value() * lambda_A, kHCKeVPerAngstrom, 1e-12);
+    EXPECT_NEAR(kev_to_angstrom(e), lambda_A, 1e-12 * lambda_A);
+  }
+}
+
+// ------------------------------------------------- zero-overhead guarantee
+
+TEST(Units, QuantityIsExactlyOneDouble) {
+  static_assert(sizeof(KeV) == sizeof(double));
+  static_assert(alignof(KeV) == alignof(double));
+  static_assert(std::is_trivially_copyable_v<KeV>);
+  static_assert(std::is_standard_layout_v<KeV>);
+  static_assert(sizeof(EmissivityPhotCm3PerS) == sizeof(double));
+  // constexpr all the way down: usable as compile-time constants.
+  constexpr KeV e = KeV{2.0} + KeV{1.0};
+  static_assert(e.value() == 3.0);  // hlint:allow(fp-equal) — constexpr exact
+  SUCCEED();
+}
+
+// ------------------------------------------------------ fp-compare policy
+
+TEST(FpCompare, TolerantEquality) {
+  EXPECT_TRUE(hspec::util::fp_equal(1.0, 1.0));
+  EXPECT_TRUE(hspec::util::fp_equal(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(hspec::util::fp_equal(1.0, 1.0 + 1e-9));
+  // Relative tolerance scales with magnitude.
+  EXPECT_TRUE(hspec::util::fp_equal(1e12, 1e12 + 0.1));
+  // Absolute tolerance catches the near-zero case relative cannot.
+  EXPECT_FALSE(hspec::util::fp_equal(0.0, 1e-300));
+  EXPECT_TRUE(hspec::util::fp_equal(0.0, 1e-300, 1e-12, 1e-200));
+}
+
+TEST(FpCompare, ExactSentinelComparison) {
+  EXPECT_TRUE(hspec::util::fp_exact_equal(0.0, 0.0));
+  EXPECT_TRUE(hspec::util::fp_exact_equal(0.0, -0.0));  // IEEE: equal
+  EXPECT_FALSE(hspec::util::fp_exact_equal(1.0, 1.0 + 1e-15));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(hspec::util::fp_exact_equal(nan, nan));
+}
+
+}  // namespace

@@ -16,11 +16,33 @@
 //                  std::atomic;
 //  [pragma-once]   every header starts its include guard with #pragma once.
 //
-// Output: one `file:line: [rule] message` per violation, exit 1 when any
-// fired (exit 2 on usage/IO errors) — the format CI and editors both parse.
-// Registered as a ctest (label: lint/tier1) so a regression fails `ctest`
-// locally before it ever reaches CI; a second WILL_FAIL ctest runs hlint
-// over tools/hlint_fixtures to prove the lint still bites.
+// Numerics pack (DESIGN.md §10) — the dimensional-correctness rules that
+// back the util::Quantity layer:
+//
+//  [fp-equal]      no `==` / `!=` against a floating-point literal anywhere
+//                  under src/ — exact fp comparison is either a bug or a
+//                  sentinel test that must be spelled `util::fp_equal` /
+//                  `util::fp_exact_equal`; a deliberate exception carries a
+//                  `hlint:allow(fp-equal)` marker on the same line;
+//  [no-float]      no bare `float` in the physics tree (src/apec, atomic,
+//                  rrc, quad, nei): spectral numerics are double-precision
+//                  end-to-end, a float is silent precision loss;
+//  [unit-suffix]   raw `double` parameters on public physics APIs (headers
+//                  under src/apec, atomic, rrc, nei) must carry a unit
+//                  suffix (_keV, _cm3, _s, ...) or be a util:: quantity
+//                  type; dimensionless names (fractions, tolerances,
+//                  weights) and generic ODE variables (t, y, ...) pass;
+//  [narrowing]     no f-suffixed literals and no C-style (float)/(int)
+//                  casts in physics arithmetic — both narrow silently
+//                  where a static_cast would have to say so.
+//
+// Output: one `file:line: [rule] message` per violation, plus an
+// always-printed per-rule count line CI graphs, exit 1 when any rule
+// fired (exit 2 on usage/IO errors) — the format CI and editors both
+// parse. Registered as a ctest (label: lint/tier1) so a regression fails
+// `ctest` locally before it ever reaches CI; a WILL_FAIL ctest runs hlint
+// over tools/hlint_fixtures, and one PASS_REGULAR_EXPRESSION ctest per
+// numerics rule proves each rule still bites its fixture.
 
 #include <algorithm>
 #include <cctype>
@@ -226,6 +248,263 @@ void check_pragma_once(const std::string& path, const std::string& text,
     out.push_back({path, 1, "pragma-once", "header lacks #pragma once"});
 }
 
+// ---------------------------------------------------------------------------
+// Numerics pack
+
+/// True when the RAW line (comments intact) carries `hlint:allow(<rule>)` —
+/// the one sanctioned way to mark a deliberate exception in place.
+bool line_allows(const std::vector<std::string>& raw_lines, std::size_t line,
+                 const std::string& rule) {
+  if (line == 0 || line > raw_lines.size()) return false;
+  return raw_lines[line - 1].find("hlint:allow(" + rule + ")") !=
+         std::string::npos;
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Lex a numeric literal forward from `i` (after an optional sign); true if
+/// it is floating-point (has a '.' or an exponent). Hex literals never match.
+bool fp_literal_forward(const std::string& t, std::size_t i) {
+  if (i < t.size() && (t[i] == '-' || t[i] == '+')) ++i;
+  if (i >= t.size()) return false;
+  if (!(digit(t[i]) || (t[i] == '.' && i + 1 < t.size() && digit(t[i + 1]))))
+    return false;
+  if (t[i] == '0' && i + 1 < t.size() && (t[i + 1] == 'x' || t[i + 1] == 'X'))
+    return false;
+  bool fp = false;
+  while (i < t.size()) {
+    const char c = t[i];
+    if (digit(c) || c == '\'') {
+      ++i;
+    } else if (c == '.') {
+      fp = true;
+      ++i;
+    } else if (c == 'e' || c == 'E') {
+      std::size_t j = i + 1;
+      if (j < t.size() && (t[j] == '+' || t[j] == '-')) ++j;
+      if (j < t.size() && digit(t[j])) {
+        fp = true;
+        i = j;
+      } else {
+        break;
+      }
+    } else {
+      break;
+    }
+  }
+  return fp;
+}
+
+/// Lex a numeric literal backward ending at `end` (exclusive); true if it is
+/// floating-point. An identifier tail (`var1`) is not a literal.
+bool fp_literal_backward(const std::string& t, std::size_t end) {
+  std::size_t i = end;
+  bool fp = false;
+  if (i > 0 && (t[i - 1] == 'f' || t[i - 1] == 'F')) {
+    fp = true;  // 1.0f / 1f — suffix implies fp either way
+    --i;
+  }
+  std::size_t start = i;
+  while (start > 0) {
+    const char c = t[start - 1];
+    if (digit(c) || c == '\'') {
+      --start;
+    } else if (c == '.') {
+      fp = true;
+      --start;
+    } else if ((c == '+' || c == '-') && start >= 2 &&
+               (t[start - 2] == 'e' || t[start - 2] == 'E')) {
+      fp = true;
+      start -= 2;
+    } else if ((c == 'e' || c == 'E') && start >= 2 && digit(t[start - 2])) {
+      fp = true;
+      --start;
+    } else {
+      break;
+    }
+  }
+  if (start == i) return false;                             // no digits
+  if (start > 0 && ident_char(t[start - 1])) return false;  // identifier
+  if (!digit(t[start]) && t[start] != '.') return false;
+  return fp;
+}
+
+/// [fp-equal]: `==` / `!=` where either operand is a floating-point literal.
+/// The tolerant and sentinel spellings live in util/fp_compare.h; defaulted
+/// operator== declarations and `hlint:allow(fp-equal)` lines pass.
+void check_fp_equal(const std::string& path, const std::string& text,
+                    const std::vector<std::string>& raw_lines,
+                    std::vector<Violation>& out) {
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    const bool eq = text[i] == '=' && text[i + 1] == '=';
+    const bool ne = text[i] == '!' && text[i + 1] == '=';
+    if (!eq && !ne) continue;
+    if (eq && i > 0 &&
+        std::strchr("=!<>+-*/%&|^", text[i - 1]) != nullptr)
+      continue;  // compound/relational operator, not a comparison
+    std::size_t p = i;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
+      --p;
+    if (p >= 8 && std::string_view(text).substr(p - 8, 8) == "operator")
+      continue;  // operator==/!= declaration
+    std::size_t r = i + 2;
+    while (r < text.size() && (text[r] == ' ' || text[r] == '\t')) ++r;
+    if (!fp_literal_forward(text, r) && !fp_literal_backward(text, p))
+      continue;
+    const std::size_t line = line_of(text, i);
+    if (line_allows(raw_lines, line, "fp-equal")) continue;
+    out.push_back({path, line, "fp-equal",
+                   std::string("exact `") + (eq ? "==" : "!=") +
+                       "` against a floating-point value; use "
+                       "util::fp_equal (tolerant) or util::fp_exact_equal "
+                       "(sentinel)"});
+    ++i;
+  }
+}
+
+/// [no-float]: bare `float` in the physics tree.
+void check_no_float(const std::string& path, const std::string& text,
+                    std::vector<Violation>& out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("float", pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += 5;
+    if (start > 0 && ident_char(text[start - 1])) continue;
+    if (pos < text.size() && ident_char(text[pos])) continue;
+    out.push_back({path, line_of(text, start), "no-float",
+                   "bare `float` in physics code; spectral numerics are "
+                   "double-precision end-to-end"});
+  }
+}
+
+/// [narrowing]: f-suffixed literals and C-style (float)/(int) casts.
+void check_narrowing(const std::string& path, const std::string& text,
+                     const std::vector<std::string>& raw_lines,
+                     std::vector<Violation>& out) {
+  // f-suffixed floating literals: 1.0f, 2.f, 1e3f.
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != 'f' && text[i] != 'F') continue;
+    if (i + 1 < text.size() && ident_char(text[i + 1])) continue;
+    if (!fp_literal_backward(text, i + 1)) continue;
+    const std::size_t line = line_of(text, i);
+    if (line_allows(raw_lines, line, "narrowing")) continue;
+    out.push_back({path, line, "narrowing",
+                   "f-suffixed literal narrows to single precision; drop "
+                   "the suffix"});
+  }
+  // C-style narrowing casts.
+  for (const char* kw : {"float", "int"}) {
+    const std::size_t kwlen = std::strlen(kw);
+    std::size_t pos = 0;
+    while ((pos = text.find(kw, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += kwlen;
+      if (start > 0 && ident_char(text[start - 1])) continue;
+      if (pos < text.size() && ident_char(text[pos])) continue;
+      std::size_t p = start;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
+        --p;
+      if (p == 0 || text[p - 1] != '(') continue;
+      std::size_t q = pos;
+      while (q < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[q])) != 0)
+        ++q;
+      if (q >= text.size() || text[q] != ')') continue;
+      ++q;
+      while (q < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[q])) != 0)
+        ++q;
+      // `(int)` followed by an expression is a cast; followed by `;`, `,`,
+      // `)` or a declaration qualifier it is an unnamed-parameter list.
+      if (q >= text.size()) continue;
+      const char c = text[q];
+      if (!(ident_char(c) || c == '(' || c == '-' || c == '+' || c == '.'))
+        continue;
+      if (ident_char(c)) {
+        std::size_t e = q;
+        while (e < text.size() && ident_char(text[e])) ++e;
+        const std::string_view word(text.data() + q, e - q);
+        if (word == "const" || word == "noexcept" || word == "override" ||
+            word == "final" || word == "volatile")
+          continue;
+      }
+      const std::size_t line = line_of(text, start);
+      if (line_allows(raw_lines, line, "narrowing")) continue;
+      out.push_back({path, line, "narrowing",
+                     std::string("C-style (") + kw +
+                         ") cast narrows silently; use static_cast and say "
+                         "so at the call site"});
+    }
+  }
+}
+
+/// [unit-suffix] helper: parameter names that are legitimately raw doubles.
+bool unit_suffix_ok(std::string_view name) {
+  // Unit-bearing suffixes — the name says what the number is.
+  for (const char* s :
+       {"_keV", "_kelvin", "_K", "_cm3", "_cm2", "_cm", "_s", "_A",
+        "_angstrom", "_amu", "_g", "_hz", "_erg"}) {
+    const std::size_t n = std::strlen(s);
+    if (name.size() >= n && name.substr(name.size() - n) == s) return true;
+  }
+  // Generic ODE/solver variables: the unitless integration edge.
+  for (const char* s : {"t", "t0", "t1", "x", "y", "z", "u", "v"})
+    if (name == s) return true;
+  // Dimensionless quantities by construction.
+  for (const char* s :
+       {"frac", "ratio", "weight", "factor", "norm", "err", "tol", "scale",
+        "alpha", "jitter", "floor", "sigma", "cutoff", "param", "count",
+        "index", "value", "noise"})
+    if (name.find(s) != std::string_view::npos) return true;
+  return false;
+}
+
+/// [unit-suffix]: raw `double` parameters in physics headers must name
+/// their unit (or the API should take a util:: quantity type).
+void check_unit_suffix(const std::string& path, const std::string& text,
+                       const std::vector<std::string>& raw_lines,
+                       std::vector<Violation>& out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("double", pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += 6;
+    if (start > 0 && ident_char(text[start - 1])) continue;
+    if (pos < text.size() && ident_char(text[pos])) continue;
+    // Parameter position: preceded (modulo `const`) by '(' or ','.
+    std::size_t p = start;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
+      --p;
+    if (p >= 5 && std::string_view(text).substr(p - 5, 5) == "const" &&
+        (p == 5 || !ident_char(text[p - 6]))) {
+      p -= 5;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
+        --p;
+    }
+    if (p == 0 || (text[p - 1] != '(' && text[p - 1] != ',')) continue;
+    // The declarator: a plain named parameter. References, pointers and
+    // abstract declarators (function types, template arguments) are the
+    // bulk-buffer / generic-code edge and stay raw.
+    std::size_t q = start + 6;
+    while (q < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[q])) != 0)
+      ++q;
+    if (q >= text.size() || !ident_char(text[q]) || digit(text[q])) continue;
+    std::size_t e = q;
+    while (e < text.size() && ident_char(text[e])) ++e;
+    const std::string_view name(text.data() + q, e - q);
+    if (unit_suffix_ok(name)) continue;
+    const std::size_t line = line_of(text, start);
+    if (line_allows(raw_lines, line, "unit-suffix")) continue;
+    out.push_back({path, line, "unit-suffix",
+                   "raw double parameter `" + std::string(name) +
+                       "` on a public physics API has no unit suffix; "
+                       "suffix it (_keV, _cm3, _s, ...) or take a util:: "
+                       "quantity type"});
+  }
+}
+
 bool is_header(const fs::path& p) {
   return p.extension() == ".h" || p.extension() == ".hpp";
 }
@@ -239,6 +518,39 @@ bool is_source(const fs::path& p) {
 bool memory_order_scope(const std::string& path) {
   return path.find("src/core") != std::string::npos ||
          path.find("src/vgpu") != std::string::npos;
+}
+
+/// [fp-equal] applies to the whole library tree.
+bool fp_equal_scope(const std::string& path) {
+  return path.find("src/") != std::string::npos;
+}
+
+/// The physics tree: where [no-float] and [narrowing] bite.
+bool physics_scope(const std::string& path) {
+  for (const char* dir :
+       {"src/apec", "src/atomic", "src/rrc", "src/quad", "src/nei"})
+    if (path.find(dir) != std::string::npos) return true;
+  return false;
+}
+
+/// [unit-suffix] polices the public physics APIs — headers only, and not
+/// src/quad, whose integrators are deliberately unit-agnostic.
+bool unit_suffix_scope(const std::string& path) {
+  for (const char* dir : {"src/apec", "src/atomic", "src/rrc", "src/nei"})
+    if (path.find(dir) != std::string::npos) return true;
+  return false;
+}
+
+std::vector<std::string> split_lines(const std::string& raw) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= raw.size(); ++i) {
+    if (i == raw.size() || raw[i] == '\n') {
+      lines.emplace_back(raw.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return lines;
 }
 
 }  // namespace
@@ -280,12 +592,22 @@ int main(int argc, char** argv) {
     const std::string text = strip_comments_and_strings(raw);
     const std::string path = file.generic_string();
 
+    const std::vector<std::string> raw_lines = split_lines(raw);
+
     if (memory_order_scope(path)) check_memory_order(path, text, violations);
     check_naked_new_delete(path, text, violations);
     check_volatile(path, text, violations);
     // Stripped text, not raw: a comment *mentioning* the pragma must not
     // satisfy the rule.
     if (is_header(file)) check_pragma_once(path, text, violations);
+    if (fp_equal_scope(path))
+      check_fp_equal(path, text, raw_lines, violations);
+    if (physics_scope(path)) {
+      check_no_float(path, text, violations);
+      check_narrowing(path, text, raw_lines, violations);
+    }
+    if (is_header(file) && unit_suffix_scope(path))
+      check_unit_suffix(path, text, raw_lines, violations);
   }
 
   std::sort(violations.begin(), violations.end(),
@@ -295,6 +617,18 @@ int main(int argc, char** argv) {
   for (const Violation& v : violations)
     std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
               << v.message << "\n";
+  // Per-rule counts, printed on clean runs too: CI graphs them and a later
+  // reader can tell "rule never ran" from "rule ran and found nothing".
+  std::cout << "hlint: rule counts:";
+  for (const char* rule :
+       {"memory-order", "naked-new", "volatile", "pragma-once", "fp-equal",
+        "no-float", "unit-suffix", "narrowing"}) {
+    const auto n = std::count_if(
+        violations.begin(), violations.end(),
+        [rule](const Violation& v) { return v.rule == rule; });
+    std::cout << " " << rule << "=" << n;
+  }
+  std::cout << "\n";
   if (!violations.empty()) {
     std::cout << "hlint: " << violations.size() << " violation(s) in "
               << files.size() << " file(s)\n";

@@ -1,0 +1,13 @@
+// hlint fixture: bare `float` in physics code — the [no-float] rule must
+// flag every declaration below (double-only literals, so [narrowing] has
+// its own dedicated fixture).
+
+namespace hspec::fixture {
+
+float sigma_cm2 = 1.0;  // BAD: float storage silently halves the mantissa
+
+double accumulate(float emissivity) {  // BAD: float parameter
+  return emissivity;
+}
+
+}  // namespace hspec::fixture

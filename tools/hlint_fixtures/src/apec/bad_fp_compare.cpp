@@ -1,0 +1,14 @@
+// hlint fixture: exact floating-point comparisons the [fp-equal] rule must
+// flag. The fixture tree mirrors src/apec so the physics-scope filters see
+// it; a PASS_REGULAR_EXPRESSION ctest asserts "[fp-equal]" appears.
+
+namespace hspec::fixture {
+
+bool exact_compares(double x, double y) {
+  if (x == 0.5) return true;        // BAD: exact == against an fp literal
+  if (y != 1e-6) return false;      // BAD: exact != against an fp literal
+  if (1.25 == x) return true;       // BAD: literal on the left too
+  return x == 0.25;  // hlint:allow(fp-equal) — sanctioned sentinel, not flagged
+}
+
+}  // namespace hspec::fixture

@@ -1,0 +1,13 @@
+// hlint fixture: silent narrowing in physics arithmetic — the [narrowing]
+// rule must flag the f-suffixed literal and both C-style casts.
+
+namespace hspec::fixture {
+
+double narrowed(double e_keV) {
+  const double kk = 1.5f;              // BAD: f-suffixed literal
+  const double lost = (float)e_keV;    // BAD: C-style cast to float
+  const int bins = (int)(e_keV * kk);  // BAD: C-style cast truncates
+  return lost + bins;
+}
+
+}  // namespace hspec::fixture

@@ -1,0 +1,12 @@
+#pragma once
+// hlint fixture: raw double parameters with no unit suffix on a physics
+// header — the [unit-suffix] rule must flag both parameters of rrc_rate and
+// pass the suffixed/dimensionless ones.
+
+namespace hspec::fixture {
+
+double rrc_rate(double kt, double ne);          // BAD x2: kt, ne unsuffixed
+double ok_rate(double kT_keV, double ne_cm3);   // ok: unit suffixes
+double ok_frac(double ion_fraction, double t);  // ok: dimensionless + ODE time
+
+}  // namespace hspec::fixture
