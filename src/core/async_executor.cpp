@@ -6,6 +6,7 @@
 
 #include "rrc/rrc.h"
 #include "util/dcheck.h"
+#include "util/fault.h"
 #include "vgpu/integr_kernel.h"
 
 namespace hspec::core {
@@ -13,15 +14,22 @@ namespace hspec::core {
 AsyncGpuExecutor::AsyncGpuExecutor(const apec::SpectrumCalculator& calc,
                                    const std::vector<DevicePipeline*>& pipelines,
                                    TaskScheduler& scheduler,
-                                   const CpuTaskExecutor& cpu, int depth)
+                                   const CpuTaskExecutor& cpu, int depth,
+                                   int max_attempts, bool recovery,
+                                   FaultStats* fault_stats)
     : calc_(&calc),
       pipelines_(pipelines),
       scheduler_(&scheduler),
       cpu_(&cpu),
       depth_(depth),
+      max_attempts_(max_attempts),
+      recovery_(recovery),
+      fstats_(fault_stats),
       lanes_(pipelines.size()) {
   if (depth_ < 1)
     throw std::invalid_argument("AsyncGpuExecutor: depth must be >= 1");
+  if (max_attempts_ < 1)
+    throw std::invalid_argument("AsyncGpuExecutor: max attempts must be >= 1");
   for (const DevicePipeline* p : pipelines_)
     if (p == nullptr || p->device == nullptr || p->pool == nullptr)
       throw std::invalid_argument("AsyncGpuExecutor: incomplete pipeline");
@@ -44,13 +52,61 @@ void AsyncGpuExecutor::submit(const SpectralTask& task,
   // Closed-form / non-emitting ions never launch kernels (same early-out as
   // the synchronous executor); they still travel through the FIFO so the
   // accumulation order matches the synchronous driver exactly.
-  const bool host_only =
-      device < 0 || task.ion.is_free_free() || !task.ion.emits_rrc();
-  if (host_only) {
-    ++stats_.host_tasks;
+  const bool closed_form = task.ion.is_free_free() || !task.ion.emits_rrc();
+  if (device >= 0 && !closed_form) {
+    // Bounded retry-with-requeue: a faulted attempt returns its buffers,
+    // frees its queue slot, reports the failure, and asks the scheduler for
+    // a (possibly different) device; past the budget the task degrades to
+    // the host at drain time. submit_gpu accumulates nothing — results land
+    // in the slot's staging buffer and reach the spectrum only at drain —
+    // so a fault mid-submit cannot double-count (DESIGN.md §11).
+    for (int attempt = 1;; ++attempt) {
+      try {
+        slot.free_device = device;
+        submit_gpu(slot, device);
+        if (recovery_) scheduler_->report_task_success(device);
+        ++stats_.gpu_tasks;
+        if (fstats_ != nullptr) ++fstats_->gpu_completed;
+        break;
+      } catch (const util::FaultError& e) {
+        abort_slot(slot, device);
+        scheduler_->sche_free(device);
+        scheduler_->report_task_fault(
+            device, e.site() == util::FaultSite::device_death);
+        if (fstats_ != nullptr) ++fstats_->retried;
+        device = attempt < max_attempts_ ? scheduler_->sche_alloc() : -1;
+        if (device >= 0) {
+          if (fstats_ != nullptr) ++fstats_->requeued;
+          continue;
+        }
+        slot.free_device = -1;
+        slot.degraded = true;
+        ++stats_.host_tasks;
+        if (fstats_ != nullptr) {
+          ++fstats_->cpu_fallbacks;
+          ++fstats_->cpu_completed;
+        }
+        break;
+      }
+    }
   } else {
-    submit_gpu(slot, device);
-    ++stats_.gpu_tasks;
+    // An all-quarantined verdict degrades to the kernel-equivalent host
+    // path (bit-identity); a plain full-queue verdict stays on QAGS, the
+    // paper's fallback.
+    if (device < 0 && !closed_form && recovery_ &&
+        scheduler_->all_quarantined()) {
+      slot.degraded = true;
+      if (fstats_ != nullptr) ++fstats_->cpu_fallbacks;
+    }
+    ++stats_.host_tasks;
+    if (fstats_ != nullptr) {
+      // Closed-form tasks that hold a device slot mirror the synchronous
+      // executor's accounting (its early-out counts as a GPU completion).
+      if (device >= 0)
+        ++fstats_->gpu_completed;
+      else
+        ++fstats_->cpu_completed;
+    }
   }
   fifo_.push_back(std::move(slot));
 }
@@ -152,6 +208,18 @@ void AsyncGpuExecutor::submit_gpu(Slot& slot, int device) {
   stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_total);
 }
 
+void AsyncGpuExecutor::abort_slot(Slot& slot, int device) noexcept {
+  // Undo the partial submit: the emi buffer goes back to the pool and the
+  // staging array to the recycle list. lane.in_flight needs no undo — it is
+  // incremented only after the last fallible operation in submit_gpu.
+  if (slot.emi.valid())
+    pipelines_[static_cast<std::size_t>(device)]->pool->release(
+        std::move(slot.emi));
+  if (!slot.staging.empty()) staging_pool_.push_back(std::move(slot.staging));
+  slot.staging.clear();
+  slot.gpu = false;
+}
+
 void AsyncGpuExecutor::drain_front() {
   Slot slot = std::move(fifo_.front());
   fifo_.pop_front();
@@ -172,6 +240,11 @@ void AsyncGpuExecutor::drain_front() {
     --lane.in_flight;
     HSPEC_DCHECK(lane.in_flight >= 0,
                  "pipeline lane drained more tasks than it submitted");
+  } else if (slot.degraded) {
+    // Retry budget exhausted or every device quarantined: the kernel-
+    // equivalent host path, in FIFO position (bitwise what the device
+    // would have produced).
+    execute_task_degraded(*calc_, slot.task, *slot.pops, *slot.target);
   } else if (slot.free_device >= 0) {
     // Scheduler sent the task to a device but it has a closed form / no RRC
     // emission: the synchronous executor's early-out, deferred to its FIFO

@@ -71,10 +71,15 @@ class AsyncGpuExecutor {
 
   /// `pipelines[d]` must outlive the executor; `depth` is the number of
   /// in-flight tasks (and streams) this rank keeps per device.
+  /// `max_attempts` bounds device attempts per task before it degrades to
+  /// the host; `recovery` arms the health reporting (set when a FaultPlan
+  /// is installed, so the fault-free hot path pays nothing); `fault_stats`,
+  /// when non-null, receives this rank's recovery accounting.
   AsyncGpuExecutor(const apec::SpectrumCalculator& calc,
                    const std::vector<DevicePipeline*>& pipelines,
                    TaskScheduler& scheduler, const CpuTaskExecutor& cpu,
-                   int depth = 2);
+                   int depth = 2, int max_attempts = 3, bool recovery = false,
+                   FaultStats* fault_stats = nullptr);
 
   /// Queue one task. `device` is the scheduler's verdict: >= 0 pipelines the
   /// task onto that device (the load slot is released when the task drains),
@@ -98,6 +103,10 @@ class AsyncGpuExecutor {
     apec::Spectrum* target = nullptr;
     int free_device = -1;  ///< sche_free() this device on drain (-1: none)
     bool gpu = false;      ///< emi/staging hold device results to accumulate
+    /// Retry budget exhausted (or all devices quarantined): drain runs the
+    /// kernel-equivalent host path in this slot's FIFO position, keeping
+    /// the accumulation order — and hence bit-identity — intact.
+    bool degraded = false;
     vgpu::DeviceBuffer emi;
     std::vector<double> staging;
   };
@@ -110,12 +119,17 @@ class AsyncGpuExecutor {
 
   void submit_gpu(Slot& slot, int device);
   void drain_front();
+  /// Undo a partially submitted slot after a fault (return its buffers).
+  void abort_slot(Slot& slot, int device) noexcept;
 
   const apec::SpectrumCalculator* calc_;
   std::vector<DevicePipeline*> pipelines_;
   TaskScheduler* scheduler_;
   const CpuTaskExecutor* cpu_;
   int depth_;
+  int max_attempts_;
+  bool recovery_;
+  FaultStats* fstats_;
   std::vector<Lane> lanes_;            // one per device
   std::deque<Slot> fifo_;              // drains in submission order
   std::vector<std::vector<double>> staging_pool_;

@@ -9,6 +9,7 @@
 #include "core/cpu_task_executor.h"
 #include "core/gpu_task_executor.h"
 #include "minimpi/minimpi.h"
+#include "util/fault.h"
 #include "util/thread_annotations.h"
 
 namespace hspec::core {
@@ -43,6 +44,13 @@ HybridDriver::HybridDriver(const apec::SpectrumCalculator& calculator,
     throw std::invalid_argument("HybridDriver: pipeline depth must be >= 1");
   if (config_.steal_chunk < 1)
     throw std::invalid_argument("HybridDriver: steal chunk must be >= 1");
+  if (config_.max_task_attempts < 1)
+    throw std::invalid_argument("HybridDriver: max task attempts must be >= 1");
+  if (config_.degrade_after < 1)
+    throw std::invalid_argument("HybridDriver: degrade_after must be >= 1");
+  if (config_.quarantine_after < config_.degrade_after)
+    throw std::invalid_argument(
+        "HybridDriver: quarantine_after must be >= degrade_after");
 }
 
 HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
@@ -54,6 +62,16 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
   // drain chunk-by-chunk and rebalance by stealing.
   shm.view().points.initialize(static_cast<std::int64_t>(points.size()),
                                config_.ranks, config_.steal_chunk);
+  shm.view().degrade_after = config_.degrade_after;
+  shm.view().quarantine_after = config_.quarantine_after;
+
+  // Arm fault injection before the ranks start (thread creation publishes
+  // the plan pointer). The plan's counters are cumulative across runs, so
+  // snapshot them now and report the delta.
+  util::FaultPlan* plan = config_.fault_plan;
+  util::FaultPlan::Stats plan_before;
+  if (plan != nullptr) plan_before = plan->stats();
+  if (plan != nullptr) registry.set_fault_plan(plan);
 
   const bool pipelined = config_.mode == ExecutionMode::pipelined;
 
@@ -83,10 +101,66 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
     // Per-rank QAGS calculator, built once and reused by every CPU-fallback
     // task (the old code rebuilt it per task).
     const CpuTaskExecutor cpu_exec(*calc_);
+    FaultStats fs;  // this rank's recovery accounting
     std::optional<AsyncGpuExecutor> async;
     if (pipelined)
       async.emplace(*calc_, pipe_views, scheduler, cpu_exec,
-                    config_.pipeline_depth);
+                    config_.pipeline_depth, config_.max_task_attempts,
+                    plan != nullptr, &fs);
+
+    // Synchronous-path recovery: a faulted device attempt frees its queue
+    // slot, reports the failure, and asks the scheduler for a (possibly
+    // different) device; past the retry budget — or with every device
+    // quarantined — the task degrades to the kernel-equivalent host path.
+    // execute_task_on_gpu accumulates into the spectrum only after its
+    // final D2H, so a fault leaves the spectrum untouched and the retry
+    // cannot double-count (the exactly-once argument of DESIGN.md §11).
+    auto run_task_sync = [&](const SpectralTask& task,
+                             const apec::PointPopulations& pops,
+                             apec::Spectrum& out, int device,
+                             TaskScheduler& sched) {
+      for (int attempt = 1;; ++attempt) {
+        if (device >= 0) {
+          try {
+            const GpuExecutionReport rep = execute_task_on_gpu(
+                *calc_, task, pops,
+                registry.device(static_cast<std::size_t>(device)), out,
+                pools[static_cast<std::size_t>(device)].get());
+            sched.sche_free(device);
+            if (plan != nullptr && rep.kernels > 0)
+              sched.report_task_success(device);
+            ++fs.gpu_completed;
+            return;
+          } catch (const util::FaultError& e) {
+            sched.sche_free(device);
+            sched.report_task_fault(
+                device, e.site() == util::FaultSite::device_death);
+            ++fs.retried;
+            device =
+                attempt < config_.max_task_attempts ? sched.sche_alloc() : -1;
+            if (device >= 0) {
+              ++fs.requeued;
+              continue;
+            }
+            ++fs.cpu_fallbacks;
+            execute_task_degraded(*calc_, task, pops, out);
+            ++fs.cpu_completed;
+            return;
+          }
+        }
+        // No device. Algorithm 1's QAGS fallback covers full queues; an
+        // all-quarantined device set instead degrades to the kernel-
+        // equivalent host path so the spectrum stays bit-identical.
+        if (plan != nullptr && sched.all_quarantined()) {
+          ++fs.cpu_fallbacks;
+          execute_task_degraded(*calc_, task, pops, out);
+        } else {
+          cpu_exec.execute(task, pops, out);
+        }
+        ++fs.cpu_completed;
+        return;
+      }
+    };
 
     std::size_t my_tasks = 0;
     PointWorkQueue& queue = shm.view().points;
@@ -104,13 +178,8 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
           const int device = scheduler.sche_alloc();
           if (pipelined) {
             async->submit(task, pops, device, local);
-          } else if (device >= 0) {
-            execute_task_on_gpu(*calc_, task, pops, registry.device(device),
-                                local,
-                                pools[static_cast<std::size_t>(device)].get());
-            scheduler.sche_free(device);
           } else {
-            cpu_exec.execute(task, pops, local);
+            run_task_sync(task, pops, local, device, scheduler);
           }
         }
         // All of a point's tasks drain before its spectrum is published;
@@ -126,6 +195,15 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
       result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
       result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
       result.scheduling.cas_retries += scheduler.stats().cas_retries;
+      result.scheduling.degradations += scheduler.stats().degradations;
+      result.scheduling.quarantines += scheduler.stats().quarantines;
+      result.scheduling.recoveries += scheduler.stats().recoveries;
+      result.scheduling.readmissions += scheduler.stats().readmissions;
+      result.faults.retried += fs.retried;
+      result.faults.requeued += fs.requeued;
+      result.faults.cpu_fallbacks += fs.cpu_fallbacks;
+      result.faults.gpu_completed += fs.gpu_completed;
+      result.faults.cpu_completed += fs.cpu_completed;
       result.tasks_total += my_tasks;
       if (async) {
         result.pipeline.tasks_pipelined += async->stats().gpu_tasks;
@@ -161,6 +239,22 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
       shm.view().points.steals.load(std::memory_order_relaxed));
   result.pipeline.stolen_points = static_cast<std::uint64_t>(
       shm.view().points.stolen_points.load(std::memory_order_relaxed));
+
+  // Surface the recovery layer's view of the run.
+  result.faults.degradations = result.scheduling.degradations;
+  result.faults.quarantines = result.scheduling.quarantines;
+  result.faults.recoveries = result.scheduling.recoveries;
+  result.faults.readmissions = result.scheduling.readmissions;
+  for (int d = 0; d < n_dev; ++d)
+    result.device_health.push_back(static_cast<DeviceHealth>(
+        shm.view().health[d].load(std::memory_order_relaxed)));
+  if (plan != nullptr) {
+    const util::FaultPlan::Stats after = plan->stats();
+    result.faults.injected = after.injected_total - plan_before.injected_total;
+    result.faults.device_deaths =
+        after.device_deaths - plan_before.device_deaths;
+    registry.set_fault_plan(nullptr);  // the plan may not outlive the run
+  }
   return result;
 }
 

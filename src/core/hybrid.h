@@ -36,6 +36,10 @@
 #include "core/task.h"
 #include "vgpu/device.h"
 
+namespace hspec::util {
+class FaultPlan;
+}
+
 namespace hspec::core {
 
 enum class ExecutionMode { synchronous, pipelined };
@@ -58,6 +62,17 @@ struct HybridConfig {
   /// deterministic imbalance (e.g. hold ranks back until another rank has
   /// stolen) instead of betting on OS scheduling. Null in production.
   std::function<void(int rank, const PointWorkQueue& queue)> rank_start_hook;
+  /// Fault-injection plan installed on every device for the run (chaos and
+  /// recovery tests; null in production). Non-null arms the recovery layer:
+  /// failed attempts retry with requeue, device health feeds sche_alloc,
+  /// and tasks out of budget degrade to the kernel-equivalent host path.
+  util::FaultPlan* fault_plan = nullptr;
+  /// Device attempts one task may consume before degrading to the CPU.
+  int max_task_attempts = 3;
+  /// Consecutive failed attempts before a device is marked degraded /
+  /// quarantined (DESIGN.md §11 defaults).
+  int degrade_after = 2;
+  int quarantine_after = 5;
 };
 
 /// Counters specific to the pipelined path and the work-stealing queue.
@@ -85,6 +100,12 @@ struct HybridResult {
   /// max over devices of device_sync_time_s (0 with no GPUs).
   double virtual_makespan_s = 0.0;
   std::size_t tasks_total = 0;
+  /// Fault-recovery accounting, aggregated over all ranks (all zero when no
+  /// FaultPlan is installed, except the completion counters, which always
+  /// balance against tasks_total).
+  FaultStats faults;
+  /// Final health of each device (all healthy on a fault-free run).
+  std::vector<DeviceHealth> device_health;
 };
 
 class HybridDriver {

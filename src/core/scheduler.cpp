@@ -42,7 +42,11 @@ int TaskScheduler::sche_alloc() {
   std::int32_t loads[kMaxDevices];
   std::int64_t histories[kMaxDevices];
   for (int i = 0; i < n; ++i) {
-    loads[i] = shm_->load[i].load(std::memory_order_acquire);
+    // A quarantined device is masked as full so it drains to the CPU
+    // fallback through the very same pick_device policy a saturated queue
+    // uses — the selection rule the DES replays stays untouched.
+    loads[i] = quarantined(i) ? lmax
+                              : shm_->load[i].load(std::memory_order_acquire);
     histories[i] = shm_->history[i].load(std::memory_order_relaxed);
   }
   // Bounded retry: after repeatedly finding only full devices, give the
@@ -72,8 +76,11 @@ int TaskScheduler::sche_alloc() {
       // expected reloaded by compare_exchange_weak; loop re-checks the cap.
     }
     // The chosen device filled up under us: refresh that one entry (its
-    // load came back through `expected`) and re-pick from the cache.
-    loads[device] = expected;
+    // load came back through `expected`) and re-pick from the cache. The
+    // health re-check covers a device quarantined between the scan and the
+    // CAS; a quarantine landing after a successful CAS is benign — that one
+    // task runs (or faults and is retried), and the next scan masks it.
+    loads[device] = quarantined(device) ? lmax : expected;
     histories[device] = shm_->history[device].load(std::memory_order_relaxed);
   }
   ++stats_.cpu_fallbacks;
@@ -109,6 +116,80 @@ std::int64_t TaskScheduler::history(int device) const {
   if (device < 0 || device >= shm_->device_count)
     throw std::out_of_range("history: bad device id");
   return shm_->history[device].load(std::memory_order_relaxed);
+}
+
+bool TaskScheduler::quarantined(int device) const noexcept {
+  return shm_->health[device].load(std::memory_order_acquire) ==
+         static_cast<std::int32_t>(DeviceHealth::quarantined);
+}
+
+DeviceHealth TaskScheduler::health(int device) const {
+  if (device < 0 || device >= shm_->device_count)
+    throw std::out_of_range("health: bad device id");
+  return static_cast<DeviceHealth>(
+      shm_->health[device].load(std::memory_order_acquire));
+}
+
+bool TaskScheduler::all_quarantined() const noexcept {
+  const int n = shm_->device_count;
+  if (n == 0) return false;
+  for (int i = 0; i < n; ++i)
+    if (!quarantined(i)) return false;
+  return true;
+}
+
+DeviceHealth TaskScheduler::report_task_fault(int device, bool fatal) {
+  if (device < 0 || device >= shm_->device_count)
+    throw std::out_of_range("report_task_fault: bad device id");
+  const std::int32_t streak =
+      shm_->faults_seen[device].fetch_add(1, std::memory_order_acq_rel) + 1;
+  auto target = DeviceHealth::healthy;
+  if (fatal || streak >= shm_->quarantine_after)
+    target = DeviceHealth::quarantined;
+  else if (streak >= shm_->degrade_after)
+    target = DeviceHealth::degraded;
+  // Promote monotonically; the rank winning the CAS counts the transition,
+  // so concurrent reporters cannot double-count it.
+  std::int32_t current = shm_->health[device].load(std::memory_order_acquire);
+  const auto wanted = static_cast<std::int32_t>(target);
+  while (current < wanted) {
+    if (shm_->health[device].compare_exchange_weak(current, wanted,
+                                                   std::memory_order_acq_rel)) {
+      if (target == DeviceHealth::quarantined)
+        ++stats_.quarantines;
+      else
+        ++stats_.degradations;
+      return target;
+    }
+  }
+  return static_cast<DeviceHealth>(std::max(current, wanted));
+}
+
+void TaskScheduler::report_task_success(int device) {
+  if (device < 0 || device >= shm_->device_count)
+    throw std::out_of_range("report_task_success: bad device id");
+  shm_->faults_seen[device].store(0, std::memory_order_release);
+  // Degraded heals on success; quarantined does not (only an explicit
+  // readmit() re-opens a quarantined device — a stale in-flight success
+  // must not resurrect a device the plan has killed).
+  auto expected = static_cast<std::int32_t>(DeviceHealth::degraded);
+  if (shm_->health[device].compare_exchange_strong(
+          expected, static_cast<std::int32_t>(DeviceHealth::healthy),
+          std::memory_order_acq_rel))
+    ++stats_.recoveries;
+}
+
+bool TaskScheduler::readmit(int device) {
+  if (device < 0 || device >= shm_->device_count)
+    throw std::out_of_range("readmit: bad device id");
+  auto expected = static_cast<std::int32_t>(DeviceHealth::quarantined);
+  if (!shm_->health[device].compare_exchange_strong(
+          expected, static_cast<std::int32_t>(DeviceHealth::degraded),
+          std::memory_order_acq_rel))
+    return false;
+  shm_->faults_seen[device].store(0, std::memory_order_release);
+  ++stats_.readmissions;
+  return true;
 }
 
 }  // namespace hspec::core

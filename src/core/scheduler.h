@@ -37,6 +37,12 @@ struct SchedulerStats {
   /// scan chose first). Contention diagnostic: high values mean many ranks
   /// are fighting over the same min-load device.
   std::int64_t cas_retries = 0;
+  // Health transitions this scheduler instance won the CAS for (each
+  // transition is counted exactly once across all ranks).
+  std::int64_t degradations = 0;   ///< healthy -> degraded
+  std::int64_t quarantines = 0;    ///< -> quarantined
+  std::int64_t recoveries = 0;     ///< degraded -> healthy (on success)
+  std::int64_t readmissions = 0;   ///< quarantined -> degraded (probation)
 
   double gpu_task_ratio() const noexcept {
     const auto total = gpu_allocations + cpu_fallbacks;
@@ -44,6 +50,35 @@ struct SchedulerStats {
                            static_cast<double>(total)
                      : 0.0;
   }
+};
+
+/// Fault-recovery accounting surfaced through HybridResult (DESIGN.md §11).
+/// Balance invariants (asserted by tests/fault_injection_test.cpp):
+///   injected == retried            — every injected fault fails exactly one
+///                                    device attempt, which is caught and
+///                                    reported exactly once;
+///   retried <= requeued + cpu_fallbacks
+///                                  — a failed attempt is either requeued to
+///                                    a device or degraded to the host (the
+///                                    inequality is strict only when tasks
+///                                    degrade straight from an
+///                                    all-quarantined sche_alloc verdict);
+///   gpu_completed + cpu_completed == tasks_total
+///                                  — exactly-once: no task lost, none done
+///                                    twice.
+struct FaultStats {
+  std::int64_t injected = 0;       ///< faults the FaultPlan injected
+  std::int64_t retried = 0;        ///< device attempts that failed
+  std::int64_t requeued = 0;       ///< failed tasks resubmitted via sche_alloc
+  std::int64_t cpu_fallbacks = 0;  ///< tasks degraded to the kernel-equivalent
+                                   ///< host path (not the QAGS queue-full path)
+  std::int64_t gpu_completed = 0;  ///< tasks whose final attempt held a device
+  std::int64_t cpu_completed = 0;  ///< tasks finished on the host
+  std::int64_t degradations = 0;   ///< healthy -> degraded transitions
+  std::int64_t quarantines = 0;    ///< -> quarantined transitions
+  std::int64_t recoveries = 0;     ///< degraded -> healthy promotions
+  std::int64_t readmissions = 0;   ///< quarantine -> probation re-admissions
+  std::int64_t device_deaths = 0;  ///< devices the plan killed permanently
 };
 
 /// The live scheduler operating on a SchedulerShm segment. Thread-safe and
@@ -72,10 +107,38 @@ class TaskScheduler {
   std::int32_t load(int device) const;
   std::int64_t history(int device) const;
 
+  /// --- Recovery state machine (DESIGN.md §11) -------------------------
+  /// sche_alloc masks quarantined devices as full, so they drain to the
+  /// CPU fallback exactly as a saturated queue does; the transitions below
+  /// are reported by the executors' retry wrappers.
+
+  DeviceHealth health(int device) const;
+
+  /// Every device is quarantined (false when there are no devices at all —
+  /// a GPU-less run is the ordinary CPU path, not a degraded one).
+  bool all_quarantined() const noexcept;
+
+  /// A task attempt failed on `device`. Bumps the consecutive-fault streak
+  /// and promotes the health state per the shm thresholds; `fatal` (device
+  /// death) quarantines immediately. Returns the health after the report.
+  /// Concurrent reporters race on a monotone CAS, so each transition is
+  /// counted by exactly one of them.
+  DeviceHealth report_task_fault(int device, bool fatal = false);
+
+  /// A task attempt succeeded on `device`: reset the streak and promote
+  /// degraded back to healthy.
+  void report_task_success(int device);
+
+  /// Re-admit a quarantined device on probation (-> degraded with a clean
+  /// streak). Returns false if the device was not quarantined.
+  bool readmit(int device);
+
   const SchedulerStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
  private:
+  bool quarantined(int device) const noexcept;
+
   SchedulerShm* shm_;
   SchedulerStats stats_;
   // stats_ is written by the owning rank only when TaskScheduler is

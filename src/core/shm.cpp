@@ -87,6 +87,18 @@ std::int64_t PointWorkQueue::remaining() const noexcept {
   return total;
 }
 
+const char* to_string(DeviceHealth health) noexcept {
+  switch (health) {
+    case DeviceHealth::healthy:
+      return "healthy";
+    case DeviceHealth::degraded:
+      return "degraded";
+    case DeviceHealth::quarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
 void SchedulerShm::initialize(int devices, int max_queue_len) {
   if (devices < 0 || devices > kMaxDevices)
     throw std::invalid_argument(
@@ -96,9 +108,16 @@ void SchedulerShm::initialize(int devices, int max_queue_len) {
   for (int i = 0; i < kMaxDevices; ++i) {
     load[i].store(0, std::memory_order_relaxed);
     history[i].store(0, std::memory_order_relaxed);
+    health[i].store(static_cast<std::int32_t>(DeviceHealth::healthy),
+                    std::memory_order_relaxed);
+    faults_seen[i].store(0, std::memory_order_relaxed);
   }
   device_count = devices;
   max_queue_length = max_queue_len;
+  // Defaults documented in DESIGN.md §11; the hybrid driver overrides them
+  // from HybridConfig before the ranks start.
+  degrade_after = 2;
+  quarantine_after = 5;
   points.initialize(0, 0, 1);
 }
 

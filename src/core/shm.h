@@ -64,14 +64,38 @@ struct PointWorkQueue {
   std::int64_t remaining() const noexcept;
 };
 
+/// Per-device recovery state machine (DESIGN.md §11). Transitions are
+/// driven by consecutive failed task attempts: healthy -> degraded after
+/// `degrade_after`, -> quarantined after `quarantine_after` (or immediately
+/// on device death); a success resets the streak and promotes degraded back
+/// to healthy; readmission drops quarantined to degraded (probation).
+/// Numeric values order by severity so promotion is a monotone CAS.
+enum class DeviceHealth : std::int32_t {
+  healthy = 0,
+  degraded = 1,
+  quarantined = 2,
+};
+
+const char* to_string(DeviceHealth health) noexcept;
+
 /// POD-with-atomics segment: load l_i and history h_i per device
-/// (Algorithm 1's global variables), plus the work-stealing point queue.
+/// (Algorithm 1's global variables), plus the work-stealing point queue
+/// and the per-device recovery state.
 /// Lock-free on every target we support.
 struct SchedulerShm {
   std::atomic<std::int32_t> load[kMaxDevices];
   std::atomic<std::int64_t> history[kMaxDevices];
+  /// DeviceHealth values; quarantined devices are masked as full by
+  /// sche_alloc so they drain to the CPU path exactly as a full queue does.
+  std::atomic<std::int32_t> health[kMaxDevices];
+  /// Consecutive failed task attempts since the device's last success.
+  std::atomic<std::int32_t> faults_seen[kMaxDevices];
   std::int32_t device_count;
   std::int32_t max_queue_length;
+  /// Health thresholds on the consecutive-fault streak. Set before ranks
+  /// start (like max_queue_length, not atomic).
+  std::int32_t degrade_after;
+  std::int32_t quarantine_after;
   PointWorkQueue points;
 
   /// Throws std::invalid_argument on `devices` outside [0, kMaxDevices] or

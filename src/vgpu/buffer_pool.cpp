@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/fault.h"
+
 namespace hspec::vgpu {
 
 DeviceBuffer BufferPool::acquire(std::size_t bytes) {
+  // Fault hook before the lock: a dying device's allocator fails here even
+  // when the request would have been served from the free list.
+  if (util::FaultPlan* plan = device_->fault_plan(); plan != nullptr) {
+    const util::FaultDecision verdict =
+        plan->query(util::FaultSite::buffer_alloc, device_->id());
+    if (verdict.fail) throw util::FaultError(verdict.site, device_->id());
+  }
   util::MutexLock lock(mu_);
   ++stats_.acquisitions;
   // Smallest adequate free buffer.

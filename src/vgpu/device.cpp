@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/fault.h"
+
 namespace hspec::vgpu {
 
 DeviceBuffer::DeviceBuffer(DeviceBuffer&& o) noexcept
@@ -64,6 +66,11 @@ void Device::copy_to_device(DeviceBuffer& dst, const void* src,
                             std::size_t bytes) {
   if (bytes > dst.size())
     throw std::out_of_range("copy_to_device: byte count exceeds buffer");
+  if (fault_plan_ != nullptr) {
+    const util::FaultDecision verdict =
+        fault_plan_->query(util::FaultSite::h2d_transfer, id_);
+    if (verdict.fail) throw util::FaultError(verdict.site, id_);
+  }
   std::memcpy(dst.device_ptr(), src, bytes);
   util::MutexLock lock(mu_);
   ++stats_.h2d_copies;
@@ -75,6 +82,11 @@ void Device::copy_to_host(void* dst, const DeviceBuffer& src,
                           std::size_t bytes) {
   if (bytes > src.size())
     throw std::out_of_range("copy_to_host: byte count exceeds buffer");
+  if (fault_plan_ != nullptr) {
+    const util::FaultDecision verdict =
+        fault_plan_->query(util::FaultSite::d2h_transfer, id_);
+    if (verdict.fail) throw util::FaultError(verdict.site, id_);
+  }
   std::memcpy(dst, src.device_ptr(), bytes);
   util::MutexLock lock(mu_);
   ++stats_.d2h_copies;
@@ -92,6 +104,20 @@ void Device::launch(Dim3 grid, Dim3 block, const WorkEstimate& work,
                     Kernel kernel) {
   if (grid.total() == 0 || block.total() == 0)
     throw std::invalid_argument("Device::launch: empty grid or block");
+  if (fault_plan_ != nullptr) {
+    // A failed launch never ran; a timeout ran until the watchdog killed it,
+    // so the wasted wall time is charged to the device's virtual clock.
+    const util::FaultDecision verdict =
+        fault_plan_->query(util::FaultSite::kernel_launch, id_);
+    if (verdict.fail) throw util::FaultError(verdict.site, id_);
+    const util::FaultDecision timeout =
+        fault_plan_->query(util::FaultSite::kernel_timeout, id_);
+    if (timeout.fail) {
+      util::MutexLock lock(mu_);
+      stats_.kernel_time_s += timeout.penalty_s;
+      throw util::FaultError(timeout.site, id_);
+    }
+  }
   util::MutexLock lock(mu_);  // Fermi: queued kernels execute serially
   KernelCtx ctx;
   ctx.grid_dim = grid;
@@ -136,6 +162,10 @@ DeviceRegistry::DeviceRegistry(int count) {
     throw std::invalid_argument("DeviceRegistry: device count out of range");
   for (int i = 0; i < n; ++i)
     devices_.push_back(std::make_unique<Device>(props, i));
+}
+
+void DeviceRegistry::set_fault_plan(util::FaultPlan* plan) noexcept {
+  for (auto& dev : devices_) dev->set_fault_plan(plan);
 }
 
 }  // namespace hspec::vgpu

@@ -21,6 +21,10 @@
 #include "vgpu/cost_model.h"
 #include "vgpu/device_properties.h"
 
+namespace hspec::util {
+class FaultPlan;
+}
+
 namespace hspec::vgpu {
 
 struct Dim3 {
@@ -141,6 +145,12 @@ class Device {
   double busy_time_s() const noexcept;
   DeviceStats stats() const;
 
+  /// Install the fault-injection plan every fallible entry point of this
+  /// device (and its streams / buffer pools) consults; nullptr disarms it.
+  /// Must be set before ranks start — installation is not synchronized.
+  void set_fault_plan(util::FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  util::FaultPlan* fault_plan() const noexcept { return fault_plan_; }
+
  private:
   friend class DeviceBuffer;
   void on_free(std::size_t bytes) noexcept;
@@ -151,6 +161,9 @@ class Device {
   // Serializes execution and stats (Fermi "application-level context switch").
   mutable util::Mutex mu_;
   DeviceStats stats_ HSPEC_GUARDED_BY(mu_);
+  // Written once before the ranks launch (thread creation provides the
+  // happens-before), read on every fallible operation.
+  util::FaultPlan* fault_plan_ = nullptr;
 };
 
 /// The machine's virtual GPUs. "The program will detect the number of GPU
@@ -166,6 +179,10 @@ class DeviceRegistry {
   bool gpu_available() const noexcept { return !devices_.empty(); }
   Device& device(std::size_t i) { return *devices_.at(i); }
   const Device& device(std::size_t i) const { return *devices_.at(i); }
+
+  /// Arm (or disarm, with nullptr) fault injection on every device. Must be
+  /// called before any rank touches the devices.
+  void set_fault_plan(util::FaultPlan* plan) noexcept;
 
  private:
   std::vector<std::unique_ptr<Device>> devices_;

@@ -67,6 +67,18 @@ void gpu_integr_device(Device& device, double lo, double hi, std::size_t n_bins,
 
 namespace {
 
+/// One bin of the edges kernel. Shared verbatim by the device kernel and
+/// the host degradation path (integr_edges_host) so the two are bitwise
+/// identical by construction, not by happenstance.
+double integr_edge_bin(const double* edges, std::size_t b, quad::Integrand f,
+                       const IntegrLaunchConfig& cfg) {
+  if (edges[b + 1] <= cfg.lower_cutoff) return 0.0;
+  const double left = std::max(edges[b], cfg.lower_cutoff);
+  return quad::kernel_integrate(cfg.method, cfg.method_param, f, left,
+                                edges[b + 1])
+      .value;
+}
+
 /// Shared body of the blocking and stream variants: validates the buffers
 /// and hands the kernel to `launch` (Device::launch or Stream::launch_async).
 template <class LaunchFn>
@@ -86,13 +98,7 @@ void integr_edges_launch(LaunchFn&& launch, const DeviceBuffer& edges_dev,
 
   launch(grid, block, integr_work(n_bins, cfg), [&](const KernelCtx& c) {
     for (std::size_t b = c.global_x(); b < n_bins; b += c.stride_x()) {
-      double v = 0.0;
-      if (edges[b + 1] > cfg.lower_cutoff) {
-        const double left = std::max(edges[b], cfg.lower_cutoff);
-        v = quad::kernel_integrate(cfg.method, cfg.method_param, f, left,
-                                   edges[b + 1])
-                .value;
-      }
+      const double v = integr_edge_bin(edges, b, f, cfg);
       if (cfg.accumulate)
         emi[b] += v;
       else
@@ -123,6 +129,23 @@ void gpu_integr_edges_stream(Stream& stream, const DeviceBuffer& edges_dev,
         stream.launch_async(grid, block, work, kernel);
       },
       edges_dev, n_bins, f, emi_dev, cfg);
+}
+
+void integr_edges_host(std::span<const double> edges, std::size_t n_bins,
+                       quad::Integrand f, std::span<double> emi,
+                       const IntegrLaunchConfig& cfg) {
+  if (n_bins == 0) throw std::invalid_argument("integr_edges_host: no bins");
+  if (edges.size() < n_bins + 1)
+    throw std::out_of_range("integr_edges_host: edges span too small");
+  if (emi.size() < n_bins)
+    throw std::out_of_range("integr_edges_host: emi span too small");
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    const double v = integr_edge_bin(edges.data(), b, f, cfg);
+    if (cfg.accumulate)
+      emi[b] += v;
+    else
+      emi[b] = v;
+  }
 }
 
 void gpu_integr(Device& device, double lo, double hi, quad::Integrand f,

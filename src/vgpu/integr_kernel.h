@@ -63,6 +63,17 @@ void gpu_integr_edges_stream(Stream& stream, const DeviceBuffer& edges_dev,
                              DeviceBuffer& emi_dev,
                              const IntegrLaunchConfig& cfg = {});
 
+/// Host-side replay of the edges kernel: identical per-bin cutoff clamping,
+/// method, and accumulate semantics (the same shared bin rule the device
+/// variants run), so results are bitwise equal to the kernels — the bins
+/// are independent, making the math order-free. No device is touched and
+/// no virtual time is charged: this is the graceful-degradation path a task
+/// takes when its devices are quarantined or its retry budget is spent.
+/// `edges` holds n_bins + 1 doubles; `emi` at least n_bins.
+void integr_edges_host(std::span<const double> edges, std::size_t n_bins,
+                       quad::Integrand f, std::span<double> emi,
+                       const IntegrLaunchConfig& cfg = {});
+
 /// Host-convenience wrapper of Algorithm 2: allocates device memory, runs
 /// the kernel, copies emi back to `out` (out.size() = number of bins).
 void gpu_integr(Device& device, double lo, double hi, quad::Integrand f,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/fault.h"
+
 namespace hspec::vgpu {
 
 StreamScheduler::StreamScheduler(Device& device)
@@ -45,8 +47,20 @@ Stream::Stream(StreamScheduler& scheduler, Device& device)
     throw std::invalid_argument("Stream: scheduler belongs to another device");
 }
 
+void Stream::stall_check() {
+  if (util::FaultPlan* plan = device_->fault_plan(); plan != nullptr) {
+    const util::FaultDecision verdict =
+        plan->query(util::FaultSite::stream_stall, device_->id());
+    if (verdict.fail) {
+      clock_ += verdict.penalty_s;
+      throw util::FaultError(verdict.site, device_->id());
+    }
+  }
+}
+
 void Stream::launch_async(Dim3 grid, Dim3 block, const WorkEstimate& work,
                           Kernel kernel) {
+  stall_check();
   // Execute now for real results; account virtual time per overlap rules.
   device_->launch(grid, block, work, kernel);
   const double duration = device_->cost_model().kernel_time_s(work);
@@ -55,6 +69,7 @@ void Stream::launch_async(Dim3 grid, Dim3 block, const WorkEstimate& work,
 
 void Stream::copy_to_device_async(DeviceBuffer& dst, const void* src,
                                   std::size_t bytes) {
+  stall_check();
   device_->copy_to_device(dst, src, bytes);
   const double duration = device_->cost_model().transfer_time_s(bytes);
   clock_ = scheduler_->schedule_copy(true, clock_, duration);
@@ -62,6 +77,7 @@ void Stream::copy_to_device_async(DeviceBuffer& dst, const void* src,
 
 void Stream::copy_to_host_async(void* dst, const DeviceBuffer& src,
                                 std::size_t bytes) {
+  stall_check();
   device_->copy_to_host(dst, src, bytes);
   const double duration = device_->cost_model().transfer_time_s(bytes);
   clock_ = scheduler_->schedule_copy(false, clock_, duration);

@@ -58,6 +58,12 @@ class Stream {
   double synchronize() const { return clock_; }
 
  private:
+  /// Fault hook shared by the async ops: asks the device's FaultPlan for a
+  /// stream_stall verdict; a stall charges its penalty to this stream's
+  /// clock (the wedged time is real even though no work completes), then
+  /// throws util::FaultError.
+  void stall_check();
+
   StreamScheduler* scheduler_;
   Device* device_;
   double clock_ = 0.0;  ///< completion time of the last queued op

@@ -17,6 +17,7 @@
 #include "core/scheduler.h"
 #include "core/shm.h"
 #include "core/task.h"
+#include "util/fault.h"
 #include "util/statistics.h"
 
 namespace {
@@ -332,6 +333,107 @@ TEST(Scheduler, ConcurrentAllocNeverExceedsBound) {
   EXPECT_EQ(history_total, gpu_total.load());
 }
 
+// -------------------------------------------------- TaskScheduler health
+
+TEST(SchedulerHealth, DegradesThenQuarantinesOnConsecutiveFaults) {
+  ShmRegion region = ShmRegion::create_inprocess(2, 4);
+  TaskScheduler sched(region.view());
+  EXPECT_EQ(sched.health(0), DeviceHealth::healthy);
+  // Defaults from SchedulerShm::initialize: degrade after 2, quarantine
+  // after 5 consecutive faults.
+  EXPECT_EQ(sched.report_task_fault(0), DeviceHealth::healthy);
+  EXPECT_EQ(sched.report_task_fault(0), DeviceHealth::degraded);
+  EXPECT_EQ(sched.stats().degradations, 1);
+  // A success resets the streak and completes the recovery.
+  sched.report_task_success(0);
+  EXPECT_EQ(sched.health(0), DeviceHealth::healthy);
+  EXPECT_EQ(sched.stats().recoveries, 1);
+  // Five consecutive faults pass through degraded into quarantine.
+  for (int i = 0; i < 5; ++i) sched.report_task_fault(0);
+  EXPECT_EQ(sched.health(0), DeviceHealth::quarantined);
+  EXPECT_EQ(sched.stats().degradations, 2);
+  EXPECT_EQ(sched.stats().quarantines, 1);
+  // A stale success must not resurrect a quarantined device.
+  sched.report_task_success(0);
+  EXPECT_EQ(sched.health(0), DeviceHealth::quarantined);
+  // The other device never saw a fault.
+  EXPECT_EQ(sched.health(1), DeviceHealth::healthy);
+  EXPECT_THROW(sched.health(2), std::out_of_range);
+  EXPECT_THROW(sched.health(-1), std::out_of_range);
+}
+
+TEST(SchedulerHealth, FatalFaultQuarantinesImmediately) {
+  ShmRegion region = ShmRegion::create_inprocess(2, 2);
+  TaskScheduler sched(region.view());
+  EXPECT_EQ(sched.report_task_fault(0, /*fatal=*/true),
+            DeviceHealth::quarantined);
+  EXPECT_EQ(sched.stats().quarantines, 1);
+  EXPECT_EQ(sched.stats().degradations, 0);
+  // sche_alloc treats the quarantined device like a full queue: the
+  // survivor takes everything, then the CPU.
+  EXPECT_EQ(sched.sche_alloc(), 1);
+  EXPECT_EQ(sched.sche_alloc(), 1);
+  EXPECT_EQ(sched.sche_alloc(), -1);
+  EXPECT_FALSE(sched.all_quarantined());
+}
+
+TEST(SchedulerHealth, AllQuarantinedDrainsToCpu) {
+  ShmRegion region = ShmRegion::create_inprocess(2, 4);
+  TaskScheduler sched(region.view());
+  sched.report_task_fault(0, true);
+  sched.report_task_fault(1, true);
+  EXPECT_TRUE(sched.all_quarantined());
+  EXPECT_EQ(sched.sche_alloc(), -1);
+  EXPECT_EQ(sched.stats().cpu_fallbacks, 1);
+  // Zero devices is not "all quarantined" — that verdict routes tasks to
+  // the degraded kernel path, which is wrong for a deliberately CPU-only
+  // run.
+  ShmRegion none = ShmRegion::create_inprocess(0, 4);
+  TaskScheduler cpu_only(none.view());
+  EXPECT_FALSE(cpu_only.all_quarantined());
+}
+
+TEST(SchedulerHealth, ReadmissionPutsDeviceOnProbation) {
+  ShmRegion region = ShmRegion::create_inprocess(1, 4);
+  TaskScheduler sched(region.view());
+  EXPECT_FALSE(sched.readmit(0));  // healthy: nothing to readmit
+  sched.report_task_fault(0, true);
+  EXPECT_EQ(sched.sche_alloc(), -1);
+  EXPECT_TRUE(sched.readmit(0));
+  EXPECT_EQ(sched.health(0), DeviceHealth::degraded);
+  EXPECT_EQ(sched.stats().readmissions, 1);
+  EXPECT_EQ(sched.sche_alloc(), 0);  // degraded devices are allocatable
+  sched.sche_free(0);
+  // A clean task during probation completes the recovery.
+  sched.report_task_success(0);
+  EXPECT_EQ(sched.health(0), DeviceHealth::healthy);
+  EXPECT_EQ(sched.stats().recoveries, 1);
+  EXPECT_FALSE(sched.readmit(0));
+}
+
+TEST(SchedulerHealth, QueueFullRacingDeviceDeath) {
+  // The device dies while its queue is full: draining the queue must not
+  // make it allocatable again, and readmission must.
+  ShmRegion region = ShmRegion::create_inprocess(1, 2);
+  TaskScheduler sched(region.view());
+  ASSERT_EQ(sched.sche_alloc(), 0);
+  ASSERT_EQ(sched.sche_alloc(), 0);
+  ASSERT_EQ(sched.sche_alloc(), -1);  // full
+  sched.report_task_fault(0, true);   // death races the full queue
+  sched.sche_free(0);
+  sched.sche_free(0);
+  EXPECT_EQ(sched.load(0), 0);
+  EXPECT_EQ(sched.sche_alloc(), -1);  // empty but quarantined
+  EXPECT_TRUE(sched.readmit(0));
+  EXPECT_EQ(sched.sche_alloc(), 0);
+}
+
+TEST(SchedulerHealth, HealthNamesRoundTrip) {
+  EXPECT_STREQ(to_string(DeviceHealth::healthy), "healthy");
+  EXPECT_STREQ(to_string(DeviceHealth::degraded), "degraded");
+  EXPECT_STREQ(to_string(DeviceHealth::quarantined), "quarantined");
+}
+
 // ------------------------------------------------------------------ autotune
 
 TEST(Autotune, FindsTheKneeOfAConvexCurve) {
@@ -534,6 +636,99 @@ TEST_F(HybridTest, InvalidConfigThrows) {
   HybridConfig bad2;
   bad2.max_queue_length = 0;
   EXPECT_THROW(HybridDriver(calc_, bad2), std::invalid_argument);
+  HybridConfig bad3;
+  bad3.max_task_attempts = 0;
+  EXPECT_THROW(HybridDriver(calc_, bad3), std::invalid_argument);
+  HybridConfig bad4;
+  bad4.degrade_after = 3;
+  bad4.quarantine_after = 2;  // must be >= degrade_after
+  EXPECT_THROW(HybridDriver(calc_, bad4), std::invalid_argument);
+}
+
+// ------------------------------------------------- hybrid fault recovery
+
+TEST_F(HybridTest, RetryBudgetExhaustionDegradesBitIdentically) {
+  // Every kernel launch fails: each RRC task burns its whole attempt budget
+  // and degrades to the kernel-equivalent host path. The spectrum must stay
+  // bitwise what the healthy device would have produced.
+  const std::vector<apec::GridPoint> points{{0.3, 1.0, 0.0, 0},
+                                            {0.8, 1.0, 0.0, 1}};
+  HybridConfig base;
+  base.ranks = 1;
+  base.devices = 1;
+  base.mode = ExecutionMode::synchronous;
+  base.max_queue_length = 32;
+  const HybridResult ref = HybridDriver(calc_, base).run(points);
+
+  util::FaultPlanConfig fc;
+  fc.seed = 5;
+  fc.kernel_fault_rate = 1.0;
+  util::FaultPlan plan(fc);
+  HybridConfig cfg = base;
+  cfg.fault_plan = &plan;
+  cfg.max_task_attempts = 2;
+  const HybridResult res = HybridDriver(calc_, cfg).run(points);
+
+  ASSERT_EQ(ref.spectra.size(), res.spectra.size());
+  for (std::size_t p = 0; p < ref.spectra.size(); ++p)
+    for (std::size_t b = 0; b < ref.spectra[p].bin_count(); ++b)
+      ASSERT_EQ(ref.spectra[p][b], res.spectra[p][b])
+          << "point " << p << " bin " << b;
+  EXPECT_GT(res.faults.injected, 0);
+  EXPECT_EQ(res.faults.injected, res.faults.retried);
+  EXPECT_GT(res.faults.cpu_fallbacks, 0);
+  EXPECT_GE(res.faults.quarantines, 1);
+  EXPECT_EQ(res.faults.gpu_completed + res.faults.cpu_completed,
+            static_cast<std::int64_t>(res.tasks_total));
+  ASSERT_EQ(res.device_health.size(), 1u);
+  EXPECT_EQ(res.device_health[0], DeviceHealth::quarantined);
+}
+
+TEST_F(HybridTest, DeviceDeathRacingFullQueueKeepsExactlyOnceAccounting) {
+  // A one-slot queue under two ranks forces queue-full CPU fallbacks (the
+  // paper's QAGS path) to race the device's mid-run death. Bit-identity is
+  // not defined here — QAGS differs from the kernels at ~1e-5 — but every
+  // task must still complete exactly once and the dead device must end
+  // quarantined.
+  const std::vector<apec::GridPoint> points{{0.3, 1.0, 0.0, 0},
+                                            {0.5, 1.0, 0.0, 1},
+                                            {0.7, 1.0, 0.0, 2},
+                                            {0.9, 1.0, 0.0, 3}};
+  util::FaultPlanConfig fc;
+  fc.seed = 3;
+  fc.dead_device = 0;
+  fc.dies_after_ops = 6;
+  util::FaultPlan plan(fc);
+
+  HybridConfig cfg;
+  cfg.ranks = 2;
+  cfg.devices = 1;
+  cfg.max_queue_length = 1;
+  cfg.mode = ExecutionMode::pipelined;
+  cfg.fault_plan = &plan;
+  const std::int64_t total = static_cast<std::int64_t>(points.size());
+  // Hold rank 1 until rank 0 has claimed work, so both ranks are live and
+  // contending on the one-slot queue when the device dies.
+  cfg.rank_start_hook = [&](int rank, const PointWorkQueue& queue) {
+    if (rank == 0) return;
+    while (queue.remaining() == total) std::this_thread::yield();
+  };
+  const HybridResult res = HybridDriver(calc_, cfg).run(points);
+
+  EXPECT_EQ(res.faults.device_deaths, 1);
+  ASSERT_EQ(res.device_health.size(), 1u);
+  EXPECT_EQ(res.device_health[0], DeviceHealth::quarantined);
+  EXPECT_EQ(res.faults.injected, res.faults.retried);
+  EXPECT_EQ(res.faults.gpu_completed + res.faults.cpu_completed,
+            static_cast<std::int64_t>(res.tasks_total));
+
+  // Numerically the spectra still match the serial kernel baseline to the
+  // QAGS-vs-Simpson tolerance.
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const apec::Spectrum serial = calc_.calculate(points[p]);
+    EXPECT_LT(worst_relative_difference(serial, res.spectra[p]), 1e-4)
+        << "point " << p;
+  }
 }
 
 }  // namespace

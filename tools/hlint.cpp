@@ -14,7 +14,13 @@
 //                  `= delete` declarations are the sanctioned forms;
 //  [volatile]      `volatile` is not a synchronization primitive; use
 //                  std::atomic;
-//  [pragma-once]   every header starts its include guard with #pragma once.
+//  [pragma-once]   every header starts its include guard with #pragma once;
+//  [fault-hook]    a vgpu injection point may throw util::FaultError only on
+//                  a FaultPlan verdict: every FaultError construction under
+//                  src/vgpu must sit within a few lines of a `query(` /
+//                  `fault_plan` call (DESIGN.md §11) — a free-floating
+//                  FaultError is an undeclared injection point the
+//                  deterministic replay machinery cannot see.
 //
 // Numerics pack (DESIGN.md §10) — the dimensional-correctness rules that
 // back the util::Quantity layer:
@@ -505,6 +511,52 @@ void check_unit_suffix(const std::string& path, const std::string& text,
   }
 }
 
+/// [fault-hook]: every `FaultError(...)` construction in the device layer
+/// must be the consequence of a FaultPlan verdict obtained nearby — a
+/// `query(` or `fault_plan` token within the preceding window of lines.
+/// Catch clauses and declarations (`FaultError&`, `FaultError e`) pass; only
+/// the construction spelling `FaultError(` is policed.
+void check_fault_hook(const std::string& path, const std::string& text,
+                      const std::vector<std::string>& raw_lines,
+                      std::vector<Violation>& out) {
+  constexpr int kWindowLines = 8;
+  std::size_t pos = 0;
+  while ((pos = text.find("FaultError", pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += 10;
+    if (start > 0 && ident_char(text[start - 1])) continue;
+    if (pos < text.size() && ident_char(text[pos])) continue;
+    std::size_t q = pos;
+    while (q < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[q])) != 0)
+      ++q;
+    if (q >= text.size() || text[q] != '(') continue;  // not a construction
+    const std::size_t line = line_of(text, start);
+    if (line_allows(raw_lines, line, "fault-hook")) continue;
+    // Look back through the stripped text (comments cannot satisfy the
+    // rule) for the verdict that justifies this throw.
+    std::size_t win = start;
+    int newlines = 0;
+    while (win > 0 && newlines <= kWindowLines) {
+      --win;
+      if (text[win] == '\n') ++newlines;
+    }
+    const std::string_view window(text.data() + win, start - win);
+    bool hooked = window.find("fault_plan") != std::string_view::npos;
+    for (std::size_t w = window.find("query(");
+         !hooked && w != std::string_view::npos;
+         w = window.find("query(", w + 1)) {
+      // Whole member name only: `.query(` / `->query(`, not `enquery(`.
+      if (w > 0 && !ident_char(window[w - 1])) hooked = true;
+    }
+    if (hooked) continue;
+    out.push_back({path, line, "fault-hook",
+                   "FaultError thrown without a FaultPlan verdict in sight; "
+                   "route the injection point through plan->query(site, "
+                   "device) (DESIGN.md §11)"});
+  }
+}
+
 bool is_header(const fs::path& p) {
   return p.extension() == ".h" || p.extension() == ".hpp";
 }
@@ -518,6 +570,11 @@ bool is_source(const fs::path& p) {
 bool memory_order_scope(const std::string& path) {
   return path.find("src/core") != std::string::npos ||
          path.find("src/vgpu") != std::string::npos;
+}
+
+/// [fault-hook] polices the device layer, where the injection points live.
+bool fault_hook_scope(const std::string& path) {
+  return path.find("src/vgpu") != std::string::npos;
 }
 
 /// [fp-equal] applies to the whole library tree.
@@ -600,6 +657,8 @@ int main(int argc, char** argv) {
     // Stripped text, not raw: a comment *mentioning* the pragma must not
     // satisfy the rule.
     if (is_header(file)) check_pragma_once(path, text, violations);
+    if (fault_hook_scope(path))
+      check_fault_hook(path, text, raw_lines, violations);
     if (fp_equal_scope(path))
       check_fp_equal(path, text, raw_lines, violations);
     if (physics_scope(path)) {
@@ -621,8 +680,8 @@ int main(int argc, char** argv) {
   // reader can tell "rule never ran" from "rule ran and found nothing".
   std::cout << "hlint: rule counts:";
   for (const char* rule :
-       {"memory-order", "naked-new", "volatile", "pragma-once", "fp-equal",
-        "no-float", "unit-suffix", "narrowing"}) {
+       {"memory-order", "naked-new", "volatile", "pragma-once", "fault-hook",
+        "fp-equal", "no-float", "unit-suffix", "narrowing"}) {
     const auto n = std::count_if(
         violations.begin(), violations.end(),
         [rule](const Violation& v) { return v.rule == rule; });

@@ -1,0 +1,18 @@
+// Fixture for the [fault-hook] rule: a device-layer path that throws
+// FaultError with no FaultPlan verdict anywhere nearby — an undeclared
+// injection point. hlint must flag the throw below.
+
+// Stand-in for util::FaultError so the fixture compiles nowhere near the
+// real tree (fixtures are linted, never built).
+struct FaultError {
+  explicit FaultError(int device_id) : device(device_id) {}
+  int device;
+};
+
+int copy_without_a_verdict(int device) {
+  if (device < 0) {
+    // No plan->query(...) preceding this: the lint fires here.
+    throw FaultError(device);
+  }
+  return device;
+}
