@@ -24,6 +24,11 @@ struct IntegrationPolicy {
   bool adaptive = true;
   quad::KernelMethod kernel = quad::KernelMethod::simpson;
   std::size_t kernel_param = quad::kPaperSimpsonPanels;
+  /// Kernel-path execution shape: true routes the fixed-method integrals
+  /// through the batched (structure-of-arrays, SIMD) integrand; false keeps
+  /// the scalar reference path. Bitwise-identical spectra either way — the
+  /// identity tests pin it — so this is purely a speed/debugging dial.
+  bool batch = true;
   double qags_errabs = 1e-18;
   double qags_errrel = 1e-10;
 };

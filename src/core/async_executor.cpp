@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "rrc/rrc.h"
+#include "rrc/rrc_batch.h"
 #include "util/dcheck.h"
 #include "util/fault.h"
 #include "vgpu/integr_kernel.h"
@@ -169,6 +170,10 @@ void AsyncGpuExecutor::submit_gpu(Slot& slot, int device) {
   cfg.method = pol.kernel;
   cfg.method_param = pol.kernel_param;
 
+  // One arena reset per task (vgpu/arena.h lifetime rule): the eager stream
+  // launches below are done with their scratch by the time they return.
+  if (pol.batch) lane.arena.reset();
+
   for (std::size_t li = level_begin; li < level_end; ++li) {
     rrc::RrcChannel ch;
     ch.recombining_charge = slot.task.ion.charge;
@@ -181,12 +186,19 @@ void AsyncGpuExecutor::submit_gpu(Slot& slot, int device) {
     // zeroed buffer.
     cfg.lower_cutoff = ch.level.binding_keV;
     cfg.accumulate = li != level_begin;
-    // Kernel edge: the integrator hands us raw abscissae; wrap on entry and
-    // unwrap the typed emissivity into the device accumulation buffer.
-    auto f = [&](double e) {
-      return rrc::rrc_power_density(ch, plasma, util::KeV{e}).value();
-    };
-    vgpu::gpu_integr_edges_stream(stream, edges_dev, n_bins, f, slot.emi, cfg);
+    if (pol.batch) {
+      const rrc::RrcBatchIntegrand bf(ch, plasma);
+      vgpu::gpu_integr_edges_stream(stream, edges_dev, n_bins, bf, slot.emi,
+                                    lane.arena, cfg);
+    } else {
+      // Kernel edge: the integrator hands us raw abscissae; wrap on entry
+      // and unwrap the typed emissivity into the device accumulation buffer.
+      auto f = [&](double e) {
+        return rrc::rrc_power_density(ch, plasma, util::KeV{e}).value();
+      };
+      vgpu::gpu_integr_edges_stream(stream, edges_dev, n_bins, f, slot.emi,
+                                    cfg);
+    }
     ++stats_.kernels;
   }
   if (level_begin == level_end) {

@@ -34,6 +34,7 @@
 #include "core/cpu_task_executor.h"
 #include "core/scheduler.h"
 #include "core/task.h"
+#include "vgpu/arena.h"
 #include "vgpu/buffer_pool.h"
 #include "vgpu/device.h"
 #include "vgpu/resident_cache.h"
@@ -115,6 +116,11 @@ class AsyncGpuExecutor {
     std::vector<std::unique_ptr<vgpu::Stream>> streams;
     std::size_t next_stream = 0;
     int in_flight = 0;
+    /// Batch-integrand scratch for this rank's launches on the device,
+    /// reset once per submitted task: stream launches execute eagerly on
+    /// the host, so nothing in flight holds arena spans, and steady-state
+    /// tasks allocate nothing.
+    vgpu::ScratchArena arena;
   };
 
   void submit_gpu(Slot& slot, int device);

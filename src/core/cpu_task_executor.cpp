@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "rrc/rrc.h"
+#include "rrc/rrc_batch.h"
+#include "vgpu/arena.h"
 #include "vgpu/integr_kernel.h"
 
 namespace hspec::core {
@@ -76,6 +78,10 @@ std::size_t execute_task_degraded(const apec::SpectrumCalculator& calc,
   cfg.method_param = pol.kernel_param;
   cfg.accumulate = true;
 
+  // Degradation is rare, so the batch scratch is task-local here; the batch
+  // host path stays bitwise equal to the batched kernels (and both to the
+  // scalar oracle), keeping the degraded-vs-GPU identity intact.
+  vgpu::ScratchArena scratch;
   for (std::size_t li = level_begin; li < level_end; ++li) {
     rrc::RrcChannel ch;
     ch.recombining_charge = task.ion.charge;
@@ -83,10 +89,15 @@ std::size_t execute_task_degraded(const apec::SpectrumCalculator& calc,
     ch.gaunt_correction = calc.options().gaunt_correction;
     rrc::PlasmaState plasma{pops.kT_keV, pops.ne_cm3, n_rec};
     cfg.lower_cutoff = ch.level.binding_keV;
-    auto f = [&](double e) {
-      return rrc::rrc_power_density(ch, plasma, util::KeV{e}).value();
-    };
-    vgpu::integr_edges_host(grid.edges(), n_bins, f, emi, cfg);
+    if (pol.batch) {
+      const rrc::RrcBatchIntegrand bf(ch, plasma);
+      vgpu::integr_edges_host(grid.edges(), n_bins, bf, emi, scratch, cfg);
+    } else {
+      auto f = [&](double e) {
+        return rrc::rrc_power_density(ch, plasma, util::KeV{e}).value();
+      };
+      vgpu::integr_edges_host(grid.edges(), n_bins, f, emi, cfg);
+    }
   }
 
   for (std::size_t b = 0; b < n_bins; ++b) spectrum[b] += emi[b];

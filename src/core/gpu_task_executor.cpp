@@ -1,9 +1,11 @@
 #include "core/gpu_task_executor.h"
 
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "rrc/rrc.h"
+#include "rrc/rrc_batch.h"
 #include "vgpu/integr_kernel.h"
 
 namespace hspec::core {
@@ -13,7 +15,8 @@ GpuExecutionReport execute_task_on_gpu(const apec::SpectrumCalculator& calc,
                                        const apec::PointPopulations& pops,
                                        vgpu::Device& device,
                                        apec::Spectrum& spectrum,
-                                       vgpu::BufferPool* pool) {
+                                       vgpu::BufferPool* pool,
+                                       vgpu::ScratchArena* arena) {
   GpuExecutionReport report;
   const apec::EnergyGrid& grid = calc.grid();
   const std::size_t n_bins = grid.bin_count();
@@ -54,6 +57,14 @@ GpuExecutionReport execute_task_on_gpu(const apec::SpectrumCalculator& calc,
   cfg.method_param = pol.kernel_param;
   cfg.accumulate = true;
 
+  // Batch scratch: the caller's per-rank arena when supplied (reset here,
+  // once per task — the arena lifetime rule of vgpu/arena.h), else a
+  // task-local one.
+  std::optional<vgpu::ScratchArena> local_arena;
+  vgpu::ScratchArena* scratch = arena;
+  if (pol.batch && scratch == nullptr) scratch = &local_arena.emplace();
+  if (scratch != nullptr) scratch->reset();
+
   for (std::size_t li = level_begin; li < level_end; ++li) {
     rrc::RrcChannel ch;
     ch.recombining_charge = task.ion.charge;
@@ -62,12 +73,19 @@ GpuExecutionReport execute_task_on_gpu(const apec::SpectrumCalculator& calc,
     rrc::PlasmaState plasma{pops.kT_keV, pops.ne_cm3, n_rec};
     // Algorithm 2: the level integrates from its own threshold upward.
     cfg.lower_cutoff = ch.level.binding_keV;
-    // Kernel edge: the integrator hands us raw abscissae; wrap on entry and
-    // unwrap the typed emissivity into the device accumulation buffer.
-    auto f = [&](double e) {
-      return rrc::rrc_power_density(ch, plasma, util::KeV{e}).value();
-    };
-    vgpu::gpu_integr_edges_device(device, edges_dev, n_bins, f, emi_dev, cfg);
+    if (pol.batch) {
+      const rrc::RrcBatchIntegrand bf(ch, plasma);
+      vgpu::gpu_integr_edges_device(device, edges_dev, n_bins, bf, emi_dev,
+                                    *scratch, cfg);
+    } else {
+      // Kernel edge: the integrator hands us raw abscissae; wrap on entry
+      // and unwrap the typed emissivity into the device accumulation buffer.
+      auto f = [&](double e) {
+        return rrc::rrc_power_density(ch, plasma, util::KeV{e}).value();
+      };
+      vgpu::gpu_integr_edges_device(device, edges_dev, n_bins, f, emi_dev,
+                                    cfg);
+    }
     ++report.kernels;
     ++report.levels_done;
   }

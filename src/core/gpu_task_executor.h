@@ -12,6 +12,7 @@
 #include "apec/calculator.h"
 #include "apec/spectrum.h"
 #include "core/task.h"
+#include "vgpu/arena.h"
 #include "vgpu/buffer_pool.h"
 #include "vgpu/device.h"
 
@@ -29,11 +30,16 @@ struct GpuExecutionReport {
 /// non-adaptive kernel settings; the adaptive flag is ignored here).
 /// With `pool` non-null, device buffers are leased from it instead of
 /// allocated per task (the steady-state production configuration).
+/// With integration.batch set, the kernels run the vectorized batched
+/// integrand; `arena`, when non-null, supplies the batch scratch (pass the
+/// rank's arena so steady-state tasks allocate nothing — it is reset here,
+/// once per task). A null arena falls back to a task-local one.
 GpuExecutionReport execute_task_on_gpu(const apec::SpectrumCalculator& calc,
                                        const SpectralTask& task,
                                        const apec::PointPopulations& pops,
                                        vgpu::Device& device,
                                        apec::Spectrum& spectrum,
-                                       vgpu::BufferPool* pool = nullptr);
+                                       vgpu::BufferPool* pool = nullptr,
+                                       vgpu::ScratchArena* arena = nullptr);
 
 }  // namespace hspec::core

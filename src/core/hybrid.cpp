@@ -101,6 +101,9 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
     // Per-rank QAGS calculator, built once and reused by every CPU-fallback
     // task (the old code rebuilt it per task).
     const CpuTaskExecutor cpu_exec(*calc_);
+    // Per-rank batch-integrand scratch for the synchronous GPU path; reset
+    // inside execute_task_on_gpu, so steady-state tasks allocate nothing.
+    vgpu::ScratchArena gpu_scratch;
     FaultStats fs;  // this rank's recovery accounting
     std::optional<AsyncGpuExecutor> async;
     if (pipelined)
@@ -125,7 +128,7 @@ HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
             const GpuExecutionReport rep = execute_task_on_gpu(
                 *calc_, task, pops,
                 registry.device(static_cast<std::size_t>(device)), out,
-                pools[static_cast<std::size_t>(device)].get());
+                pools[static_cast<std::size_t>(device)].get(), &gpu_scratch);
             sched.sche_free(device);
             if (plan != nullptr && rep.kernels > 0)
               sched.report_task_success(device);

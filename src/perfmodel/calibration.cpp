@@ -31,6 +31,7 @@ double SpectralCostModel::kernel_time_per_level_s() const {
   work.flops = static_cast<double>(workload_.bins_per_level) *
                gpu_evals_per_bin() * calib_.gpu_flops_per_eval;
   work.device_bytes = workload_.bins_per_level * sizeof(double) * 2;
+  work.lanes = calib_.kernel_simd_lanes;
   return gpu_model_.kernel_time_s(work);
 }
 

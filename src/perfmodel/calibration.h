@@ -33,6 +33,11 @@ struct PaperCalibration {
   /// Average flops one integrand evaluation costs inside the GPU kernel
   /// (special-function units make exp/pow cheaper than scalar CPU code).
   double gpu_flops_per_eval = 26.0;
+  /// Vector lanes the kernel's integrand evaluations retire at (the
+  /// WorkEstimate::lanes fed to the cost model). 1.0 — the scalar path —
+  /// keeps every paper anchor unchanged; set to vgpu::kBatchLanes to model
+  /// a batched-kernel run.
+  double kernel_simd_lanes = 1.0;
   /// CPU-side preparation of one task splits into a fixed part (scheduler
   /// round trip, task packaging, host-side result merge — paid per task
   /// regardless of granularity) and a scalable part proportional to the

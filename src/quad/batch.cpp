@@ -1,0 +1,50 @@
+#include "quad/batch.h"
+
+#include <stdexcept>
+
+#include "quad/kernel_rules.h"
+
+namespace hspec::quad {
+
+namespace {
+
+/// Evaluator that records each requested abscissa and returns 0.0 (the rule
+/// arithmetic runs on zeros and is discarded).
+struct Recorder {
+  double* out;
+  std::size_t i = 0;
+
+  double operator()(double x) {
+    out[i++] = x;
+    return 0.0;
+  }
+};
+
+/// Evaluator that ignores the abscissa and consumes the next precomputed
+/// value — the same call sequence as the Recorder, by shared template.
+struct Replayer {
+  const double* ys;
+  std::size_t i = 0;
+
+  double operator()(double) { return ys[i++]; }
+};
+
+}  // namespace
+
+void kernel_abscissae(KernelMethod m, std::size_t param, double a, double b,
+                      std::span<double> xs) {
+  if (xs.size() < kernel_cost_evals(m, param))
+    throw std::out_of_range("kernel_abscissae: span too small for method");
+  Recorder rec{xs.data()};
+  rules::kernel_integrate_impl(m, param, rec, a, b);
+}
+
+IntegrationResult kernel_combine(KernelMethod m, std::size_t param, double a,
+                                 double b, std::span<const double> ys) {
+  if (ys.size() < kernel_cost_evals(m, param))
+    throw std::out_of_range("kernel_combine: span too small for method");
+  Replayer rep{ys.data()};
+  return rules::kernel_integrate_impl(m, param, rep, a, b);
+}
+
+}  // namespace hspec::quad

@@ -1,0 +1,67 @@
+#pragma once
+// Structure-of-arrays batched evaluation of the fixed-cost kernel rules.
+//
+// The scalar hot path evaluates the integrand one abscissa at a time through
+// a FunctionRef indirection — one indirect call plus one exp/log per point.
+// The batch model splits each bin integral into three phases:
+//
+//   record   enumerate the rule's abscissae (kernel_abscissae) — pure
+//            arithmetic, no integrand;
+//   evaluate hand the whole abscissa span to a BatchIntegrand, which fills
+//            the value span in one vectorizable pass (the transcendentals
+//            amortize across SIMD lanes — see util/fastmath.h);
+//   combine  replay the rule over the precomputed values (kernel_combine).
+//
+// record and combine instantiate the same rule templates
+// (quad/kernel_rules.h) that the scalar integrators run, so the i-th
+// recorded abscissa is exactly the i-th value consumed, and the combined
+// result is bit-identical to kernel_integrate whenever the BatchIntegrand
+// matches the scalar integrand pointwise. Identity is therefore independent
+// of how callers chunk bins into batches: each value depends only on its own
+// abscissa.
+
+#include <cstddef>
+#include <span>
+
+#include "quad/integrate.h"
+#include "util/function_ref.h"
+
+namespace hspec::quad {
+
+/// A batched integrand: ys[i] = f(xs[i]) for every i (spans have equal
+/// length). Non-owning, like Integrand. To keep the batch path bit-identical
+/// to a scalar reference, the implementation must produce the same bits as
+/// the scalar integrand at every abscissa (elementwise IEEE ops and explicit
+/// std::fma only — see util/fastmath.h).
+using BatchIntegrand =
+    util::FunctionRef<void(std::span<const double>, std::span<double>)>;
+
+/// Write the abscissae of one bin [a, b] under the kernel method into `xs`,
+/// in evaluation order. Exactly kernel_cost_evals(m, param) values; throws
+/// std::out_of_range if `xs` is smaller.
+void kernel_abscissae(KernelMethod m, std::size_t param, double a, double b,
+                      std::span<double> xs);
+
+/// Combine precomputed integrand values (in kernel_abscissae order) into the
+/// bin integral. Bitwise identical to kernel_integrate(m, param, f, a, b)
+/// when ys[i] == f(xs[i]) for all i. Throws std::out_of_range if `ys` holds
+/// fewer than kernel_cost_evals(m, param) values.
+IntegrationResult kernel_combine(KernelMethod m, std::size_t param, double a,
+                                 double b, std::span<const double> ys);
+
+/// Adapts a scalar integrand to the batch interface by looping — trivially
+/// bit-identical, with none of the speedup. The reference oracle for the
+/// identity tests and the fallback for integrands with no batched form.
+class ScalarBatchAdapter {
+ public:
+  explicit ScalarBatchAdapter(Integrand f) noexcept : f_(f) {}
+
+  void operator()(std::span<const double> xs, std::span<double> ys) const {
+    for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = f_(xs[i]);
+  }
+
+ private:
+  Integrand f_;
+};
+
+}  // namespace hspec::quad

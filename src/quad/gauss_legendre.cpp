@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "quad/kernel_rules.h"
 #include "util/thread_annotations.h"
 
 namespace hspec::quad {
@@ -66,14 +67,9 @@ const GaussLegendreRule& gauss_legendre_rule(std::size_t n) {
 }
 
 IntegrationResult gauss_legendre(Integrand f, double a, double b, std::size_t n) {
-  const GaussLegendreRule& rule = gauss_legendre_rule(n);
-  const double mid = 0.5 * (a + b);
-  const double halfwidth = 0.5 * (b - a);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i)
-    acc += rule.weights[i] * f(mid + halfwidth * rule.nodes[i]);
-  const double value = acc * halfwidth;
-  return {value, std::fabs(value) * 1e-12, n, true};
+  // Shared rule body (quad/kernel_rules.h): the scalar reference and the
+  // batched record/replay path execute the same arithmetic sequence.
+  return rules::gauss_legendre_impl(f, a, b, gauss_legendre_rule(n));
 }
 
 }  // namespace hspec::quad

@@ -2,21 +2,13 @@
 
 #include <stdexcept>
 
+#include "quad/kernel_rules.h"
+
 namespace hspec::quad {
 
 IntegrationResult kernel_integrate(KernelMethod m, std::size_t param,
                                    Integrand f, double a, double b) {
-  switch (m) {
-    case KernelMethod::simpson:
-      return simpson(f, a, b, param);
-    case KernelMethod::romberg:
-      return romberg_fixed(f, a, b, param);
-    case KernelMethod::gauss:
-      return gauss_legendre(f, a, b, param);
-    case KernelMethod::trapezoid:
-      return trapezoid(f, a, b, param);
-  }
-  throw std::invalid_argument("kernel_integrate: unknown method");
+  return rules::kernel_integrate_impl(m, param, f, a, b);
 }
 
 std::size_t kernel_cost_evals(KernelMethod m, std::size_t param) noexcept {

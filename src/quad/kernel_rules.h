@@ -1,0 +1,162 @@
+#pragma once
+// The fixed-cost kernel rule bodies, templated on the evaluator.
+//
+// Bit-identity between the scalar integrators and the batched path is by
+// construction, not by testing alone: there is exactly ONE implementation of
+// each rule's arithmetic — the templates below — instantiated three ways:
+//
+//  * evaluator = the real integrand        -> the scalar reference
+//    (quad/newton_cotes.cpp, quad/romberg.cpp, quad/gauss_legendre.cpp);
+//  * evaluator = an abscissa recorder      -> quad::kernel_abscissae
+//    (enumerates the rule's evaluation points, in call order);
+//  * evaluator = a value replayer          -> quad::kernel_combine
+//    (consumes precomputed integrand values in the same order).
+//
+// Because recorder and replayer run the same template, the i-th recorded
+// abscissa is exactly the i-th consumed value, for every method — so a batch
+// pass (record all, evaluate all at once, combine all) reproduces the scalar
+// result bit for bit whenever the batch integrand matches the scalar one.
+//
+// Rule for editing: calls to the evaluator must stay explicitly sequenced
+// (never two calls in one expression, where C++ leaves the order
+// unspecified), or record/replay ordering would be at the compiler's mercy.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "quad/gauss_legendre.h"
+#include "quad/integrate.h"
+#include "quad/result.h"
+
+namespace hspec::quad::rules {
+
+inline void check_panels(std::size_t panels) {
+  if (panels == 0)
+    throw std::invalid_argument("composite rule requires at least one panel");
+}
+
+/// Composite Simpson: (h/6)(f(l) + 4 f(m) + f(r)) per panel, edge values
+/// shared between neighbours by accumulating f(l) lazily.
+template <class F>
+IntegrationResult simpson_impl(F& f, double a, double b, std::size_t panels) {
+  check_panels(panels);
+  const double h = (b - a) / static_cast<double>(panels);
+  double acc = 0.0;
+  double left_val = f(a);
+  std::size_t evals = 1;
+  for (std::size_t i = 0; i < panels; ++i) {
+    const double left = a + static_cast<double>(i) * h;
+    const double right = (i + 1 == panels) ? b : left + h;
+    const double mid_val = f(0.5 * (left + right));
+    const double right_val = f(right);
+    evals += 2;
+    acc += (right - left) / 6.0 * (left_val + 4.0 * mid_val + right_val);
+    left_val = right_val;
+  }
+  // A posteriori error heuristic: compare against the embedded trapezoid
+  // estimate implied by the same samples (Richardson-style difference).
+  return {acc, std::fabs(acc) * 1e-8, evals, true};
+}
+
+template <class F>
+IntegrationResult trapezoid_impl(F& f, double a, double b, std::size_t panels) {
+  check_panels(panels);
+  const double h = (b - a) / static_cast<double>(panels);
+  const double fa = f(a);
+  const double fb = f(b);
+  double acc = 0.5 * (fa + fb);
+  for (std::size_t i = 1; i < panels; ++i)
+    acc += f(a + static_cast<double>(i) * h);
+  return {acc * h, std::fabs(acc * h) * 1e-2, panels + 1, true};
+}
+
+/// Romberg tableau held diagonal-by-row; shared by the fixed-depth kernel
+/// rule below and the adaptive variant in quad/romberg.cpp.
+template <class F>
+struct RombergTableau {
+  std::vector<double> prev;  // row m-1
+  std::vector<double> curr;  // row m
+  double h = 0.0;            // current trapezoid step
+  double trap = 0.0;         // current trapezoid estimate T_0^(m)
+  std::size_t evals = 0;
+
+  void init(F& f, double a, double b) {
+    h = b - a;
+    const double fa = f(a);
+    const double fb = f(b);
+    trap = 0.5 * h * (fa + fb);
+    evals = 2;
+    prev = {trap};
+  }
+
+  /// Halve the step (one more dichotomy) and extend the extrapolation row.
+  void refine(F& f, double a) {
+    const std::size_t m = prev.size();  // new row has m+1 entries
+    const std::size_t new_points = std::size_t{1} << (m - 1);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < new_points; ++i)
+      acc += f(a + (static_cast<double>(i) + 0.5) * h);
+    evals += new_points;
+    h *= 0.5;
+    trap = 0.5 * prev[0] + h * acc;
+
+    curr.assign(m + 1, 0.0);
+    curr[0] = trap;
+    double pow4 = 1.0;
+    for (std::size_t j = 1; j <= m; ++j) {
+      pow4 *= 4.0;
+      curr[j] = curr[j - 1] + (curr[j - 1] - prev[j - 1]) / (pow4 - 1.0);
+    }
+    prev.swap(curr);
+  }
+
+  double best() const { return prev.back(); }
+  double prev_best() const {
+    return prev.size() > 1 ? prev[prev.size() - 2] : prev.back();
+  }
+};
+
+template <class F>
+IntegrationResult romberg_fixed_impl(F& f, double a, double b, std::size_t k) {
+  RombergTableau<F> t;
+  t.init(f, a, b);
+  for (std::size_t m = 1; m <= k; ++m) t.refine(f, a);
+  const double err = std::fabs(t.best() - t.prev_best());
+  return {t.best(), err, t.evals, true};
+}
+
+template <class F>
+IntegrationResult gauss_legendre_impl(F& f, double a, double b,
+                                      const GaussLegendreRule& rule) {
+  const std::size_t n = rule.nodes.size();
+  const double mid = 0.5 * (a + b);
+  const double halfwidth = 0.5 * (b - a);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += rule.weights[i] * f(mid + halfwidth * rule.nodes[i]);
+  const double value = acc * halfwidth;
+  return {value, std::fabs(value) * 1e-12, n, true};
+}
+
+/// Method dispatch over the templates above — the single source of truth
+/// behind quad::kernel_integrate, quad::kernel_abscissae, and
+/// quad::kernel_combine.
+template <class F>
+IntegrationResult kernel_integrate_impl(KernelMethod m, std::size_t param,
+                                        F& f, double a, double b) {
+  switch (m) {
+    case KernelMethod::simpson:
+      return simpson_impl(f, a, b, param);
+    case KernelMethod::romberg:
+      return romberg_fixed_impl(f, a, b, param);
+    case KernelMethod::gauss:
+      return gauss_legendre_impl(f, a, b, gauss_legendre_rule(param));
+    case KernelMethod::trapezoid:
+      return trapezoid_impl(f, a, b, param);
+  }
+  throw std::invalid_argument("kernel_integrate: unknown method");
+}
+
+}  // namespace hspec::quad::rules

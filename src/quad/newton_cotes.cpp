@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "quad/kernel_rules.h"
+
 namespace hspec::quad {
 
 double Tolerance::bound(double value) const noexcept {
@@ -10,24 +12,16 @@ double Tolerance::bound(double value) const noexcept {
   return absolute > rel ? absolute : rel;
 }
 
-namespace {
-void check_panels(std::size_t panels) {
-  if (panels == 0)
-    throw std::invalid_argument("composite rule requires at least one panel");
-}
-}  // namespace
+// The kernel-eligible rules delegate to the shared templates so the scalar
+// reference and the batched record/replay path (quad/batch.h) execute the
+// same arithmetic sequence — see quad/kernel_rules.h.
 
 IntegrationResult trapezoid(Integrand f, double a, double b, std::size_t panels) {
-  check_panels(panels);
-  const double h = (b - a) / static_cast<double>(panels);
-  double acc = 0.5 * (f(a) + f(b));
-  for (std::size_t i = 1; i < panels; ++i)
-    acc += f(a + static_cast<double>(i) * h);
-  return {acc * h, std::fabs(acc * h) * 1e-2, panels + 1, true};
+  return rules::trapezoid_impl(f, a, b, panels);
 }
 
 IntegrationResult midpoint(Integrand f, double a, double b, std::size_t panels) {
-  check_panels(panels);
+  rules::check_panels(panels);
   const double h = (b - a) / static_cast<double>(panels);
   double acc = 0.0;
   for (std::size_t i = 0; i < panels; ++i)
@@ -36,26 +30,7 @@ IntegrationResult midpoint(Integrand f, double a, double b, std::size_t panels) 
 }
 
 IntegrationResult simpson(Integrand f, double a, double b, std::size_t panels) {
-  check_panels(panels);
-  const double h = (b - a) / static_cast<double>(panels);
-  // Composite Simpson on each panel: (h/6)(f(l) + 4 f(m) + f(r)).
-  // Shares panel endpoints between neighbours: 3*panels + 1 evaluations... we
-  // evaluate edges once by accumulating f(l) lazily.
-  double acc = 0.0;
-  double left_val = f(a);
-  std::size_t evals = 1;
-  for (std::size_t i = 0; i < panels; ++i) {
-    const double left = a + static_cast<double>(i) * h;
-    const double right = (i + 1 == panels) ? b : left + h;
-    const double mid_val = f(0.5 * (left + right));
-    const double right_val = f(right);
-    evals += 2;
-    acc += (right - left) / 6.0 * (left_val + 4.0 * mid_val + right_val);
-    left_val = right_val;
-  }
-  // A posteriori error heuristic: compare against the embedded trapezoid
-  // estimate implied by the same samples (Richardson-style difference).
-  return {acc, std::fabs(acc) * 1e-8, evals, true};
+  return rules::simpson_impl(f, a, b, panels);
 }
 
 }  // namespace hspec::quad

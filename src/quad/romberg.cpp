@@ -2,69 +2,23 @@
 
 #include <cmath>
 #include <stdexcept>
-#include <vector>
+
+#include "quad/kernel_rules.h"
 
 namespace hspec::quad {
 
-namespace {
-
-/// One Romberg pass shared by the fixed and adaptive variants.
-/// `rows` holds the current tableau diagonal-by-row; returns eval count.
-struct Tableau {
-  std::vector<double> prev;  // row m-1
-  std::vector<double> curr;  // row m
-  double h = 0.0;            // current trapezoid step
-  double trap = 0.0;         // current trapezoid estimate T_0^(m)
-  std::size_t evals = 0;
-
-  void init(Integrand f, double a, double b) {
-    h = b - a;
-    trap = 0.5 * h * (f(a) + f(b));
-    evals = 2;
-    prev = {trap};
-  }
-
-  /// Halve the step (one more dichotomy) and extend the extrapolation row.
-  void refine(Integrand f, double a) {
-    const std::size_t m = prev.size();  // new row has m+1 entries
-    const std::size_t new_points = std::size_t{1} << (m - 1);
-    double acc = 0.0;
-    for (std::size_t i = 0; i < new_points; ++i)
-      acc += f(a + (static_cast<double>(i) + 0.5) * h);
-    evals += new_points;
-    h *= 0.5;
-    trap = 0.5 * prev[0] + h * acc;
-
-    curr.assign(m + 1, 0.0);
-    curr[0] = trap;
-    double pow4 = 1.0;
-    for (std::size_t j = 1; j <= m; ++j) {
-      pow4 *= 4.0;
-      curr[j] = curr[j - 1] + (curr[j - 1] - prev[j - 1]) / (pow4 - 1.0);
-    }
-    prev.swap(curr);
-  }
-
-  double best() const { return prev.back(); }
-  double prev_best() const {
-    return prev.size() > 1 ? prev[prev.size() - 2] : prev.back();
-  }
-};
-
-}  // namespace
+// Both variants run the shared tableau template (quad/kernel_rules.h), so the
+// fixed-depth kernel rule is the same arithmetic the batched record/replay
+// path executes — bit-identity by construction.
 
 IntegrationResult romberg_fixed(Integrand f, double a, double b, std::size_t k) {
-  Tableau t;
-  t.init(f, a, b);
-  for (std::size_t m = 1; m <= k; ++m) t.refine(f, a);
-  const double err = std::fabs(t.best() - t.prev_best());
-  return {t.best(), err, t.evals, true};
+  return rules::romberg_fixed_impl(f, a, b, k);
 }
 
 IntegrationResult romberg(Integrand f, double a, double b, Tolerance tol,
                           std::size_t max_k) {
   if (max_k == 0) throw std::invalid_argument("romberg: max_k must be positive");
-  Tableau t;
+  rules::RombergTableau<Integrand> t;
   t.init(f, a, b);
   double err = std::fabs(t.best());
   for (std::size_t m = 1; m <= max_k; ++m) {

@@ -8,13 +8,10 @@
 #include "atomic/constants.h"
 #include "atomic/cross_section.h"
 #include "quad/qags.h"
+#include "util/fastmath.h"
 
 namespace hspec::rrc {
 
-namespace {
-
-/// The density- and temperature-dependent prefactor of Eq. (1):
-/// ne * n_i * 4/kT * c * sqrt(1/(2 pi me_c2 kT))   [cm^-5 s^-1 keV^-2].
 double maxwellian_prefactor(const PlasmaState& p) {
   const double kt = p.kT_keV.value();
   if (kt <= 0.0)
@@ -25,12 +22,13 @@ double maxwellian_prefactor(const PlasmaState& p) {
                    (2.0 * std::numbers::pi * atomic::kElectronRestKeV * kt));
 }
 
-}  // namespace
-
+// Transcendentals via util::fm, not libm: the batched integrand
+// (rrc_batch.cpp) evaluates the same formula lane-parallel, and only the
+// deterministic implementations guarantee the same bits in both shapes.
 double gaunt_factor(util::KeV photon, util::KeV binding) noexcept {
   const double ratio = photon / binding;
   if (ratio <= 1.0) return 1.0;
-  const double lg = std::log(ratio);
+  const double lg = util::fm::log(ratio);
   return 1.0 + 0.1727 * lg - 0.0496 * lg * lg / (1.0 + 0.5 * lg);
 }
 
@@ -53,7 +51,8 @@ util::SpectralEmissivity rrc_power_density(const RrcChannel& ch,
                               .value();
   const double ee_sigma = e_kev * e_kev / atomic::kElectronRestKeV *
                           sigma_ph;  // stat-weight ratio 1, as before
-  double a = ee_sigma * std::exp(-ee.value() / plasma.kT_keV.value()) * e_kev;
+  double a =
+      ee_sigma * util::fm::exp(-ee.value() / plasma.kT_keV.value()) * e_kev;
   if (ch.gaunt_correction) a *= gaunt_factor(photon, binding);
   return util::SpectralEmissivity{maxwellian_prefactor(plasma) * a};
 }

@@ -43,6 +43,12 @@ struct RrcChannel {
   bool gaunt_correction = true; ///< apply the slowly-varying Gaunt factor
 };
 
+/// The density- and temperature-dependent prefactor of Eq. (1):
+/// ne * n_i * 4/kT * c * sqrt(1/(2 pi me_c2 kT))   [cm^-5 s^-1 keV^-2].
+/// Shared by the scalar path and RrcBatchIntegrand (which hoists it per
+/// channel) so the two stay bitwise aligned. Throws for kT <= 0.
+double maxwellian_prefactor(const PlasmaState& p);
+
 /// Slowly varying free-bound Gaunt-like correction g(Eg / I).
 /// g(1) == 1; grows logarithmically. Pure shape realism.
 double gaunt_factor(util::KeV photon, util::KeV binding) noexcept;

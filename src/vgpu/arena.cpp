@@ -1,0 +1,47 @@
+#include "vgpu/arena.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hspec::vgpu {
+
+ScratchArena::ScratchArena(std::size_t initial_doubles)
+    : initial_doubles_(std::max<std::size_t>(initial_doubles, 1)) {}
+
+std::span<double> ScratchArena::alloc(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("ScratchArena::alloc: zero doubles");
+  ++stats_.allocations;
+  // Walk forward to a block with room. Blocks are append-only and never
+  // resized in place, so spans handed out earlier stay valid across growth.
+  while (block_ < blocks_.size() && blocks_[block_].size() - offset_ < n) {
+    ++block_;
+    offset_ = 0;
+  }
+  if (block_ == blocks_.size()) {
+    const std::size_t last = blocks_.empty() ? initial_doubles_ / 2
+                                             : blocks_.back().size();
+    blocks_.emplace_back(std::max(n, last * 2));
+    ++stats_.growths;
+    offset_ = 0;
+  }
+  double* p = blocks_[block_].data() + offset_;
+  offset_ += n;
+  stats_.used_doubles += n;
+  return {p, n};
+}
+
+void ScratchArena::reset() noexcept {
+  block_ = 0;
+  offset_ = 0;
+  stats_.used_doubles = 0;
+  ++stats_.resets;
+}
+
+ScratchArena::Stats ScratchArena::stats() const noexcept {
+  Stats s = stats_;
+  s.blocks = blocks_.size();
+  for (const auto& b : blocks_) s.capacity_doubles += b.size();
+  return s;
+}
+
+}  // namespace hspec::vgpu

@@ -6,7 +6,9 @@ namespace hspec::vgpu {
 
 double GpuCostModel::kernel_time_s(const WorkEstimate& work) const noexcept {
   const double flops_s = props_.dp_peak_gflops * 1e9 * props_.kernel_efficiency;
-  const double compute = work.flops / flops_s;
+  // Lane-aware compute bound: batched kernels retire `lanes` flops per
+  // scalar-equivalent cycle (lanes == 1 for the scalar path).
+  const double compute = work.flops / (flops_s * work.lanes);
   const double memory =
       static_cast<double>(work.device_bytes) / (props_.mem_bandwidth_gbps * 1e9);
   return std::max(compute, memory) + props_.kernel_launch_s;

@@ -16,10 +16,19 @@ namespace hspec::vgpu {
 struct WorkEstimate {
   double flops = 0.0;          ///< floating-point operations
   std::size_t device_bytes = 0; ///< device-memory traffic [bytes]
+  /// Effective vector width the flops execute at (>= 1). The scalar path
+  /// reports 1; the batched integration kernels report the SIMD lane count
+  /// (vgpu::kBatchLanes), so the virtual clock — and hence every DES figure
+  /// downstream — reflects the lane-parallel speedup.
+  double lanes = 1.0;
 
   WorkEstimate& operator+=(const WorkEstimate& o) noexcept {
+    // Merge lanes as the flops-weighted harmonic mean, which preserves the
+    // summed compute time exactly: t = f1/l1 + f2/l2 and (f1+f2)/l == t.
+    const double t = flops / lanes + o.flops / o.lanes;
     flops += o.flops;
     device_bytes += o.device_bytes;
+    lanes = t > 0.0 ? flops / t : 1.0;
     return *this;
   }
 };

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/fault.h"
+#include "vgpu/buffer_pool.h"
 
 namespace hspec::vgpu {
 
@@ -43,7 +44,9 @@ void DeviceBuffer::release() noexcept {
 }
 
 Device::Device(DeviceProperties props, int device_id)
-    : model_(std::move(props)), id_(device_id) {}
+    : model_(std::move(props)),
+      id_(device_id),
+      default_pool_(std::make_unique<BufferPool>(*this)) {}
 
 Device::~Device() = default;
 

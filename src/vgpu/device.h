@@ -56,6 +56,7 @@ struct KernelCtx {
 using Kernel = util::FunctionRef<void(const KernelCtx&)>;
 
 class Device;
+class BufferPool;
 
 /// RAII device-memory allocation. Must not outlive its Device.
 class DeviceBuffer {
@@ -124,10 +125,17 @@ class Device {
   const GpuCostModel& cost_model() const noexcept { return model_; }
 
   /// cudaMalloc. Throws std::bad_alloc when the 6 GB budget is exceeded.
+  /// Hot paths (kernel wrappers, per-task loops) must lease from a
+  /// BufferPool instead — tools/hlint's [hot-alloc] rule enforces this.
   DeviceBuffer alloc(std::size_t bytes);
   std::size_t bytes_allocated() const noexcept {
     return allocated_.load(std::memory_order_relaxed);
   }
+
+  /// The device's own size-bucketed buffer pool, for wrappers that are not
+  /// handed an executor pool (e.g. gpu_integr): repeated calls recycle their
+  /// buffers instead of paying a cudaMalloc/cudaFree per call.
+  BufferPool& default_pool() noexcept { return *default_pool_; }
 
   /// cudaMemcpy(HostToDevice): real copy + virtual PCIe cost.
   void copy_to_device(DeviceBuffer& dst, const void* src, std::size_t bytes);
@@ -164,6 +172,9 @@ class Device {
   // Written once before the ranks launch (thread creation provides the
   // happens-before), read on every fallible operation.
   util::FaultPlan* fault_plan_ = nullptr;
+  // Constructed eagerly (BufferPool is cheap); destroyed before the mutex
+  // and allocation counter it returns buffers through.
+  std::unique_ptr<BufferPool> default_pool_;
 };
 
 /// The machine's virtual GPUs. "The program will detect the number of GPU

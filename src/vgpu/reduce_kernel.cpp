@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "vgpu/buffer_pool.h"
+
 namespace hspec::vgpu {
 
 double gpu_reduce_sum(Device& device, const DeviceBuffer& data_dev,
@@ -19,8 +21,8 @@ double gpu_reduce_sum(Device& device, const DeviceBuffer& data_dev,
   // Pass 1: one partial sum per block (grid-stride within the block's
   // slice; per-block serial tree emulated by thread 0 accumulating its
   // block's lane sums — on real hardware this is the shared-memory tree).
-  DeviceBuffer partial_dev = device.alloc(blocks * sizeof(double));
-  double* partial = partial_dev.as<double>();
+  PooledBuffer partial_dev(device.default_pool(), blocks * sizeof(double));
+  double* partial = partial_dev.get().as<double>();
   WorkEstimate pass1;
   pass1.flops = static_cast<double>(count);
   pass1.device_bytes = count * sizeof(double);
@@ -35,8 +37,8 @@ double gpu_reduce_sum(Device& device, const DeviceBuffer& data_dev,
                 });
 
   // Pass 2: single block folds the partials.
-  DeviceBuffer result_dev = device.alloc(sizeof(double));
-  double* result = result_dev.as<double>();
+  PooledBuffer result_dev(device.default_pool(), sizeof(double));
+  double* result = result_dev.get().as<double>();
   WorkEstimate pass2;
   pass2.flops = static_cast<double>(blocks);
   pass2.device_bytes = blocks * sizeof(double);
@@ -47,7 +49,7 @@ double gpu_reduce_sum(Device& device, const DeviceBuffer& data_dev,
   });
 
   double out = 0.0;
-  device.copy_to_host(&out, result_dev, sizeof(double));
+  device.copy_to_host(&out, result_dev.get(), sizeof(double));
   return out;
 }
 

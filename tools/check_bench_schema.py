@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_kernel.json record against the hspec-bench-kernel-v1
+schema (written by bench/micro_kernel_roofline, consumed by the CI
+bench-smoke job and the tracked baseline at the repo root).
+
+Standard library only. Exit 0 when the file conforms, 1 with a message per
+defect otherwise.
+"""
+
+import json
+import sys
+
+REQUIRED = {
+    "schema": str,
+    "method": str,
+    "panels": int,
+    "bins": int,
+    "evals_per_bin": int,
+    "repeat": int,
+    "scalar_bins_per_s": float,
+    "batch_bins_per_s": float,
+    "speedup": float,
+    "host_fma_gflops": float,
+    "scalar_bins_per_s_per_gflops": float,
+    "batch_bins_per_s_per_gflops": float,
+    "model_bytes_per_flop": float,
+    "bitwise_identical": bool,
+}
+
+POSITIVE = [
+    "panels",
+    "bins",
+    "evals_per_bin",
+    "repeat",
+    "scalar_bins_per_s",
+    "batch_bins_per_s",
+    "speedup",
+    "host_fma_gflops",
+    "model_bytes_per_flop",
+]
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            record = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["%s: unreadable or not JSON: %s" % (path, e)]
+    if not isinstance(record, dict):
+        return ["%s: top level must be an object" % path]
+    for key, expected in REQUIRED.items():
+        if key not in record:
+            errors.append("%s: missing key %r" % (path, key))
+            continue
+        value = record[key]
+        # bool is an int subclass; keep the check strict.
+        if expected is int and isinstance(value, bool):
+            errors.append("%s: key %r must be an integer, got bool" % (path, key))
+        elif expected is float and isinstance(value, bool):
+            errors.append("%s: key %r must be a number, got bool" % (path, key))
+        elif expected is float and not isinstance(value, (int, float)):
+            errors.append("%s: key %r must be a number" % (path, key))
+        elif expected in (str, int, bool) and not isinstance(value, expected):
+            errors.append(
+                "%s: key %r must be %s" % (path, key, expected.__name__)
+            )
+    if errors:
+        return errors
+    if record["schema"] != "hspec-bench-kernel-v1":
+        errors.append(
+            "%s: schema is %r, expected 'hspec-bench-kernel-v1'"
+            % (path, record["schema"])
+        )
+    for key in POSITIVE:
+        if record[key] <= 0:
+            errors.append("%s: key %r must be positive" % (path, key))
+    if not record["bitwise_identical"]:
+        errors.append("%s: bitwise_identical must be true" % path)
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_bench_schema.py BENCH_kernel.json", file=sys.stderr)
+        return 1
+    errors = check(argv[1])
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print("%s: conforms to hspec-bench-kernel-v1" % argv[1])
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

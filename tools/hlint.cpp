@@ -20,7 +20,13 @@
 //                  src/vgpu must sit within a few lines of a `query(` /
 //                  `fault_plan` call (DESIGN.md §11) — a free-floating
 //                  FaultError is an undeclared injection point the
-//                  deterministic replay machinery cannot see.
+//                  deterministic replay machinery cannot see;
+//  [hot-alloc]     no Device::alloc in the kernel/stream hot paths of
+//                  src/vgpu (files named *kernel* / *stream*): per-launch
+//                  cudaMalloc serializes the device — lease from a
+//                  BufferPool (device buffers) or bump-allocate from a
+//                  ScratchArena (host scratch) instead; a deliberate
+//                  cold-path exception carries `hlint:allow(hot-alloc)`.
 //
 // Numerics pack (DESIGN.md §10) — the dimensional-correctness rules that
 // back the util::Quantity layer:
@@ -557,6 +563,47 @@ void check_fault_hook(const std::string& path, const std::string& text,
   }
 }
 
+/// [hot-alloc]: member calls `.alloc(` / `->alloc(` in the device layer's
+/// kernel/stream files. The receiver distinguishes the sanctioned bump
+/// allocator (ScratchArena instances — names carrying "arena"/"scratch")
+/// from Device::alloc, which serializes the device per call; BufferPool
+/// leases spell `acquire` and never match.
+void check_hot_alloc(const std::string& path, const std::string& text,
+                     const std::vector<std::string>& raw_lines,
+                     std::vector<Violation>& out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("alloc", pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += 5;
+    if (start == 0) continue;
+    if (ident_char(text[start - 1])) continue;
+    if (pos < text.size() && ident_char(text[pos])) continue;
+    // Member call only: `.alloc(` or `->alloc(`.
+    const char before = text[start - 1];
+    const bool arrow = before == '>' && start >= 2 && text[start - 2] == '-';
+    if (before != '.' && !arrow) continue;
+    std::size_t open = pos;
+    while (open < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[open])) != 0)
+      ++open;
+    if (open >= text.size() || text[open] != '(') continue;
+    // Receiver identifier ending at the access operator.
+    std::size_t r_end = arrow ? start - 2 : start - 1;
+    std::size_t r_begin = r_end;
+    while (r_begin > 0 && ident_char(text[r_begin - 1])) --r_begin;
+    const std::string_view recv(text.data() + r_begin, r_end - r_begin);
+    if (recv.find("arena") != std::string_view::npos ||
+        recv.find("scratch") != std::string_view::npos)
+      continue;
+    const std::size_t line = line_of(text, start);
+    if (line_allows(raw_lines, line, "hot-alloc")) continue;
+    out.push_back({path, line, "hot-alloc",
+                   "Device::alloc on a kernel/stream hot path serializes the "
+                   "device; lease from a BufferPool or bump-allocate from a "
+                   "ScratchArena"});
+  }
+}
+
 bool is_header(const fs::path& p) {
   return p.extension() == ".h" || p.extension() == ".hpp";
 }
@@ -575,6 +622,15 @@ bool memory_order_scope(const std::string& path) {
 /// [fault-hook] polices the device layer, where the injection points live.
 bool fault_hook_scope(const std::string& path) {
   return path.find("src/vgpu") != std::string::npos;
+}
+
+/// [hot-alloc] polices the device layer's launch-path files — the kernel
+/// wrappers and the stream machinery every task crosses per launch.
+bool hot_alloc_scope(const std::string& path) {
+  if (path.find("src/vgpu") == std::string::npos) return false;
+  const std::string name = fs::path(path).filename().string();
+  return name.find("kernel") != std::string::npos ||
+         name.find("stream") != std::string::npos;
 }
 
 /// [fp-equal] applies to the whole library tree.
@@ -659,6 +715,8 @@ int main(int argc, char** argv) {
     if (is_header(file)) check_pragma_once(path, text, violations);
     if (fault_hook_scope(path))
       check_fault_hook(path, text, raw_lines, violations);
+    if (hot_alloc_scope(path))
+      check_hot_alloc(path, text, raw_lines, violations);
     if (fp_equal_scope(path))
       check_fp_equal(path, text, raw_lines, violations);
     if (physics_scope(path)) {
@@ -681,7 +739,7 @@ int main(int argc, char** argv) {
   std::cout << "hlint: rule counts:";
   for (const char* rule :
        {"memory-order", "naked-new", "volatile", "pragma-once", "fault-hook",
-        "fp-equal", "no-float", "unit-suffix", "narrowing"}) {
+        "hot-alloc", "fp-equal", "no-float", "unit-suffix", "narrowing"}) {
     const auto n = std::count_if(
         violations.begin(), violations.end(),
         [rule](const Violation& v) { return v.rule == rule; });

@@ -1,0 +1,18 @@
+// hlint fixture: [hot-alloc] must flag a per-launch Device::alloc in a
+// kernel-path file, and must NOT flag the sanctioned ScratchArena form.
+#include <cstddef>
+
+struct FakeBuffer {};
+struct FakeDevice {
+  FakeBuffer alloc(std::size_t) { return {}; }
+};
+struct FakeArena {
+  double* alloc(std::size_t) { return nullptr; }
+};
+
+void launch_wrapper(FakeDevice& device, FakeArena& arena, std::size_t n) {
+  FakeBuffer emi = device.alloc(n);  // BAD: cudaMalloc on the hot path
+  (void)emi;
+  double* xs = arena.alloc(n);  // OK: bump allocation
+  (void)xs;
+}
