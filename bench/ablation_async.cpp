@@ -37,14 +37,10 @@ struct ModeRun {
 ModeRun run_mode(const hspec::apec::SpectrumCalculator& calc,
                  hspec::core::ExecutionMode mode,
                  const std::vector<hspec::apec::GridPoint>& pts) {
-  hspec::core::HybridConfig cfg;
-  cfg.ranks = 4;
-  cfg.devices = 2;
-  // Large enough that no task falls back to QAGS: keeps the two modes on
-  // the same integrator so the spectra comparison is exact.
-  cfg.max_queue_length = 32;
-  cfg.mode = mode;
-  hspec::core::HybridDriver driver(calc, cfg);
+  hspec::core::HybridDriver driver(
+      calc, hspec::bench::bench_hybrid_config(/*devices=*/2,
+                                              /*max_queue_length=*/32,
+                                              /*ranks=*/4, mode));
   ModeRun r;
   r.result = driver.run(pts);
   r.makespan_s = r.result.virtual_makespan_s;
@@ -71,10 +67,8 @@ int main() {
                  .c_str(),
              stdout);
 
-  atomic::DatabaseConfig db_cfg;
-  db_cfg.max_z = 8;
-  db_cfg.levels = {2, true};
-  atomic::AtomicDatabase db(db_cfg);
+  atomic::AtomicDatabase db(bench::bench_db_config(/*max_z=*/8,
+                                                   /*level_cap=*/2));
   const auto grid = apec::EnergyGrid::wavelength(5.0, 40.0, 64);
   const std::vector<apec::GridPoint> pts{{0.3, 1.0, 0.0, 0},
                                          {0.8, 1.0, 0.0, 1}};
@@ -103,11 +97,8 @@ int main() {
 
   for (const Row& row : rows) {
     ::setenv("HSPEC_VGPU_ARCH", row.arch, 1);
-    apec::CalcOptions opt;
-    opt.integration.adaptive = false;
-    opt.integration.kernel = row.method;
-    opt.integration.kernel_param = row.param;
-    apec::SpectrumCalculator calc(db, grid, opt);
+    apec::SpectrumCalculator calc(
+        db, grid, bench::bench_kernel_options(row.method, row.param));
 
     const ModeRun sync = run_mode(calc, core::ExecutionMode::synchronous, pts);
     const ModeRun async = run_mode(calc, core::ExecutionMode::pipelined, pts);

@@ -4,10 +4,52 @@
 #include <cstdio>
 #include <string>
 
+#include "apec/calculator.h"
+#include "core/hybrid.h"
 #include "perfmodel/calibration.h"
 #include "sim/hybrid_sim.h"
 
 namespace hspec::bench {
+
+// ---- Real-executor scenario boilerplate -----------------------------------
+// The ablation, Fig. 7 and service benches all stand up the same synthetic
+// workload: a small deterministic atomic database, a wavelength grid, fixed
+// (non-adaptive) integration kernels and a HybridConfig sized for a
+// single-core container. Hoisted here so a bench states only what it varies.
+
+/// Synthetic database truncated at `max_z` with `level_cap` sampled levels.
+inline atomic::DatabaseConfig bench_db_config(int max_z, int level_cap) {
+  atomic::DatabaseConfig cfg;
+  cfg.max_z = max_z;
+  cfg.levels = {level_cap, true};
+  return cfg;
+}
+
+/// Fixed-kernel CalcOptions (the GPU path: no adaptive QAGS fallback), so
+/// that every executor mode runs the exact same integrator.
+inline apec::CalcOptions bench_kernel_options(
+    quad::KernelMethod method = quad::KernelMethod::simpson,
+    std::size_t kernel_param = 64) {
+  apec::CalcOptions opt;
+  opt.integration.adaptive = false;
+  opt.integration.kernel = method;
+  opt.integration.kernel_param = kernel_param;
+  return opt;
+}
+
+/// Container-scale HybridConfig. max_queue_length defaults to 32: large
+/// enough that no task falls back to QAGS, which keeps spectra comparable
+/// bit-for-bit across executor modes.
+inline core::HybridConfig bench_hybrid_config(
+    int devices, int max_queue_length = 32, int ranks = 4,
+    core::ExecutionMode mode = core::ExecutionMode::pipelined) {
+  core::HybridConfig cfg;
+  cfg.ranks = ranks;
+  cfg.devices = devices;
+  cfg.max_queue_length = max_queue_length;
+  cfg.mode = mode;
+  return cfg;
+}
 
 /// DES configuration for the paper's spectral experiment: 24 grid points,
 /// 24 MPI ranks, 496 ion tasks per point.

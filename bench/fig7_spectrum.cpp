@@ -25,9 +25,9 @@ int main() {
                  .c_str(),
              stdout);
 
-  atomic::DatabaseConfig db_cfg;
-  db_cfg.levels = {3, true};  // 6 levels/ion at bench scale
-  atomic::AtomicDatabase db(db_cfg);
+  // 6 levels/ion at bench scale; full element range.
+  atomic::AtomicDatabase db(
+      bench::bench_db_config(atomic::kMaxZ, /*level_cap=*/3));
   const auto grid = apec::EnergyGrid::wavelength(1.0, 50.0, 240);
   const apec::GridPoint pt{0.6, 1.0, 0.0, 0};
 
@@ -36,13 +36,10 @@ int main() {
   apec::SpectrumCalculator serial_calc(db, grid, serial_opt);
   const apec::Spectrum serial = serial_calc.calculate(pt);
 
-  apec::CalcOptions hybrid_opt;
-  hybrid_opt.integration.adaptive = false;  // GPU kernels: Simpson-64
-  apec::SpectrumCalculator hybrid_calc(db, grid, hybrid_opt);
-  core::HybridConfig cfg;
-  cfg.ranks = 4;
-  cfg.devices = 3;
-  cfg.max_queue_length = 10;
+  // GPU kernels: Simpson-64 (non-adaptive), per bench_kernel_options.
+  apec::SpectrumCalculator hybrid_calc(db, grid, bench::bench_kernel_options());
+  const core::HybridConfig cfg =
+      bench::bench_hybrid_config(/*devices=*/3, /*max_queue_length=*/10);
   core::HybridDriver driver(hybrid_calc, cfg);
   const auto result = driver.run({pt});
   const apec::Spectrum& hybrid = result.spectra.at(0);

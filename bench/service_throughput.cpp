@@ -1,0 +1,242 @@
+// Service throughput bench: the always-on SpectralService under a many-
+// client storm (DESIGN.md §13).
+//
+// A pool of client threads hammers one service with small spectrum
+// requests drawn from a shared set of grid points — the survey-fit shape
+// where distinct users keep re-requesting overlapping (T, n_e) points.
+// The run measures the service-level quantities the subsystem exists for:
+// sustained requests/s, the memoized-cache hit rate once the point pool is
+// warm, queue-wait latency quantiles under admission control, and how
+// deeply cross-request coalescing packs the executor batches.
+//
+// Before timing anything the bench pins the cache's core contract: a
+// cache-served spectrum must be bitwise identical to a direct
+// HybridDriver run of the same point. Any differing bin voids the run.
+//
+// Writes a JSON record (schema hspec-bench-service-v1) that the CI
+// bench-smoke job validates and the tracked BENCH_service.json baselines.
+//
+// Exit codes: 0 ok; 1 throughput below --min-rps; 2 bitwise mismatch;
+// 3 usage error.
+//
+// Usage:
+//   service_throughput [--clients N] [--requests R] [--pool P]
+//                      [--out FILE] [--min-rps X]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "service/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  int clients = 4;
+  int requests = 24;  // per client
+  int pool = 12;      // distinct grid points shared by all clients
+  std::string out = "BENCH_service.json";
+  double min_rps = 0.0;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--clients") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.clients = std::stoi(v);
+    } else if (flag == "--requests") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.requests = std::stoi(v);
+    } else if (flag == "--pool") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.pool = std::stoi(v);
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out = v;
+    } else if (flag == "--min-rps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.min_rps = std::stod(v);
+    } else {
+      return false;
+    }
+  }
+  return args.clients > 0 && args.requests > 0 && args.pool > 0;
+}
+
+double quantile(std::vector<double> sorted_values, double q) {
+  if (sorted_values.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_values.size() - 1) + 0.5);
+  return sorted_values[std::min(idx, sorted_values.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hspec;
+
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr << "usage: service_throughput [--clients N] [--requests R] "
+                 "[--pool P] [--out FILE] [--min-rps X]\n";
+    return 3;
+  }
+
+  atomic::AtomicDatabase db(bench::bench_db_config(/*max_z=*/8,
+                                                   /*level_cap=*/2));
+  const auto grid = apec::EnergyGrid::wavelength(5.0, 40.0, 64);
+  apec::SpectrumCalculator calc(db, grid, bench::bench_kernel_options());
+
+  // The shared point pool: one temperature ladder at fixed density/epoch.
+  std::vector<apec::GridPoint> pool(static_cast<std::size_t>(args.pool));
+  for (std::size_t p = 0; p < pool.size(); ++p) {
+    pool[p].kT_keV = 0.2 + 0.05 * static_cast<double>(p);
+    pool[p].ne_cm3 = 1.0;
+    pool[p].time_s = 0.0;
+    pool[p].index = p;
+  }
+
+  service::ServiceConfig scfg;
+  scfg.hybrid = bench::bench_hybrid_config(/*devices=*/2);
+  scfg.cache.capacity = 256;
+  scfg.max_pending_points = 256;
+  service::SpectralService svc(calc, scfg);
+
+  // --- Gate: cached exact hits are bitwise identical to a direct run. ---
+  // Warm the pool's first point through the service, re-request it (cache
+  // hit), and compare every bin against a fresh one-shot HybridDriver.
+  const std::vector<apec::GridPoint> probe{pool.front()};
+  svc.submit(probe).wait();
+  const service::ServiceReply cached = svc.submit(probe).wait();
+  core::HybridDriver direct(calc, scfg.hybrid);
+  const core::HybridResult fresh = direct.run(probe);
+  if (cached.stats.cache_hits != 1) {
+    std::cerr << "service_throughput: warm re-request was not an exact hit\n";
+    return 2;
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t b = 0; b < grid.bin_count(); ++b) {
+    const double a = cached.spectra[0][b];
+    const double c = fresh.spectra[0][b];
+    if (std::memcmp(&a, &c, sizeof(double)) != 0) ++mismatches;
+  }
+  if (mismatches != 0) {
+    std::cerr << "service_throughput: " << mismatches << " of "
+              << grid.bin_count()
+              << " bins differ bitwise between cache hit and direct run\n";
+    return 2;
+  }
+
+  // --- The storm: every client walks the pool at its own offset, two ----
+  // points per request, so concurrent requests overlap on cache buckets
+  // and coalesce into shared batches while they are still cold.
+  const int total_requests = args.clients * args.requests;
+  std::vector<std::vector<service::ServiceStats>> stats_per_client(
+      static_cast<std::size_t>(args.clients));
+  const Clock::time_point t0 = Clock::now();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(args.clients));
+    for (int c = 0; c < args.clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto& stats = stats_per_client[static_cast<std::size_t>(c)];
+        stats.reserve(static_cast<std::size_t>(args.requests));
+        for (int r = 0; r < args.requests; ++r) {
+          const std::size_t base =
+              static_cast<std::size_t>(c * 3 + r) % pool.size();
+          std::vector<apec::GridPoint> points{
+              pool[base], pool[(base + 1) % pool.size()]};
+          stats.push_back(svc.submit(std::move(points)).wait().stats);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double storm_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> waits;
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& stats : stats_per_client)
+    for (const service::ServiceStats& s : stats) {
+      waits.push_back(s.queue_wait_s);
+      hits += s.cache_hits;
+      misses += s.cache_misses;
+    }
+  std::sort(waits.begin(), waits.end());
+
+  const double rps = static_cast<double>(total_requests) / storm_s;
+  const double hit_rate =
+      static_cast<double>(hits) / static_cast<double>(hits + misses);
+  const double p50 = quantile(waits, 0.50);
+  const double p99 = quantile(waits, 0.99);
+  const service::SpectralService::Telemetry tel = svc.telemetry();
+  const service::GridCacheStats cache = svc.cache_stats();
+
+  std::ofstream out(args.out);
+  if (!out) {
+    std::cerr << "service_throughput: cannot write " << args.out << "\n";
+    return 3;
+  }
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"schema\": \"hspec-bench-service-v1\",\n"
+      "  \"clients\": %d,\n"
+      "  \"requests_per_client\": %d,\n"
+      "  \"pool_points\": %d,\n"
+      "  \"requests_per_s\": %.6e,\n"
+      "  \"cache_hit_rate\": %.4f,\n"
+      "  \"queue_wait_p50_s\": %.6e,\n"
+      "  \"queue_wait_p99_s\": %.6e,\n"
+      "  \"batches\": %llu,\n"
+      "  \"coalesced_batches\": %llu,\n"
+      "  \"max_batch_points\": %llu,\n"
+      "  \"max_batch_requests\": %llu,\n"
+      "  \"cache_entries\": %zu,\n"
+      "  \"cache_evictions\": %llu,\n"
+      "  \"exact_hit_bitwise\": true\n"
+      "}\n",
+      args.clients, args.requests, args.pool, rps, hit_rate, p50, p99,
+      static_cast<unsigned long long>(tel.batches),
+      static_cast<unsigned long long>(tel.coalesced_batches),
+      static_cast<unsigned long long>(tel.max_batch_points),
+      static_cast<unsigned long long>(tel.max_batch_requests),
+      cache.entries, static_cast<unsigned long long>(cache.evictions));
+  out << buf;
+  out.close();
+
+  std::cout << "service storm: " << args.clients << " clients x "
+            << args.requests << " requests  " << rps << " req/s, hit rate "
+            << hit_rate << ", queue wait p50 " << p50 << "s p99 " << p99
+            << "s, " << tel.coalesced_batches << "/" << tel.batches
+            << " batches coalesced (deepest " << tel.max_batch_points
+            << " points / " << tel.max_batch_requests << " requests) -> "
+            << args.out << "\n";
+
+  if (args.min_rps > 0.0 && rps < args.min_rps) {
+    std::cerr << "service_throughput: " << rps << " req/s below required "
+              << args.min_rps << "\n";
+    return 1;
+  }
+  return 0;
+}

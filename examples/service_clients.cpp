@@ -1,0 +1,105 @@
+// service_clients — the always-on service under the paper's "many users"
+// deployment shape (DESIGN.md §13): one long-lived SpectralService inside
+// the process, minimpi ranks acting as independent clients that submit
+// overlapping spectrum requests and read back per-request telemetry.
+//
+// Each rank walks its own slice of a temperature ladder plus a shared
+// "popular" point, so the run shows all three service behaviours at once:
+// cold misses coalescing into shared executor batches, cross-request
+// deduplication of the popular point, and warm cache hits on the second
+// sweep.
+//
+//   $ ./service_clients [--clients 4] [--sweeps 2] [--gpus 2]
+
+#include <cstdio>
+#include <vector>
+
+#include "apec/calculator.h"
+#include "minimpi/minimpi.h"
+#include "service/service.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hspec;
+  const util::Cli cli(argc, argv);
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const int sweeps = static_cast<int>(cli.get_int("sweeps", 2));
+  const int gpus = static_cast<int>(cli.get_int("gpus", 2));
+
+  atomic::DatabaseConfig db_cfg;
+  db_cfg.max_z = 8;
+  db_cfg.levels = {2, true};
+  const atomic::AtomicDatabase db(db_cfg);
+  const auto grid = apec::EnergyGrid::wavelength(5.0, 40.0, 64);
+  apec::CalcOptions opt;
+  opt.integration.adaptive = false;
+  const apec::SpectrumCalculator calc(db, grid, opt);
+
+  service::ServiceConfig cfg;
+  cfg.hybrid.ranks = 4;
+  cfg.hybrid.devices = gpus;
+  cfg.hybrid.max_queue_length = 32;
+  cfg.cache.capacity = 256;
+  service::SpectralService svc(calc, cfg);
+  std::printf("service up: %d virtual GPUs, cache capacity %zu\n",
+              svc.device_count(), cfg.cache.capacity);
+
+  // One row per (client, sweep): what the rank asked for and what the
+  // service told it about its own request.
+  struct RowData {
+    int client, sweep;
+    service::ServiceStats stats;
+    double total;
+  };
+  std::vector<RowData> rows(static_cast<std::size_t>(clients * sweeps));
+
+  minimpi::run(clients, [&](minimpi::Communicator& comm) {
+    const int rank = comm.rank();
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      // Two private temperatures plus the shared popular point at 1 keV.
+      std::vector<apec::GridPoint> pts(3);
+      pts[0].kT_keV = 0.3 + 0.2 * rank;
+      pts[1].kT_keV = 0.4 + 0.2 * rank;
+      pts[2].kT_keV = 1.0;
+      for (std::size_t i = 0; i < pts.size(); ++i) pts[i].index = i;
+
+      const service::ServiceReply reply = svc.submit(std::move(pts)).wait();
+      double total = 0.0;
+      for (const auto& spectrum : reply.spectra) total += spectrum.total();
+      rows[static_cast<std::size_t>(rank * sweeps + sweep)] =
+          {rank, sweep, reply.stats, total};
+      // Ranks sweep in lock-step so sweep 1 runs against a warm cache.
+      comm.barrier();
+    }
+  });
+
+  util::Table t({"client", "sweep", "hits", "misses", "batch pts",
+                 "batch reqs", "queue wait (ms)", "total emissivity"});
+  for (const RowData& r : rows)
+    t.add_row({util::Table::num(r.client, 0), util::Table::num(r.sweep, 0),
+               util::Table::num(static_cast<double>(r.stats.cache_hits), 0),
+               util::Table::num(static_cast<double>(r.stats.cache_misses), 0),
+               util::Table::num(static_cast<double>(r.stats.batch_points), 0),
+               util::Table::num(static_cast<double>(r.stats.batch_requests), 0),
+               util::Table::num(1e3 * r.stats.queue_wait_s, 3),
+               util::Table::num(r.total, 4)});
+  std::fputs(t.str().c_str(), stdout);
+
+  const auto tel = svc.telemetry();
+  const auto cache = svc.cache_stats();
+  std::printf(
+      "\nservice telemetry: %llu requests, %llu batches (%llu coalesced), "
+      "deepest batch %llu points from %llu requests\n",
+      static_cast<unsigned long long>(tel.requests_completed),
+      static_cast<unsigned long long>(tel.batches),
+      static_cast<unsigned long long>(tel.coalesced_batches),
+      static_cast<unsigned long long>(tel.max_batch_points),
+      static_cast<unsigned long long>(tel.max_batch_requests));
+  std::printf(
+      "grid cache: %llu hits / %llu misses, %zu entries, %llu evictions\n",
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses), cache.entries,
+      static_cast<unsigned long long>(cache.evictions));
+  return 0;
+}

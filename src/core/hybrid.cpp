@@ -1,16 +1,8 @@
 #include "core/hybrid.h"
 
-#include <algorithm>
-#include <memory>
-#include <optional>
 #include <stdexcept>
 
-#include "core/async_executor.h"
-#include "core/cpu_task_executor.h"
-#include "core/gpu_task_executor.h"
-#include "minimpi/minimpi.h"
-#include "util/fault.h"
-#include "util/thread_annotations.h"
+#include "core/hybrid_executor.h"
 
 namespace hspec::core {
 
@@ -34,6 +26,8 @@ std::vector<SpectralTask> make_tasks(const apec::SpectrumCalculator& calc,
 HybridDriver::HybridDriver(const apec::SpectrumCalculator& calculator,
                            HybridConfig config)
     : calc_(&calculator), config_(config) {
+  // Same validation HybridExecutor applies; performed here too so a bad
+  // config fails at construction, before run() builds the device stack.
   if (config_.ranks < 1)
     throw std::invalid_argument("HybridDriver: need at least one rank");
   if (config_.ranks > kMaxRanks)
@@ -54,211 +48,11 @@ HybridDriver::HybridDriver(const apec::SpectrumCalculator& calculator,
 }
 
 HybridResult HybridDriver::run(const std::vector<apec::GridPoint>& points) {
-  vgpu::DeviceRegistry registry(config_.devices);
-  const int n_dev = static_cast<int>(registry.device_count());
-  ShmRegion shm =
-      ShmRegion::create_inprocess(n_dev, config_.max_queue_length);
-  // Near-equal contiguous seed ranges (the old static split) that ranks
-  // drain chunk-by-chunk and rebalance by stealing.
-  shm.view().points.initialize(static_cast<std::int64_t>(points.size()),
-                               config_.ranks, config_.steal_chunk);
-  shm.view().degrade_after = config_.degrade_after;
-  shm.view().quarantine_after = config_.quarantine_after;
-
-  // Arm fault injection before the ranks start (thread creation publishes
-  // the plan pointer). The plan's counters are cumulative across runs, so
-  // snapshot them now and report the delta.
-  util::FaultPlan* plan = config_.fault_plan;
-  util::FaultPlan::Stats plan_before;
-  if (plan != nullptr) plan_before = plan->stats();
-  if (plan != nullptr) registry.set_fault_plan(plan);
-
-  const bool pipelined = config_.mode == ExecutionMode::pipelined;
-
-  // One shared buffer pool per device: steady-state task execution never
-  // touches the device allocator. The pipelined path adds the per-device
-  // stream scheduler and the resident edge cache on top.
-  std::vector<std::unique_ptr<vgpu::BufferPool>> pools;
-  std::vector<std::unique_ptr<DevicePipeline>> pipes;
-  std::vector<DevicePipeline*> pipe_views;
-  for (int d = 0; d < n_dev; ++d) {
-    vgpu::Device& dev = registry.device(static_cast<std::size_t>(d));
-    pools.push_back(std::make_unique<vgpu::BufferPool>(dev));
-    pipes.push_back(std::make_unique<DevicePipeline>(dev, *pools.back()));
-    pipe_views.push_back(pipes.back().get());
-  }
-
-  HybridResult result;
-  result.spectra.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i)
-    result.spectra.emplace_back(calc_->grid());
-
-  util::Mutex result_mu;  // guards the aggregated scheduling stats
-
-  minimpi::run(config_.ranks, [&](minimpi::Communicator& comm) {
-    const int rank = comm.rank();
-    TaskScheduler scheduler(shm.view());
-    // Per-rank QAGS calculator, built once and reused by every CPU-fallback
-    // task (the old code rebuilt it per task).
-    const CpuTaskExecutor cpu_exec(*calc_);
-    // Per-rank batch-integrand scratch for the synchronous GPU path; reset
-    // inside execute_task_on_gpu, so steady-state tasks allocate nothing.
-    vgpu::ScratchArena gpu_scratch;
-    FaultStats fs;  // this rank's recovery accounting
-    std::optional<AsyncGpuExecutor> async;
-    if (pipelined)
-      async.emplace(*calc_, pipe_views, scheduler, cpu_exec,
-                    config_.pipeline_depth, config_.max_task_attempts,
-                    plan != nullptr, &fs);
-
-    // Synchronous-path recovery: a faulted device attempt frees its queue
-    // slot, reports the failure, and asks the scheduler for a (possibly
-    // different) device; past the retry budget — or with every device
-    // quarantined — the task degrades to the kernel-equivalent host path.
-    // execute_task_on_gpu accumulates into the spectrum only after its
-    // final D2H, so a fault leaves the spectrum untouched and the retry
-    // cannot double-count (the exactly-once argument of DESIGN.md §11).
-    auto run_task_sync = [&](const SpectralTask& task,
-                             const apec::PointPopulations& pops,
-                             apec::Spectrum& out, int device,
-                             TaskScheduler& sched) {
-      for (int attempt = 1;; ++attempt) {
-        if (device >= 0) {
-          try {
-            const GpuExecutionReport rep = execute_task_on_gpu(
-                *calc_, task, pops,
-                registry.device(static_cast<std::size_t>(device)), out,
-                pools[static_cast<std::size_t>(device)].get(), &gpu_scratch);
-            sched.sche_free(device);
-            if (plan != nullptr && rep.kernels > 0)
-              sched.report_task_success(device);
-            ++fs.gpu_completed;
-            return;
-          } catch (const util::FaultError& e) {
-            sched.sche_free(device);
-            sched.report_task_fault(
-                device, e.site() == util::FaultSite::device_death);
-            ++fs.retried;
-            device =
-                attempt < config_.max_task_attempts ? sched.sche_alloc() : -1;
-            if (device >= 0) {
-              ++fs.requeued;
-              continue;
-            }
-            ++fs.cpu_fallbacks;
-            execute_task_degraded(*calc_, task, pops, out);
-            ++fs.cpu_completed;
-            return;
-          }
-        }
-        // No device. Algorithm 1's QAGS fallback covers full queues; an
-        // all-quarantined device set instead degrades to the kernel-
-        // equivalent host path so the spectrum stays bit-identical.
-        if (plan != nullptr && sched.all_quarantined()) {
-          ++fs.cpu_fallbacks;
-          execute_task_degraded(*calc_, task, pops, out);
-        } else {
-          cpu_exec.execute(task, pops, out);
-        }
-        ++fs.cpu_completed;
-        return;
-      }
-    };
-
-    std::size_t my_tasks = 0;
-    PointWorkQueue& queue = shm.view().points;
-    if (config_.rank_start_hook) config_.rank_start_hook(rank, queue);
-    for (PointWorkQueue::Claim claim = queue.claim(rank); !claim.empty();
-         claim = queue.claim(rank)) {
-      for (std::int64_t pi = claim.begin; pi < claim.end; ++pi) {
-        const auto p = static_cast<std::size_t>(pi);
-        const apec::PointPopulations pops =
-            apec::solve_populations(calc_->database(), points[p]);
-        apec::Spectrum local(calc_->grid());
-        for (const SpectralTask& task :
-             make_tasks(*calc_, points[p], pops, config_.granularity)) {
-          ++my_tasks;
-          const int device = scheduler.sche_alloc();
-          if (pipelined) {
-            async->submit(task, pops, device, local);
-          } else {
-            run_task_sync(task, pops, local, device, scheduler);
-          }
-        }
-        // All of a point's tasks drain before its spectrum is published;
-        // points are claimed exactly once, so accumulation is race-free.
-        if (pipelined) async->drain_all();
-        result.spectra[p] += local;
-      }
-    }
-
-    comm.barrier();
-    {
-      util::MutexLock lock(result_mu);
-      result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
-      result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
-      result.scheduling.cas_retries += scheduler.stats().cas_retries;
-      result.scheduling.degradations += scheduler.stats().degradations;
-      result.scheduling.quarantines += scheduler.stats().quarantines;
-      result.scheduling.recoveries += scheduler.stats().recoveries;
-      result.scheduling.readmissions += scheduler.stats().readmissions;
-      result.faults.retried += fs.retried;
-      result.faults.requeued += fs.requeued;
-      result.faults.cpu_fallbacks += fs.cpu_fallbacks;
-      result.faults.gpu_completed += fs.gpu_completed;
-      result.faults.cpu_completed += fs.cpu_completed;
-      result.tasks_total += my_tasks;
-      if (async) {
-        result.pipeline.tasks_pipelined += async->stats().gpu_tasks;
-        result.pipeline.max_in_flight =
-            std::max(result.pipeline.max_in_flight,
-                     async->stats().max_in_flight);
-      }
-    }
-  });
-
-  for (int d = 0; d < n_dev; ++d) {
-    vgpu::Device& dev = registry.device(static_cast<std::size_t>(d));
-    result.history.push_back(
-        shm.view().history[d].load(std::memory_order_relaxed));
-    vgpu::DeviceStats st = dev.stats();
-    const vgpu::ResidentCache::Stats cst = pipes[d]->cache->stats();
-    st.streams_used = pipes[d]->streams_opened.load(std::memory_order_relaxed);
-    st.cache_hits = cst.hits;
-    st.bytes_h2d_saved = cst.bytes_saved;
-    result.device_stats.push_back(st);
-
-    result.pipeline.streams_used += st.streams_used;
-    result.pipeline.cache_hits += cst.hits;
-    result.pipeline.cache_misses += cst.misses;
-    result.pipeline.bytes_h2d_saved += cst.bytes_saved;
-
-    const double sync_time =
-        pipelined ? pipes[d]->streams->device_sync_time() : dev.busy_time_s();
-    result.device_sync_time_s.push_back(sync_time);
-    result.virtual_makespan_s = std::max(result.virtual_makespan_s, sync_time);
-  }
-  result.pipeline.steals = static_cast<std::uint64_t>(
-      shm.view().points.steals.load(std::memory_order_relaxed));
-  result.pipeline.stolen_points = static_cast<std::uint64_t>(
-      shm.view().points.stolen_points.load(std::memory_order_relaxed));
-
-  // Surface the recovery layer's view of the run.
-  result.faults.degradations = result.scheduling.degradations;
-  result.faults.quarantines = result.scheduling.quarantines;
-  result.faults.recoveries = result.scheduling.recoveries;
-  result.faults.readmissions = result.scheduling.readmissions;
-  for (int d = 0; d < n_dev; ++d)
-    result.device_health.push_back(static_cast<DeviceHealth>(
-        shm.view().health[d].load(std::memory_order_relaxed)));
-  if (plan != nullptr) {
-    const util::FaultPlan::Stats after = plan->stats();
-    result.faults.injected = after.injected_total - plan_before.injected_total;
-    result.faults.device_deaths =
-        after.device_deaths - plan_before.device_deaths;
-    registry.set_fault_plan(nullptr);  // the plan may not outlive the run
-  }
-  return result;
+  // One-shot semantics = a fresh executor running a single batch. The
+  // always-on path (service::SpectralService) holds one HybridExecutor and
+  // pumps run_batch repeatedly instead.
+  HybridExecutor executor(*calc_, config_);
+  return executor.run_batch(points);
 }
 
 }  // namespace hspec::core

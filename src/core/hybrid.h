@@ -25,6 +25,13 @@
 // (each rank drains its own contiguous range, then steals from the most
 // loaded victim) instead of the old static split, so a slow rank no longer
 // sets the wall clock.
+//
+// HybridDriver is the one-shot facade: run() builds a fresh device stack,
+// executes one batch and tears everything down. The long-lived form —
+// devices, pools, stream schedulers and resident caches reused across
+// batches, the seam the always-on service (src/service) pumps — is
+// core::HybridExecutor (core/hybrid_executor.h); run() is now exactly
+// `HybridExecutor(calc, config).run_batch(points)`.
 
 #include <cstdint>
 #include <functional>
@@ -102,9 +109,13 @@ struct HybridResult {
   std::size_t tasks_total = 0;
   /// Fault-recovery accounting, aggregated over all ranks (all zero when no
   /// FaultPlan is installed, except the completion counters, which always
-  /// balance against tasks_total).
+  /// balance against tasks_total). Service clients never touch this struct
+  /// directly: service::ServiceStats re-surfaces `faults` and
+  /// `device_health` per request, so recovery activity is visible without
+  /// digging into the batch result.
   FaultStats faults;
-  /// Final health of each device (all healthy on a fault-free run).
+  /// Final health of each device (all healthy on a fault-free run). Under
+  /// HybridExecutor this is live state that carries across batches.
   std::vector<DeviceHealth> device_health;
 };
 

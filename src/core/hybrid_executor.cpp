@@ -1,0 +1,320 @@
+#include "core/hybrid_executor.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "core/cpu_task_executor.h"
+#include "core/gpu_task_executor.h"
+#include "minimpi/minimpi.h"
+#include "util/dcheck.h"
+#include "util/fault.h"
+#include "util/thread_annotations.h"
+
+namespace hspec::core {
+
+namespace {
+
+void validate(const HybridConfig& config) {
+  if (config.ranks < 1)
+    throw std::invalid_argument("HybridExecutor: need at least one rank");
+  if (config.ranks > kMaxRanks)
+    throw std::invalid_argument("HybridExecutor: too many ranks for the queue");
+  if (config.max_queue_length < 1)
+    throw std::invalid_argument(
+        "HybridExecutor: max queue length must be >= 1");
+  if (config.pipeline_depth < 1)
+    throw std::invalid_argument("HybridExecutor: pipeline depth must be >= 1");
+  if (config.steal_chunk < 1)
+    throw std::invalid_argument("HybridExecutor: steal chunk must be >= 1");
+  if (config.max_task_attempts < 1)
+    throw std::invalid_argument(
+        "HybridExecutor: max task attempts must be >= 1");
+  if (config.degrade_after < 1)
+    throw std::invalid_argument("HybridExecutor: degrade_after must be >= 1");
+  if (config.quarantine_after < config.degrade_after)
+    throw std::invalid_argument(
+        "HybridExecutor: quarantine_after must be >= degrade_after");
+}
+
+vgpu::DeviceStats delta(const vgpu::DeviceStats& now,
+                        const vgpu::DeviceStats& before) {
+  vgpu::DeviceStats d;
+  d.kernels_launched = now.kernels_launched - before.kernels_launched;
+  d.h2d_copies = now.h2d_copies - before.h2d_copies;
+  d.d2h_copies = now.d2h_copies - before.d2h_copies;
+  d.bytes_h2d = now.bytes_h2d - before.bytes_h2d;
+  d.bytes_d2h = now.bytes_d2h - before.bytes_d2h;
+  d.kernel_time_s = now.kernel_time_s - before.kernel_time_s;
+  d.transfer_time_s = now.transfer_time_s - before.transfer_time_s;
+  return d;
+}
+
+}  // namespace
+
+HybridExecutor::HybridExecutor(const apec::SpectrumCalculator& calculator,
+                               HybridConfig config)
+    : calc_(&calculator),
+      config_((validate(config), config)),
+      registry_(config.devices),
+      shm_(ShmRegion::create_inprocess(
+          static_cast<int>(registry_.device_count()),
+          config.max_queue_length)) {
+  n_dev_ = static_cast<int>(registry_.device_count());
+  shm_.view().degrade_after = config_.degrade_after;
+  shm_.view().quarantine_after = config_.quarantine_after;
+
+  // One shared buffer pool per device: steady-state task execution never
+  // touches the device allocator. The pipelined path adds the per-device
+  // stream scheduler and the resident edge cache on top. All of it lives
+  // for the executor's lifetime — the reuse that makes batch N+1's H2D
+  // traffic collapse to the per-task minimum.
+  for (int d = 0; d < n_dev_; ++d) {
+    vgpu::Device& dev = registry_.device(static_cast<std::size_t>(d));
+    pools_.push_back(std::make_unique<vgpu::BufferPool>(dev));
+    pipes_.push_back(std::make_unique<DevicePipeline>(dev, *pools_.back()));
+    pipe_views_.push_back(pipes_.back().get());
+  }
+}
+
+HybridExecutor::~HybridExecutor() = default;
+
+HybridResult HybridExecutor::run_batch(
+    const std::vector<apec::GridPoint>& points) {
+  // The exchange runs unconditionally (DCHECK operands compile out in
+  // release); the flag itself is the re-entrancy guard either way.
+  const bool reentered =
+      batch_in_flight_.exchange(true, std::memory_order_acq_rel);
+  HSPEC_DCHECK(!reentered,
+               "HybridExecutor: run_batch is single-caller; concurrent "
+               "batches must be coalesced or serialized by the service");
+  (void)reentered;
+  // Clears on every exit path — a rank exception must not wedge the
+  // executor for the next batch.
+  struct InFlightGuard {
+    std::atomic<bool>& flag;
+    ~InFlightGuard() { flag.store(false, std::memory_order_release); }
+  } in_flight_guard{batch_in_flight_};
+
+  // Per-batch delta baseline: the device stack is long-lived, the result
+  // describes this batch only.
+  std::vector<DeviceSnapshot> before(static_cast<std::size_t>(n_dev_));
+  for (int d = 0; d < n_dev_; ++d) {
+    auto& snap = before[static_cast<std::size_t>(d)];
+    snap.history = shm_.view().history[d].load(std::memory_order_relaxed);
+    snap.device = registry_.device(static_cast<std::size_t>(d)).stats();
+    snap.cache = pipes_[static_cast<std::size_t>(d)]->cache->stats();
+    snap.streams_opened =
+        pipes_[static_cast<std::size_t>(d)]->streams_opened.load(
+            std::memory_order_relaxed);
+    const bool pipelined = config_.mode == ExecutionMode::pipelined;
+    snap.sync_time_s =
+        pipelined
+            ? pipes_[static_cast<std::size_t>(d)]->streams->device_sync_time()
+            : registry_.device(static_cast<std::size_t>(d)).busy_time_s();
+  }
+
+  // Near-equal contiguous seed ranges (the old static split) that ranks
+  // drain chunk-by-chunk and rebalance by stealing. Re-initialized per
+  // batch; steal counters restart at zero so the result stays per-batch.
+  shm_.view().points.initialize(static_cast<std::int64_t>(points.size()),
+                                config_.ranks, config_.steal_chunk);
+
+  // Arm fault injection before the ranks start (thread creation publishes
+  // the plan pointer). The plan's counters are cumulative across runs, so
+  // snapshot them now and report the delta.
+  util::FaultPlan* plan = config_.fault_plan;
+  util::FaultPlan::Stats plan_before;
+  if (plan != nullptr) plan_before = plan->stats();
+  if (plan != nullptr) registry_.set_fault_plan(plan);
+
+  const bool pipelined = config_.mode == ExecutionMode::pipelined;
+
+  HybridResult result;
+  result.spectra.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    result.spectra.emplace_back(calc_->grid());
+
+  util::Mutex result_mu;  // guards the aggregated scheduling stats
+
+  minimpi::run(config_.ranks, [&](minimpi::Communicator& comm) {
+    const int rank = comm.rank();
+    TaskScheduler scheduler(shm_.view());
+    // Per-rank QAGS calculator, built once and reused by every CPU-fallback
+    // task (the old code rebuilt it per task).
+    const CpuTaskExecutor cpu_exec(*calc_);
+    // Per-rank batch-integrand scratch for the synchronous GPU path; reset
+    // inside execute_task_on_gpu, so steady-state tasks allocate nothing.
+    vgpu::ScratchArena gpu_scratch;
+    FaultStats fs;  // this rank's recovery accounting
+    std::optional<AsyncGpuExecutor> async;
+    if (pipelined)
+      async.emplace(*calc_, pipe_views_, scheduler, cpu_exec,
+                    config_.pipeline_depth, config_.max_task_attempts,
+                    plan != nullptr, &fs);
+
+    // Synchronous-path recovery: a faulted device attempt frees its queue
+    // slot, reports the failure, and asks the scheduler for a (possibly
+    // different) device; past the retry budget — or with every device
+    // quarantined — the task degrades to the kernel-equivalent host path.
+    // execute_task_on_gpu accumulates into the spectrum only after its
+    // final D2H, so a fault leaves the spectrum untouched and the retry
+    // cannot double-count (the exactly-once argument of DESIGN.md §11).
+    auto run_task_sync = [&](const SpectralTask& task,
+                             const apec::PointPopulations& pops,
+                             apec::Spectrum& out, int device,
+                             TaskScheduler& sched) {
+      for (int attempt = 1;; ++attempt) {
+        if (device >= 0) {
+          try {
+            const GpuExecutionReport rep = execute_task_on_gpu(
+                *calc_, task, pops,
+                registry_.device(static_cast<std::size_t>(device)), out,
+                pools_[static_cast<std::size_t>(device)].get(), &gpu_scratch);
+            sched.sche_free(device);
+            if (plan != nullptr && rep.kernels > 0)
+              sched.report_task_success(device);
+            ++fs.gpu_completed;
+            return;
+          } catch (const util::FaultError& e) {
+            sched.sche_free(device);
+            sched.report_task_fault(
+                device, e.site() == util::FaultSite::device_death);
+            ++fs.retried;
+            device =
+                attempt < config_.max_task_attempts ? sched.sche_alloc() : -1;
+            if (device >= 0) {
+              ++fs.requeued;
+              continue;
+            }
+            ++fs.cpu_fallbacks;
+            execute_task_degraded(*calc_, task, pops, out);
+            ++fs.cpu_completed;
+            return;
+          }
+        }
+        // No device. Algorithm 1's QAGS fallback covers full queues; an
+        // all-quarantined device set instead degrades to the kernel-
+        // equivalent host path so the spectrum stays bit-identical.
+        if (plan != nullptr && sched.all_quarantined()) {
+          ++fs.cpu_fallbacks;
+          execute_task_degraded(*calc_, task, pops, out);
+        } else {
+          cpu_exec.execute(task, pops, out);
+        }
+        ++fs.cpu_completed;
+        return;
+      }
+    };
+
+    std::size_t my_tasks = 0;
+    PointWorkQueue& queue = shm_.view().points;
+    if (config_.rank_start_hook) config_.rank_start_hook(rank, queue);
+    for (PointWorkQueue::Claim claim = queue.claim(rank); !claim.empty();
+         claim = queue.claim(rank)) {
+      for (std::int64_t pi = claim.begin; pi < claim.end; ++pi) {
+        const auto p = static_cast<std::size_t>(pi);
+        const apec::PointPopulations pops =
+            apec::solve_populations(calc_->database(), points[p]);
+        apec::Spectrum local(calc_->grid());
+        for (const SpectralTask& task :
+             make_tasks(*calc_, points[p], pops, config_.granularity)) {
+          ++my_tasks;
+          const int device = scheduler.sche_alloc();
+          if (pipelined) {
+            async->submit(task, pops, device, local);
+          } else {
+            run_task_sync(task, pops, local, device, scheduler);
+          }
+        }
+        // All of a point's tasks drain before its spectrum is published;
+        // points are claimed exactly once, so accumulation is race-free.
+        if (pipelined) async->drain_all();
+        result.spectra[p] += local;
+      }
+    }
+
+    comm.barrier();
+    {
+      util::MutexLock lock(result_mu);
+      result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
+      result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
+      result.scheduling.cas_retries += scheduler.stats().cas_retries;
+      result.scheduling.degradations += scheduler.stats().degradations;
+      result.scheduling.quarantines += scheduler.stats().quarantines;
+      result.scheduling.recoveries += scheduler.stats().recoveries;
+      result.scheduling.readmissions += scheduler.stats().readmissions;
+      result.faults.retried += fs.retried;
+      result.faults.requeued += fs.requeued;
+      result.faults.cpu_fallbacks += fs.cpu_fallbacks;
+      result.faults.gpu_completed += fs.gpu_completed;
+      result.faults.cpu_completed += fs.cpu_completed;
+      result.tasks_total += my_tasks;
+      if (async) {
+        result.pipeline.tasks_pipelined += async->stats().gpu_tasks;
+        result.pipeline.max_in_flight =
+            std::max(result.pipeline.max_in_flight,
+                     async->stats().max_in_flight);
+      }
+    }
+  });
+
+  for (int d = 0; d < n_dev_; ++d) {
+    const auto du = static_cast<std::size_t>(d);
+    const DeviceSnapshot& snap = before[du];
+    vgpu::Device& dev = registry_.device(du);
+    result.history.push_back(
+        shm_.view().history[d].load(std::memory_order_relaxed) - snap.history);
+    vgpu::DeviceStats st = delta(dev.stats(), snap.device);
+    const vgpu::ResidentCache::Stats cst_now = pipes_[du]->cache->stats();
+    vgpu::ResidentCache::Stats cst;
+    cst.hits = cst_now.hits - snap.cache.hits;
+    cst.misses = cst_now.misses - snap.cache.misses;
+    cst.bytes_uploaded = cst_now.bytes_uploaded - snap.cache.bytes_uploaded;
+    cst.bytes_saved = cst_now.bytes_saved - snap.cache.bytes_saved;
+    st.streams_used =
+        pipes_[du]->streams_opened.load(std::memory_order_relaxed) -
+        snap.streams_opened;
+    st.cache_hits = cst.hits;
+    st.bytes_h2d_saved = cst.bytes_saved;
+    result.device_stats.push_back(st);
+
+    result.pipeline.streams_used += st.streams_used;
+    result.pipeline.cache_hits += cst.hits;
+    result.pipeline.cache_misses += cst.misses;
+    result.pipeline.bytes_h2d_saved += cst.bytes_saved;
+
+    const double sync_time =
+        (pipelined ? pipes_[du]->streams->device_sync_time()
+                   : dev.busy_time_s()) -
+        snap.sync_time_s;
+    result.device_sync_time_s.push_back(sync_time);
+    result.virtual_makespan_s = std::max(result.virtual_makespan_s, sync_time);
+  }
+  result.pipeline.steals = static_cast<std::uint64_t>(
+      shm_.view().points.steals.load(std::memory_order_relaxed));
+  result.pipeline.stolen_points = static_cast<std::uint64_t>(
+      shm_.view().points.stolen_points.load(std::memory_order_relaxed));
+
+  // Surface the recovery layer's view of the batch. Health is live state —
+  // it deliberately carries across batches (a device quarantined serving
+  // one request stays quarantined for the next).
+  result.faults.degradations = result.scheduling.degradations;
+  result.faults.quarantines = result.scheduling.quarantines;
+  result.faults.recoveries = result.scheduling.recoveries;
+  result.faults.readmissions = result.scheduling.readmissions;
+  for (int d = 0; d < n_dev_; ++d)
+    result.device_health.push_back(static_cast<DeviceHealth>(
+        shm_.view().health[d].load(std::memory_order_relaxed)));
+  if (plan != nullptr) {
+    const util::FaultPlan::Stats after = plan->stats();
+    result.faults.injected = after.injected_total - plan_before.injected_total;
+    result.faults.device_deaths =
+        after.device_deaths - plan_before.device_deaths;
+    registry_.set_fault_plan(nullptr);  // the plan may not outlive the batch
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace hspec::core

@@ -1,0 +1,99 @@
+#pragma once
+// Long-lived hybrid execution core — the reuse seam under HybridDriver and
+// the batch engine under service::SpectralService (DESIGN.md §13).
+//
+// HybridDriver::run built the whole device stack per call: registry, shm
+// segment, buffer pools, stream schedulers, resident caches. That is the
+// right shape for a one-shot calculation and exactly the wrong shape for an
+// always-on service, where the next batch arrives microseconds after the
+// last one drained and the bin edges it needs are already resident on every
+// device. HybridExecutor hoists the device stack into a constructed-once
+// handle:
+//
+//  * the DeviceRegistry, SchedulerShm, per-device BufferPools and
+//    DevicePipelines (stream scheduler + resident edge cache) live for the
+//    executor's lifetime — batch N+1 reuses batch N's pools and resident
+//    edges, so steady-state batches pay zero device allocations and zero
+//    edge re-uploads;
+//  * device health persists across batches: a device quarantined while
+//    serving one request stays masked for the next (the service-level
+//    recovery story), while per-batch counters are reported as deltas so a
+//    HybridResult still describes one batch, not the executor's lifetime;
+//  * run_batch() is the coalescing seam: callers may concatenate grid
+//    points from many independent requests into one batch — the scheduler
+//    and work-stealing queue treat them as one workload, which is what
+//    makes cross-request device sharing free.
+//
+// Threading: run_batch() spawns and joins its minimpi ranks internally, but
+// the executor itself is single-caller — one batch in flight at a time
+// (HSPEC_DCHECK-enforced). Concurrency across requests is the service
+// layer's job (it owns the one worker thread that pumps this executor).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/async_executor.h"
+#include "core/hybrid.h"
+#include "core/shm.h"
+#include "vgpu/buffer_pool.h"
+#include "vgpu/device.h"
+
+namespace hspec::core {
+
+class HybridExecutor {
+ public:
+  /// Builds the device stack once: registry, shm scheduler segment, one
+  /// BufferPool and DevicePipeline per device. Validates `config` exactly
+  /// as HybridDriver does.
+  HybridExecutor(const apec::SpectrumCalculator& calculator,
+                 HybridConfig config);
+  ~HybridExecutor();
+
+  HybridExecutor(const HybridExecutor&) = delete;
+  HybridExecutor& operator=(const HybridExecutor&) = delete;
+
+  /// Run one batch of grid points (possibly coalesced from many requests)
+  /// through the long-lived device stack. The HybridResult is per-batch:
+  /// spectra in point order; scheduling/fault/pipeline counters, device
+  /// stats, history and virtual times are deltas since the previous batch.
+  /// device_health is live state and carries across batches.
+  ///
+  /// A fresh executor running a single batch behaves exactly like
+  /// HybridDriver::run — spectra bitwise included (HybridDriver is now this
+  /// wrapper, and the identity tests pin it).
+  HybridResult run_batch(const std::vector<apec::GridPoint>& points);
+
+  const HybridConfig& config() const noexcept { return config_; }
+  int device_count() const noexcept { return n_dev_; }
+
+  /// Batches run through this executor so far.
+  std::uint64_t batches_run() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-device cumulative counters captured at batch start, so run_batch
+  /// can report per-batch deltas off the long-lived stack.
+  struct DeviceSnapshot {
+    std::int64_t history = 0;
+    vgpu::DeviceStats device;
+    vgpu::ResidentCache::Stats cache;
+    std::uint64_t streams_opened = 0;
+    double sync_time_s = 0.0;
+  };
+
+  const apec::SpectrumCalculator* calc_;
+  HybridConfig config_;
+  vgpu::DeviceRegistry registry_;
+  ShmRegion shm_;
+  int n_dev_ = 0;
+  std::vector<std::unique_ptr<vgpu::BufferPool>> pools_;
+  std::vector<std::unique_ptr<DevicePipeline>> pipes_;
+  std::vector<DevicePipeline*> pipe_views_;
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<bool> batch_in_flight_{false};
+};
+
+}  // namespace hspec::core

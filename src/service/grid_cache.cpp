@@ -1,0 +1,177 @@
+#include "service/grid_cache.h"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace hspec::service {
+
+namespace {
+
+/// Quantize one coordinate onto a relative lattice: buckets are uniform in
+/// log-space with width `rel` (so bucket neighbours differ by a factor of
+/// ~e^rel ≈ 1+rel). Deterministic — identical doubles always share a
+/// bucket; zero and sign get dedicated lattice regions so 0.0 and ±x can
+/// never collide.
+std::int64_t quantize(double value, double rel) noexcept {
+  if (value == 0.0) return 0;  // hlint:allow(fp-equal) — exact-zero sentinel
+  const double mag = std::log(std::fabs(value)) / rel;
+  // log(|v|)/1e-9 stays within ±~7.1e11 for doubles; llround is exact here.
+  const auto bucket = static_cast<std::int64_t>(std::llround(mag));
+  // Shift away from 0 so a positive bucket can never alias the zero
+  // sentinel; negative values mirror to the negative half-lattice.
+  return value > 0.0 ? bucket + 1 : -(bucket + 1);
+}
+
+std::size_t hash_family(const GridKey& key) noexcept {
+  // splitmix64-style mix of the (ne, time) family only: all temperatures
+  // of one family must land in one shard for the near-hit search.
+  auto mix = [](std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  const auto ne = static_cast<std::uint64_t>(key.ne_q);
+  const auto tm = static_cast<std::uint64_t>(key.time_q);
+  return static_cast<std::size_t>(mix(ne ^ mix(tm)));
+}
+
+}  // namespace
+
+GridCache::GridCache(GridCacheConfig config) : config_(config) {
+  if (config_.shards < 1)
+    throw std::invalid_argument("GridCache: need at least one shard");
+  if (config_.capacity < config_.shards)
+    throw std::invalid_argument("GridCache: capacity below shard count");
+  if (!(config_.rel_resolution > 0.0))
+    throw std::invalid_argument("GridCache: rel_resolution must be positive");
+  if (!(config_.interp_max_rel_spacing > 0.0))
+    throw std::invalid_argument(
+        "GridCache: interp_max_rel_spacing must be positive");
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+GridKey GridCache::key_of(const apec::GridPoint& point) const noexcept {
+  GridKey key;
+  key.ne_q = quantize(point.ne_cm3, config_.rel_resolution);
+  key.time_q = quantize(point.time_s, config_.rel_resolution);
+  key.t_q = quantize(point.kT_keV, config_.rel_resolution);
+  return key;
+}
+
+GridCache::Shard& GridCache::shard_of(const GridKey& key) noexcept {
+  return *shards_[hash_family(key) % shards_.size()];
+}
+
+std::size_t GridCache::shard_capacity(std::size_t shard_index) const noexcept {
+  const std::size_t base = config_.capacity / config_.shards;
+  const std::size_t extra = config_.capacity % config_.shards;
+  return base + (shard_index < extra ? 1 : 0);
+}
+
+GridCache::Lookup GridCache::lookup(const apec::GridPoint& point) {
+  const GridKey key = key_of(point);
+  Shard& shard = shard_of(key);
+  Lookup out;
+  {
+    util::MutexLock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Exact-bucket hit: refresh LRU position and hand out the stored
+      // bins — the bitwise-identity contract.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      out.bins = it->second.bins;
+    } else if (config_.interpolate) {
+      // Near-hit: the two map neighbours of `key` are, by the family-major
+      // key order, the nearest cached temperatures of this (ne, time)
+      // family — if both exist, bracket the request and sit close enough,
+      // interpolate between them.
+      const auto hi = shard.map.lower_bound(key);
+      if (hi != shard.map.end() && hi != shard.map.begin()) {
+        const auto lo = std::prev(hi);
+        const bool same_family = lo->first.ne_q == key.ne_q &&
+                                 lo->first.time_q == key.time_q &&
+                                 hi->first.ne_q == key.ne_q &&
+                                 hi->first.time_q == key.time_q;
+        const double t0 = lo->second.kT_keV;
+        const double t1 = hi->second.kT_keV;
+        if (same_family && t0 < point.kT_keV && point.kT_keV < t1 &&
+            (t1 - t0) <= config_.interp_max_rel_spacing * point.kT_keV) {
+          const double w = (point.kT_keV - t0) / (t1 - t0);
+          const std::vector<double>& b0 = *lo->second.bins;
+          const std::vector<double>& b1 = *hi->second.bins;
+          auto mixed = std::make_shared<std::vector<double>>(b0.size());
+          for (std::size_t b = 0; b < b0.size(); ++b)
+            (*mixed)[b] = b0[b] + (b1[b] - b0[b]) * w;
+          out.bins = std::move(mixed);
+          out.interpolated = true;
+        }
+      }
+    }
+  }
+  if (out.interpolated)
+    interpolated_.fetch_add(1, std::memory_order_relaxed);
+  else if (out.bins != nullptr)
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  else
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void GridCache::insert(const apec::GridPoint& point, Bins bins) {
+  if (bins == nullptr)
+    throw std::invalid_argument("GridCache::insert: null bins");
+  const GridKey key = key_of(point);
+  const std::size_t shard_index = hash_family(key) % shards_.size();
+  Shard& shard = *shards_[shard_index];
+  std::uint64_t evicted = 0;
+  std::int64_t entry_delta = 0;
+  {
+    util::MutexLock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second.kT_keV = point.kT_keV;
+      it->second.bins = std::move(bins);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    } else {
+      const auto pos =
+          shard.map.emplace(key, Entry{point.kT_keV, std::move(bins), {}})
+              .first;
+      shard.lru.push_front(pos);
+      pos->second.lru_pos = shard.lru.begin();
+      ++entry_delta;
+      const std::size_t cap = shard_capacity(shard_index);
+      while (shard.map.size() > cap) {
+        Map::iterator victim = shard.lru.back();
+        shard.lru.pop_back();
+        shard.map.erase(victim);
+        ++evicted;
+        --entry_delta;
+      }
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted != 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  if (entry_delta > 0)
+    entries_.fetch_add(static_cast<std::size_t>(entry_delta),
+                       std::memory_order_relaxed);
+  else if (entry_delta < 0)
+    entries_.fetch_sub(static_cast<std::size_t>(-entry_delta),
+                       std::memory_order_relaxed);
+}
+
+GridCacheStats GridCache::stats() const noexcept {
+  GridCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.interpolated = interpolated_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hspec::service

@@ -1,0 +1,142 @@
+#pragma once
+// Memoized grid cache for the always-on spectral service (DESIGN.md §13).
+//
+// The "millions of users" workload is dominated by repeated and nearby
+// (temperature, density, epoch) grid points — survey fits re-request the
+// same coarse grid, interactive fits walk tiny neighbourhoods. This cache
+// sits in front of the hybrid executor and memoizes completed spectra:
+//
+//  * keys are quantized grid coordinates: each axis value maps to a bucket
+//    on a relative lattice (resolution `rel_resolution`, default 1e-9 — far
+//    below any physical grid spacing), so bit-identical requests always
+//    collide and near-identical ones merge;
+//  * the shard a key lands on is chosen by its (density, epoch) *family*
+//    hash only: every temperature along one family shares a shard, which
+//    keeps the near-hit search (below) single-shard and single-lock;
+//  * within a shard entries live in an ordered map keyed
+//    (ne, time, T) with an intrusive LRU list per shard; eviction is
+//    per-shard LRU under capacity pressure;
+//  * hit / miss / interpolated / eviction / insert counters are atomics,
+//    readable without any shard lock;
+//  * optional near-hit interpolation (off by default): an exact-bucket miss
+//    whose temperature is bracketed by two cached neighbours of the same
+//    family within `interp_max_rel_spacing` returns the bin-wise linear
+//    interpolation of the two, flagged `interpolated`. Exact hits return
+//    the stored bins by shared_ptr — bitwise identical to the run that
+//    produced them, which the service's identity tests pin against a
+//    direct HybridAPEC run.
+//
+// Concurrency: any number of threads may lookup/insert concurrently. A
+// shard mutex is held only for map/LRU surgery — never across an executor
+// call (the hlint [service-block] rule enforces this lexically for the
+// whole service layer).
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "apec/parameter_space.h"
+#include "util/thread_annotations.h"
+
+namespace hspec::service {
+
+struct GridCacheConfig {
+  /// Total cached spectra across all shards (>= shards; each shard holds
+  /// capacity / shards, remainder spread over the low shards).
+  std::size_t capacity = 1024;
+  std::size_t shards = 8;
+  /// Relative lattice resolution for key quantization. Two coordinates
+  /// within this relative distance may share a bucket; bit-identical
+  /// coordinates always do.
+  double rel_resolution = 1e-9;
+  /// Near-hit interpolation between same-family temperature neighbours.
+  /// Off by default: exact hits only.
+  bool interpolate = false;
+  /// Maximum bracket width, relative to the requested temperature, a pair
+  /// of cached neighbours may span and still serve an interpolated hit.
+  /// The interpolation-error bound the tests enforce is a property of this
+  /// knob: tighter spacing, tighter bound.
+  double interp_max_rel_spacing = 0.25;
+};
+
+/// Quantized grid coordinates. Ordered family-major (ne, time, T) so that
+/// one family's temperatures are contiguous in a shard's ordered map.
+struct GridKey {
+  std::int64_t ne_q = 0;
+  std::int64_t time_q = 0;
+  std::int64_t t_q = 0;
+
+  friend bool operator==(const GridKey&, const GridKey&) = default;
+  friend auto operator<=>(const GridKey&, const GridKey&) = default;
+};
+
+struct GridCacheStats {
+  std::uint64_t hits = 0;          ///< exact-bucket hits
+  std::uint64_t misses = 0;        ///< lookups that found nothing usable
+  std::uint64_t interpolated = 0;  ///< near-hits served by interpolation
+  std::uint64_t evictions = 0;     ///< entries LRU-evicted under pressure
+  std::uint64_t inserts = 0;       ///< entries stored (re-inserts included)
+  std::size_t entries = 0;         ///< live entries across all shards
+};
+
+class GridCache {
+ public:
+  /// Cached per-bin emissivity values, shared between the cache and every
+  /// request it served — immutable once published.
+  using Bins = std::shared_ptr<const std::vector<double>>;
+
+  explicit GridCache(GridCacheConfig config);
+
+  struct Lookup {
+    Bins bins;                  ///< null => miss
+    bool interpolated = false;  ///< served by near-hit interpolation
+  };
+
+  /// Find the spectrum for `point`: exact-bucket hit, then (when enabled)
+  /// the same-family interpolation fallback, else miss.
+  Lookup lookup(const apec::GridPoint& point);
+
+  /// Publish a computed spectrum for `point`. Re-inserting an existing key
+  /// refreshes the entry (last writer wins — both writers hold spectra of
+  /// the same quantized point). May evict the shard's LRU tail.
+  void insert(const apec::GridPoint& point, Bins bins);
+
+  /// Quantized key of a point — exposed so the service can deduplicate
+  /// same-bucket misses across coalesced requests before dispatch.
+  GridKey key_of(const apec::GridPoint& point) const noexcept;
+
+  GridCacheStats stats() const noexcept;
+  const GridCacheConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry;
+  using Map = std::map<GridKey, Entry>;
+  struct Entry {
+    double kT_keV = 0.0;  ///< unquantized, for interpolation weights
+    Bins bins;
+    /// Position in the shard's LRU list (front = most recently used).
+    std::list<Map::iterator>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable util::Mutex mu;
+    Map map HSPEC_GUARDED_BY(mu);
+    std::list<Map::iterator> lru HSPEC_GUARDED_BY(mu);
+  };
+
+  Shard& shard_of(const GridKey& key) noexcept;
+  std::size_t shard_capacity(std::size_t shard_index) const noexcept;
+
+  GridCacheConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> interpolated_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::size_t> entries_{0};
+};
+
+}  // namespace hspec::service

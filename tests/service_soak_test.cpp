@@ -1,0 +1,151 @@
+// Multi-threaded submit soak for the spectral service (label: soak, not
+// tier-1; CI's fault-soak job runs it under ThreadSanitizer). A storm of
+// client threads hammers one service through a tight admission gate while
+// a second wave stops and restarts nothing — the service must survive
+// concurrent submit/wait traffic with every reply correct and every
+// counter consistent. HSPEC_SOAK=full scales the storm up.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apec/calculator.h"
+#include "core/hybrid.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace hspec;
+using service::ServiceConfig;
+using service::SpectralService;
+
+bool full_soak() {
+  const char* env = std::getenv("HSPEC_SOAK");
+  return env != nullptr && std::string(env) == "full";
+}
+
+apec::GridPoint point_at(double kT_keV) {
+  apec::GridPoint pt;
+  pt.kT_keV = kT_keV;
+  pt.ne_cm3 = 1.0;
+  pt.time_s = 0.0;
+  pt.index = 0;
+  return pt;
+}
+
+TEST(ServiceSoak, ConcurrentSubmitStormThroughTightGate) {
+  atomic::DatabaseConfig db_cfg;
+  db_cfg.max_z = 6;
+  db_cfg.levels = {2, true};
+  const atomic::AtomicDatabase db(db_cfg);
+  const auto grid = apec::EnergyGrid::wavelength(5.0, 40.0, 32);
+  apec::CalcOptions opt;
+  opt.integration.adaptive = false;
+  const apec::SpectrumCalculator calc(db, grid, opt);
+
+  const int clients = full_soak() ? 16 : 6;
+  const int requests = full_soak() ? 40 : 10;
+  const int pool = 8;  // few distinct points: heavy cache/dedup contention
+
+  // Ground truth: every pool point computed once, directly.
+  std::vector<apec::GridPoint> pool_pts;
+  for (int p = 0; p < pool; ++p)
+    pool_pts.push_back(point_at(0.3 + 0.15 * p));
+  core::HybridConfig hybrid_cfg;
+  hybrid_cfg.ranks = 2;
+  hybrid_cfg.devices = 2;
+  hybrid_cfg.max_queue_length = 32;
+  core::HybridDriver direct(calc, hybrid_cfg);
+  const auto truth = direct.run(pool_pts);
+
+  ServiceConfig cfg;
+  cfg.hybrid = hybrid_cfg;
+  cfg.max_pending_points = 4;  // tight gate: submitters block constantly
+  cfg.admission = ServiceConfig::Admission::block;
+  SpectralService svc(calc, cfg);
+
+  std::vector<std::size_t> mismatches(static_cast<std::size_t>(clients), 0);
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::size_t bad = 0;
+        for (int r = 0; r < requests; ++r) {
+          const std::size_t slot =
+              static_cast<std::size_t>(c + r * 3) %
+              pool_pts.size();
+          const auto reply = svc.submit({pool_pts[slot]}).wait();
+          // Every reply must be the exact spectrum of its point: either a
+          // bitwise cache hit or a fresh computation of the same task set.
+          for (std::size_t b = 0; b < grid.bin_count(); ++b)
+            if (reply.spectra[0][b] != truth.spectra[slot][b]) ++bad;
+        }
+        mismatches[static_cast<std::size_t>(c)] = bad;
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (std::size_t bad : mismatches) EXPECT_EQ(bad, 0u);
+
+  const auto tel = svc.telemetry();
+  const auto expected =
+      static_cast<std::uint64_t>(clients) * static_cast<std::uint64_t>(requests);
+  EXPECT_EQ(tel.requests_submitted, expected);
+  EXPECT_EQ(tel.requests_completed, expected);
+  EXPECT_EQ(tel.requests_rejected, 0u);
+  // The pool is tiny and the storm long: the cache must end warm and the
+  // executor must have run far fewer batches than requests.
+  const auto cache = svc.cache_stats();
+  EXPECT_EQ(cache.entries, static_cast<std::size_t>(pool));
+  EXPECT_LT(tel.batches, expected);
+  EXPECT_GT(cache.hits, 0u);
+}
+
+TEST(ServiceSoak, StopUnderFireFailsOrFinishesEveryTicket) {
+  atomic::DatabaseConfig db_cfg;
+  db_cfg.max_z = 4;
+  db_cfg.levels = {2, true};
+  const atomic::AtomicDatabase db(db_cfg);
+  const auto grid = apec::EnergyGrid::wavelength(5.0, 40.0, 16);
+  apec::CalcOptions opt;
+  opt.integration.adaptive = false;
+  const apec::SpectrumCalculator calc(db, grid, opt);
+
+  ServiceConfig cfg;
+  cfg.hybrid.ranks = 2;
+  cfg.hybrid.devices = 2;
+  cfg.hybrid.max_queue_length = 32;
+  SpectralService svc(calc, cfg);
+
+  // Submitters race a stop(): every ticket either completes with spectra
+  // or fails with ServiceStopped — nothing hangs, nothing leaks.
+  const int clients = full_soak() ? 8 : 4;
+  std::vector<std::uint64_t> outcomes(static_cast<std::size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t completed = 0;
+      try {
+        for (int r = 0; r < 50; ++r) {
+          auto ticket = svc.submit({point_at(0.4 + 0.01 * (c * 50 + r))});
+          const auto reply = ticket.wait();
+          completed += reply.spectra.size();
+        }
+      } catch (const service::ServiceStopped&) {
+        // expected once the stop lands
+      }
+      outcomes[static_cast<std::size_t>(c)] = completed;
+    });
+  }
+  svc.stop();
+  for (auto& t : threads) t.join();
+  for (std::uint64_t completed : outcomes) EXPECT_LE(completed, 50u);
+  const auto tel = svc.telemetry();
+  EXPECT_EQ(tel.requests_completed, tel.requests_submitted);
+}
+
+}  // namespace

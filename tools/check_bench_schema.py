@@ -1,7 +1,13 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_kernel.json record against the hspec-bench-kernel-v1
-schema (written by bench/micro_kernel_roofline, consumed by the CI
-bench-smoke job and the tracked baseline at the repo root).
+"""Validate a tracked bench JSON record against its hspec bench schema.
+
+Dispatches on the record's "schema" key:
+
+  hspec-bench-kernel-v1   — bench/micro_kernel_roofline
+  hspec-bench-service-v1  — bench/service_throughput
+
+Both are consumed by the CI bench-smoke job and baselined at the repo root
+(BENCH_kernel.json, BENCH_service.json).
 
 Standard library only. Exit 0 when the file conforms, 1 with a message per
 defect otherwise.
@@ -10,34 +16,67 @@ defect otherwise.
 import json
 import sys
 
-REQUIRED = {
-    "schema": str,
-    "method": str,
-    "panels": int,
-    "bins": int,
-    "evals_per_bin": int,
-    "repeat": int,
-    "scalar_bins_per_s": float,
-    "batch_bins_per_s": float,
-    "speedup": float,
-    "host_fma_gflops": float,
-    "scalar_bins_per_s_per_gflops": float,
-    "batch_bins_per_s_per_gflops": float,
-    "model_bytes_per_flop": float,
-    "bitwise_identical": bool,
+# Per-schema required keys (name -> type) and the subset that must be > 0.
+SCHEMAS = {
+    "hspec-bench-kernel-v1": {
+        "required": {
+            "schema": str,
+            "method": str,
+            "panels": int,
+            "bins": int,
+            "evals_per_bin": int,
+            "repeat": int,
+            "scalar_bins_per_s": float,
+            "batch_bins_per_s": float,
+            "speedup": float,
+            "host_fma_gflops": float,
+            "scalar_bins_per_s_per_gflops": float,
+            "batch_bins_per_s_per_gflops": float,
+            "model_bytes_per_flop": float,
+            "bitwise_identical": bool,
+        },
+        "positive": [
+            "panels",
+            "bins",
+            "evals_per_bin",
+            "repeat",
+            "scalar_bins_per_s",
+            "batch_bins_per_s",
+            "speedup",
+            "host_fma_gflops",
+            "model_bytes_per_flop",
+        ],
+        "true_flags": ["bitwise_identical"],
+    },
+    "hspec-bench-service-v1": {
+        "required": {
+            "schema": str,
+            "clients": int,
+            "requests_per_client": int,
+            "pool_points": int,
+            "requests_per_s": float,
+            "cache_hit_rate": float,
+            "queue_wait_p50_s": float,
+            "queue_wait_p99_s": float,
+            "batches": int,
+            "coalesced_batches": int,
+            "max_batch_points": int,
+            "max_batch_requests": int,
+            "cache_entries": int,
+            "cache_evictions": int,
+            "exact_hit_bitwise": bool,
+        },
+        "positive": [
+            "clients",
+            "requests_per_client",
+            "pool_points",
+            "requests_per_s",
+            "batches",
+            "max_batch_points",
+        ],
+        "true_flags": ["exact_hit_bitwise"],
+    },
 }
-
-POSITIVE = [
-    "panels",
-    "bins",
-    "evals_per_bin",
-    "repeat",
-    "scalar_bins_per_s",
-    "batch_bins_per_s",
-    "speedup",
-    "host_fma_gflops",
-    "model_bytes_per_flop",
-]
 
 
 def check(path):
@@ -49,7 +88,14 @@ def check(path):
         return ["%s: unreadable or not JSON: %s" % (path, e)]
     if not isinstance(record, dict):
         return ["%s: top level must be an object" % path]
-    for key, expected in REQUIRED.items():
+    schema_name = record.get("schema")
+    if schema_name not in SCHEMAS:
+        return [
+            "%s: schema is %r, expected one of %s"
+            % (path, schema_name, sorted(SCHEMAS))
+        ]
+    spec = SCHEMAS[schema_name]
+    for key, expected in spec["required"].items():
         if key not in record:
             errors.append("%s: missing key %r" % (path, key))
             continue
@@ -67,28 +113,34 @@ def check(path):
             )
     if errors:
         return errors
-    if record["schema"] != "hspec-bench-kernel-v1":
-        errors.append(
-            "%s: schema is %r, expected 'hspec-bench-kernel-v1'"
-            % (path, record["schema"])
-        )
-    for key in POSITIVE:
+    for key in spec["positive"]:
         if record[key] <= 0:
             errors.append("%s: key %r must be positive" % (path, key))
-    if not record["bitwise_identical"]:
-        errors.append("%s: bitwise_identical must be true" % path)
+    for key in spec["true_flags"]:
+        if not record[key]:
+            errors.append("%s: %s must be true" % (path, key))
+    if schema_name == "hspec-bench-service-v1":
+        if not 0.0 <= record["cache_hit_rate"] <= 1.0:
+            errors.append("%s: cache_hit_rate must be in [0, 1]" % path)
+        if record["queue_wait_p50_s"] < 0 or record["queue_wait_p99_s"] < 0:
+            errors.append("%s: queue-wait quantiles must be >= 0" % path)
+        if record["queue_wait_p99_s"] < record["queue_wait_p50_s"]:
+            errors.append("%s: queue_wait_p99_s below p50" % path)
     return errors
 
 
 def main(argv):
     if len(argv) != 2:
-        print("usage: check_bench_schema.py BENCH_kernel.json", file=sys.stderr)
+        print(
+            "usage: check_bench_schema.py BENCH_<name>.json", file=sys.stderr
+        )
         return 1
     errors = check(argv[1])
     for err in errors:
         print(err, file=sys.stderr)
     if not errors:
-        print("%s: conforms to hspec-bench-kernel-v1" % argv[1])
+        with open(argv[1], encoding="utf-8") as f:
+            print("%s: conforms to %s" % (argv[1], json.load(f)["schema"]))
     return 1 if errors else 0
 
 

@@ -27,6 +27,14 @@
 //                  BufferPool (device buffers) or bump-allocate from a
 //                  ScratchArena (host scratch) instead; a deliberate
 //                  cold-path exception carries `hlint:allow(hot-alloc)`.
+//  [service-block] no blocking call while a GridCache shard lock is held:
+//                  in src/service, a scope that takes a util::MutexLock on
+//                  a shard mutex (the lock argument names a shard) must not
+//                  call the executor (`run_batch`), re-enter the service
+//                  (`submit`) or block on a future/thread (`.wait(`,
+//                  `.get(`, `.join(`) before the lock dies — a shard lock
+//                  is for map/LRU surgery only, anything longer stalls
+//                  every client hashing into that shard (DESIGN.md §13);
 //
 // Numerics pack (DESIGN.md §10) — the dimensional-correctness rules that
 // back the util::Quantity layer:
@@ -604,6 +612,84 @@ void check_hot_alloc(const std::string& path, const std::string& text,
   }
 }
 
+/// [service-block]: a blocking call inside the live range of a shard lock.
+/// Lexical shape: `MutexLock <name>(<args mentioning "shard">)` opens the
+/// guarded window, which extends to the close of the enclosing brace scope;
+/// inside it, `run_batch(` / `submit(` (whole-word calls) and the member
+/// spellings `.wait(` / `->wait(` / `.get(` / `.join(` are violations.
+void check_service_block(const std::string& path, const std::string& text,
+                         const std::vector<std::string>& raw_lines,
+                         std::vector<Violation>& out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("MutexLock", pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += 9;
+    if (start > 0 && ident_char(text[start - 1])) continue;
+    if (pos < text.size() && ident_char(text[pos])) continue;
+    // The declaration's '(': MutexLock <name>( ... );
+    std::size_t open = pos;
+    while (open < text.size() && text[open] != '(' && text[open] != ';' &&
+           text[open] != '\n')
+      ++open;
+    if (open >= text.size() || text[open] != '(') continue;
+    const std::string_view lock_args = call_arguments(text, open);
+    if (lock_args.find("shard") == std::string_view::npos &&
+        lock_args.find("Shard") == std::string_view::npos)
+      continue;  // not a cache shard lock
+    // The guarded window: from the end of the declaration to the '}' that
+    // closes the scope the lock was declared in.
+    std::size_t scan = open + 1 + lock_args.size();
+    int depth = 0;
+    std::size_t window_end = text.size();
+    for (std::size_t i = scan; i < text.size(); ++i) {
+      if (text[i] == '{') ++depth;
+      if (text[i] == '}') {
+        if (depth == 0) {
+          window_end = i;
+          break;
+        }
+        --depth;
+      }
+    }
+    const std::string_view window(text.data() + scan, window_end - scan);
+    struct Blocking {
+      const char* token;
+      bool member_only;  ///< require `.` / `->` receiver access
+    };
+    constexpr Blocking kBlocking[] = {{"run_batch", false},
+                                      {"submit", false},
+                                      {"wait", true},
+                                      {"get", true},
+                                      {"join", true}};
+    for (const Blocking& b : kBlocking) {
+      const std::size_t len = std::strlen(b.token);
+      std::size_t w = 0;
+      while ((w = window.find(b.token, w)) != std::string_view::npos) {
+        const std::size_t hit = w;
+        w += len;
+        if (hit > 0 && ident_char(window[hit - 1])) continue;
+        if (w < window.size() && ident_char(window[w])) continue;
+        if (w >= window.size() || window[w] != '(') continue;  // call only
+        if (b.member_only) {
+          const bool member =
+              hit > 0 && (window[hit - 1] == '.' ||
+                          (window[hit - 1] == '>' && hit >= 2 &&
+                           window[hit - 2] == '-'));
+          if (!member) continue;
+        }
+        const std::size_t line = line_of(text, scan + hit);
+        if (line_allows(raw_lines, line, "service-block")) continue;
+        out.push_back(
+            {path, line, "service-block",
+             std::string("blocking call `") + b.token +
+                 "` while a cache shard lock is held; shard locks cover "
+                 "map/LRU surgery only — drop the lock before dispatching "
+                 "or waiting (DESIGN.md §13)"});
+      }
+    }
+  }
+}
+
 bool is_header(const fs::path& p) {
   return p.extension() == ".h" || p.extension() == ".hpp";
 }
@@ -631,6 +717,11 @@ bool hot_alloc_scope(const std::string& path) {
   const std::string name = fs::path(path).filename().string();
   return name.find("kernel") != std::string::npos ||
          name.find("stream") != std::string::npos;
+}
+
+/// [service-block] polices the service layer, where the shard locks live.
+bool service_block_scope(const std::string& path) {
+  return path.find("src/service") != std::string::npos;
 }
 
 /// [fp-equal] applies to the whole library tree.
@@ -717,6 +808,8 @@ int main(int argc, char** argv) {
       check_fault_hook(path, text, raw_lines, violations);
     if (hot_alloc_scope(path))
       check_hot_alloc(path, text, raw_lines, violations);
+    if (service_block_scope(path))
+      check_service_block(path, text, raw_lines, violations);
     if (fp_equal_scope(path))
       check_fp_equal(path, text, raw_lines, violations);
     if (physics_scope(path)) {
@@ -739,7 +832,8 @@ int main(int argc, char** argv) {
   std::cout << "hlint: rule counts:";
   for (const char* rule :
        {"memory-order", "naked-new", "volatile", "pragma-once", "fault-hook",
-        "hot-alloc", "fp-equal", "no-float", "unit-suffix", "narrowing"}) {
+        "hot-alloc", "service-block", "fp-equal", "no-float", "unit-suffix",
+        "narrowing"}) {
     const auto n = std::count_if(
         violations.begin(), violations.end(),
         [rule](const Violation& v) { return v.rule == rule; });

@@ -1,0 +1,38 @@
+// hlint fixture: [service-block] — blocking calls inside the live range of
+// a cache shard lock. Two violations (run_batch, ticket.wait), one
+// sanctioned escape, and one clean non-shard lock the rule must ignore.
+// Not compiled; lexical shapes only.
+
+#include "util/thread_annotations.h"
+
+struct FakeShard {
+  util::Mutex mu;
+};
+
+struct FakeExecutor {
+  int run_batch(int points) { return points; }
+};
+
+struct FakeTicket {
+  void wait() {}
+};
+
+int bad_dispatch_under_shard_lock(FakeShard& shard, FakeExecutor& executor) {
+  util::MutexLock lock(shard.mu);
+  return executor.run_batch(3);  // VIOLATION: executor call under shard lock
+}
+
+void bad_wait_under_shard_lock(FakeShard& shard, FakeTicket& ticket) {
+  util::MutexLock lock(shard.mu);
+  ticket.wait();  // VIOLATION: future wait under shard lock
+}
+
+int allowed_under_shard_lock(FakeShard& shard, FakeExecutor& executor) {
+  util::MutexLock lock(shard.mu);
+  return executor.run_batch(1);  // hlint:allow(service-block) — fixture escape
+}
+
+void fine_outside_shard_lock(util::Mutex& service_mu, FakeTicket& ticket) {
+  util::MutexLock lock(service_mu);  // not a shard lock: rule must not fire
+  ticket.wait();
+}
