@@ -72,6 +72,45 @@ std::size_t GridCache::shard_capacity(std::size_t shard_index) const noexcept {
   return base + (shard_index < extra ? 1 : 0);
 }
 
+GridCache::Bins GridCache::interpolate_locked(const Shard& shard,
+                                              const GridKey& key,
+                                              double kT_keV) const {
+  // The two map neighbours of `key` are, by the family-major key order,
+  // the nearest cached temperatures of this (ne, time) family — if both
+  // exist, bracket the request and sit close enough, interpolate between
+  // them.
+  const auto hi = shard.map.lower_bound(key);
+  if (hi == shard.map.end() || hi == shard.map.begin()) return nullptr;
+  const auto lo = std::prev(hi);
+  const bool same_family =
+      lo->first.ne_q == key.ne_q && lo->first.time_q == key.time_q &&
+      hi->first.ne_q == key.ne_q && hi->first.time_q == key.time_q;
+  const double t0 = lo->second.kT_keV;
+  const double t1 = hi->second.kT_keV;
+  if (!same_family || !(t0 < kT_keV && kT_keV < t1) ||
+      (t1 - t0) > config_.interp_max_rel_spacing * kT_keV)
+    return nullptr;
+  const double w = (kT_keV - t0) / (t1 - t0);
+  const std::vector<double>& b0 = *lo->second.bins;
+  const std::vector<double>& b1 = *hi->second.bins;
+  auto mixed = std::make_shared<std::vector<double>>(b0.size());
+  for (std::size_t b = 0; b < b0.size(); ++b)
+    (*mixed)[b] = b0[b] + (b1[b] - b0[b]) * w;
+  return mixed;
+}
+
+std::uint64_t GridCache::evict_overflow_locked(Shard& shard,
+                                               std::size_t cap) {
+  std::uint64_t evicted = 0;
+  while (shard.map.size() > cap) {
+    Map::iterator victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
 GridCache::Lookup GridCache::lookup(const apec::GridPoint& point) {
   const GridKey key = key_of(point);
   Shard& shard = shard_of(key);
@@ -85,31 +124,8 @@ GridCache::Lookup GridCache::lookup(const apec::GridPoint& point) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
       out.bins = it->second.bins;
     } else if (config_.interpolate) {
-      // Near-hit: the two map neighbours of `key` are, by the family-major
-      // key order, the nearest cached temperatures of this (ne, time)
-      // family — if both exist, bracket the request and sit close enough,
-      // interpolate between them.
-      const auto hi = shard.map.lower_bound(key);
-      if (hi != shard.map.end() && hi != shard.map.begin()) {
-        const auto lo = std::prev(hi);
-        const bool same_family = lo->first.ne_q == key.ne_q &&
-                                 lo->first.time_q == key.time_q &&
-                                 hi->first.ne_q == key.ne_q &&
-                                 hi->first.time_q == key.time_q;
-        const double t0 = lo->second.kT_keV;
-        const double t1 = hi->second.kT_keV;
-        if (same_family && t0 < point.kT_keV && point.kT_keV < t1 &&
-            (t1 - t0) <= config_.interp_max_rel_spacing * point.kT_keV) {
-          const double w = (point.kT_keV - t0) / (t1 - t0);
-          const std::vector<double>& b0 = *lo->second.bins;
-          const std::vector<double>& b1 = *hi->second.bins;
-          auto mixed = std::make_shared<std::vector<double>>(b0.size());
-          for (std::size_t b = 0; b < b0.size(); ++b)
-            (*mixed)[b] = b0[b] + (b1[b] - b0[b]) * w;
-          out.bins = std::move(mixed);
-          out.interpolated = true;
-        }
-      }
+      out.bins = interpolate_locked(shard, key, point.kT_keV);
+      out.interpolated = out.bins != nullptr;
     }
   }
   if (out.interpolated)
@@ -143,14 +159,8 @@ void GridCache::insert(const apec::GridPoint& point, Bins bins) {
       shard.lru.push_front(pos);
       pos->second.lru_pos = shard.lru.begin();
       ++entry_delta;
-      const std::size_t cap = shard_capacity(shard_index);
-      while (shard.map.size() > cap) {
-        Map::iterator victim = shard.lru.back();
-        shard.lru.pop_back();
-        shard.map.erase(victim);
-        ++evicted;
-        --entry_delta;
-      }
+      evicted = evict_overflow_locked(shard, shard_capacity(shard_index));
+      entry_delta -= static_cast<std::int64_t>(evicted);
     }
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);

@@ -28,8 +28,10 @@
 //
 // Concurrency: any number of threads may lookup/insert concurrently. A
 // shard mutex is held only for map/LRU surgery — never across an executor
-// call (the hlint [service-block] rule enforces this lexically for the
-// whole service layer).
+// call. The hlint [lock-blocking] pass enforces this through the call
+// graph for the whole service layer, and the HSPEC_REQUIRES annotations on
+// the locked helpers below let the clang thread-safety build prove the
+// same contract.
 
 #include <atomic>
 #include <cstdint>
@@ -128,6 +130,17 @@ class GridCache {
 
   Shard& shard_of(const GridKey& key) noexcept;
   std::size_t shard_capacity(std::size_t shard_index) const noexcept;
+
+  /// Near-hit search within one family: the map neighbours bracketing
+  /// `key`, if cached close enough, yield bin-wise interpolated bins (null
+  /// on no usable bracket). Pure map read — caller holds shard.mu.
+  Bins interpolate_locked(const Shard& shard, const GridKey& key,
+                          double kT_keV) const HSPEC_REQUIRES(shard.mu);
+
+  /// Evict the shard's LRU tail down to `cap` entries; returns the number
+  /// evicted. Caller holds shard.mu.
+  std::uint64_t evict_overflow_locked(Shard& shard, std::size_t cap)
+      HSPEC_REQUIRES(shard.mu);
 
   GridCacheConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

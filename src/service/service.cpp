@@ -119,24 +119,29 @@ void SpectralService::worker_loop() {
       util::MutexLock lock(mu_);
       while (queue_.empty() && !stop_) work_cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and fully drained
-      // Coalesce whole requests until the batch cap: everything queued
-      // right now rides one executor batch (cross-request sharing), capped
-      // by max_batch_points so one giant survey cannot starve the gate.
-      std::size_t points_taken = 0;
-      while (!queue_.empty()) {
-        const std::size_t n = queue_.front()->points.size();
-        if (!group.empty() &&
-            points_taken + n > config_.max_batch_points)
-          break;
-        points_taken += n;
-        pending_points_ -= n;
-        group.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+      group = take_group_locked();
     }
     space_cv_.notify_all();  // the gate may have room again
     dispatch(std::move(group));
   }
+}
+
+std::vector<std::unique_ptr<SpectralService::Request>>
+SpectralService::take_group_locked() {
+  // Coalesce whole requests until the batch cap: everything queued right
+  // now rides one executor batch (cross-request sharing), capped by
+  // max_batch_points so one giant survey cannot starve the gate.
+  std::vector<std::unique_ptr<Request>> group;
+  std::size_t points_taken = 0;
+  while (!queue_.empty()) {
+    const std::size_t n = queue_.front()->points.size();
+    if (!group.empty() && points_taken + n > config_.max_batch_points) break;
+    points_taken += n;
+    pending_points_ -= n;
+    group.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return group;
 }
 
 void SpectralService::dispatch(std::vector<std::unique_ptr<Request>> group) {

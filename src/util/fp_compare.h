@@ -37,7 +37,7 @@ constexpr bool fp_equal(double a, double b, double rel_tol = 1e-12,
 /// `a == b` you are asserting the comparison is a sentinel or guard test,
 /// not a numeric-agreement check.
 constexpr bool fp_exact_equal(double a, double b) noexcept {
-  return a == b;  // hlint:allow(fp-equal) — the one sanctioned exact compare
+  return a == b;  // the one sanctioned exact compare
 }
 
 }  // namespace hspec::util

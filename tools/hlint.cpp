@@ -1,771 +1,91 @@
-// hlint — the repo's concurrency-correctness lint.
+// hlint — the repo's static analyzer for concurrency and numerics
+// correctness (DESIGN.md §14).
 //
-// Enforces repo-specific rules the compiler cannot (and that code review
-// keeps re-litigating), over the directories given on the command line:
+// What used to be a line-regex linter is now a small pipeline:
 //
-//  [memory-order]  every atomic load/store/RMW in src/core and src/vgpu
-//                  names an explicit std::memory_order — a defaulted
-//                  seq_cst on a scheduler hot path is either a missing
-//                  decision or a hidden fence; either way it must be
-//                  written down (files under other roots are exempt:
-//                  tests favour brevity over fence discipline);
-//  [naked-new]     no naked `new`/`delete` outside RAII owners — placement
-//                  new, `::operator new/delete` (the vgpu allocator), and
-//                  `= delete` declarations are the sanctioned forms;
-//  [volatile]      `volatile` is not a synchronization primitive; use
-//                  std::atomic;
-//  [pragma-once]   every header starts its include guard with #pragma once;
-//  [fault-hook]    a vgpu injection point may throw util::FaultError only on
-//                  a FaultPlan verdict: every FaultError construction under
-//                  src/vgpu must sit within a few lines of a `query(` /
-//                  `fault_plan` call (DESIGN.md §11) — a free-floating
-//                  FaultError is an undeclared injection point the
-//                  deterministic replay machinery cannot see;
-//  [hot-alloc]     no Device::alloc in the kernel/stream hot paths of
-//                  src/vgpu (files named *kernel* / *stream*): per-launch
-//                  cudaMalloc serializes the device — lease from a
-//                  BufferPool (device buffers) or bump-allocate from a
-//                  ScratchArena (host scratch) instead; a deliberate
-//                  cold-path exception carries `hlint:allow(hot-alloc)`.
-//  [service-block] no blocking call while a GridCache shard lock is held:
-//                  in src/service, a scope that takes a util::MutexLock on
-//                  a shard mutex (the lock argument names a shard) must not
-//                  call the executor (`run_batch`), re-enter the service
-//                  (`submit`) or block on a future/thread (`.wait(`,
-//                  `.get(`, `.join(`) before the lock dies — a shard lock
-//                  is for map/LRU surgery only, anything longer stalls
-//                  every client hashing into that shard (DESIGN.md §13);
+//   tokens (tools/hlint/lexer.h)
+//     → per-TU symbol model: functions, lock scopes, call edges
+//       (tools/hlint/model.h)
+//       → whole-project call graph + lock-order graph
+//         (tools/hlint/analysis.h)
 //
-// Numerics pack (DESIGN.md §10) — the dimensional-correctness rules that
-// back the util::Quantity layer:
+// Two analyses run on the linked project:
 //
-//  [fp-equal]      no `==` / `!=` against a floating-point literal anywhere
-//                  under src/ — exact fp comparison is either a bug or a
-//                  sentinel test that must be spelled `util::fp_equal` /
-//                  `util::fp_exact_equal`; a deliberate exception carries a
-//                  `hlint:allow(fp-equal)` marker on the same line;
-//  [no-float]      no bare `float` in the physics tree (src/apec, atomic,
-//                  rrc, quad, nei): spectral numerics are double-precision
-//                  end-to-end, a float is silent precision loss;
-//  [unit-suffix]   raw `double` parameters on public physics APIs (headers
-//                  under src/apec, atomic, rrc, nei) must carry a unit
-//                  suffix (_keV, _cm3, _s, ...) or be a util:: quantity
-//                  type; dimensionless names (fractions, tolerances,
-//                  weights) and generic ODE variables (t, y, ...) pass;
-//  [narrowing]     no f-suffixed literals and no C-style (float)/(int)
-//                  casts in physics arithmetic — both narrow silently
-//                  where a static_cast would have to say so.
+//  [lock-cycle]    nodes are named mutex members; an edge A→B records "held
+//                  A while acquiring B" (acquisition scopes plus one-deep
+//                  interprocedural propagation). A directed cycle is an
+//                  AB/BA deadlock candidate, reported with the full witness
+//                  path;
+//  [lock-blocking] a blocking operation (condition-variable wait, future
+//                  wait/get, thread join, `run_batch` dispatch) reachable
+//                  through the call graph while a lock is held — the
+//                  call-graph generalization of the old lexical
+//                  [service-block] rule, which it subsumes;
 //
-// Output: one `file:line: [rule] message` per violation, plus an
-// always-printed per-rule count line CI graphs, exit 1 when any rule
-// fired (exit 2 on usage/IO errors) — the format CI and editors both
-// parse. Registered as a ctest (label: lint/tier1) so a regression fails
-// `ctest` locally before it ever reaches CI; a WILL_FAIL ctest runs hlint
-// over tools/hlint_fixtures, and one PASS_REGULAR_EXPRESSION ctest per
-// numerics rule proves each rule still bites its fixture.
+// plus the token-based ports of the original rules (tools/hlint/rules.h):
+// memory-order, naked-new, volatile, pragma-once, fault-hook, hot-alloc,
+// fp-equal, no-float, unit-suffix, narrowing — same scopes, same messages.
+//
+// Suppression is audited in both directions (tools/hlint/report.h): an
+// `hlint:allow()` marker that silences nothing, or a --baseline entry that
+// matches nothing, is itself an [unused-suppression] finding.
+//
+// Usage:
+//   hlint [--json FILE] [--baseline FILE] <dir-or-file>...
+//
+// Output: one `file:line: [rule] message` per finding with indented
+// witness steps, the always-printed per-rule count line CI graphs, exit 1
+// when any non-baselined rule fired (exit 2 on usage/IO errors). The
+// `--json` report (schema hspec-hlint-v2) is what CI diffs and archives.
 
 #include <algorithm>
-#include <cctype>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <string_view>
 #include <vector>
+
+#include "hlint/analysis.h"
+#include "hlint/lexer.h"
+#include "hlint/model.h"
+#include "hlint/report.h"
+#include "hlint/rules.h"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Violation {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Blank out comments and string/char literals so token scans cannot match
-/// inside them; newlines survive so line numbers stay exact.
-std::string strip_comments_and_strings(const std::string& src) {
-  std::string out = src;
-  enum class State { code, line_comment, block_comment, str, chr } state =
-      State::code;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::code:
-        if (c == '/' && next == '/') {
-          state = State::line_comment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::block_comment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::str;
-        } else if (c == '\'') {
-          state = State::chr;
-        }
-        break;
-      case State::line_comment:
-        if (c == '\n')
-          state = State::code;
-        else
-          out[i] = ' ';
-        break;
-      case State::block_comment:
-        if (c == '*' && next == '/') {
-          state = State::code;
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::str:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < src.size() && src[i + 1] != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::chr:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < src.size() && src[i + 1] != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::size_t line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
-                            '\n'));
-}
-
-/// The argument text of the call whose opening parenthesis is at `open`,
-/// up to the matching close (or end of file on imbalance).
-std::string_view call_arguments(const std::string& text, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '(') ++depth;
-    if (text[i] == ')' && --depth == 0)
-      return std::string_view(text).substr(open + 1, i - open - 1);
-  }
-  return std::string_view(text).substr(open + 1);
-}
-
-const char* const kAtomicOps[] = {
-    "load",          "store",          "exchange",
-    "fetch_add",     "fetch_sub",      "fetch_and",
-    "fetch_or",      "fetch_xor",      "test_and_set",
-    "compare_exchange_weak",           "compare_exchange_strong",
-};
-
-void check_memory_order(const std::string& path, const std::string& text,
-                        std::vector<Violation>& out) {
-  for (const char* op : kAtomicOps) {
-    const std::size_t oplen = std::strlen(op);
-    std::size_t pos = 0;
-    while ((pos = text.find(op, pos)) != std::string::npos) {
-      const std::size_t start = pos;
-      pos += oplen;
-      // Must be a member call: `.op(` or `->op(`, with `op` a whole word.
-      if (start == 0) continue;
-      const char before = text[start - 1];
-      const bool member = before == '.' ||
-                          (before == '>' && start >= 2 && text[start - 2] == '-');
-      if (!member) continue;
-      if (pos < text.size() && ident_char(text[pos])) continue;
-      std::size_t open = pos;
-      while (open < text.size() &&
-             std::isspace(static_cast<unsigned char>(text[open])) != 0)
-        ++open;
-      if (open >= text.size() || text[open] != '(') continue;
-      const std::string_view args = call_arguments(text, open);
-      if (args.find("memory_order") == std::string_view::npos)
-        out.push_back({path, line_of(text, start), "memory-order",
-                       std::string("atomic ") + op +
-                           " without an explicit std::memory_order"});
-    }
-  }
-}
-
-void check_naked_new_delete(const std::string& path, const std::string& text,
-                            std::vector<Violation>& out) {
-  for (const char* kw : {"new", "delete"}) {
-    const std::size_t kwlen = std::strlen(kw);
-    std::size_t pos = 0;
-    while ((pos = text.find(kw, pos)) != std::string::npos) {
-      const std::size_t start = pos;
-      pos += kwlen;
-      if (start > 0 && ident_char(text[start - 1])) continue;
-      if (pos < text.size() && ident_char(text[pos])) continue;
-      // Preceding token: `operator new` / `operator delete` / `= delete`
-      // are sanctioned; so is placement new `new (addr) T`.
-      std::size_t p = start;
-      while (p > 0 &&
-             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
-        --p;
-      if (p >= 8 && std::string_view(text).substr(p - 8, 8) == "operator")
-        continue;
-      if (p >= 1 && text[p - 1] == '<') continue;  // #include <new>
-      if (kw[0] == 'd' && p >= 1 && text[p - 1] == '=')
-        continue;  // deleted special member
-      std::size_t q = pos;
-      while (q < text.size() &&
-             std::isspace(static_cast<unsigned char>(text[q])) != 0)
-        ++q;
-      if (kw[0] == 'n' && q < text.size() && text[q] == '(')
-        continue;  // placement new constructs into storage someone else owns
-      out.push_back({path, line_of(text, start), "naked-new",
-                     std::string("naked `") + kw +
-                         "` outside an RAII owner (use make_unique, "
-                         "DeviceBuffer, or placement forms)"});
-    }
-  }
-}
-
-void check_volatile(const std::string& path, const std::string& text,
-                    std::vector<Violation>& out) {
-  std::size_t pos = 0;
-  while ((pos = text.find("volatile", pos)) != std::string::npos) {
-    const std::size_t start = pos;
-    pos += 8;
-    if (start > 0 && ident_char(text[start - 1])) continue;
-    if (pos < text.size() && ident_char(text[pos])) continue;
-    out.push_back({path, line_of(text, start), "volatile",
-                   "`volatile` is not a synchronization primitive; "
-                   "use std::atomic"});
-  }
-}
-
-void check_pragma_once(const std::string& path, const std::string& text,
-                       std::vector<Violation>& out) {
-  if (text.find("#pragma once") == std::string::npos)
-    out.push_back({path, 1, "pragma-once", "header lacks #pragma once"});
-}
-
-// ---------------------------------------------------------------------------
-// Numerics pack
-
-/// True when the RAW line (comments intact) carries `hlint:allow(<rule>)` —
-/// the one sanctioned way to mark a deliberate exception in place.
-bool line_allows(const std::vector<std::string>& raw_lines, std::size_t line,
-                 const std::string& rule) {
-  if (line == 0 || line > raw_lines.size()) return false;
-  return raw_lines[line - 1].find("hlint:allow(" + rule + ")") !=
-         std::string::npos;
-}
-
-bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
-
-/// Lex a numeric literal forward from `i` (after an optional sign); true if
-/// it is floating-point (has a '.' or an exponent). Hex literals never match.
-bool fp_literal_forward(const std::string& t, std::size_t i) {
-  if (i < t.size() && (t[i] == '-' || t[i] == '+')) ++i;
-  if (i >= t.size()) return false;
-  if (!(digit(t[i]) || (t[i] == '.' && i + 1 < t.size() && digit(t[i + 1]))))
-    return false;
-  if (t[i] == '0' && i + 1 < t.size() && (t[i + 1] == 'x' || t[i + 1] == 'X'))
-    return false;
-  bool fp = false;
-  while (i < t.size()) {
-    const char c = t[i];
-    if (digit(c) || c == '\'') {
-      ++i;
-    } else if (c == '.') {
-      fp = true;
-      ++i;
-    } else if (c == 'e' || c == 'E') {
-      std::size_t j = i + 1;
-      if (j < t.size() && (t[j] == '+' || t[j] == '-')) ++j;
-      if (j < t.size() && digit(t[j])) {
-        fp = true;
-        i = j;
-      } else {
-        break;
-      }
-    } else {
-      break;
-    }
-  }
-  return fp;
-}
-
-/// Lex a numeric literal backward ending at `end` (exclusive); true if it is
-/// floating-point. An identifier tail (`var1`) is not a literal.
-bool fp_literal_backward(const std::string& t, std::size_t end) {
-  std::size_t i = end;
-  bool fp = false;
-  if (i > 0 && (t[i - 1] == 'f' || t[i - 1] == 'F')) {
-    fp = true;  // 1.0f / 1f — suffix implies fp either way
-    --i;
-  }
-  std::size_t start = i;
-  while (start > 0) {
-    const char c = t[start - 1];
-    if (digit(c) || c == '\'') {
-      --start;
-    } else if (c == '.') {
-      fp = true;
-      --start;
-    } else if ((c == '+' || c == '-') && start >= 2 &&
-               (t[start - 2] == 'e' || t[start - 2] == 'E')) {
-      fp = true;
-      start -= 2;
-    } else if ((c == 'e' || c == 'E') && start >= 2 && digit(t[start - 2])) {
-      fp = true;
-      --start;
-    } else {
-      break;
-    }
-  }
-  if (start == i) return false;                             // no digits
-  if (start > 0 && ident_char(t[start - 1])) return false;  // identifier
-  if (!digit(t[start]) && t[start] != '.') return false;
-  return fp;
-}
-
-/// [fp-equal]: `==` / `!=` where either operand is a floating-point literal.
-/// The tolerant and sentinel spellings live in util/fp_compare.h; defaulted
-/// operator== declarations and `hlint:allow(fp-equal)` lines pass.
-void check_fp_equal(const std::string& path, const std::string& text,
-                    const std::vector<std::string>& raw_lines,
-                    std::vector<Violation>& out) {
-  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
-    const bool eq = text[i] == '=' && text[i + 1] == '=';
-    const bool ne = text[i] == '!' && text[i + 1] == '=';
-    if (!eq && !ne) continue;
-    if (eq && i > 0 &&
-        std::strchr("=!<>+-*/%&|^", text[i - 1]) != nullptr)
-      continue;  // compound/relational operator, not a comparison
-    std::size_t p = i;
-    while (p > 0 && std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
-      --p;
-    if (p >= 8 && std::string_view(text).substr(p - 8, 8) == "operator")
-      continue;  // operator==/!= declaration
-    std::size_t r = i + 2;
-    while (r < text.size() && (text[r] == ' ' || text[r] == '\t')) ++r;
-    if (!fp_literal_forward(text, r) && !fp_literal_backward(text, p))
-      continue;
-    const std::size_t line = line_of(text, i);
-    if (line_allows(raw_lines, line, "fp-equal")) continue;
-    out.push_back({path, line, "fp-equal",
-                   std::string("exact `") + (eq ? "==" : "!=") +
-                       "` against a floating-point value; use "
-                       "util::fp_equal (tolerant) or util::fp_exact_equal "
-                       "(sentinel)"});
-    ++i;
-  }
-}
-
-/// [no-float]: bare `float` in the physics tree.
-void check_no_float(const std::string& path, const std::string& text,
-                    std::vector<Violation>& out) {
-  std::size_t pos = 0;
-  while ((pos = text.find("float", pos)) != std::string::npos) {
-    const std::size_t start = pos;
-    pos += 5;
-    if (start > 0 && ident_char(text[start - 1])) continue;
-    if (pos < text.size() && ident_char(text[pos])) continue;
-    out.push_back({path, line_of(text, start), "no-float",
-                   "bare `float` in physics code; spectral numerics are "
-                   "double-precision end-to-end"});
-  }
-}
-
-/// [narrowing]: f-suffixed literals and C-style (float)/(int) casts.
-void check_narrowing(const std::string& path, const std::string& text,
-                     const std::vector<std::string>& raw_lines,
-                     std::vector<Violation>& out) {
-  // f-suffixed floating literals: 1.0f, 2.f, 1e3f.
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] != 'f' && text[i] != 'F') continue;
-    if (i + 1 < text.size() && ident_char(text[i + 1])) continue;
-    if (!fp_literal_backward(text, i + 1)) continue;
-    const std::size_t line = line_of(text, i);
-    if (line_allows(raw_lines, line, "narrowing")) continue;
-    out.push_back({path, line, "narrowing",
-                   "f-suffixed literal narrows to single precision; drop "
-                   "the suffix"});
-  }
-  // C-style narrowing casts.
-  for (const char* kw : {"float", "int"}) {
-    const std::size_t kwlen = std::strlen(kw);
-    std::size_t pos = 0;
-    while ((pos = text.find(kw, pos)) != std::string::npos) {
-      const std::size_t start = pos;
-      pos += kwlen;
-      if (start > 0 && ident_char(text[start - 1])) continue;
-      if (pos < text.size() && ident_char(text[pos])) continue;
-      std::size_t p = start;
-      while (p > 0 &&
-             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
-        --p;
-      if (p == 0 || text[p - 1] != '(') continue;
-      std::size_t q = pos;
-      while (q < text.size() &&
-             std::isspace(static_cast<unsigned char>(text[q])) != 0)
-        ++q;
-      if (q >= text.size() || text[q] != ')') continue;
-      ++q;
-      while (q < text.size() &&
-             std::isspace(static_cast<unsigned char>(text[q])) != 0)
-        ++q;
-      // `(int)` followed by an expression is a cast; followed by `;`, `,`,
-      // `)` or a declaration qualifier it is an unnamed-parameter list.
-      if (q >= text.size()) continue;
-      const char c = text[q];
-      if (!(ident_char(c) || c == '(' || c == '-' || c == '+' || c == '.'))
-        continue;
-      if (ident_char(c)) {
-        std::size_t e = q;
-        while (e < text.size() && ident_char(text[e])) ++e;
-        const std::string_view word(text.data() + q, e - q);
-        if (word == "const" || word == "noexcept" || word == "override" ||
-            word == "final" || word == "volatile")
-          continue;
-      }
-      const std::size_t line = line_of(text, start);
-      if (line_allows(raw_lines, line, "narrowing")) continue;
-      out.push_back({path, line, "narrowing",
-                     std::string("C-style (") + kw +
-                         ") cast narrows silently; use static_cast and say "
-                         "so at the call site"});
-    }
-  }
-}
-
-/// [unit-suffix] helper: parameter names that are legitimately raw doubles.
-bool unit_suffix_ok(std::string_view name) {
-  // Unit-bearing suffixes — the name says what the number is.
-  for (const char* s :
-       {"_keV", "_kelvin", "_K", "_cm3", "_cm2", "_cm", "_s", "_A",
-        "_angstrom", "_amu", "_g", "_hz", "_erg"}) {
-    const std::size_t n = std::strlen(s);
-    if (name.size() >= n && name.substr(name.size() - n) == s) return true;
-  }
-  // Generic ODE/solver variables: the unitless integration edge.
-  for (const char* s : {"t", "t0", "t1", "x", "y", "z", "u", "v"})
-    if (name == s) return true;
-  // Dimensionless quantities by construction.
-  for (const char* s :
-       {"frac", "ratio", "weight", "factor", "norm", "err", "tol", "scale",
-        "alpha", "jitter", "floor", "sigma", "cutoff", "param", "count",
-        "index", "value", "noise"})
-    if (name.find(s) != std::string_view::npos) return true;
-  return false;
-}
-
-/// [unit-suffix]: raw `double` parameters in physics headers must name
-/// their unit (or the API should take a util:: quantity type).
-void check_unit_suffix(const std::string& path, const std::string& text,
-                       const std::vector<std::string>& raw_lines,
-                       std::vector<Violation>& out) {
-  std::size_t pos = 0;
-  while ((pos = text.find("double", pos)) != std::string::npos) {
-    const std::size_t start = pos;
-    pos += 6;
-    if (start > 0 && ident_char(text[start - 1])) continue;
-    if (pos < text.size() && ident_char(text[pos])) continue;
-    // Parameter position: preceded (modulo `const`) by '(' or ','.
-    std::size_t p = start;
-    while (p > 0 && std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
-      --p;
-    if (p >= 5 && std::string_view(text).substr(p - 5, 5) == "const" &&
-        (p == 5 || !ident_char(text[p - 6]))) {
-      p -= 5;
-      while (p > 0 &&
-             std::isspace(static_cast<unsigned char>(text[p - 1])) != 0)
-        --p;
-    }
-    if (p == 0 || (text[p - 1] != '(' && text[p - 1] != ',')) continue;
-    // The declarator: a plain named parameter. References, pointers and
-    // abstract declarators (function types, template arguments) are the
-    // bulk-buffer / generic-code edge and stay raw.
-    std::size_t q = start + 6;
-    while (q < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[q])) != 0)
-      ++q;
-    if (q >= text.size() || !ident_char(text[q]) || digit(text[q])) continue;
-    std::size_t e = q;
-    while (e < text.size() && ident_char(text[e])) ++e;
-    const std::string_view name(text.data() + q, e - q);
-    if (unit_suffix_ok(name)) continue;
-    const std::size_t line = line_of(text, start);
-    if (line_allows(raw_lines, line, "unit-suffix")) continue;
-    out.push_back({path, line, "unit-suffix",
-                   "raw double parameter `" + std::string(name) +
-                       "` on a public physics API has no unit suffix; "
-                       "suffix it (_keV, _cm3, _s, ...) or take a util:: "
-                       "quantity type"});
-  }
-}
-
-/// [fault-hook]: every `FaultError(...)` construction in the device layer
-/// must be the consequence of a FaultPlan verdict obtained nearby — a
-/// `query(` or `fault_plan` token within the preceding window of lines.
-/// Catch clauses and declarations (`FaultError&`, `FaultError e`) pass; only
-/// the construction spelling `FaultError(` is policed.
-void check_fault_hook(const std::string& path, const std::string& text,
-                      const std::vector<std::string>& raw_lines,
-                      std::vector<Violation>& out) {
-  constexpr int kWindowLines = 8;
-  std::size_t pos = 0;
-  while ((pos = text.find("FaultError", pos)) != std::string::npos) {
-    const std::size_t start = pos;
-    pos += 10;
-    if (start > 0 && ident_char(text[start - 1])) continue;
-    if (pos < text.size() && ident_char(text[pos])) continue;
-    std::size_t q = pos;
-    while (q < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[q])) != 0)
-      ++q;
-    if (q >= text.size() || text[q] != '(') continue;  // not a construction
-    const std::size_t line = line_of(text, start);
-    if (line_allows(raw_lines, line, "fault-hook")) continue;
-    // Look back through the stripped text (comments cannot satisfy the
-    // rule) for the verdict that justifies this throw.
-    std::size_t win = start;
-    int newlines = 0;
-    while (win > 0 && newlines <= kWindowLines) {
-      --win;
-      if (text[win] == '\n') ++newlines;
-    }
-    const std::string_view window(text.data() + win, start - win);
-    bool hooked = window.find("fault_plan") != std::string_view::npos;
-    for (std::size_t w = window.find("query(");
-         !hooked && w != std::string_view::npos;
-         w = window.find("query(", w + 1)) {
-      // Whole member name only: `.query(` / `->query(`, not `enquery(`.
-      if (w > 0 && !ident_char(window[w - 1])) hooked = true;
-    }
-    if (hooked) continue;
-    out.push_back({path, line, "fault-hook",
-                   "FaultError thrown without a FaultPlan verdict in sight; "
-                   "route the injection point through plan->query(site, "
-                   "device) (DESIGN.md §11)"});
-  }
-}
-
-/// [hot-alloc]: member calls `.alloc(` / `->alloc(` in the device layer's
-/// kernel/stream files. The receiver distinguishes the sanctioned bump
-/// allocator (ScratchArena instances — names carrying "arena"/"scratch")
-/// from Device::alloc, which serializes the device per call; BufferPool
-/// leases spell `acquire` and never match.
-void check_hot_alloc(const std::string& path, const std::string& text,
-                     const std::vector<std::string>& raw_lines,
-                     std::vector<Violation>& out) {
-  std::size_t pos = 0;
-  while ((pos = text.find("alloc", pos)) != std::string::npos) {
-    const std::size_t start = pos;
-    pos += 5;
-    if (start == 0) continue;
-    if (ident_char(text[start - 1])) continue;
-    if (pos < text.size() && ident_char(text[pos])) continue;
-    // Member call only: `.alloc(` or `->alloc(`.
-    const char before = text[start - 1];
-    const bool arrow = before == '>' && start >= 2 && text[start - 2] == '-';
-    if (before != '.' && !arrow) continue;
-    std::size_t open = pos;
-    while (open < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[open])) != 0)
-      ++open;
-    if (open >= text.size() || text[open] != '(') continue;
-    // Receiver identifier ending at the access operator.
-    std::size_t r_end = arrow ? start - 2 : start - 1;
-    std::size_t r_begin = r_end;
-    while (r_begin > 0 && ident_char(text[r_begin - 1])) --r_begin;
-    const std::string_view recv(text.data() + r_begin, r_end - r_begin);
-    if (recv.find("arena") != std::string_view::npos ||
-        recv.find("scratch") != std::string_view::npos)
-      continue;
-    const std::size_t line = line_of(text, start);
-    if (line_allows(raw_lines, line, "hot-alloc")) continue;
-    out.push_back({path, line, "hot-alloc",
-                   "Device::alloc on a kernel/stream hot path serializes the "
-                   "device; lease from a BufferPool or bump-allocate from a "
-                   "ScratchArena"});
-  }
-}
-
-/// [service-block]: a blocking call inside the live range of a shard lock.
-/// Lexical shape: `MutexLock <name>(<args mentioning "shard">)` opens the
-/// guarded window, which extends to the close of the enclosing brace scope;
-/// inside it, `run_batch(` / `submit(` (whole-word calls) and the member
-/// spellings `.wait(` / `->wait(` / `.get(` / `.join(` are violations.
-void check_service_block(const std::string& path, const std::string& text,
-                         const std::vector<std::string>& raw_lines,
-                         std::vector<Violation>& out) {
-  std::size_t pos = 0;
-  while ((pos = text.find("MutexLock", pos)) != std::string::npos) {
-    const std::size_t start = pos;
-    pos += 9;
-    if (start > 0 && ident_char(text[start - 1])) continue;
-    if (pos < text.size() && ident_char(text[pos])) continue;
-    // The declaration's '(': MutexLock <name>( ... );
-    std::size_t open = pos;
-    while (open < text.size() && text[open] != '(' && text[open] != ';' &&
-           text[open] != '\n')
-      ++open;
-    if (open >= text.size() || text[open] != '(') continue;
-    const std::string_view lock_args = call_arguments(text, open);
-    if (lock_args.find("shard") == std::string_view::npos &&
-        lock_args.find("Shard") == std::string_view::npos)
-      continue;  // not a cache shard lock
-    // The guarded window: from the end of the declaration to the '}' that
-    // closes the scope the lock was declared in.
-    std::size_t scan = open + 1 + lock_args.size();
-    int depth = 0;
-    std::size_t window_end = text.size();
-    for (std::size_t i = scan; i < text.size(); ++i) {
-      if (text[i] == '{') ++depth;
-      if (text[i] == '}') {
-        if (depth == 0) {
-          window_end = i;
-          break;
-        }
-        --depth;
-      }
-    }
-    const std::string_view window(text.data() + scan, window_end - scan);
-    struct Blocking {
-      const char* token;
-      bool member_only;  ///< require `.` / `->` receiver access
-    };
-    constexpr Blocking kBlocking[] = {{"run_batch", false},
-                                      {"submit", false},
-                                      {"wait", true},
-                                      {"get", true},
-                                      {"join", true}};
-    for (const Blocking& b : kBlocking) {
-      const std::size_t len = std::strlen(b.token);
-      std::size_t w = 0;
-      while ((w = window.find(b.token, w)) != std::string_view::npos) {
-        const std::size_t hit = w;
-        w += len;
-        if (hit > 0 && ident_char(window[hit - 1])) continue;
-        if (w < window.size() && ident_char(window[w])) continue;
-        if (w >= window.size() || window[w] != '(') continue;  // call only
-        if (b.member_only) {
-          const bool member =
-              hit > 0 && (window[hit - 1] == '.' ||
-                          (window[hit - 1] == '>' && hit >= 2 &&
-                           window[hit - 2] == '-'));
-          if (!member) continue;
-        }
-        const std::size_t line = line_of(text, scan + hit);
-        if (line_allows(raw_lines, line, "service-block")) continue;
-        out.push_back(
-            {path, line, "service-block",
-             std::string("blocking call `") + b.token +
-                 "` while a cache shard lock is held; shard locks cover "
-                 "map/LRU surgery only — drop the lock before dispatching "
-                 "or waiting (DESIGN.md §13)"});
-      }
-    }
-  }
-}
-
-bool is_header(const fs::path& p) {
-  return p.extension() == ".h" || p.extension() == ".hpp";
-}
-
 bool is_source(const fs::path& p) {
-  return is_header(p) || p.extension() == ".cpp" || p.extension() == ".cc";
-}
-
-/// Roots whose atomics must spell out their fences: the lock-free scheduler
-/// core and the device layer its counters live in.
-bool memory_order_scope(const std::string& path) {
-  return path.find("src/core") != std::string::npos ||
-         path.find("src/vgpu") != std::string::npos;
-}
-
-/// [fault-hook] polices the device layer, where the injection points live.
-bool fault_hook_scope(const std::string& path) {
-  return path.find("src/vgpu") != std::string::npos;
-}
-
-/// [hot-alloc] polices the device layer's launch-path files — the kernel
-/// wrappers and the stream machinery every task crosses per launch.
-bool hot_alloc_scope(const std::string& path) {
-  if (path.find("src/vgpu") == std::string::npos) return false;
-  const std::string name = fs::path(path).filename().string();
-  return name.find("kernel") != std::string::npos ||
-         name.find("stream") != std::string::npos;
-}
-
-/// [service-block] polices the service layer, where the shard locks live.
-bool service_block_scope(const std::string& path) {
-  return path.find("src/service") != std::string::npos;
-}
-
-/// [fp-equal] applies to the whole library tree.
-bool fp_equal_scope(const std::string& path) {
-  return path.find("src/") != std::string::npos;
-}
-
-/// The physics tree: where [no-float] and [narrowing] bite.
-bool physics_scope(const std::string& path) {
-  for (const char* dir :
-       {"src/apec", "src/atomic", "src/rrc", "src/quad", "src/nei"})
-    if (path.find(dir) != std::string::npos) return true;
-  return false;
-}
-
-/// [unit-suffix] polices the public physics APIs — headers only, and not
-/// src/quad, whose integrators are deliberately unit-agnostic.
-bool unit_suffix_scope(const std::string& path) {
-  for (const char* dir : {"src/apec", "src/atomic", "src/rrc", "src/nei"})
-    if (path.find(dir) != std::string::npos) return true;
-  return false;
-}
-
-std::vector<std::string> split_lines(const std::string& raw) {
-  std::vector<std::string> lines;
-  std::size_t begin = 0;
-  for (std::size_t i = 0; i <= raw.size(); ++i) {
-    if (i == raw.size() || raw[i] == '\n') {
-      lines.emplace_back(raw.substr(begin, i - begin));
-      begin = i + 1;
-    }
-  }
-  return lines;
+  const auto ext = p.extension();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path, baseline_path;
   std::vector<std::string> roots;
-  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "hlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
   if (roots.empty()) {
-    std::cerr << "usage: hlint <dir-or-file>...\n";
+    std::cerr << "usage: hlint [--json FILE] [--baseline FILE] "
+                 "<dir-or-file>...\n";
     return 2;
   }
+
+  hlint::Baseline baseline;
+  if (!baseline_path.empty() && !baseline.load(baseline_path)) return 2;
 
   std::vector<fs::path> files;
   for (const std::string& root : roots) {
@@ -784,7 +104,9 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Violation> violations;
+  hlint::AllowRegistry allows;
+  std::vector<hlint::Finding> findings;
+  std::vector<hlint::FunctionDef> project;
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -793,58 +115,37 @@ int main(int argc, char** argv) {
     }
     std::string raw((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
-    const std::string text = strip_comments_and_strings(raw);
-    const std::string path = file.generic_string();
-
-    const std::vector<std::string> raw_lines = split_lines(raw);
-
-    if (memory_order_scope(path)) check_memory_order(path, text, violations);
-    check_naked_new_delete(path, text, violations);
-    check_volatile(path, text, violations);
-    // Stripped text, not raw: a comment *mentioning* the pragma must not
-    // satisfy the rule.
-    if (is_header(file)) check_pragma_once(path, text, violations);
-    if (fault_hook_scope(path))
-      check_fault_hook(path, text, raw_lines, violations);
-    if (hot_alloc_scope(path))
-      check_hot_alloc(path, text, raw_lines, violations);
-    if (service_block_scope(path))
-      check_service_block(path, text, raw_lines, violations);
-    if (fp_equal_scope(path))
-      check_fp_equal(path, text, raw_lines, violations);
-    if (physics_scope(path)) {
-      check_no_float(path, text, violations);
-      check_narrowing(path, text, raw_lines, violations);
-    }
-    if (is_header(file) && unit_suffix_scope(path))
-      check_unit_suffix(path, text, raw_lines, violations);
+    const hlint::SourceFile sf = hlint::lex_file(file.generic_string(), raw);
+    allows.scan(sf.path, sf.raw_lines);
+    hlint::run_token_rules(sf, allows, findings);
+    std::vector<hlint::FunctionDef> fns = hlint::parse_tu(sf);
+    project.insert(project.end(), std::make_move_iterator(fns.begin()),
+                   std::make_move_iterator(fns.end()));
   }
 
-  std::sort(violations.begin(), violations.end(),
-            [](const Violation& a, const Violation& b) {
-              return a.file != b.file ? a.file < b.file : a.line < b.line;
-            });
-  for (const Violation& v : violations)
-    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
-              << v.message << "\n";
-  // Per-rule counts, printed on clean runs too: CI graphs them and a later
-  // reader can tell "rule never ran" from "rule ran and found nothing".
-  std::cout << "hlint: rule counts:";
-  for (const char* rule :
-       {"memory-order", "naked-new", "volatile", "pragma-once", "fault-hook",
-        "hot-alloc", "service-block", "fp-equal", "no-float", "unit-suffix",
-        "narrowing"}) {
-    const auto n = std::count_if(
-        violations.begin(), violations.end(),
-        [rule](const Violation& v) { return v.rule == rule; });
-    std::cout << " " << rule << "=" << n;
+  const hlint::ProjectStats stats =
+      hlint::analyze_project(project, allows, findings);
+  std::cout << "hlint: model: files=" << files.size()
+            << " functions=" << stats.functions
+            << " lock-sites=" << stats.lock_sites
+            << " call-sites=" << stats.call_sites
+            << " graph-nodes=" << stats.graph_nodes
+            << " graph-edges=" << stats.graph_edges
+            << " blocking-fns=" << stats.blocking_fns << "\n";
+
+  // Suppression audit: markers and baseline entries that earned nothing.
+  for (hlint::Finding& f : allows.unused()) findings.push_back(std::move(f));
+  if (baseline.loaded()) {
+    for (hlint::Finding& f : findings)
+      if (f.rule != "unused-suppression") baseline.apply(f);
+    for (hlint::Finding& f : baseline.unused())
+      findings.push_back(std::move(f));
   }
-  std::cout << "\n";
-  if (!violations.empty()) {
-    std::cout << "hlint: " << violations.size() << " violation(s) in "
-              << files.size() << " file(s)\n";
-    return 1;
-  }
-  std::cout << "hlint: clean (" << files.size() << " files)\n";
-  return 0;
+
+  hlint::sort_findings(findings);
+  hlint::print_text(findings);
+  if (!json_path.empty() &&
+      !hlint::write_json(json_path, findings, files.size()))
+    return 2;
+  return hlint::print_summary(findings, files.size());
 }

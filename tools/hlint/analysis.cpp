@@ -1,0 +1,363 @@
+#include "hlint/analysis.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hlint {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Names too generic for the project-unique fallback: resolving `find(` to
+/// the one project function named `find` would link every container lookup.
+bool too_common(const std::string& name) {
+  static const std::unordered_set<std::string> kCommon = {
+      "insert", "erase",     "find",  "get",       "set",      "wait",
+      "lock",   "unlock",    "begin", "end",       "size",     "empty",
+      "clear",  "count",     "at",    "swap",      "reset",    "front",
+      "back",   "push_back", "data",  "pop_back",  "pop_front","str",
+      "c_str",  "emplace",   "run",   "stop",      "start",    "value",
+      "values", "push_front","emplace_back",
+  };
+  return name.size() < 4 || kCommon.count(name) != 0;
+}
+
+/// Does the receiver of a member call plausibly name an instance of `cls`?
+/// `cache_` ↔ GridCache, `executor_` ↔ HybridExecutor, `device_` ↔ Device.
+bool receiver_matches_class(const std::string& recv, const std::string& cls) {
+  std::string r = recv;
+  while (!r.empty() && r.back() == '_') r.pop_back();
+  while (!r.empty() && r.front() == '_') r.erase(0, 1);
+  r = lower(r);
+  if (r.size() < 3) return false;
+  const std::string c = lower(cls);
+  return c.find(r) != std::string::npos || r.find(c) != std::string::npos;
+}
+
+std::string lock_list(const std::vector<HeldLock>& held) {
+  std::string out;
+  for (const HeldLock& h : held) {
+    if (!out.empty()) out += ", ";
+    out += "`" + h.id + "`";
+  }
+  return out;
+}
+
+class Project {
+ public:
+  explicit Project(const std::vector<FunctionDef>& fns) : fns_(fns) {
+    for (std::size_t i = 0; i < fns_.size(); ++i)
+      if (!fns_[i].is_lambda) by_name_[fns_[i].name].push_back(i);
+    resolve_all();
+    close_may_block();
+  }
+
+  void run(AllowRegistry& allows, std::vector<Finding>& findings) {
+    blocking_findings(allows, findings);
+    build_lock_graph();
+    cycle_findings(allows, findings);
+  }
+
+  ProjectStats stats() const {
+    ProjectStats s;
+    s.functions = fns_.size();
+    for (const FunctionDef& f : fns_) {
+      s.lock_sites += f.locks.size();
+      s.call_sites += f.calls.size();
+    }
+    s.graph_nodes = nodes_.size();
+    s.graph_edges = edges_.size();
+    for (const char b : may_block_) s.blocking_fns += b != 0;
+    return s;
+  }
+
+ private:
+  // ---- call resolution -----------------------------------------------------
+
+  std::vector<std::size_t> resolve(const CallSite& c,
+                                   const FunctionDef& caller) const {
+    std::vector<std::size_t> out;
+    const auto it = by_name_.find(c.name);
+    if (it == by_name_.end()) return out;
+    const std::vector<std::size_t>& cands = it->second;
+
+    if (!c.qualifier.empty()) {  // Class::f() — exact
+      for (const std::size_t i : cands)
+        if (fns_[i].cls == c.qualifier) out.push_back(i);
+      return out;
+    }
+    if (c.member) {  // x.f() / x->f() — receiver/class affinity
+      // Generic names stay unresolved here: `resident_.clear()` is a
+      // container clear, not a recursive ResidentCache::clear, even though
+      // the receiver happens to echo the class name.
+      if (c.receiver.empty() || too_common(c.name)) return out;
+      for (const std::size_t i : cands)
+        if (!fns_[i].cls.empty() &&
+            receiver_matches_class(c.receiver, fns_[i].cls))
+          out.push_back(i);
+      return out;
+    }
+    // Unqualified: same class, then free function in the same file, then a
+    // project-unique name that is not hopelessly generic.
+    if (!caller.cls.empty()) {
+      for (const std::size_t i : cands)
+        if (fns_[i].cls == caller.cls) out.push_back(i);
+      if (!out.empty()) return out;
+    }
+    for (const std::size_t i : cands)
+      if (fns_[i].cls.empty() && fns_[i].file == caller.file) out.push_back(i);
+    if (!out.empty()) return out;
+    if (cands.size() == 1 && !too_common(c.name)) out.push_back(cands[0]);
+    return out;
+  }
+
+  void resolve_all() {
+    resolved_.resize(fns_.size());
+    for (std::size_t f = 0; f < fns_.size(); ++f) {
+      resolved_[f].reserve(fns_[f].calls.size());
+      for (const CallSite& c : fns_[f].calls)
+        resolved_[f].push_back(resolve(c, fns_[f]));
+    }
+  }
+
+  // ---- blocking reachability -----------------------------------------------
+
+  void close_may_block() {
+    may_block_.assign(fns_.size(), 0);
+    hop_call_.assign(fns_.size(), static_cast<std::size_t>(-1));
+    hop_to_.assign(fns_.size(), static_cast<std::size_t>(-1));
+    for (std::size_t f = 0; f < fns_.size(); ++f)
+      if (!fns_[f].blocks.empty()) may_block_[f] = 1;
+    // Transitive closure to fixpoint; the hop records ONE exemplar callee so
+    // findings can print a concrete chain down to the primitive that blocks.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t f = 0; f < fns_.size(); ++f) {
+        if (may_block_[f] != 0) continue;
+        for (std::size_t ci = 0; ci < fns_[f].calls.size(); ++ci) {
+          for (const std::size_t g : resolved_[f][ci]) {
+            if (may_block_[g] == 0) continue;
+            may_block_[f] = 1;
+            hop_call_[f] = ci;
+            hop_to_[f] = g;
+            changed = true;
+            break;
+          }
+          if (may_block_[f] != 0) break;
+        }
+      }
+    }
+  }
+
+  /// Exemplar chain from `start` down to a primitive blocking op.
+  std::vector<std::string> block_chain(std::size_t start) const {
+    std::vector<std::string> steps;
+    std::size_t cur = start;
+    for (int guard = 0; guard < 8; ++guard) {
+      const FunctionDef& f = fns_[cur];
+      if (!f.blocks.empty()) {
+        steps.push_back(f.file + ":" + std::to_string(f.blocks[0].line) +
+                        ": `" + f.qual + "` blocks here: " + f.blocks[0].desc);
+        return steps;
+      }
+      if (hop_to_[cur] == static_cast<std::size_t>(-1)) return steps;
+      const CallSite& c = f.calls[hop_call_[cur]];
+      steps.push_back(f.file + ":" + std::to_string(c.line) + ": `" + f.qual +
+                      "` calls `" + fns_[hop_to_[cur]].qual + "`");
+      cur = hop_to_[cur];
+    }
+    return steps;
+  }
+
+  void blocking_findings(AllowRegistry& allows, std::vector<Finding>& out) {
+    for (std::size_t fi = 0; fi < fns_.size(); ++fi) {
+      const FunctionDef& f = fns_[fi];
+      for (const BlockOp& b : f.blocks) {
+        if (b.held.empty()) continue;
+        if (allows.allows(f.file, b.line, "lock-blocking")) continue;
+        Finding fd{f.file, b.line, "lock-blocking",
+                   "blocking operation (" + b.desc + ") while holding " +
+                       lock_list(b.held) +
+                       "; shrink the lock scope or move the wait outside it",
+                   {}, false};
+        for (const HeldLock& h : b.held)
+          fd.witness.push_back(f.file + ":" + std::to_string(h.acquired_line) +
+                               ": `" + h.id + "` acquired here (in `" +
+                               f.qual + "`)");
+        out.push_back(std::move(fd));
+      }
+      for (std::size_t ci = 0; ci < f.calls.size(); ++ci) {
+        const CallSite& c = f.calls[ci];
+        if (c.held.empty()) continue;
+        std::size_t target = static_cast<std::size_t>(-1);
+        for (const std::size_t g : resolved_[fi][ci])
+          if (may_block_[g] != 0) {
+            target = g;
+            break;
+          }
+        if (target == static_cast<std::size_t>(-1)) continue;
+        if (allows.allows(f.file, c.line, "lock-blocking")) continue;
+        Finding fd{f.file, c.line, "lock-blocking",
+                   "call to `" + fns_[target].qual +
+                       "` can block while holding " + lock_list(c.held) +
+                       "; restructure so the lock is released first",
+                   {}, false};
+        for (const HeldLock& h : c.held)
+          fd.witness.push_back(f.file + ":" + std::to_string(h.acquired_line) +
+                               ": `" + h.id + "` acquired here (in `" +
+                               f.qual + "`)");
+        fd.witness.push_back(f.file + ":" + std::to_string(c.line) + ": `" +
+                             f.qual + "` calls `" + fns_[target].qual +
+                             "` with the lock held");
+        for (std::string& step : block_chain(target))
+          fd.witness.push_back(std::move(step));
+        out.push_back(std::move(fd));
+      }
+    }
+  }
+
+  // ---- lock-order graph ----------------------------------------------------
+
+  struct EdgeInfo {
+    std::string file;
+    std::size_t line = 0;
+    std::vector<std::string> steps;
+  };
+
+  void add_edge(const std::string& from, const std::string& to,
+                EdgeInfo info) {
+    nodes_.insert(from);
+    nodes_.insert(to);
+    edges_.emplace(std::make_pair(from, to), std::move(info));  // first wins
+  }
+
+  void build_lock_graph() {
+    for (std::size_t fi = 0; fi < fns_.size(); ++fi) {
+      const FunctionDef& f = fns_[fi];
+      for (const LockSite& l : f.locks) nodes_.insert(l.id);
+      for (const LockEdge& e : f.edges) {
+        EdgeInfo info;
+        info.file = f.file;
+        info.line = e.line;
+        info.steps.push_back(f.file + ":" + std::to_string(e.line) + ": `" +
+                             f.qual + "` acquires `" + e.to +
+                             "` while holding `" + e.from + "`");
+        add_edge(e.from, e.to, std::move(info));
+      }
+      // One-deep interprocedural propagation: a call made under lock A to a
+      // function that acquires B is itself an A→B ordering.
+      for (std::size_t ci = 0; ci < f.calls.size(); ++ci) {
+        const CallSite& c = f.calls[ci];
+        if (c.held.empty()) continue;
+        for (const std::size_t gi : resolved_[fi][ci]) {
+          const FunctionDef& g = fns_[gi];
+          for (const LockSite& l : g.locks) {
+            for (const HeldLock& h : c.held) {
+              EdgeInfo info;
+              info.file = f.file;
+              info.line = c.line;
+              info.steps.push_back(f.file + ":" + std::to_string(c.line) +
+                                   ": `" + f.qual + "` holds `" + h.id +
+                                   "` and calls `" + g.qual + "`");
+              info.steps.push_back(g.file + ":" + std::to_string(l.line) +
+                                   ": `" + g.qual + "` acquires `" + l.id +
+                                   "`");
+              add_edge(h.id, l.id, std::move(info));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void cycle_findings(AllowRegistry& allows, std::vector<Finding>& out) {
+    // Adjacency over sorted node names; DFS from each start node visiting
+    // only names >= start, so every simple cycle is found exactly once
+    // (anchored at its lexicographically smallest node).
+    std::vector<std::string> order(nodes_.begin(), nodes_.end());
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [key, info] : edges_) adj[key.first].push_back(key.second);
+    for (auto& [from, tos] : adj) std::sort(tos.begin(), tos.end());
+
+    std::vector<std::vector<std::string>> cycles;
+    std::vector<std::string> path;
+    std::set<std::string> on_path;
+    constexpr std::size_t kMaxCycles = 16, kMaxDepth = 12;
+
+    auto dfs = [&](auto&& self, const std::string& u,
+                   const std::string& start) -> void {
+      if (cycles.size() >= kMaxCycles || path.size() > kMaxDepth) return;
+      for (const std::string& v : adj[u]) {
+        if (v == start) {
+          cycles.push_back(path);
+          continue;
+        }
+        if (v < start || on_path.count(v) != 0) continue;
+        path.push_back(v);
+        on_path.insert(v);
+        self(self, v, start);
+        on_path.erase(v);
+        path.pop_back();
+      }
+    };
+    for (const std::string& s : order) {
+      path = {s};
+      on_path = {s};
+      dfs(dfs, s, s);
+    }
+
+    for (const std::vector<std::string>& cyc : cycles) {
+      const EdgeInfo& head = edges_.at({cyc[0], cyc.size() > 1 ? cyc[1]
+                                                               : cyc[0]});
+      if (allows.allows(head.file, head.line, "lock-cycle")) continue;
+      std::string ring;
+      for (const std::string& n : cyc) ring += "`" + n + "` -> ";
+      ring += "`" + cyc[0] + "`";
+      Finding fd{head.file, head.line, "lock-cycle",
+                 cyc.size() == 1
+                     ? "potential deadlock: " + ring +
+                           " (re-acquisition of a non-recursive mutex)"
+                     : "potential deadlock: lock-order cycle " + ring +
+                           "; two threads taking these locks in opposite "
+                           "order can each wait on the other forever",
+                 {}, false};
+      for (std::size_t i = 0; i < cyc.size(); ++i) {
+        const EdgeInfo& e = edges_.at({cyc[i], cyc[(i + 1) % cyc.size()]});
+        for (const std::string& step : e.steps) fd.witness.push_back(step);
+      }
+      out.push_back(std::move(fd));
+    }
+  }
+
+  const std::vector<FunctionDef>& fns_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_name_;
+  std::vector<std::vector<std::vector<std::size_t>>> resolved_;
+  std::vector<char> may_block_;
+  std::vector<std::size_t> hop_call_, hop_to_;
+  std::set<std::string> nodes_;
+  std::map<std::pair<std::string, std::string>, EdgeInfo> edges_;
+};
+
+}  // namespace
+
+ProjectStats analyze_project(const std::vector<FunctionDef>& fns,
+                             AllowRegistry& allows,
+                             std::vector<Finding>& findings) {
+  Project p(fns);
+  p.run(allows, findings);
+  return p.stats();
+}
+
+}  // namespace hlint

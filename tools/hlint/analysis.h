@@ -1,0 +1,50 @@
+#pragma once
+// hlint whole-project analyses — the layer above the per-TU symbol model.
+//
+// All parsed TUs are linked into one function table; call sites resolve to
+// definitions (qualified calls exactly, member calls by receiver/class name
+// affinity, unqualified calls by same-class → same-file → project-unique
+// fallback). On top run the two concurrency passes:
+//
+//  * lock-order graph: nodes are canonical mutex ids, an edge A→B records
+//    "held A while acquiring B" — from acquisition scopes directly, plus
+//    one-deep interprocedural propagation (a call made under A to a
+//    function acquiring B also yields A→B). A directed cycle is a potential
+//    deadlock; each is reported once with the full witness path
+//    ([lock-cycle]).
+//
+//  * blocking reachability: a function "may block" when it contains a
+//    blocking op (cv wait, future wait/get, join, run_batch dispatch) or —
+//    by full transitive closure — calls one that does. Any call made while
+//    holding a lock to a may-block function, or a direct blocking op under
+//    a lock, is a [lock-blocking] finding with the call chain as witness.
+//    (This subsumes PR-6's lexical [service-block] rule: the blocking call
+//    no longer has to be spelled inside the lock scope's own braces.)
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hlint/model.h"
+#include "hlint/report.h"
+
+namespace hlint {
+
+/// Statistics for the always-printed `hlint: model:` line.
+struct ProjectStats {
+  std::size_t functions = 0;
+  std::size_t lock_sites = 0;
+  std::size_t call_sites = 0;
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+  std::size_t blocking_fns = 0;  ///< may-block after transitive closure
+};
+
+/// Link all TUs' functions and run both concurrency passes. Findings that
+/// carry an `hlint:allow()` marker on their line are consumed silently
+/// (marker use is recorded in `allows`).
+ProjectStats analyze_project(const std::vector<FunctionDef>& fns,
+                             AllowRegistry& allows,
+                             std::vector<Finding>& findings);
+
+}  // namespace hlint

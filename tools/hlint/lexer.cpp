@@ -1,0 +1,249 @@
+#include "hlint/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+#include <unordered_set>
+
+namespace hlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// String-literal prefixes; an identifier in this set immediately followed
+/// by '"' is part of the literal, not a standalone token.
+bool string_prefix(std::string_view s) {
+  for (const char* p : {"R", "u8", "u", "U", "L", "uR", "u8R", "UR", "LR"})
+    if (s == p) return true;
+  return false;
+}
+
+const std::unordered_set<std::string>& keyword_set() {
+  static const std::unordered_set<std::string> kw = {
+      "if",        "else",       "for",       "while",    "do",
+      "switch",    "case",       "default",   "break",    "continue",
+      "return",    "goto",       "try",       "catch",    "throw",
+      "new",       "delete",     "sizeof",    "alignof",  "alignas",
+      "decltype",  "typeid",     "namespace", "using",    "typedef",
+      "template",  "typename",   "class",     "struct",   "union",
+      "enum",      "public",     "private",   "protected","friend",
+      "virtual",   "override",   "final",     "const",    "constexpr",
+      "consteval", "constinit",  "mutable",   "static",   "extern",
+      "inline",    "noexcept",   "explicit",  "operator", "this",
+      "nullptr",   "true",       "false",     "auto",     "void",
+      "bool",      "char",       "short",     "int",      "long",
+      "signed",    "unsigned",   "double",    "requires", "concept",
+      "co_await",  "co_return",  "co_yield",  "static_cast",
+      "dynamic_cast", "const_cast", "reinterpret_cast", "static_assert",
+      "asm",       "register",   "thread_local", "export", "and", "or",
+      "not",       "xor",        "wchar_t",   "char8_t",  "char16_t",
+      "char32_t",
+  };
+  // "float"/"volatile" are deliberately absent: rules police those idents.
+  return kw;
+}
+
+}  // namespace
+
+bool is_cpp_keyword(const std::string& ident) {
+  return keyword_set().count(ident) != 0;
+}
+
+SourceFile lex_file(const std::string& path, const std::string& contents) {
+  SourceFile out;
+  out.path = path;
+  {
+    const auto dot = path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+    out.is_header = ext == ".h" || ext == ".hpp";
+  }
+  // Raw lines, for the allow-marker registry.
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= contents.size(); ++i) {
+    if (i == contents.size() || contents[i] == '\n') {
+      out.raw_lines.emplace_back(contents.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+
+  const std::size_t n = contents.size();
+  std::size_t line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  std::size_t i = 0;
+  auto advance_over = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = contents[i];
+    const char next = i + 1 < n ? contents[i + 1] : '\0';
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance_over(c);
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line, folded continuations.
+    if (c == '#' && at_line_start) {
+      Directive d;
+      d.line = line;
+      ++i;
+      while (i < n) {
+        if (contents[i] == '\\' && i + 1 < n && contents[i + 1] == '\n') {
+          ++line;
+          d.text += ' ';
+          i += 2;
+          continue;
+        }
+        if (contents[i] == '\n') break;
+        d.text += contents[i] == '\t' ? ' ' : contents[i];
+        ++i;
+      }
+      out.directives.push_back(std::move(d));
+      continue;  // the '\n' is consumed by the whitespace branch
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && next == '/') {
+      while (i < n && contents[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      i += 2;
+      while (i + 1 < n && !(contents[i] == '*' && contents[i + 1] == '/')) {
+        advance_over(contents[i]);
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+
+    // Identifier (possibly a string-literal prefix).
+    if (ident_start(c)) {
+      std::size_t e = i;
+      while (e < n && ident_char(contents[e])) ++e;
+      std::string word = contents.substr(i, e - i);
+      if (e < n && contents[e] == '"' && string_prefix(word)) {
+        i = e;  // fall through to the string scanner below
+        if (word.back() == 'R') {
+          // Raw string: R"delim( ... )delim" — no escapes inside.
+          const std::size_t tok_line = line;
+          ++i;  // past '"'
+          std::string delim;
+          while (i < n && contents[i] != '(') delim += contents[i++];
+          ++i;  // past '('
+          const std::string close = ")" + delim + "\"";
+          std::string body;
+          while (i < n && contents.compare(i, close.size(), close) != 0) {
+            advance_over(contents[i]);
+            body += contents[i++];
+          }
+          i = std::min(n, i + close.size());
+          out.tokens.push_back({Tok::Str, std::move(body), tok_line});
+          continue;
+        }
+        // Prefixed ordinary string — handled by the generic scanner.
+      } else {
+        out.tokens.push_back({Tok::Ident, std::move(word), line});
+        i = e;
+        continue;
+      }
+    }
+
+    // Ordinary string literal.
+    if (contents[i] == '"') {
+      const std::size_t tok_line = line;
+      ++i;
+      std::string body;
+      while (i < n && contents[i] != '"') {
+        if (contents[i] == '\\' && i + 1 < n) {
+          advance_over(contents[i + 1]);
+          body += contents[i + 1];
+          i += 2;
+          continue;
+        }
+        advance_over(contents[i]);
+        body += contents[i++];
+      }
+      ++i;  // closing quote
+      out.tokens.push_back({Tok::Str, std::move(body), tok_line});
+      continue;
+    }
+
+    // Character literal. A lone '\'' after a number ("1'000") never gets
+    // here: the number scanner consumes digit separators itself.
+    if (c == '\'') {
+      const std::size_t tok_line = line;
+      ++i;
+      std::string body;
+      while (i < n && contents[i] != '\'') {
+        if (contents[i] == '\\' && i + 1 < n) {
+          body += contents[i + 1];
+          i += 2;
+          continue;
+        }
+        body += contents[i++];
+      }
+      ++i;
+      out.tokens.push_back({Tok::Char, std::move(body), tok_line});
+      continue;
+    }
+
+    // Number: digits, or '.' followed by a digit. Consumes ud-suffixes
+    // (2.0_keV) and exponent signs so downstream rules see one token.
+    if (digit(c) || (c == '.' && digit(next))) {
+      std::size_t e = i;
+      std::string body;
+      while (e < n) {
+        const char ch = contents[e];
+        if (ident_char(ch) || ch == '.' || ch == '\'') {
+          body += ch;
+          ++e;
+        } else if ((ch == '+' || ch == '-') && e > i &&
+                   (contents[e - 1] == 'e' || contents[e - 1] == 'E') &&
+                   (body.size() < 2 || (body.compare(0, 2, "0x") != 0 &&
+                                        body.compare(0, 2, "0X") != 0))) {
+          body += ch;
+          ++e;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({Tok::Number, std::move(body), line});
+      i = e;
+      continue;
+    }
+
+    // Punctuation. Only the multi-char operators the analyses distinguish
+    // are fused; '>' stays single so template-angle matching works.
+    static constexpr std::array<const char*, 6> kTwo = {"::", "->", "==",
+                                                        "!=", "<=", ">="};
+    std::string op(1, c);
+    for (const char* two : kTwo) {
+      if (c == two[0] && next == two[1]) {
+        op = two;
+        break;
+      }
+    }
+    out.tokens.push_back({Tok::Punct, op, line});
+    i += op.size();
+  }
+  return out;
+}
+
+}  // namespace hlint

@@ -1,0 +1,56 @@
+#pragma once
+// hlint lexer — a comment/string/raw-string aware C++ tokenizer.
+//
+// Everything above this layer (the legacy lexical rules, the symbol model,
+// the lock-order and reachability analyses) operates on the token stream it
+// produces, never on raw text, so a `MutexLock` inside a raw string literal
+// or a banned keyword inside a comment can no longer fool a rule. Line
+// numbers are carried per token; the raw source lines are kept alongside so
+// suppression markers (which deliberately live in comments) stay findable.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hlint {
+
+enum class Tok {
+  Ident,   ///< identifiers and keywords (the parser distinguishes them)
+  Number,  ///< numeric literals including ud-literal suffixes (1.0_keV)
+  Str,     ///< string literal (any prefix, raw included); text excludes quotes
+  Char,    ///< character literal
+  Punct,   ///< operators/punctuation; multi-char: ::  ->  ==  !=  <=  >=
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::size_t line = 0;
+};
+
+/// One preprocessor directive (leading '#' line, continuations folded),
+/// kept out of the token stream: rules that scan tokens never see macro
+/// bodies or include paths, and the pragma-once rule reads these directly.
+struct Directive {
+  std::size_t line = 0;
+  std::string text;  ///< directive text after '#', single-spaced
+};
+
+struct SourceFile {
+  std::string path;
+  bool is_header = false;
+  std::vector<std::string> raw_lines;  ///< verbatim, for allow-markers
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+};
+
+/// Tokenize `contents`; never throws on malformed input — an unterminated
+/// literal simply ends at EOF (the linter must survive any text it is
+/// pointed at).
+SourceFile lex_file(const std::string& path, const std::string& contents);
+
+/// True for the identifiers that can never start a call or a declaration
+/// the symbol model cares about (control keywords, casts, literals...).
+bool is_cpp_keyword(const std::string& ident);
+
+}  // namespace hlint

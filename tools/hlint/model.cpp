@@ -1,0 +1,629 @@
+#include "hlint/model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace hlint {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool macro_like(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_upper = false;
+  for (const char c : s) {
+    if (std::isupper(static_cast<unsigned char>(c)) != 0)
+      has_upper = true;
+    else if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_')
+      return false;
+  }
+  return has_upper;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// The parser for one translation unit. Heuristic by design: it must accept
+/// any text without crashing and recover the constructs the analyses need;
+/// regions it cannot parse are skipped, never fatal.
+class TuParser {
+ public:
+  explicit TuParser(const SourceFile& file) : file_(file), toks_(file.tokens) {
+    const auto slash = file.path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? file.path : file.path.substr(slash + 1);
+    const auto dot = base.rfind('.');
+    stem_ = dot == std::string::npos ? base : base.substr(0, dot);
+  }
+
+  std::vector<FunctionDef> run() {
+    scan_top_level();
+    return std::move(fns_);
+  }
+
+ private:
+  // ---- token helpers -------------------------------------------------------
+
+  bool punct(std::size_t i, const char* p) const {
+    return i < toks_.size() && toks_[i].kind == Tok::Punct &&
+           toks_[i].text == p;
+  }
+  bool ident(std::size_t i) const {
+    return i < toks_.size() && toks_[i].kind == Tok::Ident;
+  }
+  bool ident(std::size_t i, const char* name) const {
+    return ident(i) && toks_[i].text == name;
+  }
+
+  /// Index of the ')' matching the '(' at `open`; npos on imbalance.
+  std::size_t match_paren(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks_.size(); ++i) {
+      if (punct(i, "(")) ++depth;
+      if (punct(i, ")") && --depth == 0) return i;
+    }
+    return npos;
+  }
+
+  /// Matching opener for the closer (')', '}', ']') at `close`, walking
+  /// backward; npos on imbalance.
+  std::size_t match_back(std::size_t close) const {
+    const std::string& c = toks_[close].text;
+    const char* open = c == ")" ? "(" : c == "}" ? "{" : "[";
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0;) {
+      if (toks_[i].kind != Tok::Punct) continue;
+      if (toks_[i].text == c) ++depth;
+      if (toks_[i].text == open && --depth == 0) return i;
+    }
+    return npos;
+  }
+
+  /// Matching ']' / '}' forward from an opener.
+  std::size_t match_forward(std::size_t open) const {
+    const std::string& o = toks_[open].text;
+    const char* close = o == "(" ? ")" : o == "{" ? "}" : "]";
+    int depth = 0;
+    for (std::size_t i = open; i < toks_.size(); ++i) {
+      if (toks_[i].kind != Tok::Punct) continue;
+      if (toks_[i].text == o) ++depth;
+      if (toks_[i].text == close && --depth == 0) return i;
+    }
+    return npos;
+  }
+
+  /// Matching '>' for the '<' at `open` (template argument list). Bounded:
+  /// gives up at statement boundaries — a comparison, not a template.
+  std::size_t match_angle(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks_.size() && i < open + 256; ++i) {
+      if (toks_[i].kind != Tok::Punct) continue;
+      const std::string& t = toks_[i].text;
+      if (t == "<") ++depth;
+      if (t == ">" && --depth == 0) return i;
+      if (t == ";" || t == "{") return npos;
+    }
+    return npos;
+  }
+
+  std::size_t match_angle_back(std::size_t close) const {
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0 && close - i < 256;) {
+      if (toks_[i].kind != Tok::Punct) continue;
+      const std::string& t = toks_[i].text;
+      if (t == ">") ++depth;
+      if (t == "<" && --depth == 0) return i;
+      if (t == ";" || t == "{" || t == "}") return npos;
+    }
+    return npos;
+  }
+
+  // ---- function-header recovery -------------------------------------------
+
+  struct Header {
+    bool found = false;
+    bool lambda = false;
+    std::string name;
+    std::vector<std::string> quals;  ///< Class chain before the name
+  };
+
+  bool skippable_qualifier(std::size_t j) const {
+    if (!ident(j)) return false;
+    const std::string& t = toks_[j].text;
+    return t == "const" || t == "noexcept" || t == "override" ||
+           t == "final" || t == "mutable" || macro_like(t);
+  }
+
+  /// Walk back from the name token before a parameter list '(' collecting
+  /// `A::B::name`; fills `h` and validates the token before the chain.
+  bool extract_name(std::size_t k, Header& h) const {
+    if (!ident(k)) {
+      // Operator overloads: `operator==` and friends. Named uniformly
+      // "operator" — the analyses never link them.
+      if (k >= 1 && ident(k - 1, "operator")) {
+        h.name = "operator";
+        h.found = true;
+        return true;
+      }
+      if (punct(k, "]")) {  // lambda introducer directly before the params
+        h.lambda = true;
+        h.found = true;
+        return true;
+      }
+      return false;
+    }
+    std::size_t nm = k;
+    h.name = toks_[nm].text;
+    if (is_cpp_keyword(h.name)) return false;
+    if (nm >= 1 && punct(nm - 1, "~")) {
+      h.name = "~" + h.name;
+      --nm;
+    }
+    while (nm >= 2 && punct(nm - 1, "::")) {
+      if (ident(nm - 2)) {
+        h.quals.insert(h.quals.begin(), toks_[nm - 2].text);
+        nm -= 2;
+      } else if (punct(nm - 2, ">")) {
+        const std::size_t lt = match_angle_back(nm - 2);
+        if (lt == npos || lt == 0 || !ident(lt - 1)) break;
+        h.quals.insert(h.quals.begin(), toks_[lt - 1].text);
+        nm = lt - 1;
+      } else {
+        break;
+      }
+    }
+    if (nm >= 1 && (punct(nm - 1, ".") || punct(nm - 1, "->"))) return false;
+    h.found = true;
+    return true;
+  }
+
+  /// `open` is the '(' of what may be a parameter list; finish recognizing
+  /// the function header to its left.
+  Header from_param_open(std::size_t open, int depth_budget) const {
+    Header h;
+    if (open == 0 || depth_budget <= 0) return h;
+    const std::size_t k = open - 1;
+    if (punct(k, "]")) {
+      h.lambda = true;
+      h.found = true;
+      return h;
+    }
+    if (!extract_name(k, h)) return h;
+    // The name may actually be a constructor-initializer element
+    // (`: calc_(x), cache_(y) {`): walk the element chain back to the ':'
+    // and re-anchor on the real parameter list before it.
+    std::size_t nm = k;  // recompute chain start cheaply: scan back over ::
+    {
+      std::size_t steps = h.quals.size() * 2;
+      if (!h.name.empty() && h.name[0] == '~') ++steps;
+      nm = k - steps;
+    }
+    if (nm >= 1 && (punct(nm - 1, ",") || punct(nm - 1, ":"))) {
+      std::size_t pos = nm - 1;
+      int guard = 64;
+      while (punct(pos, ",") && guard-- > 0) {
+        if (pos == 0) return {};
+        std::size_t close = pos - 1;
+        if (!punct(close, ")") && !punct(close, "}")) return {};
+        const std::size_t op2 = match_back(close);
+        if (op2 == npos || op2 == 0) return {};
+        std::size_t id2 = op2 - 1;
+        if (punct(id2, ">")) {
+          const std::size_t lt = match_angle_back(id2);
+          if (lt == npos || lt == 0) return {};
+          id2 = lt - 1;
+        }
+        if (!ident(id2)) return {};
+        while (id2 >= 2 && punct(id2 - 1, "::") && ident(id2 - 2)) id2 -= 2;
+        if (id2 == 0) return {};
+        pos = id2 - 1;
+        if (!punct(pos, ",") && !punct(pos, ":")) return {};
+      }
+      if (!punct(pos, ":")) return {};
+      if (pos == 0 || !punct(pos - 1, ")")) return {};
+      const std::size_t real_open = match_back(pos - 1);
+      if (real_open == npos) return {};
+      return from_param_open(real_open, depth_budget - 1);
+    }
+    return h;
+  }
+
+  /// Decide whether the '{' at `brace` opens a function body, and if so
+  /// recover its header.
+  Header analyze_brace(std::size_t brace) const {
+    if (brace == 0) return {};
+    std::size_t j = brace - 1;
+    int guard = 8;
+    while (guard-- > 0) {
+      while (j > 0 && skippable_qualifier(j)) --j;
+      if (punct(j, ")")) {
+        const std::size_t open = match_back(j);
+        if (open == npos || open == 0) return {};
+        const std::size_t k = open - 1;
+        if (ident(k, "noexcept") || (ident(k) && macro_like(toks_[k].text))) {
+          if (k == 0) return {};
+          j = k - 1;
+          continue;  // noexcept(...) / HSPEC_REQUIRES(...) qualifier
+        }
+        return from_param_open(open, 4);
+      }
+      // Trailing return type `-> T` between the param list and the body.
+      std::size_t t = j;
+      int budget = 24;
+      bool found_arrow = false;
+      while (budget-- > 0) {
+        if (punct(t, "->")) {
+          found_arrow = true;
+          break;
+        }
+        const bool type_tok =
+            ident(t) || punct(t, "::") || punct(t, "<") || punct(t, ">") ||
+            punct(t, "*") || punct(t, "&") || punct(t, ",");
+        if (!type_tok || t == 0) break;
+        --t;
+      }
+      if (found_arrow && t > 0) {
+        j = t - 1;
+        continue;
+      }
+      return {};
+    }
+    return {};
+  }
+
+  // ---- top-level scan with class tracking ----------------------------------
+
+  void scan_top_level() {
+    struct ClassScope {
+      std::string name;
+      int depth;
+    };
+    std::vector<ClassScope> classes;
+    int depth = 0;
+    bool pending_class = false;
+    std::size_t class_kw = 0;
+
+    std::size_t i = 0;
+    while (i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (t.kind == Tok::Ident && (t.text == "class" || t.text == "struct" ||
+                                   t.text == "union")) {
+        const bool enum_class = i > 0 && ident(i - 1, "enum");
+        const bool tmpl_param =
+            i > 0 && (punct(i - 1, "<") || punct(i - 1, ","));
+        if (!enum_class && !tmpl_param) {
+          pending_class = true;
+          class_kw = i;
+        }
+        ++i;
+        continue;
+      }
+      if (punct(i, ";")) {
+        pending_class = false;  // forward declaration
+        ++i;
+        continue;
+      }
+      if (punct(i, "{")) {
+        const Header h = analyze_brace(i);
+        if (h.found && !h.lambda) {
+          FunctionDef fn;
+          fn.name = h.name;
+          fn.cls = !h.quals.empty()
+                       ? h.quals.back()
+                       : (!classes.empty() ? classes.back().name : "");
+          fn.qual = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+          fn.file = file_.path;
+          fn.line = toks_[i].line;
+          i = parse_function(i, std::move(fn));
+          pending_class = false;
+          continue;
+        }
+        ++depth;
+        if (pending_class) {
+          // The class name: last identifier between the keyword and the
+          // base-clause ':' (or this '{').
+          std::string name;
+          std::size_t angle = 0;
+          for (std::size_t p = class_kw + 1; p < i; ++p) {
+            if (punct(p, "<")) ++angle;
+            if (punct(p, ">") && angle > 0) --angle;
+            if (angle == 0 && punct(p, ":")) break;
+            if (angle == 0 && ident(p)) name = toks_[p].text;
+          }
+          if (!name.empty()) classes.push_back({name, depth});
+          pending_class = false;
+        }
+        ++i;
+        continue;
+      }
+      if (punct(i, "}")) {
+        while (!classes.empty() && classes.back().depth >= depth)
+          classes.pop_back();
+        if (depth > 0) --depth;
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  // ---- function-body parse -------------------------------------------------
+
+  static bool lock_class(const std::string& s) {
+    return s == "MutexLock" || s == "lock_guard" || s == "unique_lock" ||
+           s == "scoped_lock";
+  }
+
+  std::vector<HeldLock> flatten(
+      const std::vector<std::vector<HeldLock>>& scopes) const {
+    std::vector<HeldLock> out;
+    for (const auto& s : scopes) out.insert(out.end(), s.begin(), s.end());
+    return out;
+  }
+
+  /// Try to parse a lock declaration at ident `i`; returns the index just
+  /// past the declaration's ')' (0 if this is not a lock declaration).
+  std::size_t try_lock_decl(std::size_t i,
+                            std::vector<std::vector<HeldLock>>& scopes,
+                            FunctionDef& fn) {
+    std::size_t j = i + 1;
+    if (punct(j, "<")) {
+      const std::size_t gt = match_angle(j);
+      if (gt == npos) return 0;
+      j = gt + 1;
+    }
+    if (!ident(j)) return 0;  // `MutexLock(mu)` temporary: not a guard
+    const std::string var = toks_[j].text;
+    if (!punct(j + 1, "(") && !punct(j + 1, "{")) return 0;
+    const std::size_t open = j + 1;
+    const std::size_t close = match_forward(open);
+    if (close == npos) return 0;
+
+    // Split the arguments at top-level commas; each argument that names a
+    // mutex becomes an acquisition (scoped_lock may take several).
+    std::vector<std::string> args;
+    std::string cur;
+    int depth = 0;
+    bool deferred = false;
+    for (std::size_t p = open + 1; p < close; ++p) {
+      if (punct(p, "(") || punct(p, "[") || punct(p, "{")) ++depth;
+      if (punct(p, ")") || punct(p, "]") || punct(p, "}")) --depth;
+      if (depth == 0 && punct(p, ",")) {
+        args.push_back(cur);
+        cur.clear();
+        continue;
+      }
+      if (ident(p)) {
+        const std::string& w = toks_[p].text;
+        if (w == "defer_lock" || w == "try_to_lock") deferred = true;
+        if (w == "this" || w == "std" || w == "adopt_lock") continue;
+        cur += w;
+      } else if (toks_[p].kind == Tok::Punct) {
+        const std::string& w = toks_[p].text;
+        if (w == "." || w == "->" || w == "::" || w == "[" || w == "]") {
+          if (w == "->" && cur.empty()) continue;  // stripped this->
+          cur += w == "->" ? "." : w;              // a->mu ≡ a.mu
+        }
+      } else if (toks_[p].kind == Tok::Number) {
+        cur += toks_[p].text;
+      }
+    }
+    args.push_back(cur);
+    if (deferred) return close + 1;
+
+    const bool multi = toks_[i].text == "scoped_lock";
+    const std::size_t nargs = multi ? args.size() : std::size_t{1};
+    const std::vector<HeldLock> held = flatten(scopes);
+    for (std::size_t a = 0; a < nargs && a < args.size(); ++a) {
+      std::string expr = args[a];
+      while (!expr.empty() && expr.front() == ':') expr.erase(0, 1);
+      if (expr.empty()) continue;
+      const std::string prefix = fn.cls.empty() ? stem_ : fn.cls;
+      const std::string id = prefix + "::" + expr;
+      const std::size_t line = toks_[i].line;
+      for (const HeldLock& h : held)
+        fn.edges.push_back({h.id, id, line});
+      fn.locks.push_back({id, var, line});
+      scopes.back().push_back({id, var, line});
+    }
+    return close + 1;
+  }
+
+  bool receiver_has(const std::string& recv, const char* needle) const {
+    return lower(recv).find(needle) != std::string::npos;
+  }
+
+  /// Classify & record the call / blocking op at ident `i` (next is '(').
+  void record_call(std::size_t i,
+                   const std::vector<std::vector<HeldLock>>& scopes,
+                   FunctionDef& fn) {
+    const std::string& name = toks_[i].text;
+    std::string receiver, qualifier;
+    bool member = false;
+    if (i >= 1) {
+      if (punct(i - 1, ".") || punct(i - 1, "->")) {
+        member = true;
+        if (i >= 2 && ident(i - 2)) receiver = toks_[i - 2].text;
+      } else if (punct(i - 1, "::")) {
+        if (i >= 2 && ident(i - 2)) qualifier = toks_[i - 2].text;
+      } else if (ident(i - 1)) {
+        // `Type name(args)` — a declaration, not a call.
+        const std::string& prev = toks_[i - 1].text;
+        static const char* kStmtKeywords[] = {"return", "throw",     "else",
+                                              "do",     "co_return", "co_yield",
+                                              "co_await"};
+        bool stmt = false;
+        for (const char* kw : kStmtKeywords) stmt = stmt || prev == kw;
+        if (!stmt) return;
+      } else if (punct(i - 1, "~")) {
+        return;  // explicit destructor call
+      }
+    }
+
+    const std::vector<HeldLock> held = flatten(scopes);
+    const std::size_t line = toks_[i].line;
+
+    // Direct blocking operations (DESIGN.md §14): recognized here so the
+    // reachability pass can treat the containing function as blocking even
+    // when the call target cannot be resolved.
+    if (member && name == "wait" && receiver_has(receiver, "cv")) {
+      // cv.wait(lock) releases `lock` for the duration of the wait: that
+      // lock is discounted; any OTHER lock still held blocks for real.
+      std::string first_arg;
+      if (ident(i + 2) && (punct(i + 3, ")") || punct(i + 3, ",")))
+        first_arg = toks_[i + 2].text;
+      std::vector<HeldLock> residual;
+      for (const HeldLock& h : held)
+        if (h.var != first_arg || first_arg.empty()) residual.push_back(h);
+      fn.blocks.push_back({BlockKind::cv_wait,
+                           "condition-variable wait on `" + receiver + "`",
+                           line, std::move(residual)});
+      return;
+    }
+    const bool future_like = receiver_has(receiver, "future") ||
+                             receiver_has(receiver, "fut") ||
+                             receiver_has(receiver, "ticket");
+    if (member && (name == "wait" || name == "get") && future_like) {
+      fn.blocks.push_back({BlockKind::future_wait,
+                           "future `" + receiver + "`." + name + "()", line,
+                           held});
+      return;
+    }
+    if (member && name == "join") {
+      fn.blocks.push_back({BlockKind::thread_join,
+                           "thread `" + receiver + "`.join()", line, held});
+      return;
+    }
+    if (name == "run_batch") {
+      fn.blocks.push_back({BlockKind::dispatch,
+                           "executor dispatch `run_batch` (a full device "
+                           "batch round-trip)",
+                           line, held});
+      return;
+    }
+    fn.calls.push_back({name, receiver, qualifier, member, line, held});
+  }
+
+  /// Parse the body opened by the '{' at `open`; appends `fn` (and any
+  /// lambdas inside it) to fns_. Returns the index past the closing '}'.
+  std::size_t parse_function(std::size_t open, FunctionDef fn) {
+    std::vector<std::vector<HeldLock>> scopes(1);
+    std::size_t i = open + 1;
+    while (i < toks_.size()) {
+      if (punct(i, "{")) {
+        scopes.emplace_back();
+        ++i;
+        continue;
+      }
+      if (punct(i, "}")) {
+        scopes.pop_back();
+        ++i;
+        if (scopes.empty()) break;
+        continue;
+      }
+      if (punct(i, "[")) {
+        const std::size_t body = lambda_body(i);
+        if (body != npos) {
+          FunctionDef lam;
+          lam.name = "<lambda>";
+          lam.cls = fn.cls;
+          lam.qual = fn.qual + "::<lambda@" +
+                     std::to_string(toks_[body].line) + ">";
+          lam.file = file_.path;
+          lam.line = toks_[body].line;
+          lam.is_lambda = true;
+          // Deferred execution: the lambda body runs with NO inherited
+          // lock context (and possibly on another thread entirely).
+          i = parse_function(body, std::move(lam));
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (ident(i)) {
+        const std::string& text = toks_[i].text;
+        if (lock_class(text)) {
+          const std::size_t past = try_lock_decl(i, scopes, fn);
+          if (past != 0) {
+            i = past;
+            continue;
+          }
+        }
+        if (punct(i + 1, "(") && !is_cpp_keyword(text) && text != "float" &&
+            text != "volatile" && !lock_class(text)) {
+          record_call(i, scopes, fn);
+        }
+      }
+      ++i;
+    }
+    fns_.push_back(std::move(fn));
+    return i;
+  }
+
+  /// If the '[' at `i` introduces a lambda with a body, the index of its
+  /// '{'; npos otherwise.
+  std::size_t lambda_body(std::size_t i) const {
+    if (i > 0) {
+      const Token& p = toks_[i - 1];
+      if (p.kind == Tok::Ident && !is_cpp_keyword(p.text)) return npos;
+      if (p.kind == Tok::Number || p.kind == Tok::Str || p.kind == Tok::Char)
+        return npos;
+      if (p.kind == Tok::Punct && (p.text == "]" || p.text == ")"))
+        return npos;  // subscript on an expression
+    }
+    const std::size_t close = match_forward(i);
+    if (close == npos) return npos;
+    std::size_t k = close + 1;
+    if (punct(k, "(")) {
+      const std::size_t pc = match_paren(k);
+      if (pc == npos) return npos;
+      k = pc + 1;
+    }
+    int guard = 24;
+    while (guard-- > 0) {
+      if (ident(k, "mutable") || ident(k, "constexpr")) {
+        ++k;
+        continue;
+      }
+      if (ident(k, "noexcept")) {
+        ++k;
+        if (punct(k, "(")) {
+          const std::size_t pc = match_paren(k);
+          if (pc == npos) return npos;
+          k = pc + 1;
+        }
+        continue;
+      }
+      if (punct(k, "->")) {  // trailing return type
+        ++k;
+        while (guard-- > 0 &&
+               (ident(k) || punct(k, "::") || punct(k, "<") ||
+                punct(k, ">") || punct(k, "*") || punct(k, "&")))
+          ++k;
+        continue;
+      }
+      break;
+    }
+    return punct(k, "{") ? k : npos;
+  }
+
+  const SourceFile& file_;
+  const std::vector<Token>& toks_;
+  std::string stem_;
+  std::vector<FunctionDef> fns_;
+};
+
+}  // namespace
+
+std::vector<FunctionDef> parse_tu(const SourceFile& file) {
+  return TuParser(file).run();
+}
+
+}  // namespace hlint

@@ -1,0 +1,105 @@
+#pragma once
+// hlint symbol model — the per-TU layer between the token stream and the
+// whole-project analyses.
+//
+// From each file's tokens the parser recovers:
+//  * function definitions (free, out-of-class `Class::name`, in-class with
+//    the enclosing class tracked, lambdas as anonymous functions);
+//  * lock acquisition scopes: `util::MutexLock l(expr)` and the std
+//    lock_guard/unique_lock/scoped_lock spellings, live from declaration to
+//    the close of the enclosing brace scope. Each mutex expression is
+//    canonicalized to a project-wide node id `<Class-or-file>::<expr>` so
+//    the same member mutex acquired in two TUs is one graph node;
+//  * intra-function lock-order edges: "held A while acquiring B";
+//  * call sites, each carrying the snapshot of locks held at the call, the
+//    receiver (for `x.f()` / `x->f()`), an explicit qualifier (for
+//    `Class::f()`), and the first argument identifier (so a
+//    condition-variable `cv.wait(lock)` can discount the lock it releases);
+//  * direct blocking operations: condition-variable waits, future
+//    wait/get, thread join, and `run_batch` — the executor dispatch.
+//
+// Lambdas are deferred execution: their bodies become separate anonymous
+// functions with an empty held-lock context (a worker thread body does NOT
+// run under the lock its spawner held), and nothing links to them by name.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hlint/lexer.h"
+
+namespace hlint {
+
+/// One lock acquisition site inside a function body.
+struct LockSite {
+  std::string id;    ///< canonical graph node, e.g. "GridCache::shard.mu"
+  std::string var;   ///< guard variable name, e.g. "lock"
+  std::size_t line = 0;
+};
+
+/// A lock held at some program point (snapshot entry).
+struct HeldLock {
+  std::string id;
+  std::string var;
+  std::size_t acquired_line = 0;
+};
+
+/// Intra-function lock-order edge: `from` was held when `to` was acquired.
+struct LockEdge {
+  std::string from, to;
+  std::size_t line = 0;  ///< acquisition line of `to`
+};
+
+/// Why a program point blocks.
+enum class BlockKind {
+  cv_wait,      ///< condition-variable wait (releases the lock it is given)
+  future_wait,  ///< future/ticket .wait()/.get()
+  thread_join,  ///< .join()
+  dispatch,     ///< run_batch — the executor round-trip
+};
+
+struct BlockOp {
+  BlockKind kind;
+  std::string desc;      ///< human text, line-number free
+  std::size_t line = 0;
+  /// Locks still held once the op's own lock release is discounted (a
+  /// cv.wait(lock) drops `lock`; everything else drops nothing).
+  std::vector<HeldLock> held;
+};
+
+struct CallSite {
+  std::string name;       ///< unqualified callee name
+  std::string receiver;   ///< `x` in x.f()/x->f(); empty otherwise
+  std::string qualifier;  ///< `C` in C::f(); empty otherwise
+  bool member = false;
+  std::size_t line = 0;
+  std::vector<HeldLock> held;
+};
+
+struct FunctionDef {
+  std::string name;   ///< unqualified ("submit", "~SpectralService")
+  std::string cls;    ///< enclosing/qualifying class ("" for free functions)
+  std::string qual;   ///< display name "Class::name" or "name"
+  std::string file;
+  std::size_t line = 0;
+  bool is_lambda = false;
+  std::vector<LockSite> locks;
+  std::vector<LockEdge> edges;
+  std::vector<CallSite> calls;
+  std::vector<BlockOp> blocks;
+};
+
+/// Parse one lexed file into its function definitions (lambdas included as
+/// trailing anonymous entries). Never throws: unparseable regions are
+/// skipped, not fatal — the linter must survive any source it is shown.
+std::vector<FunctionDef> parse_tu(const SourceFile& file);
+
+/// Model-wide statistics for the always-printed `hlint: model:` line.
+struct ModelStats {
+  std::size_t files = 0;
+  std::size_t functions = 0;
+  std::size_t lock_sites = 0;
+  std::size_t call_sites = 0;
+};
+
+}  // namespace hlint

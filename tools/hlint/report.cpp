@@ -1,0 +1,237 @@
+#include "hlint/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace hlint {
+
+namespace {
+
+/// Rule names are lowercase kebab-case; anything else after "hlint:allow("
+/// is not a marker (doc text writes the placeholder form `hlint:allow(<rule>)`,
+/// which this rejects via '<').
+bool rule_name_char(char c) {
+  return (std::islower(static_cast<unsigned char>(c)) != 0) || c == '-';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void AllowRegistry::scan(const std::string& path,
+                         const std::vector<std::string>& raw_lines) {
+  static const std::string kTag = "hlint:allow(";
+  for (std::size_t ln = 0; ln < raw_lines.size(); ++ln) {
+    const std::string& text = raw_lines[ln];
+    for (std::size_t pos = text.find(kTag); pos != std::string::npos;
+         pos = text.find(kTag, pos + 1)) {
+      std::size_t s = pos + kTag.size();
+      std::string rule;
+      while (s < text.size() && rule_name_char(text[s])) rule += text[s++];
+      if (rule.empty() || s >= text.size() || text[s] != ')') continue;
+      markers_.push_back({path, ln + 1, rule, false});
+    }
+  }
+}
+
+bool AllowRegistry::allows(const std::string& path, std::size_t line,
+                           const std::string& rule) {
+  bool hit = false;
+  for (Marker& m : markers_) {
+    if (m.path == path && m.line == line && m.rule == rule) {
+      m.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+std::vector<Finding> AllowRegistry::unused() const {
+  std::vector<Finding> out;
+  for (const Marker& m : markers_) {
+    if (m.used) continue;
+    out.push_back({m.path, m.line, "unused-suppression",
+                   "hlint:allow(" + m.rule +
+                       ") marker suppresses nothing; delete it (or the rule "
+                       "name is misspelled)",
+                   {}, false});
+  }
+  return out;
+}
+
+bool Baseline::load(const std::string& path) {
+  path_ = path;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "hlint: cannot read baseline " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 = t1 == std::string::npos ? std::string::npos
+                                                   : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      std::cerr << "hlint: baseline " << path << ":" << lineno
+                << ": expected <rule>\\t<file>\\t<signature>\n";
+      return false;
+    }
+    entries_.push_back({line.substr(0, t1),
+                        line.substr(t1 + 1, t2 - t1 - 1), line.substr(t2 + 1),
+                        false});
+  }
+  loaded_ = true;
+  return true;
+}
+
+void Baseline::apply(Finding& f) {
+  for (Entry& e : entries_) {
+    if (e.rule == f.rule && e.file == f.file && e.signature == f.message) {
+      e.used = true;
+      f.baselined = true;
+      return;
+    }
+  }
+}
+
+std::vector<Finding> Baseline::unused() const {
+  std::vector<Finding> out;
+  for (const Entry& e : entries_) {
+    if (e.used) continue;
+    out.push_back({path_, 1, "unused-suppression",
+                   "baseline entry matches no finding (debt paid down — "
+                   "delete the line): " +
+                       e.rule + "\t" + e.file + "\t" + e.signature,
+                   {}, false});
+  }
+  return out;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+void print_text(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << (f.baselined ? " (baselined)" : "") << "\n";
+    for (const std::string& step : f.witness)
+      std::cout << "    " << step << "\n";
+  }
+}
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> rules = {
+      "memory-order", "naked-new",     "volatile",
+      "pragma-once",  "fault-hook",    "hot-alloc",
+      "fp-equal",     "no-float",      "unit-suffix",
+      "narrowing",    "lock-cycle",    "lock-blocking",
+      "unused-suppression",
+  };
+  return rules;
+}
+
+int print_summary(const std::vector<Finding>& findings,
+                  std::size_t files_scanned) {
+  std::size_t live = 0, baselined = 0;
+  for (const Finding& f : findings) (f.baselined ? baselined : live) += 1;
+  std::cout << "hlint: rule counts:";
+  for (const std::string& rule : all_rules()) {
+    const auto count = std::count_if(
+        findings.begin(), findings.end(), [&rule](const Finding& f) {
+          return f.rule == rule && !f.baselined;
+        });
+    std::cout << " " << rule << "=" << count;
+  }
+  std::cout << "\n";
+  if (baselined != 0)
+    std::cout << "hlint: " << baselined
+              << " baselined finding(s) tolerated (pre-existing debt)\n";
+  if (live != 0) {
+    std::cout << "hlint: " << live << " violation(s) in " << files_scanned
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "hlint: clean (" << files_scanned << " files)\n";
+  return 0;
+}
+
+bool write_json(const std::string& path,
+                const std::vector<Finding>& findings,
+                std::size_t files_scanned) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "hlint: cannot write " << path << "\n";
+    return false;
+  }
+  std::size_t live = 0, baselined = 0;
+  for (const Finding& f : findings) (f.baselined ? baselined : live) += 1;
+  out << "{\n  \"schema\": \"hspec-hlint-v2\",\n";
+  out << "  \"files_scanned\": " << files_scanned << ",\n";
+  out << "  \"violations\": " << live << ",\n";
+  out << "  \"baselined\": " << baselined << ",\n";
+  out << "  \"rule_counts\": {";
+  bool first = true;
+  for (const std::string& rule : all_rules()) {
+    const auto count = std::count_if(
+        findings.begin(), findings.end(), [&rule](const Finding& f) {
+          return f.rule == rule && !f.baselined;
+        });
+    out << (first ? "" : ", ") << "\"" << rule << "\": " << count;
+    first = false;
+  }
+  out << "},\n  \"findings\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << json_escape(f.rule)
+        << "\", \"baselined\": " << (f.baselined ? "true" : "false")
+        << ",\n     \"message\": \"" << json_escape(f.message) << "\"";
+    if (!f.witness.empty()) {
+      out << ",\n     \"witness\": [";
+      for (std::size_t w = 0; w < f.witness.size(); ++w)
+        out << (w == 0 ? "" : ", ") << "\"" << json_escape(f.witness[w])
+            << "\"";
+      out << "]";
+    }
+    out << "}";
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.good();
+}
+
+}  // namespace hlint

@@ -1,0 +1,110 @@
+#pragma once
+// hlint reporting — findings, suppression machinery, and the output
+// surfaces (text for humans/editors, JSON for CI).
+//
+// Two suppression channels, both audited:
+//  * allow-markers: a raw-source comment carrying `hlint:allow(<rule>)` on
+//    the reported line silences that rule there. Markers are registered up
+//    front and each use is recorded; a marker no suppressed finding ever
+//    consumed is itself a finding (unused-suppression), so stale markers
+//    cannot accumulate.
+//  * the baseline: a checked-in file of known findings (rule + file +
+//    message signature, line-number free so edits elsewhere in the file do
+//    not churn it). Baselined findings are reported but do not fail the
+//    run; NEW findings always do; a baseline entry matching nothing is an
+//    unused-suppression finding, so paid-down debt leaves the ledger.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hlint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  /// Witness chain (deadlock cycle path, blocking-reachability call chain):
+  /// one "file:line: note" step per entry, printed indented under the
+  /// finding and carried verbatim into the JSON report.
+  std::vector<std::string> witness;
+  bool baselined = false;  ///< matched the suppression baseline
+};
+
+/// All `hlint:allow(<rule>)` markers of one run, with use tracking.
+class AllowRegistry {
+ public:
+  /// Scan a file's raw lines for markers and register them.
+  void scan(const std::string& path,
+            const std::vector<std::string>& raw_lines);
+
+  /// True (and marks the marker used) when `path:line` carries an
+  /// `hlint:allow(<rule>)` marker naming this rule.
+  bool allows(const std::string& path, std::size_t line,
+              const std::string& rule);
+
+  /// One unused-suppression finding per marker never consumed.
+  std::vector<Finding> unused() const;
+
+ private:
+  struct Marker {
+    std::string path;
+    std::size_t line;
+    std::string rule;
+    bool used = false;
+  };
+  std::vector<Marker> markers_;
+};
+
+/// The checked-in suppression baseline. Line format:
+///   <rule>\t<file>\t<message signature>
+/// '#' comments and blank lines are skipped. The signature is the finding
+/// message verbatim (messages are written line-number free by construction).
+class Baseline {
+ public:
+  /// Load from `path`. Returns false (with a message on stderr) on IO or
+  /// parse errors; an absent baseline is an error — CI must not silently
+  /// run ungated.
+  bool load(const std::string& path);
+
+  /// Match `f` against the baseline; marks the entry consumed and sets
+  /// `f.baselined` on a hit.
+  void apply(Finding& f);
+
+  /// One unused-suppression finding per entry that matched nothing.
+  std::vector<Finding> unused() const;
+
+  bool loaded() const { return loaded_; }
+
+ private:
+  struct Entry {
+    std::string rule, file, signature;
+    bool used = false;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+  bool loaded_ = false;
+};
+
+/// Sort by (file, line, rule) — the stable order every surface prints in.
+void sort_findings(std::vector<Finding>& findings);
+
+/// The `file:line: [rule] message` lines plus indented witness steps.
+void print_text(const std::vector<Finding>& findings);
+
+/// Always-printed per-rule count line (CI graphs it; a silent rule shows as
+/// a flat zero) followed by the verdict line. Returns the process exit
+/// code: 0 clean, 1 when any non-baselined finding fired.
+int print_summary(const std::vector<Finding>& findings,
+                  std::size_t files_scanned);
+
+/// Machine-readable report for CI: schema hspec-hlint-v2.
+bool write_json(const std::string& path,
+                const std::vector<Finding>& findings,
+                std::size_t files_scanned);
+
+/// Every rule the analyzer can emit, in count-line order.
+const std::vector<std::string>& all_rules();
+
+}  // namespace hlint

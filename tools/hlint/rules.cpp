@@ -1,0 +1,341 @@
+#include "hlint/rules.h"
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hlint {
+
+namespace {
+
+// ---- scopes (path-based, unchanged from the lexical linter) ---------------
+
+bool in(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+/// Roots whose atomics must spell out their fences: the lock-free scheduler
+/// core and the device layer its counters live in.
+bool memory_order_scope(const std::string& p) {
+  return in(p, "src/core") || in(p, "src/vgpu");
+}
+
+/// [fault-hook] polices the device layer, where the injection points live.
+bool fault_hook_scope(const std::string& p) { return in(p, "src/vgpu"); }
+
+/// [hot-alloc] polices the device layer's launch-path files — the kernel
+/// wrappers and the stream machinery every task crosses per launch.
+bool hot_alloc_scope(const std::string& p) {
+  if (!in(p, "src/vgpu")) return false;
+  const auto slash = p.find_last_of('/');
+  const std::string name = slash == std::string::npos ? p : p.substr(slash + 1);
+  return name.find("kernel") != std::string::npos ||
+         name.find("stream") != std::string::npos;
+}
+
+/// [fp-equal] applies to the whole library tree.
+bool fp_equal_scope(const std::string& p) { return in(p, "src/"); }
+
+/// The physics tree: where [no-float] and [narrowing] bite.
+bool physics_scope(const std::string& p) {
+  return in(p, "src/apec") || in(p, "src/atomic") || in(p, "src/rrc") ||
+         in(p, "src/quad") || in(p, "src/nei");
+}
+
+/// [unit-suffix] polices the public physics APIs — headers only, and not
+/// src/quad, whose integrators are deliberately unit-agnostic.
+bool unit_suffix_scope(const std::string& p) {
+  return in(p, "src/apec") || in(p, "src/atomic") || in(p, "src/rrc") ||
+         in(p, "src/nei");
+}
+
+// ---- token helpers --------------------------------------------------------
+
+bool tok_is(const std::vector<Token>& t, std::size_t i, Tok k,
+            const char* text) {
+  return i < t.size() && t[i].kind == k && t[i].text == text;
+}
+
+bool member_access(const std::vector<Token>& t, std::size_t i) {
+  return i >= 1 && t[i - 1].kind == Tok::Punct &&
+         (t[i - 1].text == "." || t[i - 1].text == "->");
+}
+
+/// Is this Number token a floating-point literal? ('.' anywhere, an
+/// exponent, or an f-suffix; hex literals never qualify.)
+bool fp_number(const std::string& body) {
+  if (body.size() >= 2 && (body[1] == 'x' || body[1] == 'X')) return false;
+  if (body.find('.') != std::string::npos) return true;
+  if (!body.empty() && (body.back() == 'f' || body.back() == 'F')) return true;
+  for (std::size_t i = 1; i < body.size(); ++i)
+    if ((body[i] == 'e' || body[i] == 'E') && i + 1 < body.size() &&
+        (std::isdigit(static_cast<unsigned char>(body[i + 1])) != 0 ||
+         body[i + 1] == '+' || body[i + 1] == '-'))
+      return true;
+  return false;
+}
+
+void emit(const SourceFile& f, std::size_t line, const char* rule,
+          std::string message, AllowRegistry& allows,
+          std::vector<Finding>& out) {
+  if (allows.allows(f.path, line, rule)) return;
+  out.push_back({f.path, line, rule, std::move(message), {}, false});
+}
+
+// ---- the rules ------------------------------------------------------------
+
+void check_memory_order(const SourceFile& f, AllowRegistry& allows,
+                        std::vector<Finding>& out) {
+  static const char* const kAtomicOps[] = {
+      "load",      "store",     "exchange",     "fetch_add",
+      "fetch_sub", "fetch_and", "fetch_or",     "fetch_xor",
+      "test_and_set", "compare_exchange_weak", "compare_exchange_strong",
+  };
+  const std::vector<Token>& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::Ident || !member_access(t, i)) continue;
+    bool is_op = false;
+    for (const char* op : kAtomicOps) is_op = is_op || t[i].text == op;
+    if (!is_op || !tok_is(t, i + 1, Tok::Punct, "(")) continue;
+    int depth = 0;
+    bool ordered = false;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (tok_is(t, j, Tok::Punct, "(")) ++depth;
+      if (tok_is(t, j, Tok::Punct, ")") && --depth == 0) break;
+      if (t[j].kind == Tok::Ident &&
+          t[j].text.find("memory_order") != std::string::npos)
+        ordered = true;
+    }
+    if (!ordered)
+      emit(f, t[i].line, "memory-order",
+           "atomic " + t[i].text + " without an explicit std::memory_order",
+           allows, out);
+  }
+}
+
+void check_naked_new_delete(const SourceFile& f, AllowRegistry& allows,
+                            std::vector<Finding>& out) {
+  const std::vector<Token>& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::Ident) continue;
+    const bool is_new = t[i].text == "new";
+    const bool is_del = t[i].text == "delete";
+    if (!is_new && !is_del) continue;
+    if (i >= 1 && tok_is(t, i - 1, Tok::Ident, "operator")) continue;
+    if (is_del && i >= 1 && tok_is(t, i - 1, Tok::Punct, "="))
+      continue;  // deleted special member
+    if (is_new && tok_is(t, i + 1, Tok::Punct, "("))
+      continue;  // placement new constructs into storage someone else owns
+    emit(f, t[i].line, "naked-new",
+         std::string("naked `") + t[i].text +
+             "` outside an RAII owner (use make_unique, DeviceBuffer, or "
+             "placement forms)",
+         allows, out);
+  }
+}
+
+void check_volatile(const SourceFile& f, AllowRegistry& allows,
+                    std::vector<Finding>& out) {
+  for (const Token& tok : f.tokens)
+    if (tok.kind == Tok::Ident && tok.text == "volatile")
+      emit(f, tok.line, "volatile",
+           "`volatile` is not a synchronization primitive; use std::atomic",
+           allows, out);
+}
+
+void check_pragma_once(const SourceFile& f, AllowRegistry& allows,
+                       std::vector<Finding>& out) {
+  for (const Directive& d : f.directives)
+    if (d.text.find("pragma once") != std::string::npos) return;
+  emit(f, 1, "pragma-once", "header lacks #pragma once", allows, out);
+}
+
+void check_fault_hook(const SourceFile& f, AllowRegistry& allows,
+                      std::vector<Finding>& out) {
+  constexpr std::size_t kWindowLines = 8;
+  const std::vector<Token>& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!tok_is(t, i, Tok::Ident, "FaultError") ||
+        !tok_is(t, i + 1, Tok::Punct, "("))
+      continue;  // declarations / catch clauses pass; constructions don't
+    bool hooked = false;
+    for (std::size_t j = i; j-- > 0 && t[j].line + kWindowLines >= t[i].line;) {
+      if (t[j].kind != Tok::Ident) continue;
+      if (t[j].text.find("fault_plan") != std::string::npos) hooked = true;
+      if (t[j].text == "query" && member_access(t, j) &&
+          tok_is(t, j + 1, Tok::Punct, "("))
+        hooked = true;
+      if (hooked) break;
+    }
+    if (!hooked)
+      emit(f, t[i].line, "fault-hook",
+           "FaultError thrown without a FaultPlan verdict in sight; route "
+           "the injection point through plan->query(site, device) "
+           "(DESIGN.md §11)",
+           allows, out);
+  }
+}
+
+void check_hot_alloc(const SourceFile& f, AllowRegistry& allows,
+                     std::vector<Finding>& out) {
+  const std::vector<Token>& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!tok_is(t, i, Tok::Ident, "alloc") || !member_access(t, i) ||
+        !tok_is(t, i + 1, Tok::Punct, "("))
+      continue;
+    if (i >= 2 && t[i - 2].kind == Tok::Ident) {
+      const std::string& recv = t[i - 2].text;
+      if (recv.find("arena") != std::string::npos ||
+          recv.find("scratch") != std::string::npos)
+        continue;  // the sanctioned bump allocator
+    }
+    emit(f, t[i].line, "hot-alloc",
+         "Device::alloc on a kernel/stream hot path serializes the device; "
+         "lease from a BufferPool or bump-allocate from a ScratchArena",
+         allows, out);
+  }
+}
+
+void check_fp_equal(const SourceFile& f, AllowRegistry& allows,
+                    std::vector<Finding>& out) {
+  const std::vector<Token>& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::Punct || (t[i].text != "==" && t[i].text != "!="))
+      continue;
+    if (i >= 1 && tok_is(t, i - 1, Tok::Ident, "operator"))
+      continue;  // operator==/!= declaration
+    bool fp = i >= 1 && t[i - 1].kind == Tok::Number && fp_number(t[i - 1].text);
+    std::size_t r = i + 1;  // allow a unary sign on the right operand
+    if (r < t.size() && t[r].kind == Tok::Punct &&
+        (t[r].text == "-" || t[r].text == "+"))
+      ++r;
+    fp = fp || (r < t.size() && t[r].kind == Tok::Number &&
+                fp_number(t[r].text));
+    if (!fp) continue;
+    emit(f, t[i].line, "fp-equal",
+         std::string("exact `") + t[i].text +
+             "` against a floating-point value; use util::fp_equal "
+             "(tolerant) or util::fp_exact_equal (sentinel)",
+         allows, out);
+  }
+}
+
+void check_no_float(const SourceFile& f, AllowRegistry& allows,
+                    std::vector<Finding>& out) {
+  for (const Token& tok : f.tokens)
+    if (tok.kind == Tok::Ident && tok.text == "float")
+      emit(f, tok.line, "no-float",
+           "bare `float` in physics code; spectral numerics are "
+           "double-precision end-to-end",
+           allows, out);
+}
+
+void check_narrowing(const SourceFile& f, AllowRegistry& allows,
+                     std::vector<Finding>& out) {
+  const std::vector<Token>& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // f-suffixed floating literals: 1.0f, 2.f, 1e3f (hex 0xf is not one).
+    if (t[i].kind == Tok::Number) {
+      const std::string& b = t[i].text;
+      const bool hex = b.size() >= 2 && (b[1] == 'x' || b[1] == 'X');
+      if (!hex && !b.empty() && (b.back() == 'f' || b.back() == 'F'))
+        emit(f, t[i].line, "narrowing",
+             "f-suffixed literal narrows to single precision; drop the "
+             "suffix",
+             allows, out);
+      continue;
+    }
+    // C-style narrowing casts: `(float)` / `(int)` followed by an operand.
+    if (t[i].kind != Tok::Ident || (t[i].text != "float" && t[i].text != "int"))
+      continue;
+    if (!(i >= 1 && tok_is(t, i - 1, Tok::Punct, "(")) ||
+        !tok_is(t, i + 1, Tok::Punct, ")"))
+      continue;
+    const std::size_t a = i + 2;
+    if (a >= t.size()) continue;
+    bool operand = false;
+    if (t[a].kind == Tok::Number) operand = true;
+    if (t[a].kind == Tok::Ident && t[a].text != "const" &&
+        t[a].text != "noexcept" && t[a].text != "override" &&
+        t[a].text != "final" && t[a].text != "volatile")
+      operand = true;
+    if (t[a].kind == Tok::Punct &&
+        (t[a].text == "(" || t[a].text == "-" || t[a].text == "+" ||
+         t[a].text == "."))
+      operand = true;
+    if (operand)
+      emit(f, t[i].line, "narrowing",
+           "C-style (" + t[i].text +
+               ") cast narrows silently; use static_cast and say so at the "
+               "call site",
+           allows, out);
+  }
+}
+
+/// [unit-suffix] helper: parameter names that are legitimately raw doubles.
+bool unit_suffix_ok(std::string_view name) {
+  // Unit-bearing suffixes — the name says what the number is.
+  for (const char* s :
+       {"_keV", "_kelvin", "_K", "_cm3", "_cm2", "_cm", "_s", "_A",
+        "_angstrom", "_amu", "_g", "_hz", "_erg"}) {
+    const std::size_t n = std::strlen(s);
+    if (name.size() >= n && name.substr(name.size() - n) == s) return true;
+  }
+  // Generic ODE/solver variables: the unitless integration edge.
+  for (const char* s : {"t", "t0", "t1", "x", "y", "z", "u", "v"})
+    if (name == s) return true;
+  // Dimensionless quantities by construction.
+  for (const char* s :
+       {"frac", "ratio", "weight", "factor", "norm", "err", "tol", "scale",
+        "alpha", "jitter", "floor", "sigma", "cutoff", "param", "count",
+        "index", "value", "noise"})
+    if (name.find(s) != std::string_view::npos) return true;
+  return false;
+}
+
+void check_unit_suffix(const SourceFile& f, AllowRegistry& allows,
+                       std::vector<Finding>& out) {
+  const std::vector<Token>& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!tok_is(t, i, Tok::Ident, "double")) continue;
+    // Parameter position: preceded (modulo `const`) by '(' or ','.
+    std::size_t p = i;
+    if (p >= 1 && tok_is(t, p - 1, Tok::Ident, "const")) --p;
+    if (p == 0 || t[p - 1].kind != Tok::Punct ||
+        (t[p - 1].text != "(" && t[p - 1].text != ","))
+      continue;
+    // The declarator: a plain named parameter. References, pointers and
+    // abstract declarators are the bulk-buffer / generic-code edge.
+    if (i + 1 >= t.size() || t[i + 1].kind != Tok::Ident) continue;
+    const std::string& name = t[i + 1].text;
+    if (unit_suffix_ok(name)) continue;
+    emit(f, t[i].line, "unit-suffix",
+         "raw double parameter `" + name +
+             "` on a public physics API has no unit suffix; suffix it "
+             "(_keV, _cm3, _s, ...) or take a util:: quantity type",
+         allows, out);
+  }
+}
+
+}  // namespace
+
+void run_token_rules(const SourceFile& file, AllowRegistry& allows,
+                     std::vector<Finding>& findings) {
+  const std::string& p = file.path;
+  if (memory_order_scope(p)) check_memory_order(file, allows, findings);
+  check_naked_new_delete(file, allows, findings);
+  check_volatile(file, allows, findings);
+  if (file.is_header) check_pragma_once(file, allows, findings);
+  if (fault_hook_scope(p)) check_fault_hook(file, allows, findings);
+  if (hot_alloc_scope(p)) check_hot_alloc(file, allows, findings);
+  if (fp_equal_scope(p)) check_fp_equal(file, allows, findings);
+  if (physics_scope(p)) {
+    check_no_float(file, allows, findings);
+    check_narrowing(file, allows, findings);
+  }
+  if (file.is_header && unit_suffix_scope(p))
+    check_unit_suffix(file, allows, findings);
+}
+
+}  // namespace hlint

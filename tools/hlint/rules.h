@@ -1,0 +1,26 @@
+#pragma once
+// hlint per-file rules — the token-based ports of the original lexical
+// rules. Same scopes, same messages, same counts; but matching over the
+// token stream, so string literals, comments, and raw strings can never
+// produce a hit, and every rule honours `hlint:allow()` markers uniformly
+// (use is recorded, so stale markers surface as unused-suppression).
+//
+// The one rule that did NOT survive the port is [service-block]: its job —
+// "no blocking call while a shard lock is held" — is subsumed by the
+// call-graph-aware [lock-blocking] pass in analysis.h, which also catches
+// the blocking call hiding one function call away from the lock scope.
+
+#include <vector>
+
+#include "hlint/lexer.h"
+#include "hlint/report.h"
+
+namespace hlint {
+
+/// Run every scoped token rule over one file, appending findings. Scope
+/// selection (physics tree, device layer, headers) is path-based and
+/// internal, exactly as before.
+void run_token_rules(const SourceFile& file, AllowRegistry& allows,
+                     std::vector<Finding>& findings);
+
+}  // namespace hlint

@@ -1,0 +1,40 @@
+// hlint clean fixture: tokenizer and parser edge cases. Everything in this
+// file is CLEAN — raw strings carrying banned tokens, a multi-line lock
+// acquisition with a nested template argument, trailing return types.
+// `hlint <this file>` must print "hlint: clean"; any finding here is a
+// false positive.
+
+#include "tokenizer_edge.h"
+
+#include <string>
+
+namespace fixture {
+
+// Banned tokens, safely fenced inside a raw string: the lexer must carry
+// this entire block as one string token the rules never look inside.
+const char* const kDoc = R"doc(
+  volatile float x = 1.0f;
+  int* p = new int[4];
+  if (x == 0.5f) { delete p; }
+  util::MutexLock lock(shard.mu); ticket.wait();
+)doc";
+
+std::string render() {
+  return std::string(kDoc) + "(int)1 == 2.0";  // cast/compare text, in a string
+}
+
+auto describe(const Registry& reg) -> std::size_t {
+  return static_cast<std::size_t>(reg.count);
+}
+
+void multi_line_acquisition(Registry& reg) {
+  // The acquisition below spans four physical lines and carries a nested
+  // template argument; the parser must still see one lock_guard on reg.mu.
+  std::lock_guard<
+      std::mutex>
+      guard(
+          reg.mu);
+  reg.count += 1;
+}
+
+}  // namespace fixture

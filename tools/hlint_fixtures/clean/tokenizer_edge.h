@@ -1,0 +1,23 @@
+#pragma once
+// hlint clean fixture (header half): nested-template members, a
+// lambda-typed field with a default initializer, and declaration shapes
+// that must all tokenize and parse without a single finding.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::size_t, std::vector<double>> table;  // '>>' is two tokens
+  std::function<double(double)> transform = [](double v) { return v; };
+  int count = 0;
+};
+
+auto describe(const Registry& reg) -> std::size_t;
+
+}  // namespace fixture

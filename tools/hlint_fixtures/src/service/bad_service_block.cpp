@@ -1,7 +1,8 @@
-// hlint fixture: [service-block] — blocking calls inside the live range of
-// a cache shard lock. Two violations (run_batch, ticket.wait), one
-// sanctioned escape, and one clean non-shard lock the rule must ignore.
-// Not compiled; lexical shapes only.
+// hlint fixture: [lock-blocking], direct form — blocking operations inside
+// the live range of a cache shard lock. Two violations (run_batch dispatch,
+// future wait), one sanctioned escape, one condition-variable wait the
+// exemption must clear, and one wait after the lock dies that is clean.
+// Not compiled; parser shapes only.
 
 #include "util/thread_annotations.h"
 
@@ -19,7 +20,7 @@ struct FakeTicket {
 
 int bad_dispatch_under_shard_lock(FakeShard& shard, FakeExecutor& executor) {
   util::MutexLock lock(shard.mu);
-  return executor.run_batch(3);  // VIOLATION: executor call under shard lock
+  return executor.run_batch(3);  // VIOLATION: dispatch under shard lock
 }
 
 void bad_wait_under_shard_lock(FakeShard& shard, FakeTicket& ticket) {
@@ -29,10 +30,25 @@ void bad_wait_under_shard_lock(FakeShard& shard, FakeTicket& ticket) {
 
 int allowed_under_shard_lock(FakeShard& shard, FakeExecutor& executor) {
   util::MutexLock lock(shard.mu);
-  return executor.run_batch(1);  // hlint:allow(service-block) — fixture escape
+  return executor.run_batch(1);  // hlint:allow(lock-blocking) — fixture escape
 }
 
-void fine_outside_shard_lock(util::Mutex& service_mu, FakeTicket& ticket) {
-  util::MutexLock lock(service_mu);  // not a shard lock: rule must not fire
-  ticket.wait();
+struct FakeCv {
+  template <typename L>
+  void wait(L& lock) { (void)lock; }
+};
+
+void fine_cv_wait_releases_its_lock(FakeShard& shard, FakeCv& work_cv) {
+  util::MutexLock lock(shard.mu);
+  // A condition-variable wait releases the lock it is handed for the
+  // duration of the wait: with no OTHER lock held this is the sanctioned
+  // producer/consumer idiom, not a violation.
+  work_cv.wait(lock);
+}
+
+void fine_wait_after_lock_dies(FakeShard& shard, FakeTicket& ticket) {
+  {
+    util::MutexLock lock(shard.mu);
+  }
+  ticket.wait();  // the lock scope closed above: clean
 }

@@ -1,0 +1,30 @@
+// hlint fixture: [lock-blocking], reachability form — the blocking call is
+// one function call removed from the lock scope. The old lexical
+// [service-block] rule scanned only the text between the MutexLock
+// declaration and its closing brace, so `drain()` looked harmless; the
+// call-graph pass must follow tick → drain → flush → future.get() and flag
+// the call made with the lock held. Not compiled; parser shapes only.
+
+#include "util/thread_annotations.h"
+
+struct FakeFuture {
+  int get() { return 0; }
+};
+
+class Pipeline {
+ public:
+  void tick() {
+    util::MutexLock lock(state_mu_);
+    drain();  // VIOLATION: drain() reaches a future get with the lock held
+    ++ticks_;
+  }
+
+  void drain() { flush(); }
+
+  void flush() { result_future_.get(); }
+
+ private:
+  util::Mutex state_mu_;
+  FakeFuture result_future_;
+  int ticks_ = 0;
+};

@@ -1,0 +1,50 @@
+// hlint fixture: [lock-cycle] — the classic AB/BA deadlock, twice over.
+// Ledger seeds it directly (two acquisition scopes in opposite order);
+// Journal seeds it through a call (the A→B edge only exists because a
+// function holding A calls one that acquires B — the one-deep
+// interprocedural propagation must see it). Each cycle is reported once,
+// with the full witness path. Not compiled; parser shapes only.
+
+#include "util/thread_annotations.h"
+
+struct Ledger {
+  util::Mutex accounts_mu;
+  util::Mutex audit_mu;
+  int balance = 0;
+  int audits = 0;
+
+  void credit(int amount) {
+    util::MutexLock hold_accounts(accounts_mu);
+    util::MutexLock hold_audit(audit_mu);  // order: accounts, then audit
+    balance += amount;
+    ++audits;
+  }
+
+  void reconcile() {
+    util::MutexLock hold_audit(audit_mu);
+    util::MutexLock hold_accounts(accounts_mu);  // VIOLATION: audit, then
+    ++audits;                                    // accounts — AB/BA cycle
+  }
+};
+
+struct Journal {
+  util::Mutex log_mu;
+  util::Mutex index_mu;
+  int entries = 0;
+
+  void append() {
+    util::MutexLock hold(log_mu);
+    reindex_entry();  // acquires index_mu: the edge lives one call deep
+  }
+
+  void reindex_entry() {
+    util::MutexLock hold(index_mu);
+    ++entries;
+  }
+
+  void rotate() {
+    util::MutexLock hold_index(index_mu);
+    util::MutexLock hold_log(log_mu);  // VIOLATION: closes the cycle the
+    entries = 0;                       // append() call edge opened
+  }
+};

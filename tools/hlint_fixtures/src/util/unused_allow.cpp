@@ -1,0 +1,7 @@
+// hlint fixture: [unused-suppression] — a marker that suppresses nothing is
+// itself a finding, so stale escapes cannot accumulate in the tree.
+// Not compiled; parser shapes only.
+
+int identity(int v) {
+  return v;  // hlint:allow(fp-equal) — nothing here for the rule to suppress
+}
