@@ -47,10 +47,13 @@ namespace hspec::core {
 /// streams funnel into, the resident cache holding the bin edges, and the
 /// buffer pool the emi accumulators recycle through.
 struct DevicePipeline {
-  vgpu::Device* device = nullptr;
-  std::unique_ptr<vgpu::StreamScheduler> streams;
-  std::unique_ptr<vgpu::ResidentCache> cache;
-  vgpu::BufferPool* pool = nullptr;
+  // The plumbing pointers are fixed at construction (const-hardened): the
+  // pipeline is shared by every rank, and only `streams_opened` — an atomic
+  // counter — mutates after the ctor, so the struct needs no lock.
+  vgpu::Device* const device;
+  const std::unique_ptr<vgpu::StreamScheduler> streams;
+  const std::unique_ptr<vgpu::ResidentCache> cache;
+  vgpu::BufferPool* const pool;
   std::atomic<std::uint64_t> streams_opened{0};  ///< across all ranks
 
   explicit DevicePipeline(vgpu::Device& dev, vgpu::BufferPool& buffer_pool)

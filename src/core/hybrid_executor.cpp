@@ -9,7 +9,6 @@
 #include "minimpi/minimpi.h"
 #include "util/dcheck.h"
 #include "util/fault.h"
-#include "util/thread_annotations.h"
 
 namespace hspec::core {
 
@@ -135,7 +134,7 @@ HybridResult HybridExecutor::run_batch(
   for (std::size_t i = 0; i < points.size(); ++i)
     result.spectra.emplace_back(calc_->grid());
 
-  util::Mutex result_mu;  // guards the aggregated scheduling stats
+  BatchAccumulator accum;  // cross-rank aggregation of this batch's counters
 
   minimpi::run(config_.ranks, [&](minimpi::Communicator& comm) {
     const int rank = comm.rank();
@@ -235,29 +234,10 @@ HybridResult HybridExecutor::run_batch(
     }
 
     comm.barrier();
-    {
-      util::MutexLock lock(result_mu);
-      result.scheduling.gpu_allocations += scheduler.stats().gpu_allocations;
-      result.scheduling.cpu_fallbacks += scheduler.stats().cpu_fallbacks;
-      result.scheduling.cas_retries += scheduler.stats().cas_retries;
-      result.scheduling.degradations += scheduler.stats().degradations;
-      result.scheduling.quarantines += scheduler.stats().quarantines;
-      result.scheduling.recoveries += scheduler.stats().recoveries;
-      result.scheduling.readmissions += scheduler.stats().readmissions;
-      result.faults.retried += fs.retried;
-      result.faults.requeued += fs.requeued;
-      result.faults.cpu_fallbacks += fs.cpu_fallbacks;
-      result.faults.gpu_completed += fs.gpu_completed;
-      result.faults.cpu_completed += fs.cpu_completed;
-      result.tasks_total += my_tasks;
-      if (async) {
-        result.pipeline.tasks_pipelined += async->stats().gpu_tasks;
-        result.pipeline.max_in_flight =
-            std::max(result.pipeline.max_in_flight,
-                     async->stats().max_in_flight);
-      }
-    }
+    accum.merge_rank(scheduler.stats(), fs, my_tasks,
+                     async ? &async->stats() : nullptr);
   });
+  accum.publish(result);
 
   for (int d = 0; d < n_dev_; ++d) {
     const auto du = static_cast<std::size_t>(d);

@@ -31,7 +31,8 @@ int TaskScheduler::sche_alloc() {
     ++stats_.cpu_fallbacks;
     return -1;
   }
-  const std::int32_t lmax = shm_->max_queue_length;
+  const std::int32_t lmax =
+      shm_->max_queue_length.load(std::memory_order_relaxed);
   // One full scan up front; afterwards only the contended entry is refreshed.
   // A failed CAS means another rank touched exactly the device we chose, so
   // the other devices' cached loads are still the freshest values we have —
@@ -96,14 +97,14 @@ void TaskScheduler::sche_free(int device) {
     throw std::logic_error("sche_free: load underflow (free without alloc)");
   // Upper bound: every increment went through the bounded CAS, so the load
   // being freed can never have exceeded the queue-length cap in force.
-  HSPEC_DCHECK(prev <= shm_->max_queue_length,
+  HSPEC_DCHECK(prev <= shm_->max_queue_length.load(std::memory_order_relaxed),
                "device load above max_queue_length at free");
 }
 
 void TaskScheduler::set_max_queue_length(std::int32_t len) {
   if (len < 1)
     throw std::invalid_argument("set_max_queue_length: must be >= 1");
-  shm_->max_queue_length = len;
+  shm_->max_queue_length.store(len, std::memory_order_relaxed);
 }
 
 std::int32_t TaskScheduler::load(int device) const {

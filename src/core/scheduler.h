@@ -99,7 +99,7 @@ class TaskScheduler {
 
   int device_count() const noexcept { return shm_->device_count; }
   std::int32_t max_queue_length() const noexcept {
-    return shm_->max_queue_length;
+    return shm_->max_queue_length.load(std::memory_order_relaxed);
   }
   /// Change the bound at runtime (used by the autotuner).
   void set_max_queue_length(std::int32_t len);
@@ -139,7 +139,9 @@ class TaskScheduler {
  private:
   bool quarantined(int device) const noexcept;
 
-  SchedulerShm* shm_;
+  // Const-hardened: the segment binding never changes after construction;
+  // all mutation goes through the segment's own atomics.
+  SchedulerShm* const shm_;
   SchedulerStats stats_;
   // stats_ is written by the owning rank only when TaskScheduler is
   // rank-local; the shared-use driver aggregates per-rank stats instead.

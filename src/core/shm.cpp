@@ -113,7 +113,7 @@ void SchedulerShm::initialize(int devices, int max_queue_len) {
     faults_seen[i].store(0, std::memory_order_relaxed);
   }
   device_count = devices;
-  max_queue_length = max_queue_len;
+  max_queue_length.store(max_queue_len, std::memory_order_relaxed);
   // Defaults documented in DESIGN.md §11; the hybrid driver overrides them
   // from HybridConfig before the ranks start.
   degrade_after = 2;

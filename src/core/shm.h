@@ -91,9 +91,13 @@ struct SchedulerShm {
   /// Consecutive failed task attempts since the device's last success.
   std::atomic<std::int32_t> faults_seen[kMaxDevices];
   std::int32_t device_count;
-  std::int32_t max_queue_length;
+  /// Queue bound read by every rank's sche_alloc scan. Atomic because the
+  /// autotuner retunes it at runtime (TaskScheduler::set_max_queue_length)
+  /// while ranks are scheduling; relaxed ordering everywhere — the bound is
+  /// advisory and carries no release payload.
+  std::atomic<std::int32_t> max_queue_length;
   /// Health thresholds on the consecutive-fault streak. Set before ranks
-  /// start (like max_queue_length, not atomic).
+  /// start (unlike max_queue_length these are never retuned, so plain).
   std::int32_t degrade_after;
   std::int32_t quarantine_after;
   PointWorkQueue points;

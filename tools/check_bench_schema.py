@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Validate a tracked bench JSON record against its hspec bench schema.
+"""Validate a tracked hspec JSON record against its registered schema.
 
 Dispatches on the record's "schema" key:
 
   hspec-bench-kernel-v1   — bench/micro_kernel_roofline
   hspec-bench-service-v1  — bench/service_throughput
+  hspec-hlint-v3          — tools/hlint --json findings report
 
-Both are consumed by the CI bench-smoke job and baselined at the repo root
-(BENCH_kernel.json, BENCH_service.json).
+The bench records are consumed by the CI bench-smoke job and baselined at
+the repo root (BENCH_kernel.json, BENCH_service.json); the hlint report is
+validated and archived by the CI lint job.
 
 Standard library only. Exit 0 when the file conforms, 1 with a message per
 defect otherwise.
@@ -76,6 +78,21 @@ SCHEMAS = {
         ],
         "true_flags": ["exact_hit_bitwise"],
     },
+    "hspec-hlint-v3": {
+        "required": {
+            "schema": str,
+            "files_scanned": int,
+            "violations": int,
+            "baselined": int,
+            "rule_counts": dict,
+            "pass_counts": dict,
+            "pass_wall_ms": dict,
+            "suggestions": list,
+            "findings": list,
+        },
+        "positive": ["files_scanned"],
+        "true_flags": [],
+    },
 }
 
 
@@ -107,7 +124,9 @@ def check(path):
             errors.append("%s: key %r must be a number, got bool" % (path, key))
         elif expected is float and not isinstance(value, (int, float)):
             errors.append("%s: key %r must be a number" % (path, key))
-        elif expected in (str, int, bool) and not isinstance(value, expected):
+        elif expected in (str, int, bool, dict, list) and not isinstance(
+            value, expected
+        ):
             errors.append(
                 "%s: key %r must be %s" % (path, key, expected.__name__)
             )
@@ -126,6 +145,48 @@ def check(path):
             errors.append("%s: queue-wait quantiles must be >= 0" % path)
         if record["queue_wait_p99_s"] < record["queue_wait_p50_s"]:
             errors.append("%s: queue_wait_p99_s below p50" % path)
+    if schema_name == "hspec-hlint-v3":
+        for section in ("rule_counts", "pass_counts"):
+            for rule, count in record[section].items():
+                if isinstance(count, bool) or not isinstance(count, int):
+                    errors.append(
+                        "%s: %s[%r] must be an integer" % (path, section, rule)
+                    )
+                elif count < 0:
+                    errors.append(
+                        "%s: %s[%r] must be >= 0" % (path, section, rule)
+                    )
+        for name, ms in record["pass_wall_ms"].items():
+            if isinstance(ms, bool) or not isinstance(ms, (int, float)):
+                errors.append(
+                    "%s: pass_wall_ms[%r] must be a number" % (path, name)
+                )
+            elif ms < 0:
+                errors.append(
+                    "%s: pass_wall_ms[%r] must be >= 0" % (path, name)
+                )
+        # Every pass with a finding count must also report a wall time.
+        for name in record["pass_counts"]:
+            if name not in record["pass_wall_ms"]:
+                errors.append(
+                    "%s: pass %r has a count but no wall time" % (path, name)
+                )
+        for section, keys in (
+            ("findings", ("file", "line", "rule", "message")),
+            ("suggestions", ("file", "line", "rule", "text")),
+        ):
+            for i, entry in enumerate(record[section]):
+                if not isinstance(entry, dict):
+                    errors.append(
+                        "%s: %s[%d] must be an object" % (path, section, i)
+                    )
+                    continue
+                for key in keys:
+                    if key not in entry:
+                        errors.append(
+                            "%s: %s[%d] missing key %r"
+                            % (path, section, i, key)
+                        )
     return errors
 
 

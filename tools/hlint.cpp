@@ -9,7 +9,7 @@
 //       → whole-project call graph + lock-order graph
 //         (tools/hlint/analysis.h)
 //
-// Two analyses run on the linked project:
+// Five analyses run on the linked project:
 //
 //  [lock-cycle]    nodes are named mutex members; an edge A→B records "held
 //                  A while acquiring B" (acquisition scopes plus one-deep
@@ -21,24 +21,37 @@
 //                  through the call graph while a lock is held — the
 //                  call-graph generalization of the old lexical
 //                  [service-block] rule, which it subsumes;
+//  [lockset]       Eraser-style lockset intersection per member field:
+//                  shared fields must keep one common lock across every
+//                  access (atomics / const-after-construction exempt);
+//  [guard-verify]  declared GUARDED_BY/REQUIRES/EXCLUDES contracts checked
+//                  against observed locksets, with ready-to-paste
+//                  suggested annotations for guard-worthy bare fields;
+//  [hot-reach]     call-graph reachability for the hot-path rules:
+//                  Device::alloc from kernel/stream entry points (rule id
+//                  `hot-alloc`) and std::exp-family transcendentals from
+//                  bit-identity-critical integrand code;
 //
 // plus the token-based ports of the original rules (tools/hlint/rules.h):
-// memory-order, naked-new, volatile, pragma-once, fault-hook, hot-alloc,
-// fp-equal, no-float, unit-suffix, narrowing — same scopes, same messages.
+// memory-order, naked-new, volatile, pragma-once, fault-hook, fp-equal,
+// no-float, unit-suffix, narrowing — same scopes, same messages.
 //
 // Suppression is audited in both directions (tools/hlint/report.h): an
 // `hlint:allow()` marker that silences nothing, or a --baseline entry that
 // matches nothing, is itself an [unused-suppression] finding.
 //
 // Usage:
-//   hlint [--json FILE] [--baseline FILE] <dir-or-file>...
+//   hlint [--json FILE] [--baseline FILE] [--stats] <dir-or-file>...
 //
 // Output: one `file:line: [rule] message` per finding with indented
 // witness steps, the always-printed per-rule count line CI graphs, exit 1
 // when any non-baselined rule fired (exit 2 on usage/IO errors). The
-// `--json` report (schema hspec-hlint-v2) is what CI diffs and archives.
+// `--json` report (schema hspec-hlint-v3, with per-pass counts, wall times
+// and suggestion payloads) is what CI validates, diffs and archives;
+// `--stats` prints the per-pass finding counts and wall times to stdout.
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -64,6 +77,7 @@ bool is_source(const fs::path& p) {
 
 int main(int argc, char** argv) {
   std::string json_path, baseline_path;
+  bool print_stats = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +85,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--stats") {
+      print_stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "hlint: unknown option " << arg << "\n";
       return 2;
@@ -79,7 +95,7 @@ int main(int argc, char** argv) {
     }
   }
   if (roots.empty()) {
-    std::cerr << "usage: hlint [--json FILE] [--baseline FILE] "
+    std::cerr << "usage: hlint [--json FILE] [--baseline FILE] [--stats] "
                  "<dir-or-file>...\n";
     return 2;
   }
@@ -106,7 +122,7 @@ int main(int argc, char** argv) {
 
   hlint::AllowRegistry allows;
   std::vector<hlint::Finding> findings;
-  std::vector<hlint::FunctionDef> project;
+  hlint::ProjectModel project;
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -118,20 +134,29 @@ int main(int argc, char** argv) {
     const hlint::SourceFile sf = hlint::lex_file(file.generic_string(), raw);
     allows.scan(sf.path, sf.raw_lines);
     hlint::run_token_rules(sf, allows, findings);
-    std::vector<hlint::FunctionDef> fns = hlint::parse_tu(sf);
-    project.insert(project.end(), std::make_move_iterator(fns.begin()),
-                   std::make_move_iterator(fns.end()));
+    project.absorb(hlint::parse_tu(sf));
   }
 
+  std::vector<hlint::PassStat> passes;
   const hlint::ProjectStats stats =
-      hlint::analyze_project(project, allows, findings);
+      hlint::analyze_project(project, allows, findings, passes);
   std::cout << "hlint: model: files=" << files.size()
             << " functions=" << stats.functions
             << " lock-sites=" << stats.lock_sites
             << " call-sites=" << stats.call_sites
             << " graph-nodes=" << stats.graph_nodes
             << " graph-edges=" << stats.graph_edges
-            << " blocking-fns=" << stats.blocking_fns << "\n";
+            << " blocking-fns=" << stats.blocking_fns
+            << " field-decls=" << stats.field_decls
+            << " field-accesses=" << stats.field_accesses << "\n";
+  if (print_stats) {
+    for (const hlint::PassStat& p : passes) {
+      char wall[32];
+      std::snprintf(wall, sizeof wall, "%.3f", p.wall_ms);
+      std::cout << "hlint: pass " << p.pass << ": findings=" << p.findings
+                << " wall_ms=" << wall << "\n";
+    }
+  }
 
   // Suppression audit: markers and baseline entries that earned nothing.
   for (hlint::Finding& f : allows.unused()) findings.push_back(std::move(f));
@@ -145,7 +170,7 @@ int main(int argc, char** argv) {
   hlint::sort_findings(findings);
   hlint::print_text(findings);
   if (!json_path.empty() &&
-      !hlint::write_json(json_path, findings, files.size()))
+      !hlint::write_json(json_path, findings, files.size(), passes))
     return 2;
   return hlint::print_summary(findings, files.size());
 }

@@ -20,8 +20,29 @@
 //    a lock, is a [lock-blocking] finding with the call chain as witness.
 //    (This subsumes PR-6's lexical [service-block] rule: the blocking call
 //    no longer has to be spelled inside the lock scope's own braces.)
+//
+//  * [lockset] — Eraser-style lockset intersection per member field: every
+//    access to a non-exempt field of a mutex-bearing class is resolved
+//    against the project field table; the intersection of held locksets
+//    (direct scopes, REQUIRES contracts joined from header declarations,
+//    and one-deep caller propagation) must stay non-empty once any access
+//    runs under a lock, and writes must be consistently locked. Classes
+//    with atomics but no mutex are "lock-free shared structs": their plain
+//    fields must not be written outside initialization.
+//
+//  * [guard-verify] — declared GUARDED_BY guards are cross-checked against
+//    observed locksets (mismatch findings), guard-worthy unannotated
+//    fields get ready-to-paste suggested annotations, and REQUIRES /
+//    EXCLUDES contracts are enforced at every resolved call site.
+//
+//  * [hot-reach] — call-graph reachability escalation of the hot-path
+//    rules: Device::alloc reachable from kernel/stream entry points (rule
+//    id stays `hot-alloc` for baseline compatibility) and std::exp-family
+//    transcendentals reachable from bit-identity-critical integrand code,
+//    each reported with the witness call chain.
 
 #include <cstddef>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -29,6 +50,24 @@
 #include "hlint/report.h"
 
 namespace hlint {
+
+/// All TUs' models concatenated — the input to the whole-project analyses.
+struct ProjectModel {
+  std::vector<FunctionDef> functions;
+  std::vector<FieldDecl> fields;
+  std::vector<FnAnnotation> annotations;
+
+  void absorb(TuModel&& tu) {
+    functions.insert(functions.end(),
+                     std::make_move_iterator(tu.functions.begin()),
+                     std::make_move_iterator(tu.functions.end()));
+    fields.insert(fields.end(), std::make_move_iterator(tu.fields.begin()),
+                  std::make_move_iterator(tu.fields.end()));
+    annotations.insert(annotations.end(),
+                       std::make_move_iterator(tu.annotations.begin()),
+                       std::make_move_iterator(tu.annotations.end()));
+  }
+};
 
 /// Statistics for the always-printed `hlint: model:` line.
 struct ProjectStats {
@@ -38,13 +77,17 @@ struct ProjectStats {
   std::size_t graph_nodes = 0;
   std::size_t graph_edges = 0;
   std::size_t blocking_fns = 0;  ///< may-block after transitive closure
+  std::size_t field_decls = 0;
+  std::size_t field_accesses = 0;  ///< accesses resolved to a known field
 };
 
-/// Link all TUs' functions and run both concurrency passes. Findings that
-/// carry an `hlint:allow()` marker on their line are consumed silently
-/// (marker use is recorded in `allows`).
-ProjectStats analyze_project(const std::vector<FunctionDef>& fns,
+/// Link all TUs and run the whole-project passes. Findings that carry an
+/// `hlint:allow()` marker on their line are consumed silently (marker use
+/// is recorded in `allows`). Each pass appends its finding count and wall
+/// time to `passes` for `--stats` and the JSON report.
+ProjectStats analyze_project(const ProjectModel& model,
                              AllowRegistry& allows,
-                             std::vector<Finding>& findings);
+                             std::vector<Finding>& findings,
+                             std::vector<PassStat>& passes);
 
 }  // namespace hlint

@@ -43,9 +43,9 @@ class TuParser {
     stem_ = dot == std::string::npos ? base : base.substr(0, dot);
   }
 
-  std::vector<FunctionDef> run() {
+  TuModel run() {
     scan_top_level();
-    return std::move(fns_);
+    return std::move(model_);
   }
 
  private:
@@ -132,6 +132,11 @@ class TuParser {
     bool lambda = false;
     std::string name;
     std::vector<std::string> quals;  ///< Class chain before the name
+    /// Mutex expressions from REQUIRES/EXCLUDES annotation macros spelled
+    /// between the parameter list and the body (not yet canonicalized —
+    /// the class prefix is only known once the enclosing scope is).
+    std::vector<std::string> requires_exprs;
+    std::vector<std::string> excludes_exprs;
   };
 
   bool skippable_qualifier(std::size_t j) const {
@@ -241,6 +246,7 @@ class TuParser {
     if (brace == 0) return {};
     std::size_t j = brace - 1;
     int guard = 8;
+    std::vector<std::string> req, exc;
     while (guard-- > 0) {
       while (j > 0 && skippable_qualifier(j)) --j;
       if (punct(j, ")")) {
@@ -249,10 +255,26 @@ class TuParser {
         const std::size_t k = open - 1;
         if (ident(k, "noexcept") || (ident(k) && macro_like(toks_[k].text))) {
           if (k == 0) return {};
+          // A REQUIRES/EXCLUDES annotation macro spelled on the definition
+          // itself: capture its mutex expressions for the lockset passes.
+          if (ident(k) && macro_like(toks_[k].text)) {
+            const std::string& m = toks_[k].text;
+            if (m.find("REQUIRES") != std::string::npos) {
+              const auto args = flatten_args(open, j);
+              req.insert(req.end(), args.begin(), args.end());
+            } else if (m.find("EXCLUDES") != std::string::npos ||
+                       m.find("LOCKS_EXCLUDED") != std::string::npos) {
+              const auto args = flatten_args(open, j);
+              exc.insert(exc.end(), args.begin(), args.end());
+            }
+          }
           j = k - 1;
           continue;  // noexcept(...) / HSPEC_REQUIRES(...) qualifier
         }
-        return from_param_open(open, 4);
+        Header h = from_param_open(open, 4);
+        h.requires_exprs = std::move(req);
+        h.excludes_exprs = std::move(exc);
+        return h;
       }
       // Trailing return type `-> T` between the param list and the body.
       std::size_t t = j;
@@ -289,6 +311,7 @@ class TuParser {
     int depth = 0;
     bool pending_class = false;
     std::size_t class_kw = 0;
+    std::size_t stmt_start = 0;  ///< first token of the current statement
 
     std::size_t i = 0;
     while (i < toks_.size()) {
@@ -306,8 +329,14 @@ class TuParser {
         continue;
       }
       if (punct(i, ";")) {
+        // At class-body depth a `;`-terminated statement is a candidate
+        // member declaration (field, annotated method declaration, ...).
+        if (!pending_class && !classes.empty() &&
+            classes.back().depth == depth && stmt_start < i)
+          maybe_member_decl(stmt_start, i, classes.back().name);
         pending_class = false;  // forward declaration
         ++i;
+        stmt_start = i;
         continue;
       }
       if (punct(i, "{")) {
@@ -321,8 +350,13 @@ class TuParser {
           fn.qual = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
           fn.file = file_.path;
           fn.line = toks_[i].line;
+          for (const std::string& e : h.requires_exprs)
+            fn.requires_ids.push_back(canon_lock(e, fn.cls));
+          for (const std::string& e : h.excludes_exprs)
+            fn.excludes_ids.push_back(canon_lock(e, fn.cls));
           i = parse_function(i, std::move(fn));
           pending_class = false;
+          stmt_start = i;
           continue;
         }
         ++depth;
@@ -341,6 +375,7 @@ class TuParser {
           pending_class = false;
         }
         ++i;
+        stmt_start = i;
         continue;
       }
       if (punct(i, "}")) {
@@ -348,10 +383,174 @@ class TuParser {
           classes.pop_back();
         if (depth > 0) --depth;
         ++i;
+        stmt_start = i;
+        continue;
+      }
+      if (punct(i, ":") && i > 0 &&
+          (ident(i - 1, "public") || ident(i - 1, "protected") ||
+           ident(i - 1, "private"))) {
+        ++i;
+        stmt_start = i;  // access specifier is not part of the next decl
         continue;
       }
       ++i;
     }
+  }
+
+  // ---- member-declaration recovery -----------------------------------------
+
+  static bool mutexish_type(const std::string& w) {
+    return w == "Mutex" || w == "mutex" || w == "shared_mutex" ||
+           w == "recursive_mutex" || w == "timed_mutex" ||
+           w == "condition_variable" || w == "condition_variable_any";
+  }
+
+  /// Try to interpret the tokens [b, e) — a `;`-terminated statement at
+  /// class-body depth inside `cls` — as a member-variable declaration or an
+  /// annotated member-function declaration. Unrecognized shapes are skipped.
+  void maybe_member_decl(std::size_t b, std::size_t e, const std::string& cls) {
+    if (e <= b || cls.empty()) return;
+    if (toks_[b].kind == Tok::Ident) {
+      static const char* kSkipLead[] = {
+          "using",  "friend", "typedef",       "template", "operator",
+          "public", "private", "protected",    "class",    "struct",
+          "union",  "enum",   "static_assert", "namespace", "extern"};
+      for (const char* s : kSkipLead)
+        if (toks_[b].text == s) return;
+    }
+
+    bool is_const = false, is_atomic = false, is_mutex = false, is_ref = false;
+    std::size_t name_tok = npos;
+    std::string guard_expr;
+    bool fn_decl = false;
+    std::string fn_name;
+    std::vector<std::string> req, exc;
+    int angle = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      if (toks_[i].kind == Tok::Punct) {
+        const std::string& t = toks_[i].text;
+        if (t == "<") {
+          ++angle;
+          continue;
+        }
+        if (t == ">") {
+          if (angle > 0) --angle;
+          continue;
+        }
+        if (angle != 0) continue;
+        if (t == "(") {
+          const std::size_t close = match_forward(i);
+          if (close == npos || close >= e) return;
+          const std::string macro =
+              i > b && ident(i - 1) && macro_like(toks_[i - 1].text)
+                  ? toks_[i - 1].text
+                  : "";
+          if (macro.find("GUARDED_BY") != std::string::npos) {
+            const auto args = flatten_args(i, close);
+            if (!args.empty()) guard_expr = args[0];
+            if (name_tok == npos && i >= b + 2 && ident(i - 2))
+              name_tok = i - 2;
+            i = close;
+            continue;
+          }
+          if (macro.find("REQUIRES") != std::string::npos) {
+            const auto args = flatten_args(i, close);
+            req.insert(req.end(), args.begin(), args.end());
+            i = close;
+            continue;
+          }
+          if (macro.find("EXCLUDES") != std::string::npos ||
+              macro.find("LOCKS_EXCLUDED") != std::string::npos) {
+            const auto args = flatten_args(i, close);
+            exc.insert(exc.end(), args.begin(), args.end());
+            i = close;
+            continue;
+          }
+          if (macro.find("ACQUIRE") != std::string::npos ||
+              macro.find("RELEASE") != std::string::npos ||
+              macro.find("RETURN_CAPABILITY") != std::string::npos) {
+            i = close;
+            continue;  // other capability macros: skip, keep scanning
+          }
+          // A plain '(' — a member-function declaration (or paren-init,
+          // which we conservatively treat the same way).
+          if (!fn_decl && i > b && ident(i - 1) &&
+              !is_cpp_keyword(toks_[i - 1].text))
+            fn_name = toks_[i - 1].text;
+          fn_decl = true;
+          i = close;
+          continue;
+        }
+        if (t == "=") {
+          if (name_tok == npos && i > b && ident(i - 1)) name_tok = i - 1;
+          break;  // initializer (or `= 0` / `= default` on a method)
+        }
+        if (t == "{") {
+          if (name_tok == npos && i > b && ident(i - 1)) name_tok = i - 1;
+          break;  // brace initializer
+        }
+        if (t == "[") {
+          if (name_tok == npos && i > b && ident(i - 1)) name_tok = i - 1;
+          const std::size_t close = match_forward(i);
+          if (close == npos || close >= e) return;
+          i = close;
+          continue;
+        }
+        if (t == "&") is_ref = true;
+        if (t == ":") return;  // bitfield / stray label: skip
+        continue;
+      }
+      if (toks_[i].kind == Tok::Ident) {
+        const std::string& w = toks_[i].text;
+        if (w == "static" || w == "const" || w == "constexpr") is_const = true;
+        if (w == "atomic" || w == "atomic_flag") is_atomic = true;
+        if (mutexish_type(w)) is_mutex = true;
+      }
+    }
+
+    if (fn_decl) {
+      // Method declaration: keep only its lock contract, joined onto the
+      // out-of-line definition by (class, name) in the analysis.
+      if (fn_name.empty() || (req.empty() && exc.empty())) return;
+      FnAnnotation an;
+      an.cls = cls;
+      an.name = fn_name;
+      for (const std::string& x : req) {
+        const std::string id = canon_lock(x, cls);
+        if (!id.empty()) an.requires_ids.push_back(id);
+      }
+      for (const std::string& x : exc) {
+        const std::string id = canon_lock(x, cls);
+        if (!id.empty()) an.excludes_ids.push_back(id);
+      }
+      model_.annotations.push_back(std::move(an));
+      return;
+    }
+
+    if (name_tok == npos) {
+      if (!ident(e - 1)) return;  // `Type name;` — name is the last token
+      name_tok = e - 1;
+    }
+    if (!ident(name_tok) || name_tok == b) return;  // need a type before it
+    const std::string& name = toks_[name_tok].text;
+    if (is_cpp_keyword(name) || macro_like(name)) return;
+
+    FieldDecl fd;
+    fd.name = name;
+    fd.cls = cls;
+    fd.file = file_.path;
+    fd.line = toks_[name_tok].line;
+    for (std::size_t i = b; i < name_tok; ++i) {
+      if (toks_[i].kind != Tok::Ident && toks_[i].kind != Tok::Punct) continue;
+      if (ident(i) && macro_like(toks_[i].text)) break;  // annotation starts
+      if (!fd.type.empty() && ident(i) && ident(i - 1)) fd.type += ' ';
+      fd.type += toks_[i].text;
+    }
+    fd.guard = canon_lock(guard_expr, cls);
+    fd.is_atomic = is_atomic;
+    fd.is_const = is_const || is_ref;
+    fd.is_mutex = is_mutex;
+    model_.fields.push_back(std::move(fd));
   }
 
   // ---- function-body parse -------------------------------------------------
@@ -366,6 +565,51 @@ class TuParser {
     std::vector<HeldLock> out;
     for (const auto& s : scopes) out.insert(out.end(), s.begin(), s.end());
     return out;
+  }
+
+  /// Flatten the argument list between `(` at `open` and `)` at `close`
+  /// into one normalized mutex-expression string per top-level comma:
+  /// `this->`/`std::` stripped, `->` mapped to `.` (a->mu ≡ a.mu). Shared
+  /// by lock declarations, annotation macros, and GUARDED_BY members.
+  std::vector<std::string> flatten_args(std::size_t open,
+                                        std::size_t close) const {
+    std::vector<std::string> args;
+    std::string cur;
+    int depth = 0;
+    for (std::size_t p = open + 1; p < close; ++p) {
+      if (punct(p, "(") || punct(p, "[") || punct(p, "{")) ++depth;
+      if (punct(p, ")") || punct(p, "]") || punct(p, "}")) --depth;
+      if (depth == 0 && punct(p, ",")) {
+        args.push_back(cur);
+        cur.clear();
+        continue;
+      }
+      if (ident(p)) {
+        const std::string& w = toks_[p].text;
+        if (w == "this" || w == "std" || w == "adopt_lock" ||
+            w == "defer_lock" || w == "try_to_lock")
+          continue;
+        cur += w;
+      } else if (toks_[p].kind == Tok::Punct) {
+        const std::string& w = toks_[p].text;
+        if (w == "." || w == "->" || w == "::" || w == "[" || w == "]") {
+          if (w == "->" && cur.empty()) continue;  // stripped this->
+          cur += w == "->" ? "." : w;              // a->mu ≡ a.mu
+        }
+      } else if (toks_[p].kind == Tok::Number) {
+        cur += toks_[p].text;
+      }
+    }
+    args.push_back(cur);
+    return args;
+  }
+
+  /// Canonicalize a flattened mutex expression into a project-wide node id
+  /// under the class (or file-stem) prefix; empty for empty expressions.
+  std::string canon_lock(std::string expr, const std::string& cls) const {
+    while (!expr.empty() && expr.front() == ':') expr.erase(0, 1);
+    if (expr.empty()) return {};
+    return (cls.empty() ? stem_ : cls) + "::" + expr;
   }
 
   /// Try to parse a lock declaration at ident `i`; returns the index just
@@ -388,45 +632,18 @@ class TuParser {
 
     // Split the arguments at top-level commas; each argument that names a
     // mutex becomes an acquisition (scoped_lock may take several).
-    std::vector<std::string> args;
-    std::string cur;
-    int depth = 0;
+    const std::vector<std::string> args = flatten_args(open, close);
     bool deferred = false;
-    for (std::size_t p = open + 1; p < close; ++p) {
-      if (punct(p, "(") || punct(p, "[") || punct(p, "{")) ++depth;
-      if (punct(p, ")") || punct(p, "]") || punct(p, "}")) --depth;
-      if (depth == 0 && punct(p, ",")) {
-        args.push_back(cur);
-        cur.clear();
-        continue;
-      }
-      if (ident(p)) {
-        const std::string& w = toks_[p].text;
-        if (w == "defer_lock" || w == "try_to_lock") deferred = true;
-        if (w == "this" || w == "std" || w == "adopt_lock") continue;
-        cur += w;
-      } else if (toks_[p].kind == Tok::Punct) {
-        const std::string& w = toks_[p].text;
-        if (w == "." || w == "->" || w == "::" || w == "[" || w == "]") {
-          if (w == "->" && cur.empty()) continue;  // stripped this->
-          cur += w == "->" ? "." : w;              // a->mu ≡ a.mu
-        }
-      } else if (toks_[p].kind == Tok::Number) {
-        cur += toks_[p].text;
-      }
-    }
-    args.push_back(cur);
+    for (std::size_t p = open + 1; p < close; ++p)
+      if (ident(p, "defer_lock") || ident(p, "try_to_lock")) deferred = true;
     if (deferred) return close + 1;
 
     const bool multi = toks_[i].text == "scoped_lock";
     const std::size_t nargs = multi ? args.size() : std::size_t{1};
     const std::vector<HeldLock> held = flatten(scopes);
     for (std::size_t a = 0; a < nargs && a < args.size(); ++a) {
-      std::string expr = args[a];
-      while (!expr.empty() && expr.front() == ':') expr.erase(0, 1);
-      if (expr.empty()) continue;
-      const std::string prefix = fn.cls.empty() ? stem_ : fn.cls;
-      const std::string id = prefix + "::" + expr;
+      const std::string id = canon_lock(args[a], fn.cls);
+      if (id.empty()) continue;
       const std::size_t line = toks_[i].line;
       for (const HeldLock& h : held)
         fn.edges.push_back({h.id, id, line});
@@ -559,12 +776,90 @@ class TuParser {
         if (punct(i + 1, "(") && !is_cpp_keyword(text) && text != "float" &&
             text != "volatile" && !lock_class(text)) {
           record_call(i, scopes, fn);
+        } else if (!punct(i + 1, "(")) {
+          record_access(i, scopes, fn);
         }
       }
       ++i;
     }
-    fns_.push_back(std::move(fn));
+    model_.functions.push_back(std::move(fn));
     return i;
+  }
+
+  // ---- field-access recording ----------------------------------------------
+
+  static bool mutator_method(const std::string& m) {
+    return m == "push_back" || m == "pop_back" || m == "push_front" ||
+           m == "pop_front" || m == "push" || m == "pop" || m == "insert" ||
+           m == "erase" || m == "clear" || m == "resize" || m == "reserve" ||
+           m == "assign" || m == "store" || m == "exchange" ||
+           m == "fetch_add" || m == "fetch_sub" || m == "fetch_or" ||
+           m == "fetch_and" || m == "fetch_xor" || m == "reset" ||
+           m == "release" || m == "swap" || m == "splice" || m == "merge" ||
+           m == "emplace" || m == "emplace_back" || m == "emplace_front" ||
+           m == "acquire" || m == "notify_one" || m == "notify_all";
+  }
+
+  /// Does the expression rooted at ident `i` mutate it? Checks assignment,
+  /// compound assignment, pre/post increment, and mutating method calls.
+  bool classify_write(std::size_t i) const {
+    std::size_t j = i + 1;
+    while (punct(j, "[")) {  // subscripted element writes count for the field
+      const std::size_t c = match_forward(j);
+      if (c == npos) return false;
+      j = c + 1;
+    }
+    if (punct(j, "=")) return true;  // `==` lexes fused, so this is assignment
+    static const char* kCompound[] = {"+", "-", "*", "/", "%", "&", "|", "^"};
+    for (const char* op : kCompound)
+      if (punct(j, op) && punct(j + 1, "=")) return true;
+    if ((punct(j, "+") && punct(j + 1, "+")) ||
+        (punct(j, "-") && punct(j + 1, "-")))
+      return true;  // post-increment/-decrement
+    if (i >= 2 && ((punct(i - 1, "+") && punct(i - 2, "+")) ||
+                   (punct(i - 1, "-") && punct(i - 2, "-"))))
+      return true;  // pre-increment/-decrement
+    if ((punct(j, ".") || punct(j, "->")) && ident(j + 1) &&
+        punct(j + 2, "("))
+      return mutator_method(toks_[j + 1].text);
+    return false;
+  }
+
+  /// Record the (possible) member-field access at ident `i`. Local
+  /// variables are recorded too — the analysis resolves each access against
+  /// the project field table and drops the ones that match nothing.
+  void record_access(std::size_t i,
+                     const std::vector<std::vector<HeldLock>>& scopes,
+                     FunctionDef& fn) {
+    const std::string& name = toks_[i].text;
+    if (is_cpp_keyword(name) || macro_like(name) || name == "operator" ||
+        name == "this")
+      return;
+    if (punct(i + 1, "::")) return;  // qualifier, not a data access
+    if (i >= 1 && punct(i - 1, "::")) return;  // `Class::member` constants
+    std::string receiver;
+    if (i >= 1 && (punct(i - 1, ".") || punct(i - 1, "->"))) {
+      if (i >= 2 && ident(i - 2, "this")) {
+        // bare form: this->field
+      } else if (i >= 2 && ident(i - 2) && !is_cpp_keyword(toks_[i - 2].text)) {
+        receiver = toks_[i - 2].text;  // recv.field / recv->field
+      } else {
+        return;  // foo().bar / (*p).bar — receiver unresolvable
+      }
+    } else {
+      // Bare identifier. Skip declarator names (`Type name`) — preceded by
+      // a non-keyword identifier or a closing template angle.
+      if (i >= 1 && ident(i - 1) && !is_cpp_keyword(toks_[i - 1].text)) return;
+      if (i >= 1 && punct(i - 1, ">")) return;
+      if (i >= 1 && punct(i - 1, "~")) return;  // destructor name
+    }
+    FieldAccess a;
+    a.field = name;
+    a.receiver = std::move(receiver);
+    a.write = classify_write(i);
+    a.line = toks_[i].line;
+    a.held = flatten(scopes);
+    fn.accesses.push_back(std::move(a));
   }
 
   /// If the '[' at `i` introduces a lambda with a body, the index of its
@@ -617,12 +912,12 @@ class TuParser {
   const SourceFile& file_;
   const std::vector<Token>& toks_;
   std::string stem_;
-  std::vector<FunctionDef> fns_;
+  TuModel model_;
 };
 
 }  // namespace
 
-std::vector<FunctionDef> parse_tu(const SourceFile& file) {
+TuModel parse_tu(const SourceFile& file) {
   return TuParser(file).run();
 }
 

@@ -16,7 +16,16 @@
 //    `Class::f()`), and the first argument identifier (so a
 //    condition-variable `cv.wait(lock)` can discount the lock it releases);
 //  * direct blocking operations: condition-variable waits, future
-//    wait/get, thread join, and `run_batch` — the executor dispatch.
+//    wait/get, thread join, and `run_batch` — the executor dispatch;
+//  * member-field accesses: every read/write of what is plausibly a member
+//    variable (`field_`, `this->field`, `recv.field`), with access kind and
+//    the held-lockset snapshot — the raw material of the Eraser-style
+//    [lockset] pass and the GUARDED_BY cross-check;
+//  * class member-variable declarations (name, flattened type, whether the
+//    type is an atomic / a mutex / const-after-construction, and any
+//    `GUARDED_BY` annotation) plus `REQUIRES`/`EXCLUDES` annotations on
+//    member-function declarations, so the analysis can join a header's
+//    contract onto out-of-line definitions that do not repeat it.
 //
 // Lambdas are deferred execution: their bodies become separate anonymous
 // functions with an empty held-lock context (a worker thread body does NOT
@@ -76,6 +85,18 @@ struct CallSite {
   std::vector<HeldLock> held;
 };
 
+/// One member-field read or write inside a function body. `receiver` is
+/// empty for the bare / `this->` forms (a field of the enclosing class);
+/// for `recv.field` / `recv->field` it names the receiver so the analysis
+/// can resolve the field's class by name affinity.
+struct FieldAccess {
+  std::string field;
+  std::string receiver;
+  bool write = false;
+  std::size_t line = 0;
+  std::vector<HeldLock> held;
+};
+
 struct FunctionDef {
   std::string name;   ///< unqualified ("submit", "~SpectralService")
   std::string cls;    ///< enclosing/qualifying class ("" for free functions)
@@ -87,12 +108,49 @@ struct FunctionDef {
   std::vector<LockEdge> edges;
   std::vector<CallSite> calls;
   std::vector<BlockOp> blocks;
+  std::vector<FieldAccess> accesses;
+  /// Canonical lock ids from REQUIRES/EXCLUDES annotation macros spelled on
+  /// THIS definition's header (out-of-line definitions usually carry none —
+  /// the analysis joins FnAnnotation entries from the declaring header).
+  std::vector<std::string> requires_ids;
+  std::vector<std::string> excludes_ids;
 };
 
-/// Parse one lexed file into its function definitions (lambdas included as
-/// trailing anonymous entries). Never throws: unparseable regions are
+/// One member-variable declaration recovered from a class body.
+struct FieldDecl {
+  std::string name;
+  std::string cls;
+  std::string file;
+  std::size_t line = 0;
+  std::string type;   ///< flattened declaration-type text, for messages
+  /// Canonical guard id from a GUARDED_BY annotation ("Shard::mu"); empty
+  /// when the field is unannotated.
+  std::string guard;
+  bool is_atomic = false;  ///< std::atomic member — exempt from locksets
+  bool is_const = false;   ///< const/constexpr/static/reference — exempt
+  bool is_mutex = false;   ///< a lock/cv object, not data the locks protect
+};
+
+/// REQUIRES/EXCLUDES contract attached to a member-function *declaration*
+/// (the `;`-terminated kind). Joined to definitions by (cls, name).
+struct FnAnnotation {
+  std::string cls;
+  std::string name;
+  std::vector<std::string> requires_ids;
+  std::vector<std::string> excludes_ids;
+};
+
+/// Everything the parser recovers from one translation unit.
+struct TuModel {
+  std::vector<FunctionDef> functions;
+  std::vector<FieldDecl> fields;
+  std::vector<FnAnnotation> annotations;
+};
+
+/// Parse one lexed file into its symbol model (lambdas included as trailing
+/// anonymous function entries). Never throws: unparseable regions are
 /// skipped, not fatal — the linter must survive any source it is shown.
-std::vector<FunctionDef> parse_tu(const SourceFile& file);
+TuModel parse_tu(const SourceFile& file);
 
 /// Model-wide statistics for the always-printed `hlint: model:` line.
 struct ModelStats {

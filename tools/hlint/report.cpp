@@ -78,7 +78,7 @@ std::vector<Finding> AllowRegistry::unused() const {
                    "hlint:allow(" + m.rule +
                        ") marker suppresses nothing; delete it (or the rule "
                        "name is misspelled)",
-                   {}, false});
+                   {}, false, {}});
   }
   return out;
 }
@@ -129,7 +129,7 @@ std::vector<Finding> Baseline::unused() const {
                    "baseline entry matches no finding (debt paid down — "
                    "delete the line): " +
                        e.rule + "\t" + e.file + "\t" + e.signature,
-                   {}, false});
+                   {}, false, {}});
   }
   return out;
 }
@@ -149,6 +149,8 @@ void print_text(const std::vector<Finding>& findings) {
               << f.message << (f.baselined ? " (baselined)" : "") << "\n";
     for (const std::string& step : f.witness)
       std::cout << "    " << step << "\n";
+    if (!f.suggestion.empty())
+      std::cout << "    suggested: " << f.suggestion << "\n";
   }
 }
 
@@ -158,6 +160,7 @@ const std::vector<std::string>& all_rules() {
       "pragma-once",  "fault-hook",    "hot-alloc",
       "fp-equal",     "no-float",      "unit-suffix",
       "narrowing",    "lock-cycle",    "lock-blocking",
+      "lockset",      "guard-verify",  "hot-reach",
       "unused-suppression",
   };
   return rules;
@@ -190,7 +193,8 @@ int print_summary(const std::vector<Finding>& findings,
 
 bool write_json(const std::string& path,
                 const std::vector<Finding>& findings,
-                std::size_t files_scanned) {
+                std::size_t files_scanned,
+                const std::vector<PassStat>& passes) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "hlint: cannot write " << path << "\n";
@@ -198,7 +202,7 @@ bool write_json(const std::string& path,
   }
   std::size_t live = 0, baselined = 0;
   for (const Finding& f : findings) (f.baselined ? baselined : live) += 1;
-  out << "{\n  \"schema\": \"hspec-hlint-v2\",\n";
+  out << "{\n  \"schema\": \"hspec-hlint-v3\",\n";
   out << "  \"files_scanned\": " << files_scanned << ",\n";
   out << "  \"violations\": " << live << ",\n";
   out << "  \"baselined\": " << baselined << ",\n";
@@ -212,7 +216,33 @@ bool write_json(const std::string& path,
     out << (first ? "" : ", ") << "\"" << rule << "\": " << count;
     first = false;
   }
-  out << "},\n  \"findings\": [";
+  out << "},\n  \"pass_counts\": {";
+  first = true;
+  for (const PassStat& p : passes) {
+    out << (first ? "" : ", ") << "\"" << json_escape(p.pass)
+        << "\": " << p.findings;
+    first = false;
+  }
+  out << "},\n  \"pass_wall_ms\": {";
+  first = true;
+  for (const PassStat& p : passes) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", p.wall_ms);
+    out << (first ? "" : ", ") << "\"" << json_escape(p.pass) << "\": " << buf;
+    first = false;
+  }
+  out << "},\n  \"suggestions\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    if (f.suggestion.empty()) continue;
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \""
+        << json_escape(f.rule) << "\", \"text\": \""
+        << json_escape(f.suggestion) << "\"}";
+  }
+  out << (first ? "" : "\n  ") << "],\n  \"findings\": [";
   first = true;
   for (const Finding& f : findings) {
     out << (first ? "\n" : ",\n");
@@ -228,6 +258,8 @@ bool write_json(const std::string& path,
             << "\"";
       out << "]";
     }
+    if (!f.suggestion.empty())
+      out << ",\n     \"suggestion\": \"" << json_escape(f.suggestion) << "\"";
     out << "}";
   }
   out << (first ? "" : "\n  ") << "]\n}\n";

@@ -25,11 +25,23 @@ struct Finding {
   std::size_t line = 0;
   std::string rule;
   std::string message;
-  /// Witness chain (deadlock cycle path, blocking-reachability call chain):
-  /// one "file:line: note" step per entry, printed indented under the
-  /// finding and carried verbatim into the JSON report.
+  /// Witness chain (deadlock cycle path, blocking-reachability call chain,
+  /// lockset access sites): one "file:line: note" step per entry, printed
+  /// indented under the finding and carried verbatim into the JSON report.
   std::vector<std::string> witness;
   bool baselined = false;  ///< matched the suppression baseline
+  /// Ready-to-paste fix text (e.g. a `HSPEC_GUARDED_BY(mu_)` annotation for
+  /// a guard-worthy field). Printed under the finding and collected into
+  /// the JSON report's `suggestions` array.
+  std::string suggestion;
+};
+
+/// Per-pass execution record for `--stats` and the JSON report: the
+/// whole-project passes report their finding count and wall time here.
+struct PassStat {
+  std::string pass;
+  std::size_t findings = 0;
+  double wall_ms = 0.0;
 };
 
 /// All `hlint:allow(<rule>)` markers of one run, with use tracking.
@@ -99,10 +111,13 @@ void print_text(const std::vector<Finding>& findings);
 int print_summary(const std::vector<Finding>& findings,
                   std::size_t files_scanned);
 
-/// Machine-readable report for CI: schema hspec-hlint-v2.
+/// Machine-readable report for CI: schema hspec-hlint-v3 (per-pass counts
+/// and wall times under `pass_counts`/`pass_wall_ms`, ready-to-paste fix
+/// payloads under `suggestions`).
 bool write_json(const std::string& path,
                 const std::vector<Finding>& findings,
-                std::size_t files_scanned);
+                std::size_t files_scanned,
+                const std::vector<PassStat>& passes);
 
 /// Every rule the analyzer can emit, in count-line order.
 const std::vector<std::string>& all_rules();

@@ -24,15 +24,9 @@ bool memory_order_scope(const std::string& p) {
 /// [fault-hook] polices the device layer, where the injection points live.
 bool fault_hook_scope(const std::string& p) { return in(p, "src/vgpu"); }
 
-/// [hot-alloc] polices the device layer's launch-path files — the kernel
-/// wrappers and the stream machinery every task crosses per launch.
-bool hot_alloc_scope(const std::string& p) {
-  if (!in(p, "src/vgpu")) return false;
-  const auto slash = p.find_last_of('/');
-  const std::string name = slash == std::string::npos ? p : p.substr(slash + 1);
-  return name.find("kernel") != std::string::npos ||
-         name.find("stream") != std::string::npos;
-}
+// [hot-alloc] moved out of the lexical layer: the whole-project [hot-reach]
+// pass (tools/hlint/analysis.cpp) now reports Device::alloc by call-graph
+// reachability from the kernel/stream entry points, same rule id + message.
 
 /// [fp-equal] applies to the whole library tree.
 bool fp_equal_scope(const std::string& p) { return in(p, "src/"); }
@@ -80,7 +74,7 @@ void emit(const SourceFile& f, std::size_t line, const char* rule,
           std::string message, AllowRegistry& allows,
           std::vector<Finding>& out) {
   if (allows.allows(f.path, line, rule)) return;
-  out.push_back({f.path, line, rule, std::move(message), {}, false});
+  out.push_back({f.path, line, rule, std::move(message), {}, false, {}});
 }
 
 // ---- the rules ------------------------------------------------------------
@@ -174,26 +168,6 @@ void check_fault_hook(const SourceFile& f, AllowRegistry& allows,
            "the injection point through plan->query(site, device) "
            "(DESIGN.md §11)",
            allows, out);
-  }
-}
-
-void check_hot_alloc(const SourceFile& f, AllowRegistry& allows,
-                     std::vector<Finding>& out) {
-  const std::vector<Token>& t = f.tokens;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!tok_is(t, i, Tok::Ident, "alloc") || !member_access(t, i) ||
-        !tok_is(t, i + 1, Tok::Punct, "("))
-      continue;
-    if (i >= 2 && t[i - 2].kind == Tok::Ident) {
-      const std::string& recv = t[i - 2].text;
-      if (recv.find("arena") != std::string::npos ||
-          recv.find("scratch") != std::string::npos)
-        continue;  // the sanctioned bump allocator
-    }
-    emit(f, t[i].line, "hot-alloc",
-         "Device::alloc on a kernel/stream hot path serializes the device; "
-         "lease from a BufferPool or bump-allocate from a ScratchArena",
-         allows, out);
   }
 }
 
@@ -328,7 +302,6 @@ void run_token_rules(const SourceFile& file, AllowRegistry& allows,
   check_volatile(file, allows, findings);
   if (file.is_header) check_pragma_once(file, allows, findings);
   if (fault_hook_scope(p)) check_fault_hook(file, allows, findings);
-  if (hot_alloc_scope(p)) check_hot_alloc(file, allows, findings);
   if (fp_equal_scope(p)) check_fp_equal(file, allows, findings);
   if (physics_scope(p)) {
     check_no_float(file, allows, findings);

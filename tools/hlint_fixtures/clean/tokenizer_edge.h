@@ -3,6 +3,7 @@
 // lambda-typed field with a default initializer, and declaration shapes
 // that must all tokenize and parse without a single finding.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -15,7 +16,9 @@ struct Registry {
   std::mutex mu;
   std::map<std::size_t, std::vector<double>> table;  // '>>' is two tokens
   std::function<double(double)> transform = [](double v) { return v; };
-  int count = 0;
+  // Atomic: read lock-free by describe(), bumped under mu by the writer —
+  // the [lockset] pass must exempt it, not demand a common lock.
+  std::atomic<int> count{0};
 };
 
 auto describe(const Registry& reg) -> std::size_t;

@@ -1,0 +1,35 @@
+// hlint fixture: CLEAN under [lockset]. Every shared field here is either
+// std::atomic, const-after-construction, or written only inside the
+// initialize() context — each exemption must hold, and `hlint <this file>`
+// must print "hlint: clean". Any finding here is a false positive.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Telemetry {
+  std::atomic<std::int64_t> samples{0};
+  std::atomic<std::int64_t> dropped{0};
+  const double scale = 1.0;       // const-after-construction: exempt
+  std::int32_t capacity = 0;      // written only by initialize(): exempt
+
+  void initialize(std::int32_t cap) {
+    capacity = cap;
+    samples.store(0, std::memory_order_relaxed);
+    dropped.store(0, std::memory_order_relaxed);
+  }
+  void record(bool ok) {
+    if (ok)
+      samples.fetch_add(1, std::memory_order_relaxed);
+    else
+      dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t seen() const {
+    return samples.load(std::memory_order_relaxed) +
+           dropped.load(std::memory_order_relaxed);
+  }
+  std::int32_t limit() const { return capacity; }  // non-init read: still ok
+  double scaled() const { return scale * static_cast<double>(seen()); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// hlint fixture: [guard-verify] must flag `Ledger::balance_` — declared
+// GUARDED_BY(mu_), but the fast path holds the wrong mutex and the peek
+// path holds nothing. The declaration site rides along as witness, and
+// [lockset] must stay silent (annotated fields belong to guard-verify).
+#include <mutex>
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void deposit(long amount) {
+    std::lock_guard<std::mutex> lock(mu_);
+    balance_ += amount;  // ok: holds the declared guard
+  }
+  void fast_adjust(long amount) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    balance_ += amount;  // BAD: wrong mutex
+  }
+  long peek() const { return balance_; }  // BAD: no lock at all
+
+ private:
+  std::mutex mu_;
+  std::mutex stats_mu_;
+  long balance_ HSPEC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// hlint fixture: every access to `Window::total_` already holds mu_, yet
+// the declaration carries no annotation — [guard-verify] must report the
+// guard-worthy field and emit the ready-to-paste HSPEC_GUARDED_BY(mu_)
+// suggestion (surfaced under "suggested:" in text and in the --json
+// suggestions array).
+#include <mutex>
+
+namespace fixture {
+
+class Window {
+ public:
+  void add(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += v;
+  }
+  double drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double out = total_;
+    total_ = 0.0;
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  double total_ = 0.0;  // BAD: consistently locked but undeclared
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// hlint fixture: [hot-reach] must flag the std::exp one call away from
+// integrand code — batch/scalar spectra must match bitwise, so integrand
+// paths use the util::fm:: equivalents (DESIGN.md §6). The witness pins
+// the integrand_at → boltzmann_factor chain.
+#include <cmath>
+
+namespace fixture {
+
+double boltzmann_factor(double e, double kt) {
+  return std::exp(-e / kt);  // BAD: reached from the integrand path
+}
+
+struct GauntTable {
+  double kt = 1.0;
+  double integrand_at(double e) const { return boltzmann_factor(e, kt); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// hlint fixture: [lockset] must flag `HitCounter::hits_` — the recording
+// path takes the mutex but the reset path writes bare, so the field is
+// written both with and without a lock held (the Eraser intersection over
+// all access sites is empty). The witness must name the unlocked write.
+#include <mutex>
+
+namespace fixture {
+
+class HitCounter {
+ public:
+  void record() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ += 1;  // ok on its own: holds mu_
+  }
+  void reset() {
+    hits_ = 0;  // BAD: bare write racing record()
+  }
+  long peek() const { return hits_; }  // BAD: bare read
+
+ private:
+  std::mutex mu_;
+  long hits_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// hlint fixture (helper half): neither "kernel" nor "stream" in the file
+// name, so this file contributes no roots of its own — the Device::alloc
+// below is a violation only because bad_alloc_stream.cpp's launch_points
+// reaches stage_buffers through the call graph.
+#include <cstddef>
+
+struct FakeBuffer {};
+struct FakeDevice {
+  FakeBuffer alloc(std::size_t) { return {}; }
+};
+
+void stage_buffers(FakeDevice& device, std::size_t n) {
+  FakeBuffer emi = device.alloc(n);  // BAD: reached from the stream entry
+  (void)emi;
+}

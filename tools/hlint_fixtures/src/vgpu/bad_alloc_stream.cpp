@@ -1,0 +1,15 @@
+// hlint fixture (entry half): a stream-file entry point whose per-launch
+// Device::alloc lives one call away in alloc_helper.cpp — a file the old
+// file-scoped lexical rule never looked at. [hot-reach] must walk the
+// call graph from here and report rule id `hot-alloc` in the helper, with
+// the launch_points → stage_buffers witness chain.
+#include <cstddef>
+
+struct FakeBuffer;
+struct FakeDevice;
+
+void stage_buffers(FakeDevice& device, std::size_t n);
+
+void launch_points(FakeDevice& device, std::size_t n) {
+  stage_buffers(device, n);
+}
