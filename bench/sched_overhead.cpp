@@ -1,0 +1,291 @@
+// Scheduling-overhead bench (DESIGN.md §15): per-policy scheduling-latency
+// histograms and per-device load imbalance for the three pluggable
+// policies, over the same real-executor workload.
+//
+// Each policy owns one long-lived HybridExecutor; an untimed warm-up batch
+// per executor pins the §15 identity contract (all three policies must
+// produce bitwise-identical spectra — deep queues, so no task overflows to
+// QAGS) before any measurement. The `--repeats` measured batches then
+// interleave the policies round-robin so clock-frequency drift and
+// background interference land on every policy evenly rather than
+// penalising whichever runs last. Per policy the bench merges the
+// per-batch shm latency histograms and reports the median / p90 / mean
+// per-task scheduling latency plus the per-device history imbalance (max
+// device share over the even share: 1.0 = perfectly even).
+//
+// Writes a JSON record (schema hspec-bench-sched-v1) that the CI
+// bench-smoke job validates; BENCH_sched.json is the tracked baseline,
+// regenerated with --require-hybrid-faster so the checked-in record always
+// certifies hybrid_static_steal beating dynamic_min_load on median
+// per-task scheduling latency.
+//
+// Exit codes: 0 ok; 1 latency gate failed (--max-median-ns /
+// --require-hybrid-faster); 2 bitwise mismatch; 3 usage error.
+//
+// Usage:
+//   sched_overhead [--points N] [--repeats R] [--ranks K] [--devices D]
+//                  [--out FILE] [--max-median-ns X] [--require-hybrid-faster]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/hybrid_executor.h"
+#include "core/sched_policy.h"
+
+namespace {
+
+struct Args {
+  int points = 16;
+  int repeats = 6;
+  int ranks = 4;
+  int devices = 8;
+  std::string out = "BENCH_sched.json";
+  double max_median_ns = 0.0;       // gate on hybrid_static_steal's median
+  bool require_hybrid_faster = false;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--points") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.points = std::stoi(v);
+    } else if (flag == "--repeats") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.repeats = std::stoi(v);
+    } else if (flag == "--ranks") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.ranks = std::stoi(v);
+    } else if (flag == "--devices") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.devices = std::stoi(v);
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out = v;
+    } else if (flag == "--max-median-ns") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.max_median_ns = std::stod(v);
+    } else if (flag == "--require-hybrid-faster") {
+      args.require_hybrid_faster = true;
+    } else {
+      return false;
+    }
+  }
+  return args.points > 0 && args.repeats > 0 && args.ranks > 0 &&
+         args.devices > 0;
+}
+
+/// One policy's merged telemetry over all repeats.
+struct PolicyReport {
+  hspec::core::SchedulingPolicyKind kind;
+  hspec::core::SchedulingStats merged;  // histograms summed across repeats
+  std::vector<std::int64_t> history;    // per-device, summed across repeats
+  std::int64_t cpu_fallbacks = 0;
+  std::size_t tasks_total = 0;
+
+  /// max device history over the even share (1.0 = perfectly balanced).
+  double load_imbalance() const {
+    std::int64_t total = 0, max_dev = 0;
+    for (const std::int64_t h : history) {
+      total += h;
+      if (h > max_dev) max_dev = h;
+    }
+    if (total <= 0 || history.empty()) return 1.0;
+    const double even =
+        static_cast<double>(total) / static_cast<double>(history.size());
+    return static_cast<double>(max_dev) / even;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hspec;
+  using core::SchedulingPolicyKind;
+
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    std::cerr << "usage: sched_overhead [--points N] [--repeats R] "
+                 "[--ranks K] [--devices D] [--out FILE] "
+                 "[--max-median-ns X] [--require-hybrid-faster]\n";
+    return 3;
+  }
+
+  atomic::AtomicDatabase db(bench::bench_db_config(/*max_z=*/8,
+                                                   /*level_cap=*/2));
+  const auto grid = apec::EnergyGrid::wavelength(5.0, 40.0, 64);
+  apec::SpectrumCalculator calc(db, grid, bench::bench_kernel_options());
+
+  std::vector<apec::GridPoint> points(static_cast<std::size_t>(args.points));
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    points[p].kT_keV = 0.2 + 0.05 * static_cast<double>(p);
+    points[p].ne_cm3 = 1.0;
+    points[p].time_s = 0.0;
+    points[p].index = p;
+  }
+
+  constexpr SchedulingPolicyKind kPolicies[] = {
+      SchedulingPolicyKind::dynamic_min_load,
+      SchedulingPolicyKind::static_cost_partition,
+      SchedulingPolicyKind::hybrid_static_steal,
+  };
+
+  std::vector<std::unique_ptr<core::HybridExecutor>> executors;
+  std::vector<PolicyReport> reports;
+  for (const SchedulingPolicyKind kind : kPolicies) {
+    core::HybridConfig cfg = bench::bench_hybrid_config(
+        args.devices, /*max_queue_length=*/32, args.ranks);
+    cfg.scheduling_policy = kind;
+    executors.push_back(std::make_unique<core::HybridExecutor>(calc, cfg));
+
+    PolicyReport report;
+    report.kind = kind;
+    report.merged.policy = kind;
+    report.history.assign(static_cast<std::size_t>(args.devices), 0);
+    reports.push_back(std::move(report));
+  }
+
+  // Untimed warm-up batch per policy: faults in code/data caches and pins
+  // the identity gate — every policy's spectra must match the first
+  // policy's bit for bit (deep queues keep every task on the GPU kernels,
+  // so scheduling cannot change the math).
+  std::vector<apec::Spectrum> reference;
+  for (std::size_t i = 0; i < executors.size(); ++i) {
+    const core::HybridResult res = executors[i]->run_batch(points);
+    if (i == 0) {
+      reference = res.spectra;
+      continue;
+    }
+    for (std::size_t p = 0; p < reference.size(); ++p)
+      for (std::size_t b = 0; b < reference[p].bin_count(); ++b) {
+        const double x = reference[p][b];
+        const double y = res.spectra[p][b];
+        if (std::memcmp(&x, &y, sizeof(double)) != 0) {
+          std::cerr << "sched_overhead: policy "
+                    << core::to_string(reports[i].kind)
+                    << " differs bitwise at point " << p << " bin " << b
+                    << "\n";
+          return 2;
+        }
+      }
+  }
+
+  // Measured batches, policies interleaved per repeat with a rotating
+  // start, so over a multiple-of-3 repeat count every policy occupies
+  // every position in the round equally often — within-round drift
+  // (frequency ramps, cache state inherited from the previous batch)
+  // cancels instead of always taxing whichever policy runs last.
+  for (int r = 0; r < args.repeats; ++r) {
+    for (std::size_t j = 0; j < executors.size(); ++j) {
+      const std::size_t i =
+          (static_cast<std::size_t>(r) + j) % executors.size();
+      PolicyReport& report = reports[i];
+      const core::HybridResult res = executors[i]->run_batch(points);
+      for (int b = 0; b < core::kSchedLatencyBuckets; ++b)
+        report.merged.hist[b] += res.sched.hist[b];
+      report.merged.decisions += res.sched.decisions;
+      report.merged.latency_ns_total += res.sched.latency_ns_total;
+      report.cpu_fallbacks += res.scheduling.cpu_fallbacks;
+      report.tasks_total += res.tasks_total;
+      for (std::size_t d = 0; d < res.history.size(); ++d)
+        report.history[d] += res.history[d];
+    }
+  }
+
+  const PolicyReport& dynamic_rep = reports[0];
+  const PolicyReport& hybrid_rep = reports[2];
+  const double hybrid_over_dynamic =
+      dynamic_rep.merged.median_ns() > 0.0
+          ? hybrid_rep.merged.median_ns() / dynamic_rep.merged.median_ns()
+          : 0.0;
+
+  std::ofstream out(args.out);
+  if (!out) {
+    std::cerr << "sched_overhead: cannot write " << args.out << "\n";
+    return 3;
+  }
+  out << "{\n"
+      << "  \"schema\": \"hspec-bench-sched-v1\",\n"
+      << "  \"points\": " << args.points << ",\n"
+      << "  \"repeats\": " << args.repeats << ",\n"
+      << "  \"ranks\": " << args.ranks << ",\n"
+      << "  \"devices\": " << args.devices << ",\n"
+      << "  \"bitwise_identical\": true,\n"
+      << "  \"hybrid_over_dynamic_median\": ";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", hybrid_over_dynamic);
+    out << buf << ",\n";
+  }
+  out << "  \"policies\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const PolicyReport& rep = reports[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"policy\": \"%s\", \"decisions\": %lld,"
+        " \"tasks_total\": %zu, \"cpu_fallbacks\": %lld,"
+        " \"median_ns\": %.1f, \"p90_ns\": %.1f, \"mean_ns\": %.1f,"
+        " \"latency_ns_total\": %lld, \"load_imbalance\": %.4f}%s\n",
+        core::to_string(rep.kind),
+        static_cast<long long>(rep.merged.decisions), rep.tasks_total,
+        static_cast<long long>(rep.cpu_fallbacks), rep.merged.median_ns(),
+        rep.merged.quantile_ns(0.9), rep.merged.mean_ns(),
+        static_cast<long long>(rep.merged.latency_ns_total),
+        rep.load_imbalance(), i + 1 < reports.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+
+  std::printf("scheduling overhead (%d points x %d repeats, %d ranks, %d "
+              "devices):\n",
+              args.points, args.repeats, args.ranks, args.devices);
+  for (const PolicyReport& rep : reports)
+    std::printf(
+        "  %-22s median %7.1f ns  p90 %8.1f ns  mean %8.1f ns  "
+        "imbalance %.3f  fallbacks %lld/%zu\n",
+        core::to_string(rep.kind), rep.merged.median_ns(),
+        rep.merged.quantile_ns(0.9), rep.merged.mean_ns(),
+        rep.load_imbalance(), static_cast<long long>(rep.cpu_fallbacks),
+        rep.merged.decisions > 0
+            ? static_cast<std::size_t>(rep.merged.decisions)
+            : std::size_t{0});
+  bench::check(true, "all policies bitwise identical");
+  bench::check(hybrid_over_dynamic < 1.0,
+               "hybrid_static_steal median below dynamic_min_load");
+  std::printf("  -> %s\n", args.out.c_str());
+
+  if (args.max_median_ns > 0.0 &&
+      hybrid_rep.merged.median_ns() > args.max_median_ns) {
+    std::cerr << "sched_overhead: hybrid median "
+              << hybrid_rep.merged.median_ns() << " ns above required "
+              << args.max_median_ns << " ns\n";
+    return 1;
+  }
+  if (args.require_hybrid_faster &&
+      !(hybrid_rep.merged.median_ns() < dynamic_rep.merged.median_ns())) {
+    std::cerr << "sched_overhead: hybrid median "
+              << hybrid_rep.merged.median_ns()
+              << " ns is not below dynamic median "
+              << dynamic_rep.merged.median_ns() << " ns\n";
+    return 1;
+  }
+  return 0;
+}

@@ -39,6 +39,7 @@
 
 #include "apec/calculator.h"
 #include "apec/spectrum.h"
+#include "core/sched_policy.h"
 #include "core/scheduler.h"
 #include "core/task.h"
 #include "vgpu/device.h"
@@ -60,6 +61,11 @@ struct HybridConfig {
   int devices = -1;
   /// Pipelined is the production default; synchronous is the paper baseline.
   ExecutionMode mode = ExecutionMode::pipelined;
+  /// Device-selection strategy for every task (core/sched_policy.h). The
+  /// default is the paper's Algorithm 1 min-load pick; both modes and the
+  /// service thread the same policy through run_batch's single decision
+  /// site, and all three policies produce bitwise-identical spectra.
+  SchedulingPolicyKind scheduling_policy = SchedulingPolicyKind::dynamic_min_load;
   /// In-flight GPU tasks (and streams) per rank per device when pipelined.
   int pipeline_depth = 2;
   /// Grid points claimed per work-queue visit (steal granularity).
@@ -97,6 +103,9 @@ struct PipelineStats {
 struct HybridResult {
   std::vector<apec::Spectrum> spectra;  ///< one per input grid point
   SchedulerStats scheduling;            ///< aggregated over all ranks
+  /// Per-task scheduling-latency telemetry for this batch (the shm
+  /// histogram timed_assign fills; counts sum to tasks_total).
+  SchedulingStats sched;
   std::vector<std::int64_t> history;    ///< final history count per device
   std::vector<vgpu::DeviceStats> device_stats;
   PipelineStats pipeline;

@@ -58,7 +58,8 @@ HybridExecutor::HybridExecutor(const apec::SpectrumCalculator& calculator,
       registry_(config.devices),
       shm_(ShmRegion::create_inprocess(
           static_cast<int>(registry_.device_count()),
-          config.max_queue_length)) {
+          config.max_queue_length)),
+      policy_(SchedulingPolicy::make(config.scheduling_policy)) {
   n_dev_ = static_cast<int>(registry_.device_count());
   shm_.view().degrade_after = config_.degrade_after;
   shm_.view().quarantine_after = config_.quarantine_after;
@@ -118,6 +119,18 @@ HybridResult HybridExecutor::run_batch(
   // batch; steal counters restart at zero so the result stays per-batch.
   shm_.view().points.initialize(static_cast<std::int64_t>(points.size()),
                                 config_.ranks, config_.steal_chunk);
+
+  // Per-batch scheduling telemetry restarts with the point queue, and the
+  // policy precomputes its batch state (the static policies build their
+  // ion-keyed device table here) before any rank runs.
+  shm_.view().reset_sched_latency();
+  BatchContext policy_ctx;
+  policy_ctx.calc = calc_;
+  policy_ctx.granularity = config_.granularity;
+  policy_ctx.device_count = n_dev_;
+  policy_ctx.device_properties =
+      n_dev_ > 0 ? &registry_.device(0).properties() : nullptr;
+  policy_->begin_batch(policy_ctx);
 
   // Arm fault injection before the ranks start (thread creation publishes
   // the plan pointer). The plan's counters are cumulative across runs, so
@@ -219,7 +232,11 @@ HybridResult HybridExecutor::run_batch(
         for (const SpectralTask& task :
              make_tasks(*calc_, points[p], pops, config_.granularity)) {
           ++my_tasks;
-          const int device = scheduler.sche_alloc();
+          // The single decision site both modes share: the policy picks
+          // (and reserves) a device, the clock around it feeds the shm
+          // latency histogram. Fault-path re-allocations below go through
+          // sche_alloc directly, so the histogram stays one-per-task.
+          const int device = timed_assign(*policy_, task, scheduler);
           if (pipelined) {
             async->submit(task, pops, device, local);
           } else {
@@ -238,6 +255,8 @@ HybridResult HybridExecutor::run_batch(
                      async ? &async->stats() : nullptr);
   });
   accum.publish(result);
+  result.sched =
+      read_scheduling_stats(shm_.view(), config_.scheduling_policy);
 
   for (int d = 0; d < n_dev_; ++d) {
     const auto du = static_cast<std::size_t>(d);

@@ -38,6 +38,7 @@
 
 #include "core/async_executor.h"
 #include "core/hybrid.h"
+#include "core/sched_policy.h"
 #include "core/shm.h"
 #include "util/thread_annotations.h"
 #include "vgpu/buffer_pool.h"
@@ -145,6 +146,10 @@ class HybridExecutor {
   HybridConfig config_;
   vgpu::DeviceRegistry registry_;
   ShmRegion shm_;
+  /// The batch's device-selection strategy (config_.scheduling_policy).
+  /// begin_batch() runs single-threaded at batch start; during the batch
+  /// every rank calls its read-only assign() through timed_assign.
+  std::unique_ptr<SchedulingPolicy> policy_;
   int n_dev_ = 0;
   std::vector<std::unique_ptr<vgpu::BufferPool>> pools_;
   std::vector<std::unique_ptr<DevicePipeline>> pipes_;

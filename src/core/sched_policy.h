@@ -1,0 +1,120 @@
+#pragma once
+// Pluggable scheduling policies over the Algorithm 1 scheduler (DESIGN.md
+// §15). The paper ships exactly one strategy — every rank picks the
+// min-load device at task-submission time — and pays a shared-cache-line
+// scan plus a CAS per task for it. This seam makes that strategy one of
+// three:
+//
+//  * dynamic_min_load    — the paper's Algorithm 1 pick, unchanged: scan
+//    loads, CAS the min-load device, QAGS fallback when all queues are
+//    full. Maximum information, maximum per-task overhead.
+//  * static_cost_partition — a StarPU-style pre-partition: at batch start
+//    every schedulable ion unit is priced with the same per-task GPU cost
+//    estimate the perfmodel DES is calibrated on
+//    (vgpu::estimated_task_gpu_s) and packed onto devices by LPT greedy.
+//    Per task the rank does one table lookup and one directed CAS — no
+//    scan. A full (or quarantined) target sends the task to the CPU
+//    fallback; nothing rebalances.
+//  * hybrid_static_steal — the static table first, and when the directed
+//    reservation fails (queue full, device quarantined) the task falls
+//    back to the dynamic min-load pick instead of the CPU. Static cost in
+//    the common case, dynamic correction under imbalance or faults.
+//
+// All three produce bitwise-identical spectra for max_queue_length large
+// enough that no task overflows to QAGS: virtual GPUs execute identical
+// host math, so *which* GPU runs a task never changes bits — only the
+// GPU/CPU split can, and that is exactly what the policies vary under
+// pressure. The identity tests pin this.
+//
+// Instrumentation: every primary allocation decision is clocked by
+// timed_assign() and recorded in SchedulerShm's fixed-bucket latency
+// histogram; read_scheduling_stats() folds it into the SchedulingStats
+// surfaced by HybridResult / service::ServiceStats.
+//
+// Threading contract: begin_batch() is single-threaded (executor, batch
+// start); assign() is called concurrently by every rank and must only read
+// policy state, mutating shared state through the TaskScheduler only.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/shm.h"
+#include "core/task.h"
+
+namespace hspec::apec {
+class SpectrumCalculator;
+}
+namespace hspec::vgpu {
+struct DeviceProperties;
+}
+
+namespace hspec::core {
+
+enum class SchedulingPolicyKind : std::int32_t {
+  dynamic_min_load = 0,
+  static_cost_partition = 1,
+  hybrid_static_steal = 2,
+};
+
+const char* to_string(SchedulingPolicyKind kind) noexcept;
+
+/// One batch's scheduling-latency telemetry, read back from the shm
+/// histogram after the ranks join. Counts sum to the batch's tasks_total
+/// (timed_assign clocks exactly one decision per task).
+struct SchedulingStats {
+  SchedulingPolicyKind policy = SchedulingPolicyKind::dynamic_min_load;
+  std::int64_t hist[kSchedLatencyBuckets] = {};
+  std::int64_t decisions = 0;       ///< sum of hist
+  std::int64_t latency_ns_total = 0;
+
+  double mean_ns() const noexcept;
+  /// Histogram quantile with linear interpolation inside the bucket that
+  /// crosses q * decisions (the standard estimator — without it a quantile
+  /// could only move in ~25% bucket-width jumps). 0 when no decisions were
+  /// recorded; never exceeds the last bucket's upper bound.
+  double quantile_ns(double q) const noexcept;
+  double median_ns() const noexcept { return quantile_ns(0.5); }
+};
+
+/// Snapshot the shm latency histogram into a SchedulingStats (relaxed
+/// loads; call after the ranks have joined).
+SchedulingStats read_scheduling_stats(const SchedulerShm& shm,
+                                      SchedulingPolicyKind kind);
+
+/// Everything a policy may precompute from at batch start. The calculator
+/// gives the ion universe and integration options (kernel evals per bin,
+/// batched lanes); device_properties prices the kernel/transfer times
+/// (null => the paper's Tesla C2075).
+struct BatchContext {
+  const apec::SpectrumCalculator* calc = nullptr;
+  TaskGranularity granularity = TaskGranularity::ion;
+  int device_count = 0;
+  const vgpu::DeviceProperties* device_properties = nullptr;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual SchedulingPolicyKind kind() const noexcept = 0;
+
+  /// Single-threaded, once per batch, before any rank calls assign().
+  virtual void begin_batch(const BatchContext& ctx) = 0;
+
+  /// Pick (and reserve a queue slot on) a device for `task`, or return -1
+  /// for the CPU path. Thread-safe: called concurrently by every rank.
+  virtual int assign(const SpectralTask& task, TaskScheduler& sched) = 0;
+
+  static std::unique_ptr<SchedulingPolicy> make(SchedulingPolicyKind kind);
+};
+
+/// The instrumented decision site: clock assign() and record the latency in
+/// the shm histogram. Every task goes through here exactly once (fault-path
+/// re-allocations call sche_alloc directly), which is what keeps the
+/// histogram counts equal to tasks_total.
+int timed_assign(SchedulingPolicy& policy, const SpectralTask& task,
+                 TaskScheduler& sched);
+
+}  // namespace hspec::core

@@ -4,13 +4,34 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
+#include <cmath>
 #include <stdexcept>
 #include <system_error>
 
 #include "util/dcheck.h"
 
 namespace hspec::core {
+
+int sched_latency_bucket(std::int64_t ns) noexcept {
+  if (ns <= 0) return 0;
+  const auto u = static_cast<std::uint64_t>(ns);
+  const int octave = 63 - std::countl_zero(u);  // floor(log2 ns)
+  // Top two bits below the leading one select the quarter-octave.
+  const int sub =
+      octave >= 2 ? static_cast<int>((u >> (octave - 2)) & 3u) : 0;
+  const int bucket = octave * 4 + sub;
+  return bucket < kSchedLatencyBuckets ? bucket : kSchedLatencyBuckets - 1;
+}
+
+double sched_latency_bucket_upper_ns(int bucket) noexcept {
+  if (bucket < 0) return 0.0;
+  if (bucket >= kSchedLatencyBuckets) bucket = kSchedLatencyBuckets - 1;
+  const int octave = bucket / 4;
+  const int sub = bucket % 4;
+  return std::ldexp(1.0 + 0.25 * static_cast<double>(sub + 1), octave);
+}
 
 void PointWorkQueue::initialize(std::int64_t n_points, std::int32_t ranks,
                                 std::int64_t chunk_size) {
@@ -119,6 +140,13 @@ void SchedulerShm::initialize(int devices, int max_queue_len) {
   degrade_after = 2;
   quarantine_after = 5;
   points.initialize(0, 0, 1);
+  reset_sched_latency();
+}
+
+void SchedulerShm::reset_sched_latency() noexcept {
+  for (int b = 0; b < kSchedLatencyBuckets; ++b)
+    sched_latency_hist[b].store(0, std::memory_order_relaxed);
+  sched_latency_ns_total.store(0, std::memory_order_relaxed);
 }
 
 namespace {

@@ -24,6 +24,21 @@ inline constexpr int kMaxDevices = 64;
 /// Maximum ranks the work-stealing point queue can partition across.
 inline constexpr int kMaxRanks = 128;
 
+/// Scheduling-latency histogram resolution (DESIGN.md §15). Buckets are
+/// quarter-octaves of nanoseconds: bucket 4*o + s holds latencies in
+/// [(1 + s/4) * 2^o, (1 + (s+1)/4) * 2^o) ns, so every decision lands in a
+/// bucket within ~25% of its true latency. 64 buckets span [1 ns, 64 us);
+/// the last bucket is open-ended and bucket 0 additionally absorbs sub-ns
+/// readings (clock granularity).
+inline constexpr int kSchedLatencyBuckets = 64;
+
+/// Bucket index for one scheduling-decision latency (see above).
+int sched_latency_bucket(std::int64_t ns) noexcept;
+
+/// Exclusive upper bound of `bucket` in nanoseconds (the value the median /
+/// quantile estimators report for samples inside it).
+double sched_latency_bucket_upper_ns(int bucket) noexcept;
+
 /// Work-stealing distribution of grid points across ranks, living in the
 /// same shared segment as the Algorithm 1 arrays. Each rank owns an initial
 /// contiguous range (the old static split) and claims chunks from its own
@@ -101,6 +116,17 @@ struct SchedulerShm {
   std::int32_t degrade_after;
   std::int32_t quarantine_after;
   PointWorkQueue points;
+  /// Per-task scheduling-latency histogram (DESIGN.md §15): every *primary*
+  /// allocation decision — the one timed_assign() clocks between "task
+  /// ready" and "device assigned" — lands in exactly one bucket, so the
+  /// bucket counts sum to tasks_total (fault-retry re-allocations go through
+  /// sche_alloc directly and are deliberately not recorded). Reset once per
+  /// batch by the executor, like the point queue.
+  std::atomic<std::int64_t> sched_latency_hist[kSchedLatencyBuckets];
+  std::atomic<std::int64_t> sched_latency_ns_total;
+
+  /// Zero the scheduling-latency histogram (single-threaded, batch start).
+  void reset_sched_latency() noexcept;
 
   /// Throws std::invalid_argument on `devices` outside [0, kMaxDevices] or
   /// `max_queue_len < 1` — a device count past kMaxDevices would let every

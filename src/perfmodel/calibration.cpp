@@ -45,15 +45,22 @@ double SpectralCostModel::ion_cpu_s() const {
   return flops / (calib_.cpu_sustained_gflops * 1e9);
 }
 
+vgpu::TaskCostParams SpectralCostModel::task_cost_params() const {
+  vgpu::TaskCostParams p;
+  p.context_switch_s = calib_.gpu_context_switch_s;
+  p.flops_per_eval = calib_.gpu_flops_per_eval;
+  p.evals_per_bin = gpu_evals_per_bin();
+  p.lanes = calib_.kernel_simd_lanes;
+  return p;
+}
+
 double SpectralCostModel::ion_gpu_s() const {
-  const auto levels = static_cast<double>(workload_.avg_levels_per_ion);
-  // Edges up + emi down once per task; one kernel per level.
-  const double transfers =
-      gpu_model_.transfer_time_s((workload_.bins_per_level + 1) *
-                                 sizeof(double)) +
-      gpu_model_.transfer_time_s(workload_.bins_per_level * sizeof(double));
-  return calib_.gpu_context_switch_s + levels * kernel_time_per_level_s() +
-         transfers;
+  // The shared per-task estimate (vgpu::estimated_task_gpu_s) is the same
+  // arithmetic the static scheduling policies partition by, so the DES
+  // anchors and the scheduler's cost metric cannot drift apart.
+  return vgpu::estimated_task_gpu_s(gpu_model_, workload_.avg_levels_per_ion,
+                                    workload_.bins_per_level,
+                                    task_cost_params());
 }
 
 double SpectralCostModel::level_prep_s() const {
@@ -67,11 +74,8 @@ double SpectralCostModel::level_cpu_s() const {
 }
 
 double SpectralCostModel::level_gpu_s() const {
-  const double transfers =
-      gpu_model_.transfer_time_s((workload_.bins_per_level + 1) *
-                                 sizeof(double)) +
-      gpu_model_.transfer_time_s(workload_.bins_per_level * sizeof(double));
-  return calib_.gpu_context_switch_s + kernel_time_per_level_s() + transfers;
+  return vgpu::estimated_task_gpu_s(gpu_model_, 1, workload_.bins_per_level,
+                                    task_cost_params());
 }
 
 double SpectralCostModel::serial_point_s() const {

@@ -89,6 +89,10 @@ class SpectralCostModel {
   const PaperCalibration& calibration() const noexcept { return calib_; }
   const core::WorkloadParams& workload() const noexcept { return workload_; }
 
+  /// The calibration's knobs in the shared vgpu::estimated_task_gpu_s
+  /// shape — what the static scheduling policies partition by.
+  vgpu::TaskCostParams task_cost_params() const;
+
  private:
   double kernel_time_per_level_s() const;
   PaperCalibration calib_;

@@ -222,6 +222,7 @@ void SpectralService::dispatch(std::vector<std::unique_ptr<Request>> group) {
       reply.stats.batch_requests = contributing;
       reply.stats.faults = result.faults;
       reply.stats.device_health = result.device_health;
+      reply.stats.sched = result.sched;
     }
   }
 

@@ -101,6 +101,10 @@ struct ServiceStats {
   /// Recovery accounting of the batch that computed this request's misses
   /// (zeroes for a fully cached request or a fault-free run).
   core::FaultStats faults;
+  /// Scheduling-latency telemetry of that batch (core/sched_policy.h):
+  /// which policy decided, how many decisions, and the latency histogram.
+  /// Zero decisions for a fully cached request.
+  core::SchedulingStats sched;
   /// Device health after that batch (live executor state; empty for a
   /// fully cached request).
   std::vector<core::DeviceHealth> device_health;

@@ -19,4 +19,21 @@ double GpuCostModel::transfer_time_s(std::size_t bytes) const noexcept {
          static_cast<double>(bytes) / (props_.pcie_bandwidth_gbps * 1e9);
 }
 
+double estimated_task_gpu_s(const GpuCostModel& gpu, std::size_t levels,
+                            std::size_t bins,
+                            const TaskCostParams& params) noexcept {
+  WorkEstimate per_level;
+  per_level.flops = static_cast<double>(bins) * params.evals_per_bin *
+                    params.flops_per_eval;
+  per_level.device_bytes = bins * sizeof(double) * 2;
+  per_level.lanes = params.lanes;
+  // Edges up and emi down once per task; one kernel per level.
+  const double transfers =
+      gpu.transfer_time_s((bins + 1) * sizeof(double)) +
+      gpu.transfer_time_s(bins * sizeof(double));
+  return params.context_switch_s +
+         static_cast<double>(levels) * gpu.kernel_time_s(per_level) +
+         transfers;
+}
+
 }  // namespace hspec::vgpu

@@ -91,6 +91,13 @@ class FaultSoakTest : public ::testing::Test {
     EXPECT_EQ(res.faults.gpu_completed + res.faults.cpu_completed,
               static_cast<std::int64_t>(res.tasks_total))
         << what;
+    // Scheduling-latency histogram accounting (DESIGN.md §15): exactly one
+    // clocked decision per task, regardless of faults or execution mode —
+    // fault-path re-allocations bypass the clock on purpose.
+    EXPECT_EQ(res.sched.decisions, static_cast<std::int64_t>(res.tasks_total))
+        << what;
+    EXPECT_GE(res.sched.latency_ns_total, 0) << what;
+    EXPECT_GE(res.sched.mean_ns(), 0.0) << what;
   }
 
   atomic::AtomicDatabase db_;

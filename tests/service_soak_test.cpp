@@ -83,6 +83,15 @@ TEST(ServiceSoak, ConcurrentSubmitStormThroughTightGate) {
           // bitwise cache hit or a fresh computation of the same task set.
           for (std::size_t b = 0; b < grid.bin_count(); ++b)
             if (reply.spectra[0][b] != truth.spectra[slot][b]) ++bad;
+          // Scheduling-latency surfacing (DESIGN.md §15): a reply whose
+          // misses ran a batch must carry that batch's clocked decisions;
+          // a fully cached reply carries a zeroed histogram.
+          if (reply.stats.batch_points > 0 &&
+              reply.stats.sched.decisions <= 0)
+            ++bad;
+          if (reply.stats.sched.mean_ns() < 0.0 ||
+              reply.stats.sched.latency_ns_total < 0)
+            ++bad;
         }
         mismatches[static_cast<std::size_t>(c)] = bad;
       });
